@@ -1,0 +1,355 @@
+package rtmw_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	rtmw "repro"
+	"repro/internal/core"
+	"repro/internal/eventchan"
+	"repro/internal/experiments"
+	"repro/internal/orb"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// --- Figure 5: accepted utilization ratio, random balanced workloads ---
+//
+// Each sub-benchmark runs one strategy combination over the paper's full
+// parameters (10 task sets, 5 simulated minutes). The reported wall time is
+// the cost of regenerating that figure series.
+
+func BenchmarkFigure5(b *testing.B) {
+	for _, combo := range rtmw.AllCombinations() {
+		combo := combo
+		b.Run(combo.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				results, err := rtmw.RunFigure5(rtmw.FigureOptions{
+					Sets:    10,
+					Horizon: 5 * time.Minute,
+					Combos:  []rtmw.Config{combo},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if results[0].Mean <= 0 {
+					b.Fatalf("combo %s produced zero ratio", combo)
+				}
+			}
+		})
+	}
+}
+
+// --- Figure 6: accepted utilization ratio, imbalanced workloads ---
+
+func BenchmarkFigure6(b *testing.B) {
+	for _, combo := range rtmw.AllCombinations() {
+		combo := combo
+		b.Run(combo.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				results, err := rtmw.RunFigure6(rtmw.FigureOptions{
+					Sets:    10,
+					Horizon: 5 * time.Minute,
+					Combos:  []rtmw.Config{combo},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if results[0].Mean <= 0 {
+					b.Fatalf("combo %s produced zero ratio", combo)
+				}
+			}
+		})
+	}
+}
+
+// --- Table 1 / Figure 2: the configuration engine's strategy mapping ---
+
+func BenchmarkTable1Mapping(b *testing.B) {
+	bools := []bool{false, true}
+	tols := []rtmw.Tolerance{rtmw.ToleranceNone, rtmw.TolerancePerTask, rtmw.TolerancePerJob}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, js := range bools {
+			for _, rep := range bools {
+				for _, sp := range bools {
+					for _, tol := range tols {
+						r := rtmw.MapAnswers(rtmw.Answers{
+							JobSkipping: js, Replication: rep,
+							StatePersistence: sp, Overhead: tol,
+						})
+						if err := r.Config.Validate(); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// --- Figure 7/8 primitive operations ---
+//
+// These isolate the manager-side computations the paper's overhead table
+// decomposes (operations 3, 4 and 8) and the transport costs (operation 2).
+// The full composed Figure 8 table is produced by `rtmw-bench overhead`,
+// which runs the live cluster.
+
+// benchController builds a controller pre-loaded with a Section 7.3-style
+// task set.
+func benchController(b *testing.B, cfg core.Config) (*core.Controller, []*sched.Task) {
+	b.Helper()
+	tasks, err := workload.Generate(workload.OverheadParams(0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctrl, err := core.NewController(cfg, workload.MaxProc(tasks)+1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	now := time.Duration(0)
+	for _, t := range tasks {
+		ctrl.Arrive(t, 0, now)
+	}
+	return ctrl, tasks
+}
+
+// BenchmarkAdmissionTest measures operation 4: one AUB admission test
+// against a populated ledger.
+func BenchmarkAdmissionTest(b *testing.B) {
+	ctrl, tasks := benchController(b, core.Config{
+		AC: core.StrategyPerJob, IR: core.StrategyNone, LB: core.StrategyNone,
+	})
+	placement := make([]sched.PlacedStage, len(tasks[0].Subtasks))
+	for i, st := range tasks[0].Subtasks {
+		placement[i] = sched.PlacedStage{Stage: i, Proc: st.Processor, Util: tasks[0].StageUtil(i)}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctrl.Ledger().Admissible(placement)
+	}
+}
+
+// BenchmarkLocationPlan measures operation 3: the load balancer's greedy
+// lowest-utilization placement.
+func BenchmarkLocationPlan(b *testing.B) {
+	ctrl, tasks := benchController(b, core.Config{
+		AC: core.StrategyPerJob, IR: core.StrategyNone, LB: core.StrategyPerJob,
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctrl.Location(tasks[i%len(tasks)], int64(i))
+	}
+}
+
+// BenchmarkIdleResetUpdate measures operation 8: applying an idle-resetting
+// report to the synthetic utilization ledger.
+func BenchmarkIdleResetUpdate(b *testing.B) {
+	cfg := core.Config{AC: core.StrategyPerJob, IR: core.StrategyPerJob, LB: core.StrategyNone}
+	tasks, err := workload.Generate(workload.OverheadParams(0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctrl, err := core.NewController(cfg, workload.MaxProc(tasks)+1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	t0 := tasks[0]
+	placement := []sched.PlacedStage{{Stage: 0, Proc: t0.Subtasks[0].Processor, Util: t0.StageUtil(0)}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ref := sched.JobRef{Task: t0.ID, Job: int64(i)}
+		if d := ctrl.Arrive(t0, int64(i), time.Duration(i)); !d.Accept {
+			b.Fatal("benchmark job rejected")
+		}
+		ctrl.IdleReset([]sched.EntryRef{{Ref: ref, Stage: 0, Proc: placement[0].Proc}})
+		ctrl.ExpireJob(ref)
+	}
+}
+
+// BenchmarkORBInvoke measures a two-way invocation round trip over TCP
+// loopback (the transport under operation 2).
+func BenchmarkORBInvoke(b *testing.B) {
+	server := orb.New("bench-server")
+	addr, err := server.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer server.Shutdown()
+	server.RegisterServant("echo", func(op string, arg []byte) ([]byte, error) { return arg, nil })
+	client := orb.New("bench-client")
+	defer client.Shutdown()
+	payload := []byte("ping")
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.Invoke(ctx, addr.String(), "echo", "op", payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEventChannelLocal measures a local event push with one
+// subscriber.
+func BenchmarkEventChannelLocal(b *testing.B) {
+	o := orb.New("bench-local")
+	defer o.Shutdown()
+	ch := eventchan.New("bench-local", o)
+	n := 0
+	ch.Subscribe("E", func(eventchan.Event) { n++ })
+	ev := eventchan.Event{Type: "E", Payload: []byte("x")}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ch.Push(ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEventChannelFederated measures a one-way cross-node event push
+// (operation 2's one-way half), including gob framing and the TCP hop.
+func BenchmarkEventChannelFederated(b *testing.B) {
+	producerORB := orb.New("bench-prod")
+	defer producerORB.Shutdown()
+	consumerORB := orb.New("bench-cons")
+	addr, err := consumerORB.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer consumerORB.Shutdown()
+
+	producer := eventchan.New("bench-prod", producerORB)
+	consumer := eventchan.New("bench-cons", consumerORB)
+	got := make(chan struct{}, 1024)
+	consumer.Subscribe("E", func(eventchan.Event) { got <- struct{}{} })
+	producer.AddRemoteSink("E", addr.String())
+	ev := eventchan.Event{Type: "E", Payload: []byte("x")}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := producer.Push(ev); err != nil {
+			b.Fatal(err)
+		}
+		<-got
+	}
+}
+
+// BenchmarkAdmissionTestScaling measures operation 4 as the current task
+// set grows, supporting the paper's Section 3 argument that the centralized
+// admission controller's computation "is significantly lower than task
+// execution times" and does not bottleneck the architecture.
+func BenchmarkAdmissionTestScaling(b *testing.B) {
+	for _, n := range []int{10, 100, 1000} {
+		n := n
+		b.Run(fmt.Sprintf("jobs=%d", n), func(b *testing.B) {
+			ctrl, err := core.NewController(core.Config{
+				AC: core.StrategyPerJob, IR: core.StrategyNone, LB: core.StrategyNone,
+			}, 5)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Fill the ledger with n in-flight single-stage jobs.
+			ledger := ctrl.Ledger()
+			for i := 0; i < n; i++ {
+				ref := sched.JobRef{Task: "bg", Job: int64(i)}
+				pl := []sched.PlacedStage{{Stage: 0, Proc: i % 5, Util: 0.4 / float64(n) * 5}}
+				if err := ledger.AddJob(ref, sched.Aperiodic, pl, false, time.Hour); err != nil {
+					b.Fatal(err)
+				}
+			}
+			cand := []sched.PlacedStage{{Stage: 0, Proc: 0, Util: 0.01}}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ledger.Admissible(cand)
+			}
+		})
+	}
+}
+
+// BenchmarkEventFanout measures gateway fan-out cost as the number of remote
+// sinks grows (the federated event channel's scalability axis).
+func BenchmarkEventFanout(b *testing.B) {
+	for _, sinks := range []int{1, 2, 4} {
+		sinks := sinks
+		b.Run(fmt.Sprintf("sinks=%d", sinks), func(b *testing.B) {
+			producerORB := orb.New("fan-prod")
+			defer producerORB.Shutdown()
+			producer := eventchan.New("fan-prod", producerORB)
+			got := make(chan struct{}, 4096)
+			for i := 0; i < sinks; i++ {
+				consORB := orb.New(fmt.Sprintf("fan-cons%d", i))
+				addr, err := consORB.Listen("127.0.0.1:0")
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer consORB.Shutdown()
+				cons := eventchan.New(fmt.Sprintf("fan-cons%d", i), consORB)
+				cons.Subscribe("E", func(eventchan.Event) { got <- struct{}{} })
+				producer.AddRemoteSink("E", addr.String())
+			}
+			ev := eventchan.Event{Type: "E", Payload: []byte("x")}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := producer.Push(ev); err != nil {
+					b.Fatal(err)
+				}
+				for s := 0; s < sinks; s++ {
+					<-got
+				}
+			}
+		})
+	}
+}
+
+// --- Section 2 ablation: AUB vs deferrable-server admission ---
+
+// BenchmarkAblationAUBvsDS measures one full replay of identical aperiodic
+// streams through both admission techniques (the comparison that justified
+// the paper's choice of AUB).
+func BenchmarkAblationAUBvsDS(b *testing.B) {
+	opts := experiments.AblationOptions{Procs: 3, Tasks: 9, Horizon: time.Minute, Seeds: 3}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		results, err := experiments.RunAblationAUBvsDS(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(results) != 2 {
+			b.Fatal("missing technique results")
+		}
+	}
+}
+
+// --- Simulation engine throughput (substrate ablation) ---
+
+// BenchmarkSimulation measures one full 5-minute virtual run of the J_J_J
+// configuration over a Figure 5 workload: the cost of the DES substrate
+// itself.
+func BenchmarkSimulation(b *testing.B) {
+	tasks, err := rtmw.GenerateWorkload(rtmw.Figure5Params(0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := rtmw.SimConfig{
+		Strategies: rtmw.Config{AC: rtmw.StrategyPerJob, IR: rtmw.StrategyPerJob, LB: rtmw.StrategyPerJob},
+		NumProcs:   5,
+		Horizon:    5 * time.Minute,
+		Seed:       1,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rtmw.Simulate(cfg, tasks); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

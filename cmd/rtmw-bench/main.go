@@ -1,0 +1,120 @@
+// Command rtmw-bench regenerates the paper's evaluation artifacts:
+//
+//	rtmw-bench table1            Table 1 criteria → strategy mapping
+//	rtmw-bench figure5           accepted utilization ratio, balanced workloads
+//	rtmw-bench figure6           accepted utilization ratio, imbalanced workloads
+//	rtmw-bench overhead          Figure 7/8 service overhead table (live, TCP)
+//	rtmw-bench ablation          AUB vs deferrable-server admission (Section 2)
+//	rtmw-bench all               everything above
+//
+// Figure runs accept -sets and -horizon; overhead accepts -duration and
+// -pings. Output goes to stdout; add -csv to also emit machine-readable
+// series for the figures.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/configengine"
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		sets     = flag.Int("sets", 10, "random task sets per figure point")
+		horizon  = flag.Duration("horizon", 5*time.Minute, "virtual workload duration per run")
+		duration = flag.Duration("duration", 5*time.Second, "live overhead run duration")
+		pings    = flag.Int("pings", 1000, "event round trips for the communication-delay estimate")
+		csv      = flag.Bool("csv", false, "also print CSV series for figures")
+	)
+	flag.Parse()
+	cmd := flag.Arg(0)
+	if cmd == "" {
+		flag.Usage()
+		return fmt.Errorf("missing subcommand: table1 | figure5 | figure6 | overhead | all")
+	}
+
+	figOpts := experiments.FigureOptions{Sets: *sets, Horizon: *horizon}
+	ovOpts := experiments.OverheadOptions{Duration: *duration, PingCount: *pings}
+
+	runFigure5 := func() error {
+		results, err := experiments.RunFigure5(figOpts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderFigure(
+			fmt.Sprintf("Figure 5: accepted utilization ratio, random balanced workloads (%d sets, %v)", *sets, *horizon),
+			results))
+		if *csv {
+			fmt.Println(experiments.RenderCSV(results))
+		}
+		return nil
+	}
+	runFigure6 := func() error {
+		results, err := experiments.RunFigure6(figOpts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderFigure(
+			fmt.Sprintf("Figure 6: accepted utilization ratio, imbalanced workloads (%d sets, %v)", *sets, *horizon),
+			results))
+		if *csv {
+			fmt.Println(experiments.RenderCSV(results))
+		}
+		return nil
+	}
+	runOverhead := func() error {
+		fmt.Fprintf(os.Stderr, "running live overhead measurement (%v + %d pings)...\n", *duration, *pings)
+		rep, err := experiments.RunOverhead(ovOpts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderOverhead(rep))
+		return nil
+	}
+	runTable1 := func() error {
+		fmt.Println(configengine.RenderTable1())
+		fmt.Println("Valid strategy combinations (Figure 2): 15 of 18; AC-per-task with IR-per-job is contradictory.")
+		return nil
+	}
+	runAblation := func() error {
+		results, err := experiments.RunAblationAUBvsDS(experiments.AblationOptions{Seeds: 10})
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderAblation(results))
+		return nil
+	}
+
+	switch cmd {
+	case "table1":
+		return runTable1()
+	case "figure5":
+		return runFigure5()
+	case "figure6":
+		return runFigure6()
+	case "overhead":
+		return runOverhead()
+	case "ablation":
+		return runAblation()
+	case "all":
+		for _, f := range []func() error{runTable1, runFigure5, runFigure6, runOverhead, runAblation} {
+			if err := f(); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown subcommand %q", cmd)
+	}
+}

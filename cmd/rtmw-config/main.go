@@ -1,0 +1,132 @@
+// Command rtmw-config is the front-end configuration engine (paper Section
+// 6): it reads a workload specification file and the developer's answers to
+// the four application-characteristic questions, maps them to middleware
+// strategies per Table 1 (rejecting invalid combinations), and writes the
+// XML deployment plan for rtmw-deploy.
+//
+// Usage:
+//
+//	rtmw-config -workload plant.json \
+//	    -job-skipping=false -replication=true -persistence=true -overhead=PT \
+//	    -manager manager=127.0.0.1:7000 \
+//	    -nodes app0=127.0.0.1:7001,app1=127.0.0.1:7002 \
+//	    -out plan.xml
+//
+// Pass -config J_T_N to bypass the questionnaire with an explicit strategy
+// tuple; the engine still validates it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/configengine"
+	"repro/internal/core"
+	"repro/internal/deploy"
+	"repro/internal/spec"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		workloadPath = flag.String("workload", "", "workload specification file (JSON)")
+		jobSkipping  = flag.Bool("job-skipping", false, "Q1: does your application allow job skipping?")
+		replication  = flag.Bool("replication", true, "Q2: does your application have replicated components?")
+		persistence  = flag.Bool("persistence", true, "Q3: does your application require state persistence?")
+		overhead     = flag.String("overhead", "PT", "Q4: acceptable extra overhead (N, PT or PJ)")
+		explicit     = flag.String("config", "", "explicit AC_IR_LB tuple, bypassing the questionnaire (e.g. J_T_N)")
+		managerSpec  = flag.String("manager", "manager=127.0.0.1:7000", "task manager node as name=address")
+		nodesSpec    = flag.String("nodes", "", "application nodes as name=address, comma separated, in processor order")
+		out          = flag.String("out", "", "output plan file (default stdout)")
+		planName     = flag.String("name", "rtmw", "deployment plan name")
+	)
+	flag.Parse()
+
+	if *workloadPath == "" {
+		return fmt.Errorf("missing -workload (see -help)")
+	}
+	data, err := os.ReadFile(*workloadPath)
+	if err != nil {
+		return err
+	}
+	w, err := spec.Parse(data)
+	if err != nil {
+		return err
+	}
+
+	var cfg core.Config
+	if *explicit != "" {
+		cfg, err = core.ParseConfig(*explicit)
+		if err != nil {
+			return fmt.Errorf("invalid -config: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "using explicit configuration %s\n", cfg)
+	} else {
+		tol, err := configengine.ParseTolerance(*overhead)
+		if err != nil {
+			return err
+		}
+		res := configengine.MapAnswers(configengine.Answers{
+			JobSkipping:      *jobSkipping,
+			Replication:      *replication,
+			StatePersistence: *persistence,
+			Overhead:         tol,
+		})
+		cfg = res.Config
+		fmt.Fprintf(os.Stderr, "selected configuration %s:\n", cfg)
+		for _, note := range res.Notes {
+			fmt.Fprintf(os.Stderr, "  - %s\n", note)
+		}
+	}
+
+	manager, err := parseNode(*managerSpec, -1)
+	if err != nil {
+		return err
+	}
+	var apps []deploy.Node
+	if *nodesSpec == "" {
+		return fmt.Errorf("missing -nodes (one name=address per application processor)")
+	}
+	for i, part := range strings.Split(*nodesSpec, ",") {
+		n, err := parseNode(strings.TrimSpace(part), i)
+		if err != nil {
+			return err
+		}
+		apps = append(apps, n)
+	}
+
+	plan, err := configengine.GeneratePlan(*planName, w, cfg, manager, apps)
+	if err != nil {
+		return err
+	}
+	encoded, err := plan.Encode()
+	if err != nil {
+		return err
+	}
+	if *out == "" {
+		_, err = os.Stdout.Write(encoded)
+		return err
+	}
+	if err := os.WriteFile(*out, encoded, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d instances, %d connections)\n", *out, len(plan.Instances), len(plan.Connections))
+	return nil
+}
+
+// parseNode reads a "name=address" declaration.
+func parseNode(s string, proc int) (deploy.Node, error) {
+	name, addr, ok := strings.Cut(s, "=")
+	if !ok || name == "" || addr == "" {
+		return deploy.Node{}, fmt.Errorf("bad node declaration %q (want name=address)", s)
+	}
+	return deploy.Node{Name: name, Address: addr, Processor: proc}, nil
+}

@@ -1,0 +1,102 @@
+// Configtool: programmatic use of the front-end configuration engine
+// (paper Section 6). It walks several application profiles through the four
+// questions, shows the Table 1 mapping with its reasoning, demonstrates the
+// feasibility check rejecting the contradictory AC-per-task/IR-per-job
+// configuration, and prints the generated XML deployment plan for one
+// profile.
+//
+//	go run ./examples/configtool
+package main
+
+import (
+	"fmt"
+	"log"
+
+	rtmw "repro"
+)
+
+func main() {
+	fmt.Println(rtmw.RenderTable1())
+
+	profiles := []struct {
+		name    string
+		answers rtmw.Answers
+	}{
+		{
+			name: "video streaming (loss tolerant, stateless, replicated)",
+			answers: rtmw.Answers{
+				JobSkipping: true, Replication: true,
+				StatePersistence: false, Overhead: rtmw.TolerancePerJob,
+			},
+		},
+		{
+			name: "integral (PID) process control (no skipping, stateful)",
+			answers: rtmw.Answers{
+				JobSkipping: false, Replication: true,
+				StatePersistence: true, Overhead: rtmw.TolerancePerTask,
+			},
+		},
+		{
+			name: "fixed sensors, no replicas, zero overhead budget",
+			answers: rtmw.Answers{
+				JobSkipping: false, Replication: false,
+				StatePersistence: false, Overhead: rtmw.ToleranceNone,
+			},
+		},
+		{
+			name: "proportional control (stateless) with per-job budget",
+			answers: rtmw.Answers{
+				JobSkipping: false, Replication: true,
+				StatePersistence: false, Overhead: rtmw.TolerancePerJob,
+			},
+		},
+	}
+	for _, p := range profiles {
+		res := rtmw.MapAnswers(p.answers)
+		fmt.Printf("%s\n  -> %s\n", p.name, res.Config)
+		for _, note := range res.Notes {
+			fmt.Printf("     %s\n", note)
+		}
+		fmt.Println()
+	}
+
+	// The feasibility check: an explicitly chosen contradictory tuple is
+	// rejected rather than deployed.
+	if _, err := rtmw.ParseConfig("T_J_N"); err != nil {
+		fmt.Printf("feasibility check: T_J_N rejected: %v\n\n", err)
+	}
+
+	// Generate the deployment plan for the first profile over a 2-processor
+	// workload, as rtmw-config would.
+	w, err := rtmw.ParseWorkload([]byte(`{
+	  "name": "demo",
+	  "processors": 2,
+	  "tasks": [
+	    {"id": "stream", "kind": "periodic", "period": "100ms", "deadline": "100ms",
+	     "subtasks": [
+	       {"exec": "10ms", "processor": 0, "replicas": [1]},
+	       {"exec": "5ms", "processor": 1, "replicas": [0]}
+	     ]},
+	    {"id": "viewer-join", "kind": "aperiodic", "deadline": "80ms",
+	     "subtasks": [{"exec": "8ms", "processor": 1}]}
+	  ]
+	}`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := rtmw.GeneratePlan("demo-plan", w, rtmw.MapAnswers(profiles[0].answers).Config,
+		rtmw.DeploymentNode{Name: "manager", Address: "127.0.0.1:7000", Processor: -1},
+		[]rtmw.DeploymentNode{
+			{Name: "app0", Address: "127.0.0.1:7001", Processor: 0},
+			{Name: "app1", Address: "127.0.0.1:7002", Processor: 1},
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, err := plan.Encode()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated deployment plan (%d instances, %d connections):\n\n%s\n",
+		len(plan.Instances), len(plan.Connections), data)
+}

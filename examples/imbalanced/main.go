@@ -1,0 +1,49 @@
+// Imbalanced: reproduces the dynamics behind the paper's Figure 6 at small
+// scale. Three processors carry all the load (synthetic utilization 0.7
+// each) while two spare processors host only replicas — the "blockage in a
+// fluid flow valve" scenario where a subset of processors saturates. The
+// example runs the same workload under No-LB, LB-per-task and LB-per-job
+// and shows load balancing recovering the accepted utilization ratio.
+//
+//	go run ./examples/imbalanced
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	rtmw "repro"
+)
+
+func main() {
+	tasks, err := rtmw.GenerateWorkload(rtmw.Figure6Params(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("imbalanced workload: all subtasks homed on processors 0-2 at utilization 0.7,")
+	fmt.Println("replicas on spare processors 3-4 (paper Section 7.2)")
+	fmt.Println()
+
+	for _, lb := range []rtmw.Strategy{rtmw.StrategyNone, rtmw.StrategyPerTask, rtmw.StrategyPerJob} {
+		cfg := rtmw.Config{AC: rtmw.StrategyPerJob, IR: rtmw.StrategyPerJob, LB: lb}
+		sim, err := rtmw.NewSimulation(rtmw.SimConfig{
+			Strategies: cfg,
+			NumProcs:   5,
+			Horizon:    5 * time.Minute,
+			Seed:       1,
+		}, tasks)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m := sim.Run()
+		ctrl := sim.Controller()
+		fmt.Printf("%-6s accepted utilization ratio %.3f  (released %4d / %4d jobs, %3d re-allocations)\n",
+			cfg, m.AcceptedUtilizationRatio(), m.Total.Released, m.Total.Arrived, ctrl.Stats.Relocations)
+	}
+
+	fmt.Println()
+	fmt.Println("load balancing moves work to the spare replicas: per-task LB recovers most")
+	fmt.Println("of the lost utilization, and per-job LB adds little on top — the paper's")
+	fmt.Println("Figure 6 finding.")
+}

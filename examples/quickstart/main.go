@@ -1,0 +1,75 @@
+// Quickstart: define a small mixed periodic/aperiodic workload, pick a
+// strategy combination, and simulate five minutes of middleware operation.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	rtmw "repro"
+)
+
+func main() {
+	// A two-processor system: a periodic control flow crossing both
+	// processors (with a replica for its first stage) and an aperiodic
+	// operator command with a tight end-to-end deadline.
+	tasks := []*rtmw.Task{
+		{
+			ID:       "control-flow",
+			Kind:     rtmw.Periodic,
+			Period:   200 * time.Millisecond,
+			Deadline: 200 * time.Millisecond,
+			Subtasks: []rtmw.Subtask{
+				{Index: 0, Exec: 30 * time.Millisecond, Processor: 0, Replicas: []int{1}},
+				{Index: 1, Exec: 20 * time.Millisecond, Processor: 1},
+			},
+		},
+		{
+			ID:               "operator-command",
+			Kind:             rtmw.Aperiodic,
+			Deadline:         100 * time.Millisecond,
+			MeanInterarrival: 400 * time.Millisecond,
+			Subtasks: []rtmw.Subtask{
+				{Index: 0, Exec: 25 * time.Millisecond, Processor: 1, Replicas: []int{0}},
+			},
+		},
+	}
+
+	// Ask the configuration engine for a strategy combination: commands may
+	// be skipped under overload, components are replicated, no state is
+	// carried between jobs, and we accept per-job overhead.
+	res := rtmw.MapAnswers(rtmw.Answers{
+		JobSkipping:      true,
+		Replication:      true,
+		StatePersistence: false,
+		Overhead:         rtmw.TolerancePerJob,
+	})
+	fmt.Printf("configuration engine selected %s:\n", res.Config)
+	for _, note := range res.Notes {
+		fmt.Printf("  - %s\n", note)
+	}
+
+	metrics, err := rtmw.Simulate(rtmw.SimConfig{
+		Strategies: res.Config,
+		NumProcs:   2,
+		Horizon:    5 * time.Minute,
+		Seed:       42,
+	}, tasks)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n5 simulated minutes:\n")
+	fmt.Printf("  jobs arrived:    %d (periodic %d, aperiodic %d)\n",
+		metrics.Total.Arrived, metrics.Periodic.Arrived, metrics.Aperiodic.Arrived)
+	fmt.Printf("  jobs released:   %d\n", metrics.Total.Released)
+	fmt.Printf("  jobs skipped:    %d\n", metrics.Total.Skipped)
+	fmt.Printf("  deadline misses: %d of %d completed\n", metrics.Total.Missed, metrics.Total.Completed)
+	fmt.Printf("  accepted utilization ratio: %.3f\n", metrics.AcceptedUtilizationRatio())
+	fmt.Printf("  mean end-to-end response:   %v (max %v)\n",
+		metrics.Total.MeanResponse().Round(time.Microsecond),
+		metrics.Total.MaxResponse.Round(time.Microsecond))
+}

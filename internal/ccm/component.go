@@ -1,0 +1,244 @@
+// Package ccm is a lightweight component model in the spirit of the Light
+// Weight CORBA Component Model that CIAO implements and the paper builds
+// its services on: components are units of implementation with configurable
+// attributes and ports, installed into per-node containers that provide the
+// execution context (ORB, local event channel) and drive the lifecycle
+// (configure → activate → passivate).
+//
+// The paper's key claim about this layer is that it turns scheduling
+// strategies into "installable and configurable units": the same component
+// implementation is instantiated with different attribute values (e.g.
+// AC_Strategy=PT vs PJ) by the deployment engine, with no code changes.
+package ccm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/eventchan"
+	"repro/internal/orb"
+)
+
+// Context is the container-provided execution environment handed to a
+// component at activation.
+type Context struct {
+	// Node is the hosting node's name.
+	Node string
+	// ORB is the node's object request broker, for facet registration and
+	// receptacle invocations.
+	ORB *orb.ORB
+	// Events is the node's local event channel (with its federation
+	// gateways), for event source/sink ports.
+	Events *eventchan.Channel
+	// Services carries binding-specific node services (e.g. the live
+	// binding's executor) that components resolve at activation, like CCM
+	// container-provided facets.
+	Services map[string]any
+}
+
+// Service returns a named container service, or nil.
+func (c *Context) Service(name string) any {
+	if c.Services == nil {
+		return nil
+	}
+	return c.Services[name]
+}
+
+// Component is the unit of implementation and composition. Implementations
+// are registered in a Registry and instantiated by the deployment engine.
+type Component interface {
+	// Configure applies attribute values (the CCM Configurator /
+	// set_configuration path). It is called exactly once, before Activate.
+	Configure(attrs map[string]string) error
+	// Activate wires the component's ports into the container context and
+	// starts any internal dispatch threads.
+	Activate(ctx *Context) error
+	// Passivate stops internal activity and waits for it to finish. It is
+	// called at container shutdown, after which the component is discarded.
+	Passivate() error
+}
+
+// Factory creates one component instance.
+type Factory func() Component
+
+// Registry maps component implementation names to factories: the component
+// repository the deployment engine installs from.
+type Registry struct {
+	mu        sync.RWMutex
+	factories map[string]Factory
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{factories: make(map[string]Factory)}
+}
+
+// Register adds an implementation. Duplicate names are an error so deployers
+// notice conflicting repositories.
+func (r *Registry) Register(implementation string, f Factory) error {
+	if f == nil {
+		return errors.New("ccm: nil factory")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.factories[implementation]; ok {
+		return fmt.Errorf("ccm: implementation %q already registered", implementation)
+	}
+	r.factories[implementation] = f
+	return nil
+}
+
+// Create instantiates an implementation by name.
+func (r *Registry) Create(implementation string) (Component, error) {
+	r.mu.RLock()
+	f, ok := r.factories[implementation]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("ccm: unknown implementation %q", implementation)
+	}
+	return f(), nil
+}
+
+// Implementations lists registered names in sorted order.
+func (r *Registry) Implementations() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.factories))
+	for name := range r.factories {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// instance is one installed component with its metadata.
+type instance struct {
+	id   string
+	comp Component
+}
+
+// Container hosts component instances on one node and drives their
+// lifecycle. Install order is preserved: activation runs in install order
+// and passivation in reverse, so consumers can be activated before
+// producers.
+type Container struct {
+	ctx *Context
+
+	mu        sync.Mutex
+	instances []instance
+	byID      map[string]Component
+	activated bool
+}
+
+// NewContainer returns a container bound to the node context.
+func NewContainer(ctx *Context) *Container {
+	if ctx == nil || ctx.ORB == nil || ctx.Events == nil {
+		panic("ccm: container requires a complete context")
+	}
+	return &Container{ctx: ctx, byID: make(map[string]Component)}
+}
+
+// Node returns the hosting node's name.
+func (c *Container) Node() string { return c.ctx.Node }
+
+// Install configures and registers a component instance under a unique ID.
+// If the container is already activated, the instance is activated
+// immediately (dynamic installs during reconfiguration).
+func (c *Container) Install(id string, comp Component, attrs map[string]string) error {
+	if comp == nil {
+		return errors.New("ccm: nil component")
+	}
+	// Copy attrs at the boundary so later caller mutations cannot leak in.
+	copied := make(map[string]string, len(attrs))
+	for k, v := range attrs {
+		copied[k] = v
+	}
+	if err := comp.Configure(copied); err != nil {
+		return fmt.Errorf("ccm: configure %s: %w", id, err)
+	}
+	c.mu.Lock()
+	if _, ok := c.byID[id]; ok {
+		c.mu.Unlock()
+		return fmt.Errorf("ccm: instance %q already installed", id)
+	}
+	c.instances = append(c.instances, instance{id: id, comp: comp})
+	c.byID[id] = comp
+	activated := c.activated
+	c.mu.Unlock()
+	// Activate outside the lock: components may look up peers in the
+	// container from Activate.
+	if activated {
+		if err := comp.Activate(c.ctx); err != nil {
+			return fmt.Errorf("ccm: activate %s: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// Lookup returns an installed instance by ID.
+func (c *Container) Lookup(id string) (Component, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	comp, ok := c.byID[id]
+	return comp, ok
+}
+
+// InstanceIDs lists installed instance IDs in install order.
+func (c *Container) InstanceIDs() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, len(c.instances))
+	for i, in := range c.instances {
+		out[i] = in.id
+	}
+	return out
+}
+
+// Activate activates every installed instance in install order. On failure,
+// already-activated instances are passivated in reverse order before the
+// error is returned. Component Activate calls run outside the container
+// lock so they may resolve peers via Lookup.
+func (c *Container) Activate() error {
+	c.mu.Lock()
+	if c.activated {
+		c.mu.Unlock()
+		return errors.New("ccm: container already activated")
+	}
+	c.activated = true
+	instances := append([]instance(nil), c.instances...)
+	c.mu.Unlock()
+
+	for i, in := range instances {
+		if err := in.comp.Activate(c.ctx); err != nil {
+			for j := i - 1; j >= 0; j-- {
+				// Best effort unwind; the activation error dominates.
+				_ = instances[j].comp.Passivate()
+			}
+			c.mu.Lock()
+			c.activated = false
+			c.mu.Unlock()
+			return fmt.Errorf("ccm: activate %s: %w", in.id, err)
+		}
+	}
+	return nil
+}
+
+// Shutdown passivates every instance in reverse install order, returning the
+// first error encountered (all instances are still passivated). Passivation
+// runs outside the container lock, mirroring Activate.
+func (c *Container) Shutdown() error {
+	c.mu.Lock()
+	instances := append([]instance(nil), c.instances...)
+	c.activated = false
+	c.mu.Unlock()
+
+	var firstErr error
+	for i := len(instances) - 1; i >= 0; i-- {
+		if err := instances[i].comp.Passivate(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("ccm: passivate %s: %w", instances[i].id, err)
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,241 @@
+// Package cluster assembles a complete live middleware deployment in one
+// process: a task manager node and N application nodes on TCP loopback,
+// deployed through the real pipeline — configuration engine → XML plan →
+// plan launcher → per-node NodeManager servants → container activation —
+// exactly the Figure 4 flow, with every event crossing real sockets.
+//
+// It is the substrate for the Section 7.3 overhead measurements, the
+// runnable examples, and the end-to-end integration tests.
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/ccm"
+	"repro/internal/configengine"
+	"repro/internal/core"
+	"repro/internal/deploy"
+	"repro/internal/live"
+	"repro/internal/orb"
+	"repro/internal/sched"
+	"repro/internal/spec"
+)
+
+// Options configures a cluster start.
+type Options struct {
+	// Workload is the workload specification; Workload.Processors
+	// application nodes are started.
+	Workload *spec.Workload
+	// Config is the AC/IR/LB strategy combination.
+	Config core.Config
+	// ExecScale compresses subtask execution times (default 1.0). Scale the
+	// workload itself (spec durations) to compress periods and deadlines
+	// consistently.
+	ExecScale float64
+	// Seed drives the arrival generators.
+	Seed int64
+}
+
+// Cluster is a running live deployment.
+type Cluster struct {
+	// Manager is the task manager node; Apps are the application nodes in
+	// processor order.
+	Manager *live.Node
+	Apps    []*live.Node
+	// Plan is the executed deployment plan.
+	Plan *deploy.Plan
+
+	tasks     []*sched.Task
+	collector *live.Collector
+	drivers   []*live.Driver
+	launcher  *orb.ORB
+	seed      int64
+}
+
+// Start builds, deploys and activates a cluster. Callers must Close it.
+func Start(opts Options) (*Cluster, error) {
+	if opts.Workload == nil {
+		return nil, fmt.Errorf("cluster: nil workload")
+	}
+	if err := opts.Config.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.ExecScale == 0 {
+		opts.ExecScale = 1
+	}
+	tasks, err := opts.Workload.SchedTasks()
+	if err != nil {
+		return nil, err
+	}
+
+	registry := ccm.NewRegistry()
+	if err := live.Register(registry); err != nil {
+		return nil, err
+	}
+
+	c := &Cluster{tasks: tasks, seed: opts.Seed}
+	fail := func(err error) (*Cluster, error) {
+		c.Close()
+		return nil, err
+	}
+
+	c.Manager, err = live.NewNode("manager", -1, "127.0.0.1:0", opts.ExecScale)
+	if err != nil {
+		return fail(err)
+	}
+	deploy.NewNodeManager(c.Manager.ORB, registry, c.Manager.Container, c.Manager.Channel)
+	managerDecl := deploy.Node{Name: "manager", Address: c.Manager.Addr, Processor: -1}
+
+	appDecls := make([]deploy.Node, opts.Workload.Processors)
+	for i := 0; i < opts.Workload.Processors; i++ {
+		name := fmt.Sprintf("app%d", i)
+		node, err := live.NewNode(name, i, "127.0.0.1:0", opts.ExecScale)
+		if err != nil {
+			return fail(err)
+		}
+		c.Apps = append(c.Apps, node)
+		deploy.NewNodeManager(node.ORB, registry, node.Container, node.Channel)
+		appDecls[i] = deploy.Node{Name: name, Address: node.Addr, Processor: i}
+	}
+
+	c.Plan, err = configengine.GeneratePlan("cluster", opts.Workload, opts.Config, managerDecl, appDecls)
+	if err != nil {
+		return fail(err)
+	}
+
+	// The plan launcher runs as its own deployment tool with a client-only
+	// ORB, as DAnCE's Plan Launcher does.
+	c.launcher = orb.New("plan-launcher")
+	if err := deploy.NewLauncher(c.launcher).Execute(context.Background(), c.Plan); err != nil {
+		return fail(err)
+	}
+
+	c.collector = live.NewCollector(tasks)
+	for _, app := range c.Apps {
+		c.collector.Attach(app.Channel)
+	}
+	return c, nil
+}
+
+// Tasks returns the deployed scheduling-model tasks.
+func (c *Cluster) Tasks() []*sched.Task { return c.tasks }
+
+// Collector returns the completion collector.
+func (c *Cluster) Collector() *live.Collector { return c.collector }
+
+// TE returns the task effector on application processor i.
+func (c *Cluster) TE(i int) (*live.TaskEffector, error) {
+	comp, ok := c.Apps[i].Container.Lookup(fmt.Sprintf("TE-%d", i))
+	if !ok {
+		return nil, fmt.Errorf("cluster: no task effector on processor %d", i)
+	}
+	te, ok := comp.(*live.TaskEffector)
+	if !ok {
+		return nil, fmt.Errorf("cluster: TE-%d has unexpected type %T", i, comp)
+	}
+	return te, nil
+}
+
+// IR returns the idle resetter on application processor i.
+func (c *Cluster) IR(i int) (*live.IdleResetter, error) {
+	comp, ok := c.Apps[i].Container.Lookup(fmt.Sprintf("IR-%d", i))
+	if !ok {
+		return nil, fmt.Errorf("cluster: no idle resetter on processor %d", i)
+	}
+	ir, ok := comp.(*live.IdleResetter)
+	if !ok {
+		return nil, fmt.Errorf("cluster: IR-%d has unexpected type %T", i, comp)
+	}
+	return ir, nil
+}
+
+// AC returns the central admission controller.
+func (c *Cluster) AC() (*live.AdmissionController, error) {
+	comp, ok := c.Manager.Container.Lookup("Central-AC")
+	if !ok {
+		return nil, fmt.Errorf("cluster: no Central-AC on manager")
+	}
+	ac, ok := comp.(*live.AdmissionController)
+	if !ok {
+		return nil, fmt.Errorf("cluster: Central-AC has unexpected type %T", comp)
+	}
+	return ac, nil
+}
+
+// Subtasks returns every subtask component instance across the cluster,
+// keyed by instance ID.
+func (c *Cluster) Subtasks() map[string]*live.Subtask {
+	out := make(map[string]*live.Subtask)
+	for _, app := range c.Apps {
+		for _, id := range app.Container.InstanceIDs() {
+			if comp, ok := app.Container.Lookup(id); ok {
+				if st, ok := comp.(*live.Subtask); ok {
+					out[id] = st
+				}
+			}
+		}
+	}
+	return out
+}
+
+// StartDrivers launches the arrival generators (one per application node)
+// with the given time compression.
+func (c *Cluster) StartDrivers(timeScale float64) error {
+	if len(c.drivers) > 0 {
+		return fmt.Errorf("cluster: drivers already started")
+	}
+	for i := range c.Apps {
+		te, err := c.TE(i)
+		if err != nil {
+			return err
+		}
+		d := live.NewDriver(te, c.tasks, timeScale, c.seed+int64(i))
+		c.drivers = append(c.drivers, d)
+		d.Start()
+	}
+	return nil
+}
+
+// StopDrivers halts arrival generation.
+func (c *Cluster) StopDrivers() {
+	for _, d := range c.drivers {
+		d.Stop()
+	}
+	c.drivers = nil
+}
+
+// Drain waits until every application executor is idle or the timeout
+// expires, so in-flight jobs finish before measurement collection.
+func (c *Cluster) Drain(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		idle := true
+		for _, app := range c.Apps {
+			if !app.Executor.Idle() {
+				idle = false
+				break
+			}
+		}
+		if idle {
+			return true
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return false
+}
+
+// Close stops drivers and tears every node down.
+func (c *Cluster) Close() {
+	c.StopDrivers()
+	if c.launcher != nil {
+		c.launcher.Shutdown()
+	}
+	for _, app := range c.Apps {
+		_ = app.Close()
+	}
+	if c.Manager != nil {
+		_ = c.Manager.Close()
+	}
+}

@@ -1,0 +1,342 @@
+// Package configengine is the paper's front-end configuration engine
+// (Section 6): it takes a workload specification and the developer's answers
+// to four application-characteristic questions, maps them to admission
+// control / idle resetting / load balancing strategies per Table 1,
+// performs the feasibility check that rejects contradictory combinations,
+// assigns EDMS priorities from end-to-end deadlines, and generates the
+// XML-based deployment plan consumed by the deployment engine.
+package configengine
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/deploy"
+	"repro/internal/live"
+	"repro/internal/sched"
+	"repro/internal/spec"
+)
+
+// Tolerance answers the engine's fourth question: "How much extra overhead
+// can you accept as it potentially improves schedulability?"
+type Tolerance int
+
+// Tolerance levels (the paper's N / PT / PJ).
+const (
+	// ToleranceNone accepts no extra overhead.
+	ToleranceNone Tolerance = iota + 1
+	// TolerancePerTask accepts some overhead per task.
+	TolerancePerTask
+	// TolerancePerJob accepts some overhead per job.
+	TolerancePerJob
+)
+
+// String returns the paper's abbreviation.
+func (t Tolerance) String() string {
+	switch t {
+	case ToleranceNone:
+		return "N"
+	case TolerancePerTask:
+		return "PT"
+	case TolerancePerJob:
+		return "PJ"
+	default:
+		return fmt.Sprintf("Tolerance(%d)", int(t))
+	}
+}
+
+// ParseTolerance reads an N/PT/PJ answer.
+func ParseTolerance(s string) (Tolerance, error) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "N", "NONE":
+		return ToleranceNone, nil
+	case "PT", "TASK", "PER-TASK":
+		return TolerancePerTask, nil
+	case "PJ", "JOB", "PER-JOB":
+		return TolerancePerJob, nil
+	default:
+		return 0, fmt.Errorf("configengine: unknown overhead tolerance %q (want N, PT or PJ)", s)
+	}
+}
+
+// Answers are the developer's responses to the engine's four questions.
+type Answers struct {
+	// JobSkipping: does the application allow job skipping? (criterion C1)
+	JobSkipping bool
+	// Replication: does the application have replicated components?
+	// (criterion C3)
+	Replication bool
+	// StatePersistence: does the application require state persistence
+	// between jobs of the same task? (criterion C2)
+	StatePersistence bool
+	// Overhead is the acceptable extra overhead (question 4).
+	Overhead Tolerance
+}
+
+// DefaultAnswers returns the defaults the paper's engine supplies when the
+// developer provides no characteristics: per-task admission control, idle
+// resetting, and load balancing.
+func DefaultAnswers() Answers {
+	return Answers{
+		JobSkipping:      false,
+		Replication:      true,
+		StatePersistence: true,
+		Overhead:         TolerancePerTask,
+	}
+}
+
+// Result is the engine's strategy selection with its reasoning trail.
+type Result struct {
+	// Config is the selected valid strategy combination.
+	Config core.Config
+	// Notes explain each mapping decision and any capping applied.
+	Notes []string
+}
+
+// MapAnswers applies Table 1 and the overhead question to select a valid
+// strategy combination:
+//
+//   - C1 (job skipping): no → AC per task; yes → AC per job (only spent when
+//     the developer accepts per-job overhead).
+//   - Overhead: none → no idle resetting; per task → IR per task; per job →
+//     IR per job (capped to per task under AC per task, the feasibility rule
+//     of Section 4.5).
+//   - C3 (replication): no → no LB. C2 (state persistency): yes → LB per
+//     task; no → LB per job, capped by the overhead tolerance.
+func MapAnswers(a Answers) Result {
+	if a.Overhead == 0 {
+		a.Overhead = TolerancePerTask
+	}
+	var r Result
+
+	// Admission control (criterion C1 + overhead).
+	switch {
+	case a.JobSkipping && a.Overhead == TolerancePerJob:
+		r.Config.AC = core.StrategyPerJob
+		r.note("AC per job: job skipping allowed and per-job overhead accepted (reduces admission pessimism)")
+	case a.JobSkipping:
+		r.Config.AC = core.StrategyPerTask
+		r.note("AC per task: job skipping allowed but per-job overhead not accepted")
+	default:
+		r.Config.AC = core.StrategyPerTask
+		r.note("AC per task: job skipping not allowed, so every admitted task must release all its jobs")
+	}
+
+	// Idle resetting (overhead tolerance, feasibility-capped).
+	switch a.Overhead {
+	case ToleranceNone:
+		r.Config.IR = core.StrategyNone
+		r.note("IR disabled: no extra overhead accepted")
+	case TolerancePerTask:
+		r.Config.IR = core.StrategyPerTask
+		r.note("IR per task: resets completed aperiodic subjobs at idle time")
+	case TolerancePerJob:
+		if r.Config.AC == core.StrategyPerTask {
+			r.Config.IR = core.StrategyPerTask
+			r.note("IR capped to per task: per-job resetting contradicts per-task admission control (Section 4.5)")
+		} else {
+			r.Config.IR = core.StrategyPerJob
+			r.note("IR per job: resets completed aperiodic and periodic subjobs")
+		}
+	}
+
+	// Load balancing (criteria C3 and C2 + overhead).
+	switch {
+	case !a.Replication:
+		r.Config.LB = core.StrategyNone
+		r.note("LB disabled: components are not replicated, so subtasks cannot be re-allocated")
+	case a.StatePersistence:
+		r.Config.LB = core.StrategyPerTask
+		r.note("LB per task: state persistency forbids re-allocating jobs of a running task")
+	case a.Overhead == TolerancePerJob:
+		r.Config.LB = core.StrategyPerJob
+		r.note("LB per job: stateless tasks re-balance at every job arrival")
+	case a.Overhead == TolerancePerTask:
+		r.Config.LB = core.StrategyPerTask
+		r.note("LB per task: stateless tasks balance once at first arrival within the accepted overhead")
+	default:
+		r.Config.LB = core.StrategyNone
+		r.note("LB disabled: no extra overhead accepted")
+	}
+
+	if err := r.Config.Validate(); err != nil {
+		// Unreachable by construction; surface loudly if the mapping ever
+		// regresses.
+		panic(fmt.Sprintf("configengine: mapping produced invalid config %s: %v", r.Config, err))
+	}
+	return r
+}
+
+// note appends one reasoning line.
+func (r *Result) note(s string) { r.Notes = append(r.Notes, s) }
+
+// ValidateConfig checks an explicitly chosen combination, for developers who
+// bypass the questionnaire. It is the feasibility check that "detects and
+// disallows" incompatible service configurations.
+func ValidateConfig(cfg core.Config) error { return cfg.Validate() }
+
+// RenderTable1 formats the paper's Table 1 (criteria → middleware
+// strategies).
+func RenderTable1() string {
+	var b strings.Builder
+	b.WriteString("Table 1: Criteria and Middleware Strategies\n")
+	fmt.Fprintf(&b, "%-26s %-12s %s\n", "", "No", "Yes")
+	fmt.Fprintf(&b, "%-26s %-12s %s\n", "C1: Job Skipping", "AC per Task", "AC per Job")
+	fmt.Fprintf(&b, "%-26s %-12s %s\n", "C2: State Persistency", "LB per Job", "LB per Task")
+	fmt.Fprintf(&b, "%-26s %-12s %s\n", "C3: Component Replication", "No LB", "LB")
+	return b.String()
+}
+
+// GeneratePlan builds the XML deployment plan for a workload under a
+// strategy combination over the given nodes: one task manager node hosting
+// the Central-AC and Central-LB instances, and one application node per
+// processor hosting a task effector, an idle resetter, and a subtask
+// component instance for every (task, stage) homed or replicated there. It
+// also emits the minimal event-channel federation routes.
+func GeneratePlan(name string, w *spec.Workload, cfg core.Config, manager deploy.Node, apps []deploy.Node) (*deploy.Plan, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	tasks, err := w.SchedTasks()
+	if err != nil {
+		return nil, err
+	}
+	if len(apps) != w.Processors {
+		return nil, fmt.Errorf("configengine: workload needs %d application nodes, got %d", w.Processors, len(apps))
+	}
+	nodeOf := make(map[int]string, len(apps))
+	for i, n := range apps {
+		if n.Processor != i {
+			return nil, fmt.Errorf("configengine: application node %d declares processor %d", i, n.Processor)
+		}
+		nodeOf[i] = n.Name
+	}
+	wlJSON, err := w.Encode()
+	if err != nil {
+		return nil, err
+	}
+	workload := string(wlJSON)
+
+	p := &deploy.Plan{Name: name}
+	p.Nodes = append(p.Nodes, manager)
+	p.Nodes = append(p.Nodes, apps...)
+
+	// Central services on the task manager.
+	p.Instances = append(p.Instances, deploy.Instance{
+		ID: "Central-AC", Node: manager.Name, Implementation: live.ImplAdmissionController,
+		ConfigProperties: []deploy.ConfigProperty{
+			deploy.StringProperty(live.AttrACStrategy, cfg.AC.String()),
+			deploy.StringProperty(live.AttrIRStrategy, cfg.IR.String()),
+			deploy.StringProperty(live.AttrLBStrategy, cfg.LB.String()),
+			deploy.StringProperty(live.AttrProcessors, strconv.Itoa(w.Processors)),
+			deploy.StringProperty(live.AttrWorkload, workload),
+		},
+	})
+	p.Instances = append(p.Instances, deploy.Instance{
+		ID: "Central-LB", Node: manager.Name, Implementation: live.ImplLoadBalancer,
+		ConfigProperties: []deploy.ConfigProperty{
+			deploy.StringProperty(live.AttrLBStrategy, cfg.LB.String()),
+			deploy.StringProperty(live.AttrWorkload, workload),
+		},
+	})
+
+	// Per-processor task effectors and idle resetters.
+	for i := range apps {
+		p.Instances = append(p.Instances, deploy.Instance{
+			ID: fmt.Sprintf("TE-%d", i), Node: nodeOf[i], Implementation: live.ImplTaskEffector,
+			ConfigProperties: []deploy.ConfigProperty{
+				deploy.StringProperty(live.AttrProcessor, strconv.Itoa(i)),
+				deploy.StringProperty(live.AttrWorkload, workload),
+			},
+		})
+		p.Instances = append(p.Instances, deploy.Instance{
+			ID: fmt.Sprintf("IR-%d", i), Node: nodeOf[i], Implementation: live.ImplIdleResetter,
+			ConfigProperties: []deploy.ConfigProperty{
+				deploy.StringProperty(live.AttrProcessor, strconv.Itoa(i)),
+				deploy.StringProperty(live.AttrIRStrategy, cfg.IR.String()),
+			},
+		})
+	}
+
+	// Subtask component instances: home plus duplicates. EDMS priorities
+	// come from the deadline ordering (the engine "assigns priorities in
+	// order of tasks' end-to-end deadlines").
+	for _, t := range tasks {
+		for s, st := range t.Subtasks {
+			last := s == len(t.Subtasks)-1
+			for _, proc := range st.Candidates() {
+				p.Instances = append(p.Instances, deploy.Instance{
+					ID:             fmt.Sprintf("Sub-%s-%d@P%d", t.ID, s, proc),
+					Node:           nodeOf[proc],
+					Implementation: live.ImplSubtask,
+					ConfigProperties: []deploy.ConfigProperty{
+						deploy.StringProperty(live.AttrTask, t.ID),
+						deploy.StringProperty(live.AttrStage, strconv.Itoa(s)),
+						deploy.StringProperty(live.AttrExec, st.Exec.String()),
+						deploy.StringProperty(live.AttrPriority, strconv.Itoa(t.Priority)),
+						deploy.StringProperty(live.AttrDeadline, t.Deadline.String()),
+						deploy.StringProperty(live.AttrKind, t.Kind.String()),
+						deploy.StringProperty(live.AttrLast, strconv.FormatBool(last)),
+						deploy.StringProperty(live.AttrProcessor, strconv.Itoa(proc)),
+					},
+				})
+			}
+		}
+	}
+
+	p.Connections = planConnections(tasks, cfg, manager.Name, nodeOf)
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// planConnections computes the minimal federation routes.
+func planConnections(tasks []*sched.Task, cfg core.Config, manager string, nodeOf map[int]string) []deploy.Connection {
+	type route struct {
+		ev, src, dst string
+	}
+	seen := make(map[route]bool)
+	var out []deploy.Connection
+	add := func(ev, src, dst string) {
+		if src == dst {
+			return
+		}
+		r := route{ev, src, dst}
+		if seen[r] {
+			return
+		}
+		seen[r] = true
+		out = append(out, deploy.Connection{EventType: ev, SourceNode: src, SinkNode: dst})
+	}
+
+	for _, t := range tasks {
+		home := nodeOf[t.Subtasks[0].Processor]
+		// Arrivals flow home → manager; decisions flow back.
+		add(live.EvTaskArrive, home, manager)
+		add(live.EvAccept, manager, home)
+		// Releases reach every processor that may host the first stage.
+		for _, proc := range t.Subtasks[0].Candidates() {
+			add(live.EvRelease, home, nodeOf[proc])
+		}
+		// Triggers connect every candidate of stage s to every candidate of
+		// stage s+1.
+		for s := 0; s+1 < len(t.Subtasks); s++ {
+			for _, from := range t.Subtasks[s].Candidates() {
+				for _, to := range t.Subtasks[s+1].Candidates() {
+					add(live.EvTrigger, nodeOf[from], nodeOf[to])
+				}
+			}
+		}
+	}
+	// Idle resetting reports flow from every application node to the
+	// manager, unless resetting is disabled.
+	if cfg.IR != core.StrategyNone {
+		for _, node := range nodeOf {
+			add(live.EvIdleReset, node, manager)
+		}
+	}
+	return out
+}

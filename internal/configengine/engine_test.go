@@ -1,0 +1,284 @@
+package configengine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/deploy"
+	"repro/internal/spec"
+)
+
+func TestMapAnswersTable(t *testing.T) {
+	tests := []struct {
+		name string
+		a    Answers
+		want string
+	}{
+		// The paper's Figure 4 example: answers (N, Y, Y, PT) → all three
+		// services per task.
+		{
+			name: "figure 4 example",
+			a:    Answers{JobSkipping: false, Replication: true, StatePersistence: true, Overhead: TolerancePerTask},
+			want: "T_T_T",
+		},
+		{
+			name: "most aggressive",
+			a:    Answers{JobSkipping: true, Replication: true, StatePersistence: false, Overhead: TolerancePerJob},
+			want: "J_J_J",
+		},
+		{
+			name: "no overhead at all",
+			a:    Answers{JobSkipping: false, Replication: false, StatePersistence: false, Overhead: ToleranceNone},
+			want: "T_N_N",
+		},
+		{
+			name: "job skipping without per-job budget stays per task",
+			a:    Answers{JobSkipping: true, Replication: true, StatePersistence: true, Overhead: TolerancePerTask},
+			want: "T_T_T",
+		},
+		{
+			name: "per-job IR capped under per-task AC",
+			a:    Answers{JobSkipping: false, Replication: true, StatePersistence: false, Overhead: TolerancePerJob},
+			want: "T_T_J",
+		},
+		{
+			name: "no replication disables LB",
+			a:    Answers{JobSkipping: true, Replication: false, StatePersistence: false, Overhead: TolerancePerJob},
+			want: "J_J_N",
+		},
+		{
+			name: "state persistence pins LB per task",
+			a:    Answers{JobSkipping: true, Replication: true, StatePersistence: true, Overhead: TolerancePerJob},
+			want: "J_J_T",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			r := MapAnswers(tt.a)
+			if r.Config.String() != tt.want {
+				t.Errorf("MapAnswers(%+v) = %s, want %s\nnotes: %v", tt.a, r.Config, tt.want, r.Notes)
+			}
+			if err := r.Config.Validate(); err != nil {
+				t.Errorf("mapping produced invalid config: %v", err)
+			}
+			if len(r.Notes) != 3 {
+				t.Errorf("want one note per service axis, got %v", r.Notes)
+			}
+		})
+	}
+}
+
+func TestMapAnswersDefaults(t *testing.T) {
+	// "If application characteristics are not provided by the developers,
+	// our configuration engine can supply default configuration settings,
+	// i.e., per task admission control, idle resetting and load balancing."
+	r := MapAnswers(DefaultAnswers())
+	if r.Config.String() != "T_T_T" {
+		t.Errorf("defaults = %s, want T_T_T", r.Config)
+	}
+	// Zero-valued tolerance is treated as the per-task default.
+	r = MapAnswers(Answers{Replication: true, StatePersistence: true})
+	if r.Config.String() != "T_T_T" {
+		t.Errorf("zero tolerance = %s, want T_T_T", r.Config)
+	}
+}
+
+func TestMapAnswersAlwaysValid(t *testing.T) {
+	// Exhaustive: every answer combination maps to one of the 15 valid
+	// combinations.
+	bools := []bool{false, true}
+	tols := []Tolerance{ToleranceNone, TolerancePerTask, TolerancePerJob}
+	for _, js := range bools {
+		for _, rep := range bools {
+			for _, sp := range bools {
+				for _, tol := range tols {
+					r := MapAnswers(Answers{JobSkipping: js, Replication: rep, StatePersistence: sp, Overhead: tol})
+					if err := r.Config.Validate(); err != nil {
+						t.Errorf("answers (%v,%v,%v,%v) mapped to invalid %s: %v", js, rep, sp, tol, r.Config, err)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestValidateConfigRejectsContradiction(t *testing.T) {
+	bad := core.Config{AC: core.StrategyPerTask, IR: core.StrategyPerJob, LB: core.StrategyNone}
+	if err := ValidateConfig(bad); err == nil {
+		t.Error("ValidateConfig accepted AC-per-task/IR-per-job")
+	}
+}
+
+func TestParseTolerance(t *testing.T) {
+	for in, want := range map[string]Tolerance{
+		"N": ToleranceNone, "none": ToleranceNone,
+		"PT": TolerancePerTask, "pt": TolerancePerTask,
+		"PJ": TolerancePerJob, "per-job": TolerancePerJob,
+	} {
+		got, err := ParseTolerance(in)
+		if err != nil || got != want {
+			t.Errorf("ParseTolerance(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseTolerance("huge"); err == nil {
+		t.Error("ParseTolerance accepted garbage")
+	}
+	if ToleranceNone.String() != "N" || TolerancePerTask.String() != "PT" || TolerancePerJob.String() != "PJ" {
+		t.Error("tolerance abbreviations wrong")
+	}
+}
+
+func TestRenderTable1(t *testing.T) {
+	out := RenderTable1()
+	for _, want := range []string{"C1: Job Skipping", "AC per Task", "AC per Job",
+		"C2: State Persistency", "LB per Job", "C3: Component Replication", "No LB"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// testWorkload is a two-processor workload with a replicated two-stage task.
+func testWorkload(t *testing.T) *spec.Workload {
+	t.Helper()
+	w, err := spec.Parse([]byte(`{
+	  "name": "gen-test",
+	  "processors": 2,
+	  "tasks": [
+	    {"id": "flow", "kind": "periodic", "period": "1s", "deadline": "1s",
+	     "subtasks": [
+	       {"exec": "50ms", "processor": 0, "replicas": [1]},
+	       {"exec": "30ms", "processor": 1, "replicas": [0]}
+	     ]},
+	    {"id": "alert", "kind": "aperiodic", "deadline": "400ms",
+	     "subtasks": [{"exec": "20ms", "processor": 1}]}
+	  ]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func planNodes() (deploy.Node, []deploy.Node) {
+	manager := deploy.Node{Name: "manager", Address: "127.0.0.1:9100", Processor: -1}
+	apps := []deploy.Node{
+		{Name: "app0", Address: "127.0.0.1:9101", Processor: 0},
+		{Name: "app1", Address: "127.0.0.1:9102", Processor: 1},
+	}
+	return manager, apps
+}
+
+func TestGeneratePlan(t *testing.T) {
+	w := testWorkload(t)
+	manager, apps := planNodes()
+	cfg := core.Config{AC: core.StrategyPerJob, IR: core.StrategyPerTask, LB: core.StrategyPerTask}
+	p, err := GeneratePlan("test-plan", w, cfg, manager, apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	byID := make(map[string]deploy.Instance)
+	for _, inst := range p.Instances {
+		byID[inst.ID] = inst
+	}
+	// Central services.
+	ac, ok := byID["Central-AC"]
+	if !ok || ac.Node != "manager" {
+		t.Fatalf("Central-AC = %+v", ac)
+	}
+	attrs := ac.Attrs()
+	if attrs["AC_Strategy"] != "J" || attrs["IR_Strategy"] != "T" || attrs["LB_Strategy"] != "T" {
+		t.Errorf("AC attrs = %v", attrs)
+	}
+	if attrs["Processors"] != "2" {
+		t.Errorf("Processors attr = %q", attrs["Processors"])
+	}
+	if _, ok := byID["Central-LB"]; !ok {
+		t.Error("Central-LB missing")
+	}
+	// Effectors and resetters per node.
+	for i := 0; i < 2; i++ {
+		for _, id := range []string{"TE-", "IR-"} {
+			if _, ok := byID[id+string(rune('0'+i))]; !ok {
+				t.Errorf("%s%d missing", id, i)
+			}
+		}
+	}
+	// Subtask instances: flow stage 0 on procs {0,1}, stage 1 on {1,0};
+	// alert stage 0 on proc 1 only. Total 5.
+	subCount := 0
+	for id := range byID {
+		if strings.HasPrefix(id, "Sub-") {
+			subCount++
+		}
+	}
+	if subCount != 5 {
+		t.Errorf("%d subtask instances, want 5", subCount)
+	}
+	// The last stage of flow is marked Last; EDMS priority of alert (400ms
+	// deadline) is higher (smaller) than flow (1s).
+	flowLast := byID["Sub-flow-1@P1"].Attrs()
+	if flowLast["Last"] != "true" {
+		t.Errorf("flow stage 1 Last = %q", flowLast["Last"])
+	}
+	alertPrio := byID["Sub-alert-0@P1"].Attrs()["Priority"]
+	flowPrio := byID["Sub-flow-0@P0"].Attrs()["Priority"]
+	if !(alertPrio < flowPrio) {
+		t.Errorf("EDMS priorities: alert %s vs flow %s", alertPrio, flowPrio)
+	}
+
+	// Connections: arrivals from both home nodes, accepts back, triggers
+	// between stage candidates, releases to stage-0 replicas, idle resets.
+	haveConn := make(map[string]bool)
+	for _, c := range p.Connections {
+		haveConn[c.EventType+":"+c.SourceNode+">"+c.SinkNode] = true
+	}
+	for _, want := range []string{
+		"TaskArrive:app0>manager", "TaskArrive:app1>manager",
+		"Accept:manager>app0", "Accept:manager>app1",
+		"Release:app0>app1", // flow stage-0 replica on processor 1
+		"Trigger:app0>app1", // flow stage 0 home → stage 1 home
+		"IdleReset:app0>manager", "IdleReset:app1>manager",
+	} {
+		if !haveConn[want] {
+			t.Errorf("missing connection %s (have %v)", want, haveConn)
+		}
+	}
+}
+
+func TestGeneratePlanNoIRConnectionsWhenDisabled(t *testing.T) {
+	w := testWorkload(t)
+	manager, apps := planNodes()
+	cfg := core.Config{AC: core.StrategyPerJob, IR: core.StrategyNone, LB: core.StrategyNone}
+	p, err := GeneratePlan("no-ir", w, cfg, manager, apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range p.Connections {
+		if c.EventType == "IdleReset" {
+			t.Error("IdleReset route emitted although IR is disabled")
+		}
+	}
+}
+
+func TestGeneratePlanErrors(t *testing.T) {
+	w := testWorkload(t)
+	manager, apps := planNodes()
+	bad := core.Config{AC: core.StrategyPerTask, IR: core.StrategyPerJob, LB: core.StrategyNone}
+	if _, err := GeneratePlan("x", w, bad, manager, apps); err == nil {
+		t.Error("GeneratePlan accepted invalid config")
+	}
+	good := core.Config{AC: core.StrategyPerTask, IR: core.StrategyNone, LB: core.StrategyNone}
+	if _, err := GeneratePlan("x", w, good, manager, apps[:1]); err == nil {
+		t.Error("GeneratePlan accepted missing app node")
+	}
+	swapped := []deploy.Node{apps[1], apps[0]}
+	if _, err := GeneratePlan("x", w, good, manager, swapped); err == nil {
+		t.Error("GeneratePlan accepted mis-ordered processors")
+	}
+}

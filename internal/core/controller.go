@@ -1,0 +1,330 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sched"
+)
+
+// Decision is the admission controller's answer to a "Task Arrive" event.
+type Decision struct {
+	// Accept reports whether the job may be released.
+	Accept bool
+	// Placement is the processor assignment for each stage of the job. It is
+	// nil when Accept is false.
+	Placement []sched.PlacedStage
+	// Relocated reports whether the first stage was assigned away from the
+	// task's home (arrival) processor, so the release must go to the
+	// duplicate's task effector.
+	Relocated bool
+	// Tested reports whether an admission test was actually evaluated for
+	// this arrival (per-task AC skips the test for jobs of already-admitted
+	// periodic tasks).
+	Tested bool
+	// Reserved reports that the accepted contributions are a permanent
+	// per-task reservation: the caller must not schedule a deadline-expiry
+	// removal for them.
+	Reserved bool
+}
+
+// Controller implements the centralized admission control and load balancing
+// services deployed on the task manager processor (paper Section 3). It owns
+// the AUB synthetic-utilization ledger and the per-task decision memory, and
+// is driven by "Task Arrive" and "Idle Resetting" events.
+//
+// Controller is not safe for concurrent use: the paper's architecture is a
+// single centralized AC component, and both bindings serialize access (the
+// DES engine is single-threaded; the live binding runs the controller in one
+// service goroutine).
+type Controller struct {
+	cfg    Config
+	ledger *sched.Ledger
+
+	// admitted and rejected record the per-task AC decision for periodic
+	// tasks: once admitted, jobs release without re-testing; once rejected,
+	// the task is not re-tested (the test runs only "when a task first
+	// arrives").
+	admitted map[string]bool
+	rejected map[string]bool
+	// placements records the per-task LB assignment, fixed at first arrival
+	// under LB-per-task.
+	placements map[string][]sched.PlacedStage
+	// reservations maps an admitted per-task periodic task to the job
+	// reference holding its permanent ledger contribution.
+	reservations map[string]sched.JobRef
+
+	// Stats accumulate controller-side counters for the experiments.
+	Stats ControllerStats
+
+	// timing, when non-nil, measures operation durations with the real
+	// clock (EnableTiming).
+	timing *Timing
+}
+
+// ControllerStats counts controller activity.
+type ControllerStats struct {
+	// Tests is the number of admission tests evaluated.
+	Tests int64
+	// Accepts and Rejects count decisions returned to task effectors.
+	Accepts int64
+	Rejects int64
+	// Relocations counts accepted jobs whose first stage moved off the
+	// arrival processor.
+	Relocations int64
+	// IdleResets counts contributions removed by idle-resetting reports.
+	IdleResets int64
+}
+
+// NewController returns a controller for the given strategy configuration
+// over numProcs application processors. The configuration must be valid.
+func NewController(cfg Config, numProcs int) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if numProcs <= 0 {
+		return nil, fmt.Errorf("core: controller needs at least one processor, got %d", numProcs)
+	}
+	return &Controller{
+		cfg:          cfg,
+		ledger:       sched.NewLedger(numProcs),
+		admitted:     make(map[string]bool),
+		rejected:     make(map[string]bool),
+		placements:   make(map[string][]sched.PlacedStage),
+		reservations: make(map[string]sched.JobRef),
+	}, nil
+}
+
+// Config returns the controller's strategy configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// Ledger exposes the synthetic-utilization ledger for instrumentation and
+// the idle-resetting path.
+func (c *Controller) Ledger() *sched.Ledger { return c.ledger }
+
+// homePlacement places every stage on its home processor.
+func homePlacement(t *sched.Task) []sched.PlacedStage {
+	out := make([]sched.PlacedStage, len(t.Subtasks))
+	for i, st := range t.Subtasks {
+		out[i] = sched.PlacedStage{Stage: i, Proc: st.Processor, Util: t.StageUtil(i)}
+	}
+	return out
+}
+
+// balancedPlacement implements the paper's load balancing heuristic: each
+// stage goes to the candidate processor (home or replica) with the lowest
+// synthetic utilization, accounting for the contributions already placed for
+// earlier stages of the same job. Ties go to the candidate listed first, so
+// the home processor wins ties deterministically.
+func (c *Controller) balancedPlacement(t *sched.Task) []sched.PlacedStage {
+	out := make([]sched.PlacedStage, len(t.Subtasks))
+	delta := make(map[int]float64)
+	for i, st := range t.Subtasks {
+		u := t.StageUtil(i)
+		best := st.Processor
+		bestUtil := c.ledger.Util(best) + delta[best]
+		for _, cand := range st.Replicas {
+			if cu := c.ledger.Util(cand) + delta[cand]; cu < bestUtil {
+				best, bestUtil = cand, cu
+			}
+		}
+		out[i] = sched.PlacedStage{Stage: i, Proc: best, Util: u}
+		delta[best] += u
+	}
+	return out
+}
+
+// placeFor computes the placement for an arriving job per the LB strategy.
+func (c *Controller) placeFor(t *sched.Task, job int64) []sched.PlacedStage {
+	switch c.cfg.LB {
+	case StrategyNone:
+		return homePlacement(t)
+	case StrategyPerTask:
+		// Periodic tasks are assigned once, at first arrival; every
+		// aperiodic arrival is an independent task with a single release and
+		// is assigned at that arrival.
+		if t.Kind == sched.Periodic {
+			if p, ok := c.placements[t.ID]; ok {
+				return clonePlacement(p)
+			}
+			p := c.balancedPlacement(t)
+			c.placements[t.ID] = clonePlacement(p)
+			return p
+		}
+		return c.balancedPlacement(t)
+	case StrategyPerJob:
+		return c.balancedPlacement(t)
+	default:
+		return homePlacement(t)
+	}
+}
+
+func clonePlacement(p []sched.PlacedStage) []sched.PlacedStage {
+	return append([]sched.PlacedStage(nil), p...)
+}
+
+// Arrive processes a "Task Arrive" event for job number job of task t at
+// virtual time now, and returns the admission decision. For accepted jobs
+// whose contributions expire (everything except per-task periodic
+// reservations), the caller must arrange to call ExpireJob at now +
+// t.Deadline.
+func (c *Controller) Arrive(t *sched.Task, job int64, now time.Duration) Decision {
+	if t.Kind == sched.Aperiodic {
+		// Every aperiodic arrival is an independent task with one release:
+		// it is tested regardless of the AC strategy.
+		return c.testAndAdmit(t, sched.JobRef{Task: t.ID, Job: job}, now, false)
+	}
+
+	switch c.cfg.AC {
+	case StrategyPerJob:
+		return c.testAndAdmit(t, sched.JobRef{Task: t.ID, Job: job}, now, false)
+	case StrategyPerTask:
+		return c.arrivePerTask(t, job, now)
+	default:
+		return Decision{}
+	}
+}
+
+// arrivePerTask handles periodic arrivals under per-task admission control.
+func (c *Controller) arrivePerTask(t *sched.Task, job int64, now time.Duration) Decision {
+	if c.rejected[t.ID] {
+		c.Stats.Rejects++
+		return Decision{}
+	}
+	if !c.admitted[t.ID] {
+		// First arrival: test once and reserve the task's synthetic
+		// utilization for its lifetime (permanent contribution under the
+		// first arrival's job reference).
+		ref := sched.JobRef{Task: t.ID, Job: job}
+		d := c.testAndAdmit(t, ref, now, true)
+		if d.Accept {
+			c.admitted[t.ID] = true
+			c.reservations[t.ID] = ref
+		} else {
+			c.rejected[t.ID] = true
+		}
+		return d
+	}
+
+	// Subsequent jobs of an admitted task release without re-testing. Under
+	// LB-per-job the assignment plan may still change: the reservation
+	// follows the job to the new placement.
+	placement := c.placeFor(t, job)
+	if c.cfg.LB == StrategyPerJob {
+		if err := c.ledger.Relocate(c.reservations[t.ID], placement); err != nil {
+			// The reservation is always present for admitted tasks; an error
+			// here is a programming bug worth surfacing loudly in tests.
+			panic(fmt.Sprintf("core: relocate reservation for admitted task %s: %v", t.ID, err))
+		}
+	} else if p, ok := c.placements[t.ID]; ok {
+		placement = clonePlacement(p)
+	}
+	c.Stats.Accepts++
+	d := Decision{
+		Accept:    true,
+		Placement: placement,
+		Relocated: placement[0].Proc != t.Subtasks[0].Processor,
+	}
+	if d.Relocated {
+		c.Stats.Relocations++
+	}
+	return d
+}
+
+// testAndAdmit runs the load balancer's Location call and the AUB admission
+// test, recording contributions when the job is accepted.
+func (c *Controller) testAndAdmit(t *sched.Task, ref sched.JobRef, now time.Duration, permanent bool) Decision {
+	var t0 time.Time
+	if c.timing != nil {
+		t0 = time.Now()
+	}
+	placement := c.placeFor(t, ref.Job)
+	var t1 time.Time
+	if c.timing != nil {
+		t1 = time.Now()
+		c.timing.Location.Add(t1.Sub(t0))
+	}
+	c.Stats.Tests++
+	admissible := c.ledger.Admissible(placement)
+	if c.timing != nil {
+		c.timing.Test.Add(time.Since(t1))
+	}
+	if !admissible {
+		c.Stats.Rejects++
+		return Decision{Tested: true}
+	}
+	expiry := now + t.Deadline
+	if permanent {
+		expiry = 0
+	}
+	if err := c.ledger.AddJob(ref, t.Kind, placement, permanent, expiry); err != nil {
+		c.Stats.Rejects++
+		return Decision{Tested: true}
+	}
+	// Remember the placement for LB-per-task reuse by later jobs.
+	if c.cfg.LB == StrategyPerTask && t.Kind == sched.Periodic {
+		c.placements[t.ID] = clonePlacement(placement)
+	}
+	c.Stats.Accepts++
+	d := Decision{
+		Accept:    true,
+		Placement: placement,
+		Relocated: placement[0].Proc != t.Subtasks[0].Processor,
+		Tested:    true,
+		Reserved:  permanent,
+	}
+	if d.Relocated {
+		c.Stats.Relocations++
+	}
+	return d
+}
+
+// Location answers the paper's LB "Location" call for inspection purposes:
+// it computes the placement the load balancer would propose for the given
+// arrival without mutating any per-task assignment memory. The admission
+// path itself uses the internal (memoizing) placement.
+func (c *Controller) Location(t *sched.Task, job int64) []sched.PlacedStage {
+	switch c.cfg.LB {
+	case StrategyNone:
+		return homePlacement(t)
+	case StrategyPerTask:
+		if t.Kind == sched.Periodic {
+			if p, ok := c.placements[t.ID]; ok {
+				return clonePlacement(p)
+			}
+		}
+		return c.balancedPlacement(t)
+	case StrategyPerJob:
+		return c.balancedPlacement(t)
+	default:
+		return homePlacement(t)
+	}
+}
+
+// ExpireJob removes the remaining contributions of a job whose absolute
+// deadline passed. Per-task reservations are unaffected.
+func (c *Controller) ExpireJob(ref sched.JobRef) {
+	c.ledger.ExpireJob(ref)
+}
+
+// IdleReset processes an "Idle Resetting" event: the reported subjobs are
+// marked complete and their contributions removed per the resetting rule. It
+// returns the number of contributions actually removed.
+func (c *Controller) IdleReset(reports []sched.EntryRef) int {
+	var t0 time.Time
+	if c.timing != nil {
+		t0 = time.Now()
+	}
+	n := 0
+	for _, r := range reports {
+		c.ledger.MarkComplete(r.Ref, r.Stage)
+		if c.ledger.ResetEntry(r) {
+			n++
+		}
+	}
+	if c.timing != nil {
+		c.timing.Reset.Add(time.Since(t0))
+	}
+	c.Stats.IdleResets += int64(n)
+	return n
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/sched"
+)
+
+// IdleResetter is the per-processor IR component's bookkeeping: it records
+// subjob completions reported by the local F/I and Last Subtask components
+// and, when the processor goes idle, produces the "Idle Resetting" report
+// for the admission controller.
+//
+// Per Section 4.3, the idle detector "only reports when there is a newly
+// completed ... subjob whose deadline has not expired": reported entries are
+// forgotten so they are never reported twice, and expired entries are
+// dropped (their contribution is removed by deadline expiry on the AC side
+// anyway).
+//
+// IdleResetter is not safe for concurrent use; each binding confines one
+// instance to its processor's execution context.
+type IdleResetter struct {
+	strategy Strategy
+	proc     int
+	pending  []completion
+
+	// Reports counts idle-resetting reports produced (non-empty only).
+	Reports int64
+}
+
+// completion is one locally recorded completed subjob.
+type completion struct {
+	ref      sched.JobRef
+	stage    int
+	kind     sched.TaskKind
+	deadline time.Duration // absolute virtual deadline
+}
+
+// NewIdleResetter returns an IR component for the given processor using the
+// given strategy. With StrategyNone, Complete and Report do nothing.
+func NewIdleResetter(strategy Strategy, proc int) *IdleResetter {
+	return &IdleResetter{strategy: strategy, proc: proc}
+}
+
+// Strategy returns the resetter's configured strategy.
+func (ir *IdleResetter) Strategy() Strategy { return ir.strategy }
+
+// Complete records a subjob completion from a local subtask component. Under
+// StrategyNone nothing is recorded. Under StrategyPerTask only aperiodic
+// subjobs are recorded ("the idle resetting component is notified when
+// aperiodic subjobs complete"); under StrategyPerJob both kinds are.
+func (ir *IdleResetter) Complete(ref sched.JobRef, stage int, kind sched.TaskKind, deadline time.Duration) {
+	switch ir.strategy {
+	case StrategyNone:
+		return
+	case StrategyPerTask:
+		if kind != sched.Aperiodic {
+			return
+		}
+	case StrategyPerJob:
+		// Record everything.
+	}
+	ir.pending = append(ir.pending, completion{ref: ref, stage: stage, kind: kind, deadline: deadline})
+}
+
+// Report returns the entries to push to the admission controller now that
+// the processor is idle, dropping entries whose deadlines already expired.
+// The pending set is cleared: each completion is reported at most once. A
+// nil result means there is nothing new to report and no event should be
+// pushed.
+func (ir *IdleResetter) Report(now time.Duration) []sched.EntryRef {
+	if len(ir.pending) == 0 {
+		return nil
+	}
+	var out []sched.EntryRef
+	for _, c := range ir.pending {
+		if c.deadline <= now {
+			continue
+		}
+		out = append(out, sched.EntryRef{Ref: c.ref, Stage: c.stage, Proc: ir.proc})
+	}
+	ir.pending = ir.pending[:0]
+	if len(out) > 0 {
+		ir.Reports++
+	}
+	return out
+}
+
+// PendingCount returns the number of completions waiting to be reported.
+func (ir *IdleResetter) PendingCount() int { return len(ir.pending) }

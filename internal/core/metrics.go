@@ -1,0 +1,153 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/sched"
+)
+
+// KindMetrics aggregates per-task-kind job accounting.
+type KindMetrics struct {
+	// Arrived counts job arrivals at task effectors.
+	Arrived int64
+	// Released counts jobs released for execution (accepted).
+	Released int64
+	// Skipped counts jobs not released: rejected by the admission test or
+	// belonging to a rejected per-task periodic task.
+	Skipped int64
+	// Completed counts jobs whose last subtask finished.
+	Completed int64
+	// Missed counts completed jobs whose response time exceeded the
+	// end-to-end deadline.
+	Missed int64
+	// ArrivedUtil and ReleasedUtil accumulate per-job synthetic utilization
+	// (Σ C/D over stages) over arrived and released jobs; their quotient is
+	// the paper's accepted utilization ratio.
+	ArrivedUtil  float64
+	ReleasedUtil float64
+	// TotalResponse and MaxResponse aggregate response times of completed
+	// jobs.
+	TotalResponse time.Duration
+	MaxResponse   time.Duration
+}
+
+// Metrics is the experiment-facing accounting kept by a simulation run. The
+// headline metric is the accepted utilization ratio: "the total utilization
+// of jobs actually released divided by the total utilization of all jobs
+// arriving" (Section 7.1).
+type Metrics struct {
+	// Total aggregates over all jobs; Periodic and Aperiodic split by kind.
+	Total     KindMetrics
+	Periodic  KindMetrics
+	Aperiodic KindMetrics
+
+	// perTask accumulates per-task buckets, created lazily.
+	perTask map[string]*KindMetrics
+}
+
+// kind returns the per-kind bucket.
+func (m *Metrics) kind(k sched.TaskKind) *KindMetrics {
+	if k == sched.Periodic {
+		return &m.Periodic
+	}
+	return &m.Aperiodic
+}
+
+// buckets returns every bucket a task's jobs account into.
+func (m *Metrics) buckets(t *sched.Task) [3]*KindMetrics {
+	if m.perTask == nil {
+		m.perTask = make(map[string]*KindMetrics)
+	}
+	b, ok := m.perTask[t.ID]
+	if !ok {
+		b = &KindMetrics{}
+		m.perTask[t.ID] = b
+	}
+	return [3]*KindMetrics{&m.Total, m.kind(t.Kind), b}
+}
+
+// Task returns the accounting for one task (zero value if it never
+// arrived). The returned copy is safe to retain.
+func (m *Metrics) Task(id string) KindMetrics {
+	if b, ok := m.perTask[id]; ok {
+		return *b
+	}
+	return KindMetrics{}
+}
+
+// TaskIDs lists tasks with recorded activity.
+func (m *Metrics) TaskIDs() []string {
+	out := make([]string, 0, len(m.perTask))
+	for id := range m.perTask {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// JobArrived records a job arrival.
+func (m *Metrics) JobArrived(t *sched.Task) {
+	u := t.TotalUtil()
+	for _, b := range m.buckets(t) {
+		b.Arrived++
+		b.ArrivedUtil += u
+	}
+}
+
+// JobReleased records an accepted, released job.
+func (m *Metrics) JobReleased(t *sched.Task) {
+	u := t.TotalUtil()
+	for _, b := range m.buckets(t) {
+		b.Released++
+		b.ReleasedUtil += u
+	}
+}
+
+// JobSkipped records a job that was not released.
+func (m *Metrics) JobSkipped(t *sched.Task) {
+	for _, b := range m.buckets(t) {
+		b.Skipped++
+	}
+}
+
+// JobCompleted records a finished job and its response time.
+func (m *Metrics) JobCompleted(t *sched.Task, response time.Duration) {
+	missed := response > t.Deadline
+	for _, b := range m.buckets(t) {
+		b.Completed++
+		b.TotalResponse += response
+		if response > b.MaxResponse {
+			b.MaxResponse = response
+		}
+		if missed {
+			b.Missed++
+		}
+	}
+}
+
+// AcceptedUtilizationRatio returns released/arrived utilization over all
+// jobs, the paper's Figure 5/6 metric. It returns zero when nothing arrived.
+func (m *Metrics) AcceptedUtilizationRatio() float64 {
+	if m.Total.ArrivedUtil == 0 {
+		return 0
+	}
+	return m.Total.ReleasedUtil / m.Total.ArrivedUtil
+}
+
+// MeanResponse returns the mean response time of completed jobs, or zero.
+func (k *KindMetrics) MeanResponse() time.Duration {
+	if k.Completed == 0 {
+		return 0
+	}
+	return k.TotalResponse / time.Duration(k.Completed)
+}
+
+// MissRatio returns the fraction of completed jobs that missed their
+// end-to-end deadline, or zero.
+func (k *KindMetrics) MissRatio() float64 {
+	if k.Completed == 0 {
+		return 0
+	}
+	return float64(k.Missed) / float64(k.Completed)
+}

@@ -1,0 +1,352 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/des"
+	"repro/internal/sched"
+)
+
+// SimConfig parameterizes a simulated run of the middleware over a workload.
+type SimConfig struct {
+	// Strategies selects the AC/IR/LB combination under test.
+	Strategies Config
+	// NumProcs is the number of application processors. The task manager
+	// (AC + LB) is a separate node, as in the paper's testbed.
+	NumProcs int
+	// LinkDelay is the one-way event/invocation delay between nodes. It
+	// defaults to 322 µs, the mean one-way delay the paper measured on its
+	// 100 Mbps switch (Figure 8).
+	LinkDelay time.Duration
+	// ACDelay is the task-manager-side processing time per admission
+	// decision (the admission test plus, when enabled, the load balancer's
+	// Location call). It defaults to 150 µs, consistent with the paper's
+	// sub-millisecond AC-side operation costs.
+	ACDelay time.Duration
+	// Horizon is the workload duration; arrivals stop at the horizon and the
+	// run drains in-flight jobs afterwards. Defaults to 5 minutes, the
+	// paper's experiment length.
+	Horizon time.Duration
+	// Seed drives aperiodic interarrival sampling. Runs with equal seeds and
+	// workloads are bit-identical.
+	Seed int64
+	// Trace records per-job lifecycle events (see Trace); off by default.
+	Trace bool
+}
+
+// withDefaults fills unset fields.
+func (c SimConfig) withDefaults() SimConfig {
+	if c.LinkDelay == 0 {
+		c.LinkDelay = 322 * time.Microsecond
+	}
+	if c.ACDelay == 0 {
+		c.ACDelay = 150 * time.Microsecond
+	}
+	if c.Horizon == 0 {
+		c.Horizon = 5 * time.Minute
+	}
+	return c
+}
+
+// teState is the task effector's per-task memory on the arrival processor:
+// under per-task admission control it caches the decision so subsequent jobs
+// of an admitted periodic task are released immediately without a round trip
+// (the TE component's "Per-task" attribute).
+type teState struct {
+	decided   bool
+	accept    bool
+	placement []sched.PlacedStage
+	waiting   []pendingJob
+	requested bool
+}
+
+// pendingJob is a job held in the task effector's waiting queue.
+type pendingJob struct {
+	job     int64
+	arrival time.Duration
+}
+
+// SimSystem wires the configurable components onto the discrete-event
+// substrate: one simulated processor per application node, an IR component
+// and task-effector state per node, and the centralized AC+LB controller on
+// the task manager node.
+type SimSystem struct {
+	cfg     SimConfig
+	eng     *des.Engine
+	procs   []*des.Processor
+	irs     []*IdleResetter
+	links   *des.Link
+	ctrl    *Controller
+	rng     *rand.Rand
+	tasks   []*sched.Task
+	te      map[string]*teState
+	metrics Metrics
+	nextJob map[string]int64
+	trace   []TraceEvent
+}
+
+// NewSimSystem builds a simulation over the given tasks. Tasks are cloned;
+// EDMS priorities are assigned from end-to-end deadlines. Every referenced
+// processor must be within [0, NumProcs).
+func NewSimSystem(cfg SimConfig, tasks []*sched.Task) (*SimSystem, error) {
+	cfg = cfg.withDefaults()
+	if cfg.NumProcs <= 0 {
+		return nil, fmt.Errorf("core: sim needs at least one application processor")
+	}
+	ctrl, err := NewController(cfg.Strategies, cfg.NumProcs)
+	if err != nil {
+		return nil, err
+	}
+	cloned := make([]*sched.Task, len(tasks))
+	seen := make(map[string]bool, len(tasks))
+	for i, t := range tasks {
+		if err := t.Validate(); err != nil {
+			return nil, err
+		}
+		if seen[t.ID] {
+			return nil, fmt.Errorf("core: duplicate task ID %q", t.ID)
+		}
+		seen[t.ID] = true
+		for _, st := range t.Subtasks {
+			for _, p := range st.Candidates() {
+				if p >= cfg.NumProcs {
+					return nil, fmt.Errorf("core: task %s references processor %d but sim has %d", t.ID, p, cfg.NumProcs)
+				}
+			}
+		}
+		if t.Kind == sched.Aperiodic && t.MeanInterarrival <= 0 {
+			return nil, fmt.Errorf("core: aperiodic task %s has no mean interarrival time", t.ID)
+		}
+		cloned[i] = t.Clone()
+	}
+	sched.AssignEDMSPriorities(cloned)
+
+	eng := des.NewEngine()
+	s := &SimSystem{
+		cfg:     cfg,
+		eng:     eng,
+		ctrl:    ctrl,
+		links:   des.NewLink(eng, cfg.LinkDelay),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		tasks:   cloned,
+		te:      make(map[string]*teState),
+		nextJob: make(map[string]int64),
+	}
+	s.procs = make([]*des.Processor, cfg.NumProcs)
+	s.irs = make([]*IdleResetter, cfg.NumProcs)
+	for i := 0; i < cfg.NumProcs; i++ {
+		s.procs[i] = des.NewProcessor(eng, i)
+		s.irs[i] = NewIdleResetter(cfg.Strategies.IR, i)
+		if cfg.Strategies.IR != StrategyNone {
+			i := i
+			s.procs[i].SetIdleCallback(func() { s.reportIdle(i) })
+		}
+	}
+	return s, nil
+}
+
+// Metrics returns the run's accounting. Valid after Run.
+func (s *SimSystem) Metrics() *Metrics { return &s.metrics }
+
+// Controller exposes the AC+LB policy object for instrumentation.
+func (s *SimSystem) Controller() *Controller { return s.ctrl }
+
+// Engine exposes the simulation engine (tests use it for clock access).
+func (s *SimSystem) Engine() *des.Engine { return s.eng }
+
+// Run executes the workload: arrivals from time zero to the horizon, then a
+// drain window long enough for every in-flight job to finish or expire.
+func (s *SimSystem) Run() *Metrics {
+	var maxDeadline time.Duration
+	for _, t := range s.tasks {
+		if t.Deadline > maxDeadline {
+			maxDeadline = t.Deadline
+		}
+		s.scheduleFirstArrival(t)
+	}
+	s.eng.RunUntil(s.cfg.Horizon + 2*maxDeadline + time.Second)
+	return &s.metrics
+}
+
+// scheduleFirstArrival schedules the first job arrival for a task.
+func (s *SimSystem) scheduleFirstArrival(t *sched.Task) {
+	at := t.Phase
+	if t.Kind == sched.Aperiodic {
+		at += s.exp(t.MeanInterarrival)
+	}
+	if at > s.cfg.Horizon {
+		return
+	}
+	s.eng.At(at, func() { s.arrive(t) })
+}
+
+// exp samples an exponential interarrival with the given mean (Poisson
+// arrival process).
+func (s *SimSystem) exp(mean time.Duration) time.Duration {
+	u := s.rng.Float64()
+	for u == 0 {
+		u = s.rng.Float64()
+	}
+	return time.Duration(-float64(mean) * math.Log(u))
+}
+
+// arrive processes one job arrival at the task's home (first-stage)
+// processor and schedules the next arrival.
+func (s *SimSystem) arrive(t *sched.Task) {
+	now := s.eng.Now()
+	if now > s.cfg.Horizon {
+		return
+	}
+	job := s.nextJob[t.ID]
+	s.nextJob[t.ID] = job + 1
+
+	// Schedule the next arrival.
+	var next time.Duration
+	if t.Kind == sched.Periodic {
+		next = now + t.Period
+	} else {
+		next = now + s.exp(t.MeanInterarrival)
+	}
+	if next <= s.cfg.Horizon {
+		s.eng.At(next, func() { s.arrive(t) })
+	}
+
+	s.metrics.JobArrived(t)
+	s.record(TraceArrived, sched.JobRef{Task: t.ID, Job: job}, -1, t.Subtasks[0].Processor)
+
+	// The TE's Per-task fast path: jobs of a decided periodic task under
+	// per-task admission control release (or skip) immediately, except when
+	// LB-per-job requires a fresh placement from the manager.
+	if t.Kind == sched.Periodic && s.cfg.Strategies.AC == StrategyPerTask {
+		st := s.teFor(t)
+		if st.decided && s.cfg.Strategies.LB != StrategyPerJob {
+			if st.accept {
+				s.release(t, job, st.placement, now)
+			} else {
+				s.metrics.JobSkipped(t)
+				s.record(TraceSkipped, sched.JobRef{Task: t.ID, Job: job}, -1, -1)
+			}
+			return
+		}
+		if !st.decided {
+			// Hold the job until the first decision returns; only one "Task
+			// Arrive" round trip is outstanding per task.
+			st.waiting = append(st.waiting, pendingJob{job: job, arrival: now})
+			if !st.requested {
+				st.requested = true
+				s.requestDecision(t, job, now)
+			}
+			return
+		}
+		// Decided + LB-per-job: round trip for the new placement.
+	}
+
+	s.requestDecision(t, job, now)
+}
+
+// teFor returns (creating if needed) the task effector state for a task.
+func (s *SimSystem) teFor(t *sched.Task) *teState {
+	st, ok := s.te[t.ID]
+	if !ok {
+		st = &teState{}
+		s.te[t.ID] = st
+	}
+	return st
+}
+
+// requestDecision models the TE pushing a "Task Arrive" event to the AC,
+// the manager-side decision, and the "Accept" (or reject) event back.
+func (s *SimSystem) requestDecision(t *sched.Task, job int64, arrival time.Duration) {
+	s.links.Send(func() {
+		// On the task manager: LB Location call + admission test.
+		s.eng.After(s.cfg.ACDelay, func() {
+			d := s.ctrl.Arrive(t, job, arrival)
+			if d.Accept && !d.Reserved {
+				ref := sched.JobRef{Task: t.ID, Job: job}
+				s.eng.At(arrival+t.Deadline, func() { s.ctrl.ExpireJob(ref) })
+			}
+			// "Accept" event back to the releasing task effector.
+			s.links.Send(func() { s.deliverDecision(t, job, arrival, d) })
+		})
+	})
+}
+
+// deliverDecision applies the AC decision at the task effector(s).
+func (s *SimSystem) deliverDecision(t *sched.Task, job int64, arrival time.Duration, d Decision) {
+	if t.Kind == sched.Periodic && s.cfg.Strategies.AC == StrategyPerTask {
+		st := s.teFor(t)
+		if !st.decided {
+			st.decided = true
+			st.accept = d.Accept
+			st.placement = d.Placement
+			// Release or drop everything held in the waiting queue.
+			waiting := st.waiting
+			st.waiting = nil
+			for _, w := range waiting {
+				if d.Accept {
+					s.release(t, w.job, d.Placement, w.arrival)
+				} else {
+					s.metrics.JobSkipped(t)
+					s.record(TraceSkipped, sched.JobRef{Task: t.ID, Job: w.job}, -1, -1)
+				}
+			}
+			return
+		}
+		// LB-per-job refresh for an already-admitted task.
+		st.placement = d.Placement
+	}
+	if d.Accept {
+		s.release(t, job, d.Placement, arrival)
+	} else {
+		s.metrics.JobSkipped(t)
+		s.record(TraceSkipped, sched.JobRef{Task: t.ID, Job: job}, -1, -1)
+	}
+}
+
+// release starts the job's first subjob on its assigned processor.
+func (s *SimSystem) release(t *sched.Task, job int64, placement []sched.PlacedStage, arrival time.Duration) {
+	s.metrics.JobReleased(t)
+	s.record(TraceReleased, sched.JobRef{Task: t.ID, Job: job}, -1, placement[0].Proc)
+	s.startStage(t, job, placement, 0, arrival)
+}
+
+// startStage submits the i-th subjob and chains the next stage on
+// completion. Trigger events between stages on different processors traverse
+// the federated event channel (one link delay); stages co-located on the
+// same processor are dispatched through the local channel at no delay.
+func (s *SimSystem) startStage(t *sched.Task, job int64, placement []sched.PlacedStage, i int, arrival time.Duration) {
+	proc := placement[i].Proc
+	ref := sched.JobRef{Task: t.ID, Job: job}
+	s.procs[proc].Submit(&des.ExecRequest{
+		Label:     fmt.Sprintf("%s/%d", ref, i),
+		Priority:  t.Priority,
+		Remaining: t.Subtasks[i].Exec,
+		OnComplete: func() {
+			now := s.eng.Now()
+			s.irs[proc].Complete(ref, i, t.Kind, arrival+t.Deadline)
+			s.record(TraceStageDone, ref, i, proc)
+			if i == len(placement)-1 {
+				s.metrics.JobCompleted(t, now-arrival)
+				s.record(TraceCompleted, ref, -1, proc)
+				return
+			}
+			if placement[i+1].Proc == proc {
+				s.startStage(t, job, placement, i+1, arrival)
+				return
+			}
+			s.links.Send(func() { s.startStage(t, job, placement, i+1, arrival) })
+		},
+	})
+}
+
+// reportIdle pushes the processor's idle-resetting report to the AC.
+func (s *SimSystem) reportIdle(proc int) {
+	reports := s.irs[proc].Report(s.eng.Now())
+	if len(reports) == 0 {
+		return
+	}
+	s.links.Send(func() { s.ctrl.IdleReset(reports) })
+}

@@ -1,0 +1,326 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sched"
+)
+
+func simCfg(strategies Config, procs int) SimConfig {
+	return SimConfig{
+		Strategies: strategies,
+		NumProcs:   procs,
+		Horizon:    30 * time.Second,
+		Seed:       1,
+	}
+}
+
+func mustSim(t *testing.T, cfg SimConfig, tasks []*sched.Task) *SimSystem {
+	t.Helper()
+	s, err := NewSimSystem(cfg, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSimValidation(t *testing.T) {
+	good := []*sched.Task{periodicTask("p", 0, 10*time.Millisecond, time.Second)}
+	if _, err := NewSimSystem(simCfg(Config{AC: StrategyPerJob, IR: StrategyNone, LB: StrategyNone}, 0), good); err == nil {
+		t.Error("accepted zero processors")
+	}
+	dupe := []*sched.Task{
+		periodicTask("p", 0, 10*time.Millisecond, time.Second),
+		periodicTask("p", 0, 10*time.Millisecond, time.Second),
+	}
+	if _, err := NewSimSystem(simCfg(Config{AC: StrategyPerJob, IR: StrategyNone, LB: StrategyNone}, 1), dupe); err == nil {
+		t.Error("accepted duplicate task IDs")
+	}
+	farProc := []*sched.Task{periodicTask("p", 5, 10*time.Millisecond, time.Second)}
+	if _, err := NewSimSystem(simCfg(Config{AC: StrategyPerJob, IR: StrategyNone, LB: StrategyNone}, 2), farProc); err == nil {
+		t.Error("accepted out-of-range processor")
+	}
+	noMean := []*sched.Task{{
+		ID: "a", Kind: sched.Aperiodic, Deadline: time.Second,
+		Subtasks: []sched.Subtask{{Exec: time.Millisecond}},
+	}}
+	if _, err := NewSimSystem(simCfg(Config{AC: StrategyPerJob, IR: StrategyNone, LB: StrategyNone}, 1), noMean); err == nil {
+		t.Error("accepted aperiodic task without mean interarrival")
+	}
+}
+
+func TestSimSinglePeriodicTaskAllReleased(t *testing.T) {
+	// A lone feasible periodic task must have every job accepted, released,
+	// and completed within its deadline, under any strategy combination.
+	task := &sched.Task{
+		ID: "p", Kind: sched.Periodic,
+		Period: 100 * time.Millisecond, Deadline: 100 * time.Millisecond,
+		Subtasks: []sched.Subtask{
+			{Index: 0, Exec: 10 * time.Millisecond, Processor: 0},
+			{Index: 1, Exec: 10 * time.Millisecond, Processor: 1},
+		},
+	}
+	for _, combo := range AllCombinations() {
+		m := mustSim(t, simCfg(combo, 2), []*sched.Task{task}).Run()
+		// 30s horizon at 100ms period: 301 arrivals (t=0 .. t=30s).
+		if m.Total.Arrived != 301 {
+			t.Fatalf("%s: arrived = %d, want 301", combo, m.Total.Arrived)
+		}
+		if m.Total.Released != m.Total.Arrived {
+			t.Errorf("%s: released %d of %d jobs", combo, m.Total.Released, m.Total.Arrived)
+		}
+		if m.Total.Completed != m.Total.Arrived {
+			t.Errorf("%s: completed %d of %d jobs", combo, m.Total.Completed, m.Total.Arrived)
+		}
+		if m.Total.Missed != 0 {
+			t.Errorf("%s: %d deadline misses", combo, m.Total.Missed)
+		}
+		if r := m.AcceptedUtilizationRatio(); !within(r, 1) {
+			t.Errorf("%s: accepted utilization ratio = %g, want 1", combo, r)
+		}
+	}
+}
+
+func TestSimOverloadCausesSkips(t *testing.T) {
+	// Two identical single-stage tasks at 0.45 utilization each on one
+	// processor: f(0.9) = 4.95 > 1 so they cannot be admitted together under
+	// per-job AC without resetting; some jobs must be skipped.
+	mk := func(id string) *sched.Task {
+		return periodicTask(id, 0, 450*time.Millisecond, time.Second)
+	}
+	cfg := simCfg(Config{AC: StrategyPerJob, IR: StrategyNone, LB: StrategyNone}, 1)
+	m := mustSim(t, cfg, []*sched.Task{mk("p1"), mk("p2")}).Run()
+	if m.Total.Skipped == 0 {
+		t.Error("overloaded workload had no skipped jobs")
+	}
+	if m.Total.Released == 0 {
+		t.Error("overloaded workload released nothing")
+	}
+	if r := m.AcceptedUtilizationRatio(); r >= 1 {
+		t.Errorf("accepted utilization ratio = %g, want < 1", r)
+	}
+	if m.Total.Missed != 0 {
+		t.Errorf("admitted jobs missed deadlines: %d", m.Total.Missed)
+	}
+}
+
+func TestSimIdleResettingImprovesAcceptance(t *testing.T) {
+	// Two tasks whose arrivals interleave by half a period. Without
+	// resetting, the first task's contribution is held until each job's
+	// deadline, so the second task always tests against f(0.9) > 1 and is
+	// skipped. With IR per job, the first task's subjob completes and its
+	// contribution is reset before the second task arrives, so both are
+	// admitted — the paper's motivation for the resetting rule.
+	mk := func(id string, phase time.Duration) *sched.Task {
+		tk := periodicTask(id, 0, 450*time.Millisecond, time.Second)
+		tk.Phase = phase
+		return tk
+	}
+	tasks := []*sched.Task{mk("p1", 0), mk("p2", 500*time.Millisecond)}
+
+	noIR := mustSim(t, simCfg(Config{AC: StrategyPerJob, IR: StrategyNone, LB: StrategyNone}, 1), tasks).Run()
+	withIR := mustSim(t, simCfg(Config{AC: StrategyPerJob, IR: StrategyPerJob, LB: StrategyNone}, 1), tasks).Run()
+
+	if got := noIR.AcceptedUtilizationRatio(); got > 0.6 {
+		t.Errorf("no-IR ratio = %g, want ~0.5 (second task starved)", got)
+	}
+	if got := withIR.AcceptedUtilizationRatio(); got < 0.95 {
+		t.Errorf("IR-per-job ratio = %g, want ~1 (resetting admits both)", got)
+	}
+}
+
+func TestSimLoadBalancingUsesReplica(t *testing.T) {
+	// Two heavy tasks homed on processor 0, each replicated on processor 1.
+	// Without LB they collide; with LB per task one moves to the replica and
+	// everything is admitted.
+	mk := func(id string) *sched.Task {
+		return periodicTask(id, 0, 450*time.Millisecond, time.Second, 1)
+	}
+	tasks := []*sched.Task{mk("p1"), mk("p2")}
+
+	noLB := mustSim(t, simCfg(Config{AC: StrategyPerJob, IR: StrategyNone, LB: StrategyNone}, 2), tasks).Run()
+	withLB := mustSim(t, simCfg(Config{AC: StrategyPerJob, IR: StrategyNone, LB: StrategyPerTask}, 2), tasks).Run()
+
+	if r := withLB.AcceptedUtilizationRatio(); !within(r, 1) {
+		t.Errorf("LB per task ratio = %g, want 1 (replica absorbs second task)", r)
+	}
+	if noLB.AcceptedUtilizationRatio() >= withLB.AcceptedUtilizationRatio() {
+		t.Errorf("no-LB ratio %g not worse than LB ratio %g",
+			noLB.AcceptedUtilizationRatio(), withLB.AcceptedUtilizationRatio())
+	}
+}
+
+func TestSimAperiodicPoissonDeterminism(t *testing.T) {
+	mk := func() []*sched.Task {
+		tk := aperiodicTask("a", 0, 50*time.Millisecond, time.Second)
+		tk.MeanInterarrival = 300 * time.Millisecond
+		return []*sched.Task{tk}
+	}
+	cfg := simCfg(Config{AC: StrategyPerJob, IR: StrategyPerTask, LB: StrategyNone}, 1)
+	m1 := mustSim(t, cfg, mk()).Run()
+	m2 := mustSim(t, cfg, mk()).Run()
+	if m1.Total != m2.Total {
+		t.Errorf("same seed produced different metrics:\n%+v\n%+v", m1.Total, m2.Total)
+	}
+	if m1.Total.Arrived == 0 {
+		t.Error("no aperiodic arrivals generated")
+	}
+	cfg.Seed = 2
+	m3 := mustSim(t, cfg, mk()).Run()
+	if m3.Total.Arrived == m1.Total.Arrived && m3.Total.TotalResponse == m1.Total.TotalResponse {
+		t.Log("different seed produced identical arrivals (unlikely but possible)")
+	}
+}
+
+func TestSimPerTaskACSkipsRoundTripAfterDecision(t *testing.T) {
+	cfg := simCfg(Config{AC: StrategyPerTask, IR: StrategyNone, LB: StrategyNone}, 1)
+	task := periodicTask("p", 0, 10*time.Millisecond, 100*time.Millisecond)
+	s := mustSim(t, cfg, []*sched.Task{task})
+	m := s.Run()
+	if m.Total.Released != m.Total.Arrived {
+		t.Fatalf("released %d of %d", m.Total.Released, m.Total.Arrived)
+	}
+	// Only one admission test for the whole run.
+	if s.Controller().Stats.Tests != 1 {
+		t.Errorf("Tests = %d, want 1", s.Controller().Stats.Tests)
+	}
+}
+
+func TestSimIRPerTaskResetsOnlyAperiodic(t *testing.T) {
+	// One periodic and one aperiodic task, both completing well before their
+	// deadlines. Under IR per task only the aperiodic contributions are
+	// reset; under IR per job both are. The controller's IdleResets counter
+	// exposes the difference.
+	tasks := []*sched.Task{
+		periodicTask("p", 0, 20*time.Millisecond, 500*time.Millisecond),
+		aperiodicTask("a", 0, 20*time.Millisecond, 500*time.Millisecond),
+	}
+	run := func(ir Strategy) int64 {
+		cfg := simCfg(Config{AC: StrategyPerJob, IR: ir, LB: StrategyNone}, 1)
+		cfg.Horizon = 10 * time.Second
+		s := mustSim(t, cfg, tasks)
+		s.Run()
+		return s.Controller().Stats.IdleResets
+	}
+	perTask := run(StrategyPerTask)
+	perJob := run(StrategyPerJob)
+	none := run(StrategyNone)
+	if none != 0 {
+		t.Errorf("IR none produced %d resets", none)
+	}
+	if perTask == 0 {
+		t.Error("IR per task never reset aperiodic contributions")
+	}
+	if perJob <= perTask {
+		t.Errorf("IR per job resets (%d) not above per-task resets (%d): periodic subjobs not included",
+			perJob, perTask)
+	}
+}
+
+func TestSimPerTaskACWithPerJobLBRelocates(t *testing.T) {
+	// An admitted per-task periodic task whose stage is replicated: under
+	// LB per job, an aperiodic burst on the home processor pushes later jobs
+	// (and the task's reservation) to the replica. The sim must keep the
+	// ledger consistent throughout — the AC-per-task/LB-per-job corner the
+	// paper leaves implicit.
+	p := periodicTask("p", 0, 100*time.Millisecond, 500*time.Millisecond, 1)
+	a := aperiodicTask("a", 0, 150*time.Millisecond, 500*time.Millisecond)
+	a.MeanInterarrival = 400 * time.Millisecond
+	cfg := simCfg(Config{AC: StrategyPerTask, IR: StrategyNone, LB: StrategyPerJob}, 2)
+	cfg.Horizon = 20 * time.Second
+	s := mustSim(t, cfg, []*sched.Task{p, a})
+	m := s.Run()
+
+	if s.Controller().Stats.Relocations == 0 {
+		t.Error("no relocations despite per-job LB and a loaded home processor")
+	}
+	pm := m.Task("p")
+	if pm.Skipped != 0 {
+		t.Errorf("admitted per-task periodic task skipped %d jobs", pm.Skipped)
+	}
+	if pm.Released != pm.Arrived {
+		t.Errorf("released %d of %d periodic jobs", pm.Released, pm.Arrived)
+	}
+	if err := s.Controller().Ledger().CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+	// The permanent reservation lives on exactly one placement: total
+	// utilization across both processors equals the task's stage utilization
+	// (0.2) regardless of where the last relocation put it.
+	utils := s.Controller().Ledger().Utils()
+	total := utils[0] + utils[1]
+	if total < 0.19 || total > 0.21 {
+		t.Errorf("reservation total = %g across %v, want ~0.2", total, utils)
+	}
+}
+
+func TestSimEDMSPriorityProtectsShortDeadlines(t *testing.T) {
+	// A short-deadline alert shares processor 0 with a long-running
+	// low-priority task whose subjobs occupy most of the CPU. Under EDMS the
+	// alert preempts and must never miss its deadline, even though the long
+	// task alone would block it for 400ms at a time.
+	long := &sched.Task{
+		ID: "long", Kind: sched.Periodic,
+		Period: time.Second, Deadline: time.Second,
+		Subtasks: []sched.Subtask{{Index: 0, Exec: 400 * time.Millisecond, Processor: 0}},
+	}
+	alert := &sched.Task{
+		ID: "alert", Kind: sched.Periodic,
+		Period: 100 * time.Millisecond, Deadline: 100 * time.Millisecond,
+		Phase:    10 * time.Millisecond, // arrives while long runs
+		Subtasks: []sched.Subtask{{Index: 0, Exec: 10 * time.Millisecond, Processor: 0}},
+	}
+	cfg := simCfg(Config{AC: StrategyPerJob, IR: StrategyPerJob, LB: StrategyNone}, 1)
+	m := mustSim(t, cfg, []*sched.Task{long, alert}).Run()
+
+	a := m.Task("alert")
+	if a.Released == 0 {
+		t.Fatal("no alert jobs released")
+	}
+	if a.Missed != 0 {
+		t.Errorf("alert missed %d of %d deadlines despite EDMS priority", a.Missed, a.Completed)
+	}
+	// The alert's response time stays near its execution time (plus the
+	// admission round trip), far below the long task's 400ms subjobs: proof
+	// that preemption, not FIFO, ordered the processor.
+	if mean := a.MeanResponse(); mean > 50*time.Millisecond {
+		t.Errorf("alert mean response %v, want preemptive latency well under 50ms", mean)
+	}
+}
+
+func TestSimMixedWorkloadInvariants(t *testing.T) {
+	tasks := []*sched.Task{
+		periodicTask("p1", 0, 50*time.Millisecond, 500*time.Millisecond, 1),
+		periodicTask("p2", 1, 100*time.Millisecond, time.Second, 0),
+		aperiodicTask("a1", 0, 80*time.Millisecond, 800*time.Millisecond, 1),
+		aperiodicTask("a2", 1, 60*time.Millisecond, 600*time.Millisecond),
+	}
+	for _, combo := range AllCombinations() {
+		s := mustSim(t, simCfg(combo, 2), tasks)
+		m := s.Run()
+		if m.Total.Arrived == 0 {
+			t.Fatalf("%s: no arrivals", combo)
+		}
+		if m.Total.Released+m.Total.Skipped != m.Total.Arrived {
+			t.Errorf("%s: released %d + skipped %d != arrived %d",
+				combo, m.Total.Released, m.Total.Skipped, m.Total.Arrived)
+		}
+		if m.Total.Completed > m.Total.Released {
+			t.Errorf("%s: completed %d > released %d", combo, m.Total.Completed, m.Total.Released)
+		}
+		// All released jobs finish within the drain window.
+		if m.Total.Completed != m.Total.Released {
+			t.Errorf("%s: %d released jobs never completed", combo, m.Total.Released-m.Total.Completed)
+		}
+		if r := m.AcceptedUtilizationRatio(); r < 0 || r > 1 {
+			t.Errorf("%s: ratio %g out of range", combo, r)
+		}
+		if err := s.Controller().Ledger().CheckInvariants(); err != nil {
+			t.Errorf("%s: %v", combo, err)
+		}
+		if m.Periodic.Arrived+m.Aperiodic.Arrived != m.Total.Arrived {
+			t.Errorf("%s: kind split does not sum", combo)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package core
+
+import "testing"
+
+func TestStrategyString(t *testing.T) {
+	tests := []struct {
+		s    Strategy
+		want string
+	}{
+		{StrategyNone, "N"},
+		{StrategyPerTask, "T"},
+		{StrategyPerJob, "J"},
+		{Strategy(0), "Strategy(0)"},
+	}
+	for _, tt := range tests {
+		if got := tt.s.String(); got != tt.want {
+			t.Errorf("Strategy(%d).String() = %q, want %q", int(tt.s), got, tt.want)
+		}
+	}
+}
+
+func TestParseStrategy(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    Strategy
+		wantErr bool
+	}{
+		{in: "N", want: StrategyNone},
+		{in: "none", want: StrategyNone},
+		{in: " t ", want: StrategyPerTask},
+		{in: "per-task", want: StrategyPerTask},
+		{in: "PT", want: StrategyPerTask},
+		{in: "J", want: StrategyPerJob},
+		{in: "per-job", want: StrategyPerJob},
+		{in: "PJ", want: StrategyPerJob},
+		{in: "x", wantErr: true},
+		{in: "", wantErr: true},
+	}
+	for _, tt := range tests {
+		got, err := ParseStrategy(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("ParseStrategy(%q) error = %v, wantErr %v", tt.in, err, tt.wantErr)
+			continue
+		}
+		if err == nil && got != tt.want {
+			t.Errorf("ParseStrategy(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		cfg     Config
+		wantErr bool
+	}{
+		{name: "T_N_N", cfg: Config{AC: StrategyPerTask, IR: StrategyNone, LB: StrategyNone}},
+		{name: "J_J_J", cfg: Config{AC: StrategyPerJob, IR: StrategyPerJob, LB: StrategyPerJob}},
+		{name: "AC none", cfg: Config{AC: StrategyNone, IR: StrategyNone, LB: StrategyNone}, wantErr: true},
+		{name: "AC zero", cfg: Config{IR: StrategyNone, LB: StrategyNone}, wantErr: true},
+		{name: "IR zero", cfg: Config{AC: StrategyPerTask, LB: StrategyNone}, wantErr: true},
+		{name: "LB zero", cfg: Config{AC: StrategyPerTask, IR: StrategyNone}, wantErr: true},
+		{
+			name:    "contradictory T_J_N",
+			cfg:     Config{AC: StrategyPerTask, IR: StrategyPerJob, LB: StrategyNone},
+			wantErr: true,
+		},
+		{
+			name:    "contradictory T_J_T",
+			cfg:     Config{AC: StrategyPerTask, IR: StrategyPerJob, LB: StrategyPerTask},
+			wantErr: true,
+		},
+		{
+			name:    "contradictory T_J_J",
+			cfg:     Config{AC: StrategyPerTask, IR: StrategyPerJob, LB: StrategyPerJob},
+			wantErr: true,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.cfg.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Validate() error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestParseConfig(t *testing.T) {
+	c, err := ParseConfig("J_T_N")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Config{AC: StrategyPerJob, IR: StrategyPerTask, LB: StrategyNone}
+	if c != want {
+		t.Errorf("ParseConfig(J_T_N) = %+v, want %+v", c, want)
+	}
+	if c.String() != "J_T_N" {
+		t.Errorf("String() = %q, want J_T_N", c.String())
+	}
+	for _, bad := range []string{"", "J_T", "J_T_N_X", "X_T_N", "J_X_N", "J_T_X", "T_J_N", "N_N_N"} {
+		if _, err := ParseConfig(bad); err == nil {
+			t.Errorf("ParseConfig(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestAllCombinations(t *testing.T) {
+	combos := AllCombinations()
+	// 2 AC × 3 IR × 3 LB = 18, minus the 3 contradictory T_J_* tuples = 15,
+	// per Section 4.5.
+	if len(combos) != 15 {
+		t.Fatalf("AllCombinations() returned %d combos, want 15", len(combos))
+	}
+	seen := make(map[string]bool, len(combos))
+	for _, c := range combos {
+		if err := c.Validate(); err != nil {
+			t.Errorf("combo %s invalid: %v", c, err)
+		}
+		if seen[c.String()] {
+			t.Errorf("duplicate combo %s", c)
+		}
+		seen[c.String()] = true
+	}
+	// The paper's figure order: all T_* first, starting with T_N_N and
+	// ending with J_J_J.
+	if combos[0].String() != "T_N_N" {
+		t.Errorf("first combo = %s, want T_N_N", combos[0])
+	}
+	if combos[len(combos)-1].String() != "J_J_J" {
+		t.Errorf("last combo = %s, want J_J_J", combos[len(combos)-1])
+	}
+	for _, name := range []string{"T_J_N", "T_J_T", "T_J_J"} {
+		if seen[name] {
+			t.Errorf("invalid combo %s present in AllCombinations", name)
+		}
+	}
+}
+
+func TestParseConfigRoundTrip(t *testing.T) {
+	for _, c := range AllCombinations() {
+		got, err := ParseConfig(c.String())
+		if err != nil {
+			t.Errorf("round trip %s: %v", c, err)
+			continue
+		}
+		if got != c {
+			t.Errorf("round trip %s = %s", c, got)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"sync"
+	"time"
+)
+
+// OpStats accumulates observed durations of one middleware operation, for
+// the overhead accounting of Figures 7 and 8.
+type OpStats struct {
+	mu    sync.Mutex
+	count int64
+	total time.Duration
+	max   time.Duration
+}
+
+// Add records one observation.
+func (s *OpStats) Add(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.count++
+	s.total += d
+	if d > s.max {
+		s.max = d
+	}
+}
+
+// Count returns the number of observations.
+func (s *OpStats) Count() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+// Mean returns the mean observed duration, or zero without observations.
+func (s *OpStats) Mean() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.count == 0 {
+		return 0
+	}
+	return s.total / time.Duration(s.count)
+}
+
+// Max returns the maximum observed duration.
+func (s *OpStats) Max() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.max
+}
+
+// Timing holds the controller-side operation timings, corresponding to the
+// numbered operations of Figure 7: Location is operation 3 (generate an
+// acceptable deployment plan), Test is operation 4 (apply the admission
+// test), and Reset is operation 8 (update synthetic utilization on an idle
+// resetting event).
+type Timing struct {
+	// Location times the load balancer's placement computation.
+	Location OpStats
+	// Test times the AUB admission test.
+	Test OpStats
+	// Reset times ledger updates from idle-resetting reports.
+	Reset OpStats
+}
+
+// EnableTiming turns on real-clock measurement of controller operations.
+// Simulation runs leave it off to keep virtual time pure.
+func (c *Controller) EnableTiming() { c.timing = &Timing{} }
+
+// Timing returns the measured operation statistics, or nil if timing was
+// never enabled.
+func (c *Controller) Timing() *Timing { return c.timing }

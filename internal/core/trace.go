@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sched"
+)
+
+// TraceKind labels a job lifecycle transition in a simulation trace.
+type TraceKind int
+
+// Trace event kinds.
+const (
+	// TraceArrived marks a job arrival at its task effector.
+	TraceArrived TraceKind = iota + 1
+	// TraceReleased marks an accepted job's release.
+	TraceReleased
+	// TraceSkipped marks a rejected (not released) job.
+	TraceSkipped
+	// TraceStageDone marks one subjob completion.
+	TraceStageDone
+	// TraceCompleted marks the last subjob's completion.
+	TraceCompleted
+)
+
+// String returns the lowercase event name.
+func (k TraceKind) String() string {
+	switch k {
+	case TraceArrived:
+		return "arrived"
+	case TraceReleased:
+		return "released"
+	case TraceSkipped:
+		return "skipped"
+	case TraceStageDone:
+		return "stage-done"
+	case TraceCompleted:
+		return "completed"
+	default:
+		return fmt.Sprintf("TraceKind(%d)", int(k))
+	}
+}
+
+// TraceEvent is one recorded lifecycle transition.
+type TraceEvent struct {
+	// At is the virtual time of the transition.
+	At time.Duration
+	// Kind is the transition type.
+	Kind TraceKind
+	// Ref identifies the job.
+	Ref sched.JobRef
+	// Stage is the subtask index for TraceStageDone (-1 otherwise).
+	Stage int
+	// Proc is the processor involved (-1 when not applicable).
+	Proc int
+}
+
+// String formats one event for logs.
+func (e TraceEvent) String() string {
+	if e.Kind == TraceStageDone {
+		return fmt.Sprintf("%v %s %s stage=%d proc=%d", e.At, e.Kind, e.Ref, e.Stage, e.Proc)
+	}
+	return fmt.Sprintf("%v %s %s", e.At, e.Kind, e.Ref)
+}
+
+// record appends to the trace when tracing is enabled.
+func (s *SimSystem) record(kind TraceKind, ref sched.JobRef, stage, proc int) {
+	if !s.cfg.Trace {
+		return
+	}
+	s.trace = append(s.trace, TraceEvent{
+		At:    s.eng.Now(),
+		Kind:  kind,
+		Ref:   ref,
+		Stage: stage,
+		Proc:  proc,
+	})
+}
+
+// Trace returns the recorded lifecycle events (nil unless SimConfig.Trace
+// was set). The returned slice is owned by the simulation; callers must not
+// mutate it.
+func (s *SimSystem) Trace() []TraceEvent { return s.trace }

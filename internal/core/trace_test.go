@@ -1,0 +1,124 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sched"
+)
+
+func TestSimTraceLifecycle(t *testing.T) {
+	task := &sched.Task{
+		ID: "p", Kind: sched.Periodic,
+		Period: 100 * time.Millisecond, Deadline: 100 * time.Millisecond,
+		Subtasks: []sched.Subtask{
+			{Index: 0, Exec: 10 * time.Millisecond, Processor: 0},
+			{Index: 1, Exec: 5 * time.Millisecond, Processor: 1},
+		},
+	}
+	cfg := simCfg(Config{AC: StrategyPerJob, IR: StrategyNone, LB: StrategyNone}, 2)
+	cfg.Horizon = time.Second
+	cfg.Trace = true
+	s := mustSim(t, cfg, []*sched.Task{task})
+	m := s.Run()
+
+	trace := s.Trace()
+	if len(trace) == 0 {
+		t.Fatal("tracing enabled but no events recorded")
+	}
+
+	// Events are recorded in non-decreasing virtual time.
+	for i := 1; i < len(trace); i++ {
+		if trace[i].At < trace[i-1].At {
+			t.Fatalf("trace time went backwards at %d: %v after %v", i, trace[i], trace[i-1])
+		}
+	}
+
+	counts := make(map[TraceKind]int64)
+	stageDone := make(map[sched.JobRef]int)
+	for _, ev := range trace {
+		counts[ev.Kind]++
+		if ev.Kind == TraceStageDone {
+			stageDone[ev.Ref]++
+		}
+	}
+	if counts[TraceArrived] != m.Total.Arrived {
+		t.Errorf("trace arrivals %d != metric %d", counts[TraceArrived], m.Total.Arrived)
+	}
+	if counts[TraceReleased] != m.Total.Released {
+		t.Errorf("trace releases %d != metric %d", counts[TraceReleased], m.Total.Released)
+	}
+	if counts[TraceSkipped] != m.Total.Skipped {
+		t.Errorf("trace skips %d != metric %d", counts[TraceSkipped], m.Total.Skipped)
+	}
+	if counts[TraceCompleted] != m.Total.Completed {
+		t.Errorf("trace completions %d != metric %d", counts[TraceCompleted], m.Total.Completed)
+	}
+	// Every completed job executed exactly its two stages.
+	if counts[TraceStageDone] != 2*counts[TraceCompleted] {
+		t.Errorf("stage-done events %d, want %d", counts[TraceStageDone], 2*counts[TraceCompleted])
+	}
+	for ref, n := range stageDone {
+		if n != 2 {
+			t.Errorf("job %s recorded %d stage completions, want 2", ref, n)
+		}
+	}
+}
+
+func TestSimTraceDisabledByDefault(t *testing.T) {
+	task := periodicTask("p", 0, 10*time.Millisecond, 100*time.Millisecond)
+	cfg := simCfg(Config{AC: StrategyPerJob, IR: StrategyNone, LB: StrategyNone}, 1)
+	cfg.Horizon = 500 * time.Millisecond
+	s := mustSim(t, cfg, []*sched.Task{task})
+	s.Run()
+	if got := s.Trace(); got != nil {
+		t.Errorf("trace recorded %d events without Trace option", len(got))
+	}
+}
+
+func TestTraceKindString(t *testing.T) {
+	tests := map[TraceKind]string{
+		TraceArrived:   "arrived",
+		TraceReleased:  "released",
+		TraceSkipped:   "skipped",
+		TraceStageDone: "stage-done",
+		TraceCompleted: "completed",
+		TraceKind(0):   "TraceKind(0)",
+	}
+	for k, want := range tests {
+		if got := k.String(); got != want {
+			t.Errorf("TraceKind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+	ev := TraceEvent{At: time.Second, Kind: TraceStageDone, Ref: sched.JobRef{Task: "t", Job: 1}, Stage: 0, Proc: 2}
+	if got := ev.String(); got != "1s stage-done t#1 stage=0 proc=2" {
+		t.Errorf("TraceEvent.String() = %q", got)
+	}
+}
+
+func TestMetricsPerTask(t *testing.T) {
+	tasks := []*sched.Task{
+		periodicTask("p1", 0, 10*time.Millisecond, 100*time.Millisecond),
+		aperiodicTask("a1", 0, 10*time.Millisecond, 200*time.Millisecond),
+	}
+	cfg := simCfg(Config{AC: StrategyPerJob, IR: StrategyNone, LB: StrategyNone}, 1)
+	cfg.Horizon = time.Second
+	s := mustSim(t, cfg, tasks)
+	m := s.Run()
+
+	ids := m.TaskIDs()
+	if len(ids) != 2 || ids[0] != "a1" || ids[1] != "p1" {
+		t.Fatalf("TaskIDs = %v", ids)
+	}
+	p1 := m.Task("p1")
+	a1 := m.Task("a1")
+	if p1.Arrived+a1.Arrived != m.Total.Arrived {
+		t.Errorf("per-task arrivals %d+%d != total %d", p1.Arrived, a1.Arrived, m.Total.Arrived)
+	}
+	if p1.Arrived != m.Periodic.Arrived {
+		t.Errorf("p1 arrivals %d != periodic bucket %d", p1.Arrived, m.Periodic.Arrived)
+	}
+	if ghost := m.Task("nope"); ghost.Arrived != 0 {
+		t.Errorf("unknown task bucket = %+v", ghost)
+	}
+}

@@ -1,0 +1,77 @@
+package deploy
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/orb"
+)
+
+// Launcher executes deployment plans: DAnCE's Plan Launcher + Execution
+// Manager. It talks to each node's NodeManager servant over the given ORB.
+type Launcher struct {
+	orb     *orb.ORB
+	timeout time.Duration
+}
+
+// NewLauncher returns a launcher using the ORB for node invocations.
+func NewLauncher(o *orb.ORB) *Launcher {
+	return &Launcher{orb: o, timeout: 10 * time.Second}
+}
+
+// Execute deploys the plan: it pings every node, installs every instance in
+// plan order, wires every connection, then activates every node's
+// container. Any failure aborts with a descriptive error; the paper's
+// deployment model treats a failed deployment as fatal at system
+// initialization time.
+func (l *Launcher) Execute(ctx context.Context, p *Plan) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	addr := make(map[string]string, len(p.Nodes))
+	for _, n := range p.Nodes {
+		addr[n.Name] = n.Address
+		if err := l.invoke(ctx, n.Address, opPing, nil); err != nil {
+			return fmt.Errorf("deploy: node %s unreachable: %w", n.Name, err)
+		}
+	}
+	for _, inst := range p.Instances {
+		req := InstallRequest{
+			ID:             inst.ID,
+			Implementation: inst.Implementation,
+			Attrs:          inst.Attrs(),
+		}
+		body, err := gobEncode(req)
+		if err != nil {
+			return err
+		}
+		if err := l.invoke(ctx, addr[inst.Node], opInstall, body); err != nil {
+			return fmt.Errorf("deploy: install %s on %s: %w", inst.ID, inst.Node, err)
+		}
+	}
+	for _, conn := range p.Connections {
+		req := ConnectRequest{EventType: conn.EventType, SinkAddr: addr[conn.SinkNode]}
+		body, err := gobEncode(req)
+		if err != nil {
+			return err
+		}
+		if err := l.invoke(ctx, addr[conn.SourceNode], opConnect, body); err != nil {
+			return fmt.Errorf("deploy: connect %s %s->%s: %w", conn.EventType, conn.SourceNode, conn.SinkNode, err)
+		}
+	}
+	for _, n := range p.Nodes {
+		if err := l.invoke(ctx, n.Address, opActivate, nil); err != nil {
+			return fmt.Errorf("deploy: activate node %s: %w", n.Name, err)
+		}
+	}
+	return nil
+}
+
+// invoke performs one NodeManager call with the launcher timeout.
+func (l *Launcher) invoke(ctx context.Context, addr, op string, body []byte) error {
+	cctx, cancel := context.WithTimeout(ctx, l.timeout)
+	defer cancel()
+	_, err := l.orb.Invoke(cctx, addr, NodeManagerKey, op, body)
+	return err
+}

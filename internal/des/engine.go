@@ -1,0 +1,175 @@
+// Package des provides a deterministic discrete-event simulation substrate:
+// a virtual clock with cancellable timers, preemptive fixed-priority
+// processor models, and fixed-delay network links.
+//
+// The paper's schedulability experiments (Figures 5 and 6) ran on a
+// six-machine KURT-Linux testbed with kernel-supported real-time priorities.
+// Go's runtime cannot pin OS real-time priorities for goroutines, so this
+// package substitutes a virtual-time simulation in which priorities and
+// preemption are exact and runs are perfectly reproducible. The live
+// bindings (internal/orb, internal/eventchan) cover the parts of the
+// evaluation that need real clocks.
+//
+// The engine is single-threaded: callbacks run inside Run, one at a time, in
+// (time, sequence) order. Events scheduled at equal times fire in the order
+// they were scheduled.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Timer is a handle to a scheduled callback. Cancelling an already-fired or
+// already-cancelled timer is a no-op.
+type Timer struct {
+	at      time.Duration
+	seq     int64
+	fn      func()
+	cancel  bool
+	fired   bool
+	heapIdx int
+	inHeap  bool
+}
+
+// Cancel prevents the callback from firing. It reports whether the timer was
+// still pending.
+func (t *Timer) Cancel() bool {
+	if t == nil || t.cancel || t.fired {
+		return false
+	}
+	t.cancel = true
+	return true
+}
+
+// Pending reports whether the timer is still scheduled to fire.
+func (t *Timer) Pending() bool { return t != nil && !t.cancel && !t.fired }
+
+// timerHeap orders timers by (time, sequence).
+type timerHeap []*Timer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIdx = i
+	h[j].heapIdx = j
+}
+func (h *timerHeap) Push(x any) {
+	t := x.(*Timer)
+	t.heapIdx = len(*h)
+	t.inHeap = true
+	*h = append(*h, t)
+}
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.inHeap = false
+	*h = old[:n-1]
+	return t
+}
+
+// Engine is the simulation core. The zero value is not usable; call
+// NewEngine.
+type Engine struct {
+	now     time.Duration
+	seq     int64
+	pending timerHeap
+	fired   int64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time as an offset from simulation start.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Fired returns the number of callbacks executed so far. Intended for tests
+// and instrumentation.
+func (e *Engine) Fired() int64 { return e.fired }
+
+// At schedules fn to run at the given absolute virtual time. Scheduling in
+// the past (before Now) panics: it indicates a simulation logic bug, not a
+// recoverable condition.
+func (e *Engine) At(at time.Duration, fn func()) *Timer {
+	if at < e.now {
+		panic(fmt.Sprintf("des: scheduling at %v before now %v", at, e.now))
+	}
+	if fn == nil {
+		panic("des: scheduling nil callback")
+	}
+	e.seq++
+	t := &Timer{at: at, seq: e.seq, fn: fn}
+	heap.Push(&e.pending, t)
+	return t
+}
+
+// After schedules fn to run d from now. Negative d panics.
+func (e *Engine) After(d time.Duration, fn func()) *Timer {
+	return e.At(e.now+d, fn)
+}
+
+// Step executes the next pending event, advancing the clock to its time. It
+// reports whether an event was executed.
+func (e *Engine) Step() bool {
+	for e.pending.Len() > 0 {
+		t := heap.Pop(&e.pending).(*Timer)
+		if t.cancel {
+			continue
+		}
+		e.now = t.at
+		t.fired = true
+		e.fired++
+		t.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events in order until the queue is empty or the next
+// event is strictly after the horizon. The clock finishes at the horizon (or
+// at the last event time if later events remain).
+func (e *Engine) RunUntil(horizon time.Duration) {
+	for e.pending.Len() > 0 {
+		// Peek without popping: cancelled timers are skipped lazily.
+		t := e.pending[0]
+		if t.cancel {
+			heap.Pop(&e.pending)
+			continue
+		}
+		if t.at > horizon {
+			break
+		}
+		e.Step()
+	}
+	if e.now < horizon {
+		e.now = horizon
+	}
+}
+
+// Run executes events until the queue is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// PendingCount returns the number of scheduled, not-yet-cancelled events.
+func (e *Engine) PendingCount() int {
+	n := 0
+	for _, t := range e.pending {
+		if !t.cancel {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,202 @@
+package des
+
+import (
+	"testing"
+	"time"
+)
+
+func TestProcessorRunsInPriorityOrder(t *testing.T) {
+	e := NewEngine()
+	p := NewProcessor(e, 0)
+	var got []string
+	submit := func(label string, prio int, exec time.Duration) {
+		p.Submit(&ExecRequest{
+			Label:      label,
+			Priority:   prio,
+			Remaining:  exec,
+			OnComplete: func() { got = append(got, label) },
+		})
+	}
+	// All submitted at t=0; "low" starts first but completes last because
+	// higher-priority arrivals run before the ready queue is consulted.
+	e.At(0, func() {
+		submit("low", 5, 10*time.Millisecond)
+		submit("high", 1, 10*time.Millisecond)
+		submit("mid", 3, 10*time.Millisecond)
+	})
+	e.Run()
+	want := []string{"high", "mid", "low"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("completion order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestProcessorPreemption(t *testing.T) {
+	e := NewEngine()
+	p := NewProcessor(e, 0)
+	var events []string
+	var lowDone, highDone time.Duration
+	e.At(0, func() {
+		p.Submit(&ExecRequest{
+			Label: "low", Priority: 10, Remaining: 100 * time.Millisecond,
+			OnComplete: func() { events = append(events, "low"); lowDone = e.Now() },
+		})
+	})
+	e.At(30*time.Millisecond, func() {
+		p.Submit(&ExecRequest{
+			Label: "high", Priority: 1, Remaining: 20 * time.Millisecond,
+			OnComplete: func() { events = append(events, "high"); highDone = e.Now() },
+		})
+	})
+	e.Run()
+	if len(events) != 2 || events[0] != "high" || events[1] != "low" {
+		t.Fatalf("completion order %v, want [high low]", events)
+	}
+	// high: 30ms arrival + 20ms exec = 50ms. low: 100ms exec + 20ms
+	// preemption = 120ms.
+	if highDone != 50*time.Millisecond {
+		t.Errorf("high completed at %v, want 50ms", highDone)
+	}
+	if lowDone != 120*time.Millisecond {
+		t.Errorf("low completed at %v, want 120ms", lowDone)
+	}
+	if p.BusyTime != 120*time.Millisecond {
+		t.Errorf("BusyTime = %v, want 120ms", p.BusyTime)
+	}
+}
+
+func TestProcessorEqualPriorityFIFO(t *testing.T) {
+	e := NewEngine()
+	p := NewProcessor(e, 0)
+	var got []string
+	e.At(0, func() {
+		for _, label := range []string{"a", "b", "c"} {
+			label := label
+			p.Submit(&ExecRequest{
+				Label: label, Priority: 2, Remaining: time.Millisecond,
+				OnComplete: func() { got = append(got, label) },
+			})
+		}
+	})
+	e.Run()
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("equal-priority order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestProcessorNoPreemptionByEqualPriority(t *testing.T) {
+	e := NewEngine()
+	p := NewProcessor(e, 0)
+	var first string
+	e.At(0, func() {
+		p.Submit(&ExecRequest{Label: "running", Priority: 2, Remaining: 50 * time.Millisecond,
+			OnComplete: func() {
+				if first == "" {
+					first = "running"
+				}
+			}})
+	})
+	e.At(10*time.Millisecond, func() {
+		p.Submit(&ExecRequest{Label: "later", Priority: 2, Remaining: time.Millisecond,
+			OnComplete: func() {
+				if first == "" {
+					first = "later"
+				}
+			}})
+	})
+	e.Run()
+	if first != "running" {
+		t.Errorf("equal-priority arrival preempted the running request")
+	}
+}
+
+func TestProcessorIdleCallback(t *testing.T) {
+	e := NewEngine()
+	p := NewProcessor(e, 0)
+	idles := 0
+	p.SetIdleCallback(func() { idles++ })
+	e.At(0, func() {
+		p.Submit(&ExecRequest{Label: "j1", Priority: 1, Remaining: 10 * time.Millisecond})
+	})
+	// Back-to-back work arriving exactly at completion time: the idle
+	// detector runs at the same virtual instant but after the arrival, so no
+	// idle report happens in between.
+	e.At(10*time.Millisecond, func() {
+		p.Submit(&ExecRequest{Label: "j2", Priority: 1, Remaining: 5 * time.Millisecond})
+	})
+	e.Run()
+	if idles != 1 {
+		t.Errorf("idle callback fired %d times, want 1 (only after final drain)", idles)
+	}
+	if !p.Idle() {
+		t.Error("processor should be idle after run")
+	}
+}
+
+func TestProcessorIdleNotSpuriousDuringChain(t *testing.T) {
+	e := NewEngine()
+	p := NewProcessor(e, 0)
+	idles := 0
+	p.SetIdleCallback(func() { idles++ })
+	// A completion that immediately submits local follow-up work inside
+	// OnComplete must not trigger an idle report.
+	e.At(0, func() {
+		p.Submit(&ExecRequest{Label: "first", Priority: 1, Remaining: time.Millisecond,
+			OnComplete: func() {
+				p.Submit(&ExecRequest{Label: "second", Priority: 1, Remaining: time.Millisecond})
+			}})
+	})
+	e.Run()
+	if idles != 1 {
+		t.Errorf("idle callback fired %d times, want 1", idles)
+	}
+}
+
+func TestProcessorSubmitValidation(t *testing.T) {
+	e := NewEngine()
+	p := NewProcessor(e, 0)
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("nil request", func() { p.Submit(nil) })
+	mustPanic("zero remaining", func() { p.Submit(&ExecRequest{Remaining: 0}) })
+	done := &ExecRequest{Remaining: time.Millisecond, done: true}
+	mustPanic("completed request", func() { p.Submit(done) })
+}
+
+func TestLinkDelay(t *testing.T) {
+	e := NewEngine()
+	l := NewLink(e, 322*time.Microsecond)
+	var at time.Duration
+	e.At(time.Millisecond, func() {
+		l.Send(func() { at = e.Now() })
+	})
+	e.Run()
+	want := time.Millisecond + 322*time.Microsecond
+	if at != want {
+		t.Errorf("message delivered at %v, want %v", at, want)
+	}
+	if l.Messages != 1 {
+		t.Errorf("Messages = %d, want 1", l.Messages)
+	}
+	if l.Delay() != 322*time.Microsecond {
+		t.Errorf("Delay() = %v", l.Delay())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay did not panic")
+		}
+	}()
+	NewLink(e, -time.Second)
+}

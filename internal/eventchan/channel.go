@@ -1,0 +1,178 @@
+// Package eventchan implements a federated real-time event channel in the
+// style of TAO's federated event service, which the paper's architecture
+// uses to connect all processors (Figure 1): each node runs a local event
+// channel; gateways forward selected event types to peer channels over the
+// ORB, where they are pushed to that node's local consumers.
+//
+// Events are typed and carry an opaque payload; consumers subscribe by event
+// type and filter further in their handlers (consumer-side filtering, as in
+// TAO's EC). Local delivery is synchronous in the pusher's goroutine; remote
+// forwarding is a one-way ORB invocation per peer.
+package eventchan
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/orb"
+)
+
+// ServantKey is the object key every channel registers on its node's ORB so
+// peer gateways can push events to it.
+const ServantKey = "eventchannel"
+
+// opPush is the single operation of the channel servant.
+const opPush = "push"
+
+// Event is one typed event. Payload encoding is up to the producing
+// component (the live binding uses encoding/gob).
+type Event struct {
+	// Type routes the event to subscribers (e.g. "TaskArrive", "Accept").
+	Type string
+	// Source names the producing node, for diagnostics and tests.
+	Source string
+	// Payload is the marshaled event body.
+	Payload []byte
+}
+
+// Handler consumes events. Handlers run synchronously in the delivery
+// goroutine and must not block.
+type Handler func(Event)
+
+// Channel is one node's local event channel plus its gateway state.
+type Channel struct {
+	node string
+	orb  *orb.ORB
+
+	mu      sync.RWMutex
+	subs    map[string][]Handler
+	remotes map[string][]string // event type → peer ORB addresses
+	closed  bool
+
+	// Pushed and Forwarded count local pushes and remote forwards, for
+	// overhead accounting.
+	pushed    int64
+	forwarded int64
+}
+
+// New creates the channel and registers its push servant on the node's ORB.
+func New(node string, o *orb.ORB) *Channel {
+	c := &Channel{
+		node:    node,
+		orb:     o,
+		subs:    make(map[string][]Handler),
+		remotes: make(map[string][]string),
+	}
+	o.RegisterServant(ServantKey, c.servant)
+	return c
+}
+
+// Node returns the owning node's name.
+func (c *Channel) Node() string { return c.node }
+
+// Subscribe registers a local consumer for an event type.
+func (c *Channel) Subscribe(eventType string, h Handler) {
+	if h == nil {
+		panic("eventchan: nil handler")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.subs[eventType] = append(c.subs[eventType], h)
+}
+
+// AddRemoteSink configures the gateway to forward events of the given type
+// to the peer channel at addr. Adding the same (type, addr) pair twice is a
+// no-op.
+func (c *Channel) AddRemoteSink(eventType, addr string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, a := range c.remotes[eventType] {
+		if a == addr {
+			return
+		}
+	}
+	c.remotes[eventType] = append(c.remotes[eventType], addr)
+}
+
+// Push delivers the event to local subscribers and forwards it through the
+// gateway to every configured remote sink. It returns the first forwarding
+// error, after attempting all sinks; local delivery always happens.
+func (c *Channel) Push(ev Event) error {
+	if ev.Source == "" {
+		ev.Source = c.node
+	}
+	c.mu.RLock()
+	if c.closed {
+		c.mu.RUnlock()
+		return fmt.Errorf("eventchan %s: closed", c.node)
+	}
+	handlers := append([]Handler(nil), c.subs[ev.Type]...)
+	sinks := append([]string(nil), c.remotes[ev.Type]...)
+	c.mu.RUnlock()
+
+	c.mu.Lock()
+	c.pushed++
+	c.mu.Unlock()
+
+	for _, h := range handlers {
+		h(ev)
+	}
+	var firstErr error
+	for _, addr := range sinks {
+		if err := c.forward(ev, addr); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// forward sends the event to one peer channel.
+func (c *Channel) forward(ev Event, addr string) error {
+	body := encodeEvent(ev)
+	c.mu.Lock()
+	c.forwarded++
+	c.mu.Unlock()
+	if err := c.orb.InvokeOneWay(addr, ServantKey, opPush, body); err != nil {
+		return fmt.Errorf("eventchan %s: forward %s to %s: %w", c.node, ev.Type, addr, err)
+	}
+	return nil
+}
+
+// servant receives pushes from peer gateways and delivers them locally only
+// (no re-forwarding: the deployment engine configures a single-hop
+// federation, so events cannot loop).
+func (c *Channel) servant(op string, arg []byte) ([]byte, error) {
+	if op != opPush {
+		return nil, fmt.Errorf("eventchan %s: unknown operation %q", c.node, op)
+	}
+	ev, err := decodeEvent(arg)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.RLock()
+	if c.closed {
+		c.mu.RUnlock()
+		return nil, fmt.Errorf("eventchan %s: closed", c.node)
+	}
+	handlers := append([]Handler(nil), c.subs[ev.Type]...)
+	c.mu.RUnlock()
+	for _, h := range handlers {
+		h(ev)
+	}
+	return nil, nil
+}
+
+// Close stops accepting pushes. The owning ORB's shutdown tears down the
+// transport.
+func (c *Channel) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+}
+
+// Stats returns the local-push and remote-forward counters.
+func (c *Channel) Stats() (pushed, forwarded int64) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.pushed, c.forwarded
+}

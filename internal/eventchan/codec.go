@@ -1,0 +1,47 @@
+package eventchan
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// encodeEvent flattens an event for the wire:
+//
+//	uint16 typeLen | type | uint16 sourceLen | source | payload
+func encodeEvent(ev Event) []byte {
+	buf := make([]byte, 2+len(ev.Type)+2+len(ev.Source)+len(ev.Payload))
+	off := 0
+	binary.BigEndian.PutUint16(buf[off:], uint16(len(ev.Type)))
+	off += 2
+	off += copy(buf[off:], ev.Type)
+	binary.BigEndian.PutUint16(buf[off:], uint16(len(ev.Source)))
+	off += 2
+	off += copy(buf[off:], ev.Source)
+	copy(buf[off:], ev.Payload)
+	return buf
+}
+
+// decodeEvent parses the wire form.
+func decodeEvent(b []byte) (Event, error) {
+	typ, rest, err := readLV(b)
+	if err != nil {
+		return Event{}, err
+	}
+	src, rest, err := readLV(rest)
+	if err != nil {
+		return Event{}, err
+	}
+	return Event{Type: typ, Source: src, Payload: rest}, nil
+}
+
+// readLV decodes one uint16 length-prefixed string.
+func readLV(b []byte) (string, []byte, error) {
+	if len(b) < 2 {
+		return "", nil, errors.New("eventchan: truncated event header")
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	if len(b) < 2+n {
+		return "", nil, errors.New("eventchan: truncated event field")
+	}
+	return string(b[2 : 2+n]), b[2+n:], nil
+}

@@ -1,0 +1,202 @@
+// Package experiments regenerates the paper's evaluation artifacts: the
+// accepted-utilization-ratio comparisons of Figures 5 and 6 over all 15
+// valid strategy combinations, and the service overhead accounting of
+// Figures 7 and 8. Each runner returns structured results and a renderer
+// prints the same rows/series the paper reports.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// FigureOptions parameterizes a Figure 5/6 style experiment.
+type FigureOptions struct {
+	// Sets is the number of random task sets to average over (the paper
+	// uses 10).
+	Sets int
+	// Horizon is the per-run workload duration (the paper runs 5 minutes).
+	Horizon time.Duration
+	// LinkDelay and ACDelay configure the simulated communication and
+	// manager-side processing delays; zero values use the defaults
+	// calibrated from the paper's Figure 8 measurements.
+	LinkDelay time.Duration
+	ACDelay   time.Duration
+	// Combos restricts the strategy combinations; nil runs all 15.
+	Combos []core.Config
+}
+
+// withDefaults fills unset options.
+func (o FigureOptions) withDefaults() FigureOptions {
+	if o.Sets == 0 {
+		o.Sets = 10
+	}
+	if o.Horizon == 0 {
+		o.Horizon = 5 * time.Minute
+	}
+	if len(o.Combos) == 0 {
+		o.Combos = core.AllCombinations()
+	}
+	return o
+}
+
+// ComboResult is the accepted utilization ratio of one strategy combination
+// averaged over the task sets.
+type ComboResult struct {
+	// Combo is the AC_IR_LB tuple.
+	Combo core.Config
+	// Mean is the average accepted utilization ratio over all sets.
+	Mean float64
+	// PerSet holds the per-task-set ratios.
+	PerSet []float64
+}
+
+// RunFigure5 reproduces Section 7.1: random balanced workloads over 5
+// application processors, all 15 combinations, accepted utilization ratio
+// averaged over the task sets.
+func RunFigure5(opts FigureOptions) ([]ComboResult, error) {
+	return runFigure(workload.Figure5Params, opts)
+}
+
+// RunFigure6 reproduces Section 7.2: imbalanced workloads with all home
+// subtasks on three processors at synthetic utilization 0.7 and duplicates
+// on the two spare processors.
+func RunFigure6(opts FigureOptions) ([]ComboResult, error) {
+	return runFigure(workload.Figure6Params, opts)
+}
+
+// runFigure runs every (combo, set) pair and aggregates.
+func runFigure(params func(set int) workload.Params, opts FigureOptions) ([]ComboResult, error) {
+	opts = opts.withDefaults()
+	results := make([]ComboResult, 0, len(opts.Combos))
+	for _, combo := range opts.Combos {
+		res := ComboResult{Combo: combo, PerSet: make([]float64, 0, opts.Sets)}
+		for set := 0; set < opts.Sets; set++ {
+			p := params(set)
+			tasks, err := workload.Generate(p)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: set %d: %w", set, err)
+			}
+			sim, err := core.NewSimSystem(core.SimConfig{
+				Strategies: combo,
+				NumProcs:   workload.MaxProc(tasks) + 1,
+				LinkDelay:  opts.LinkDelay,
+				ACDelay:    opts.ACDelay,
+				Horizon:    opts.Horizon,
+				Seed:       p.Seed ^ 0x5DEECE66D,
+			}, tasks)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: combo %s set %d: %w", combo, set, err)
+			}
+			m := sim.Run()
+			res.PerSet = append(res.PerSet, m.AcceptedUtilizationRatio())
+		}
+		var sum float64
+		for _, r := range res.PerSet {
+			sum += r
+		}
+		res.Mean = sum / float64(len(res.PerSet))
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// MeanOf returns the mean ratio of the combos whose tuple matches the
+// pattern, where '*' in a position matches any strategy (e.g. "*_J_*").
+func MeanOf(results []ComboResult, pattern string) float64 {
+	parts := strings.Split(pattern, "_")
+	var sum float64
+	var n int
+	for _, r := range results {
+		have := strings.Split(r.Combo.String(), "_")
+		match := len(parts) == len(have)
+		for i := 0; match && i < len(parts); i++ {
+			if parts[i] != "*" && parts[i] != have[i] {
+				match = false
+			}
+		}
+		if match {
+			sum += r.Mean
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Best returns the combination with the highest mean ratio.
+func Best(results []ComboResult) ComboResult {
+	best := results[0]
+	for _, r := range results[1:] {
+		if r.Mean > best.Mean {
+			best = r
+		}
+	}
+	return best
+}
+
+// RenderFigure formats the results as the paper's bar figure: one row per
+// combination with an ASCII bar scaled to [0, 1].
+func RenderFigure(title string, results []ComboResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-8s %-7s %s\n", "combo", "ratio", "accepted utilization ratio")
+	const width = 50
+	for _, r := range results {
+		n := int(r.Mean*width + 0.5)
+		if n < 0 {
+			n = 0
+		}
+		if n > width {
+			n = width
+		}
+		fmt.Fprintf(&b, "%-8s %6.3f  |%s%s|\n",
+			r.Combo, r.Mean, strings.Repeat("#", n), strings.Repeat(" ", width-n))
+	}
+	return b.String()
+}
+
+// RenderCSV emits the series as CSV (combo, mean, per-set columns) for
+// external plotting.
+func RenderCSV(results []ComboResult) string {
+	var b strings.Builder
+	sets := 0
+	for _, r := range results {
+		if len(r.PerSet) > sets {
+			sets = len(r.PerSet)
+		}
+	}
+	b.WriteString("combo,mean")
+	for i := 0; i < sets; i++ {
+		fmt.Fprintf(&b, ",set%d", i)
+	}
+	b.WriteByte('\n')
+	for _, r := range results {
+		fmt.Fprintf(&b, "%s,%.6f", r.Combo, r.Mean)
+		for _, v := range r.PerSet {
+			fmt.Fprintf(&b, ",%.6f", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Ranked returns the results sorted by descending mean ratio (stable on
+// combo name for ties).
+func Ranked(results []ComboResult) []ComboResult {
+	out := append([]ComboResult(nil), results...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Mean != out[j].Mean {
+			return out[i].Mean > out[j].Mean
+		}
+		return out[i].Combo.String() < out[j].Combo.String()
+	})
+	return out
+}

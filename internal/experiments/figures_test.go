@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// fullOpts runs the paper's full parameters (10 sets, 5 simulated minutes);
+// the DES makes this cheap in wall-clock time.
+func fullOpts() FigureOptions {
+	return FigureOptions{Sets: 10, Horizon: 5 * time.Minute}
+}
+
+func TestFigure5Shape(t *testing.T) {
+	results, err := RunFigure5(fullOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 15 {
+		t.Fatalf("got %d combos, want 15", len(results))
+	}
+	for _, r := range results {
+		if r.Mean <= 0 || r.Mean > 1 {
+			t.Errorf("%s: mean ratio %g out of (0, 1]", r.Combo, r.Mean)
+		}
+		if len(r.PerSet) != 10 {
+			t.Errorf("%s: %d per-set results, want 10", r.Combo, len(r.PerSet))
+		}
+	}
+
+	// Paper finding 1: enabling IR per job significantly outperforms IR per
+	// task or no IR.
+	irJ, irT, irN := MeanOf(results, "*_J_*"), MeanOf(results, "*_T_*"), MeanOf(results, "*_N_*")
+	if irJ <= irT || irJ <= irN {
+		t.Errorf("IR per job mean %.3f not above per-task %.3f / none %.3f", irJ, irT, irN)
+	}
+
+	// Paper finding 2: enabling idle resetting or load balancing increases
+	// admitted utilization.
+	if lbOn := MeanOf(results, "*_*_T"); lbOn <= MeanOf(results, "*_*_N") {
+		t.Errorf("LB per task mean %.3f not above no-LB %.3f", lbOn, MeanOf(results, "*_*_N"))
+	}
+	if irT <= irN {
+		t.Errorf("IR per task mean %.3f not above no-IR %.3f", irT, irN)
+	}
+
+	// Paper finding 3: J_J_* configurations outperform all others; J_J_J
+	// averages highest.
+	best := Best(results)
+	if !strings.HasPrefix(best.Combo.String(), "J_J_") {
+		t.Errorf("best combo %s, want a J_J_* configuration", best.Combo)
+	}
+}
+
+func TestFigure6Shape(t *testing.T) {
+	results, err := RunFigure6(fullOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 15 {
+		t.Fatalf("got %d combos, want 15", len(results))
+	}
+
+	// Paper finding: with an imbalanced workload, LB per task provides a
+	// significant improvement over no LB, while LB per task and per job are
+	// comparable. Check within every AC/IR group, as the paper's Figure 6
+	// bar triples do.
+	byName := make(map[string]float64, len(results))
+	for _, r := range results {
+		byName[r.Combo.String()] = r.Mean
+	}
+	for _, group := range []string{"T_N", "T_T", "J_N", "J_T", "J_J"} {
+		none := byName[group+"_N"]
+		perTask := byName[group+"_T"]
+		perJob := byName[group+"_J"]
+		if perTask <= none {
+			t.Errorf("group %s: LB per task %.3f not above no-LB %.3f", group, perTask, none)
+		}
+		// "Not much difference between load balancing per task vs per job":
+		// allow a generous band rather than a strict ordering.
+		if diff := perTask - perJob; diff > 0.15 || diff < -0.15 {
+			t.Errorf("group %s: per-task %.3f vs per-job %.3f differ by more than 0.15", group, perTask, perJob)
+		}
+	}
+}
+
+func TestFigureOptionsCombosFilter(t *testing.T) {
+	only := []core.Config{{AC: core.StrategyPerJob, IR: core.StrategyPerJob, LB: core.StrategyPerJob}}
+	results, err := RunFigure5(FigureOptions{Sets: 2, Horizon: 30 * time.Second, Combos: only})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].Combo != only[0] {
+		t.Fatalf("results = %+v, want single J_J_J entry", results)
+	}
+	if len(results[0].PerSet) != 2 {
+		t.Errorf("PerSet = %v, want 2 entries", results[0].PerSet)
+	}
+}
+
+func TestFigureDeterminism(t *testing.T) {
+	opts := FigureOptions{Sets: 3, Horizon: time.Minute}
+	a, err := RunFigure5(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFigure5(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Mean != b[i].Mean {
+			t.Errorf("%s: mean %g vs %g across identical runs", a[i].Combo, a[i].Mean, b[i].Mean)
+		}
+	}
+}
+
+func TestMeanOf(t *testing.T) {
+	results := []ComboResult{
+		{Combo: core.Config{AC: core.StrategyPerTask, IR: core.StrategyNone, LB: core.StrategyNone}, Mean: 0.2},
+		{Combo: core.Config{AC: core.StrategyPerJob, IR: core.StrategyNone, LB: core.StrategyNone}, Mean: 0.4},
+		{Combo: core.Config{AC: core.StrategyPerJob, IR: core.StrategyPerJob, LB: core.StrategyNone}, Mean: 0.6},
+	}
+	if got := MeanOf(results, "*_N_*"); !approx(got, 0.3) {
+		t.Errorf("MeanOf(*_N_*) = %g, want 0.3", got)
+	}
+	if got := MeanOf(results, "J_*_*"); !approx(got, 0.5) {
+		t.Errorf("MeanOf(J_*_*) = %g, want 0.5", got)
+	}
+	if got := MeanOf(results, "*_*_J"); got != 0 {
+		t.Errorf("MeanOf with no matches = %g, want 0", got)
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	results := []ComboResult{
+		{Combo: core.Config{AC: core.StrategyPerJob, IR: core.StrategyPerJob, LB: core.StrategyPerJob},
+			Mean: 0.75, PerSet: []float64{0.7, 0.8}},
+	}
+	fig := RenderFigure("Figure X", results)
+	if !strings.Contains(fig, "J_J_J") || !strings.Contains(fig, "0.750") {
+		t.Errorf("RenderFigure output missing fields:\n%s", fig)
+	}
+	csv := RenderCSV(results)
+	if !strings.Contains(csv, "combo,mean,set0,set1") || !strings.Contains(csv, "J_J_J,0.750000,0.700000,0.800000") {
+		t.Errorf("RenderCSV output unexpected:\n%s", csv)
+	}
+}
+
+func TestRanked(t *testing.T) {
+	results := []ComboResult{
+		{Combo: core.Config{AC: core.StrategyPerTask, IR: core.StrategyNone, LB: core.StrategyNone}, Mean: 0.2},
+		{Combo: core.Config{AC: core.StrategyPerJob, IR: core.StrategyPerJob, LB: core.StrategyPerJob}, Mean: 0.9},
+	}
+	ranked := Ranked(results)
+	if ranked[0].Mean != 0.9 || ranked[1].Mean != 0.2 {
+		t.Errorf("Ranked order wrong: %+v", ranked)
+	}
+	// Input order preserved.
+	if results[0].Mean != 0.2 {
+		t.Error("Ranked mutated its input")
+	}
+}
+
+func approx(a, b float64) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}

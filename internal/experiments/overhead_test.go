@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestOverheadReportShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live overhead run in -short mode")
+	}
+	rep, err := RunOverhead(OverheadOptions{Duration: 3 * time.Second, PingCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every primitive operation collected samples.
+	for i := 1; i <= 8; i++ {
+		op, ok := rep.Ops[i]
+		if !ok {
+			t.Fatalf("operation %d missing", i)
+		}
+		if op.Count == 0 {
+			t.Errorf("operation %d (%s): no samples", i, op.Name)
+		}
+		if op.Mean < 0 || op.Max < op.Mean {
+			t.Errorf("operation %d: mean %v max %v inconsistent", i, op.Mean, op.Max)
+		}
+	}
+
+	// Paper shape: the manager-side computations (plan generation,
+	// admission test, utilization update) are orders of magnitude below the
+	// communication delay; every composite service delay stays well under
+	// the paper's 2 ms acceptability bar (loopback is faster than their
+	// 100 Mbps switch).
+	comm := rep.Ops[2].Mean
+	for _, op := range []int{3, 4, 8} {
+		if rep.Ops[op].Mean > comm {
+			t.Errorf("operation %d mean %v exceeds communication delay %v", op, rep.Ops[op].Mean, comm)
+		}
+	}
+	rows := make(map[string]OverheadRow, len(rep.Rows))
+	for _, r := range rep.Rows {
+		rows[r.Name] = r
+	}
+	for _, name := range []string{
+		"AC without LB", "AC with LB (no re-allocation)", "AC with LB (re-allocation)",
+		"LB (no re-allocation)", "LB (re-allocation)", "IR (on AC side)",
+		"IR (other part)", "Communication Delay",
+	} {
+		row, ok := rows[name]
+		if !ok {
+			t.Fatalf("row %q missing", name)
+		}
+		if row.Mean <= 0 {
+			t.Errorf("row %q: non-positive mean", name)
+		}
+		if row.Mean > 5*time.Millisecond {
+			t.Errorf("row %q: mean %v far above the paper's 2 ms envelope", name, row.Mean)
+		}
+	}
+	// IR's AC-side cost is the cheapest row, as in Figure 8.
+	if rows["IR (on AC side)"].Mean >= rows["Communication Delay"].Mean {
+		t.Errorf("IR (on AC side) %v not below communication delay %v",
+			rows["IR (on AC side)"].Mean, rows["Communication Delay"].Mean)
+	}
+	// Composite rows equal the sum of their parts (mean composition).
+	wantACNoLB := rep.Ops[1].Mean + rep.Ops[2].Mean + rep.Ops[4].Mean + rep.Ops[2].Mean + rep.Ops[5].Mean
+	if rows["AC without LB"].Mean != wantACNoLB {
+		t.Errorf("AC without LB mean %v != composed %v", rows["AC without LB"].Mean, wantACNoLB)
+	}
+
+	out := RenderOverhead(rep)
+	for _, want := range []string{"Figure 7", "Figure 8", "AC without LB", "(1+2+4+2+5)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered report missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,322 @@
+package live
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/ccm"
+	"repro/internal/core"
+	"repro/internal/eventchan"
+	"repro/internal/sched"
+	"repro/internal/spec"
+)
+
+// Attribute names shared with the deployment plans. AC_Strategy, IR_Strategy
+// and LB_Strategy take the paper's N/T/J abbreviations.
+const (
+	AttrACStrategy = "AC_Strategy"
+	AttrIRStrategy = "IR_Strategy"
+	AttrLBStrategy = "LB_Strategy"
+	AttrProcessors = "Processors"
+	AttrWorkload   = "Workload"
+	AttrProcessor  = "Processor"
+)
+
+// AdmissionController is the live AC component (paper Section 5): it
+// consumes "Task Arrive" events from task effectors and "Idle Resetting"
+// events from idle resetters, runs the load balancer's Location computation
+// and the AUB admission test through the embedded policy controller, and
+// publishes "Accept" events. One instance is deployed on the central task
+// manager node.
+type AdmissionController struct {
+	mu     sync.Mutex
+	cfg    core.Config
+	ctrl   *core.Controller
+	tasks  map[string]*sched.Task
+	ch     *eventchan.Channel
+	timers map[sched.JobRef]*time.Timer
+	closed bool
+
+	// DecisionDelay measures operation time from TaskArrive receipt to
+	// Accept push (manager-side total).
+	DecisionDelay core.OpStats
+}
+
+// Compile-time interface check.
+var _ ccm.Component = (*AdmissionController)(nil)
+
+// NewAdmissionController returns an unconfigured AC component.
+func NewAdmissionController() *AdmissionController {
+	return &AdmissionController{timers: make(map[sched.JobRef]*time.Timer)}
+}
+
+// Configure parses the strategy tuple, processor count, and workload.
+func (ac *AdmissionController) Configure(attrs map[string]string) error {
+	var err error
+	if ac.cfg.AC, err = parseStrategyAttr(attrs, AttrACStrategy); err != nil {
+		return err
+	}
+	if ac.cfg.IR, err = parseStrategyAttr(attrs, AttrIRStrategy); err != nil {
+		return err
+	}
+	if ac.cfg.LB, err = parseStrategyAttr(attrs, AttrLBStrategy); err != nil {
+		return err
+	}
+	procs, err := attrInt(attrs, AttrProcessors)
+	if err != nil {
+		return err
+	}
+	wl, err := attrString(attrs, AttrWorkload)
+	if err != nil {
+		return err
+	}
+	w, err := spec.Parse([]byte(wl))
+	if err != nil {
+		return err
+	}
+	tasks, err := w.SchedTasks()
+	if err != nil {
+		return err
+	}
+	ac.ctrl, err = core.NewController(ac.cfg, procs)
+	if err != nil {
+		return err
+	}
+	ac.ctrl.EnableTiming()
+	ac.tasks = make(map[string]*sched.Task, len(tasks))
+	for _, t := range tasks {
+		ac.tasks[t.ID] = t
+	}
+	return nil
+}
+
+// Controller exposes the embedded policy object (overhead harness and tests).
+func (ac *AdmissionController) Controller() *core.Controller {
+	ac.mu.Lock()
+	defer ac.mu.Unlock()
+	return ac.ctrl
+}
+
+// Activate subscribes the component's event sinks.
+func (ac *AdmissionController) Activate(ctx *ccm.Context) error {
+	if ac.ctrl == nil {
+		return errors.New("live: AC activated before configuration")
+	}
+	ac.ch = ctx.Events
+	ctx.Events.Subscribe(EvTaskArrive, ac.onTaskArrive)
+	ctx.Events.Subscribe(EvIdleReset, ac.onIdleReset)
+	return nil
+}
+
+// Passivate stops the pending expiry timers.
+func (ac *AdmissionController) Passivate() error {
+	ac.mu.Lock()
+	defer ac.mu.Unlock()
+	ac.closed = true
+	for ref, tm := range ac.timers {
+		tm.Stop()
+		delete(ac.timers, ref)
+	}
+	return nil
+}
+
+// onTaskArrive handles one "Task Arrive" event end to end: decision,
+// expiry scheduling, and the Accept push.
+func (ac *AdmissionController) onTaskArrive(ev eventchan.Event) {
+	start := time.Now()
+	var arr TaskArrive
+	if err := decode(ev.Payload, &arr); err != nil {
+		return
+	}
+
+	ac.mu.Lock()
+	if ac.closed {
+		ac.mu.Unlock()
+		return
+	}
+	t, ok := ac.tasks[arr.Task]
+	if !ok {
+		ac.mu.Unlock()
+		return
+	}
+	d := ac.ctrl.Arrive(t, arr.Job, time.Duration(arr.ArrivalNanos))
+	ref := sched.JobRef{Task: arr.Task, Job: arr.Job}
+	if d.Accept && !d.Reserved {
+		expireAt := time.Unix(0, arr.ArrivalNanos).Add(t.Deadline)
+		tm := time.AfterFunc(time.Until(expireAt), func() { ac.expire(ref) })
+		ac.timers[ref] = tm
+	}
+	perTask := t.Kind == sched.Periodic &&
+		ac.cfg.AC == core.StrategyPerTask &&
+		ac.cfg.LB != core.StrategyPerJob
+	ch := ac.ch
+	ac.mu.Unlock()
+
+	out := Accept{
+		Task:            arr.Task,
+		Job:             arr.Job,
+		Ok:              d.Accept,
+		Placement:       d.Placement,
+		Relocated:       d.Relocated,
+		PerTaskDecision: perTask,
+		ArrivalNanos:    arr.ArrivalNanos,
+	}
+	ac.DecisionDelay.Add(time.Since(start))
+	if ch != nil {
+		// Best effort: a dead effector node surfaces in its own metrics.
+		_ = ch.Push(eventchan.Event{Type: EvAccept, Payload: encode(out)})
+	}
+}
+
+// expire removes a job's contributions at its absolute deadline.
+func (ac *AdmissionController) expire(ref sched.JobRef) {
+	ac.mu.Lock()
+	defer ac.mu.Unlock()
+	if ac.closed {
+		return
+	}
+	delete(ac.timers, ref)
+	ac.ctrl.ExpireJob(ref)
+}
+
+// onIdleReset applies an "Idle Resetting" report.
+func (ac *AdmissionController) onIdleReset(ev eventchan.Event) {
+	var rep IdleReset
+	if err := decode(ev.Payload, &rep); err != nil {
+		return
+	}
+	ac.mu.Lock()
+	defer ac.mu.Unlock()
+	if ac.closed {
+		return
+	}
+	ac.ctrl.IdleReset(rep.Entries)
+}
+
+// parseStrategyAttr reads one N/T/J attribute.
+func parseStrategyAttr(attrs map[string]string, key string) (core.Strategy, error) {
+	s, err := attrString(attrs, key)
+	if err != nil {
+		return 0, err
+	}
+	st, err := core.ParseStrategy(s)
+	if err != nil {
+		return 0, fmt.Errorf("live: attribute %q: %w", key, err)
+	}
+	return st, nil
+}
+
+// LoadBalancer is the live LB component. The placement heuristic itself
+// runs inside the admission controller's policy object (the two components
+// are co-deployed on the task manager, as in the paper, and their
+// interaction is the Location call); this component exposes the "Location"
+// facet as an ORB servant so external tools can ask for the plan the
+// balancer would produce, and carries the LB_Strategy attribute through the
+// deployment path.
+type LoadBalancer struct {
+	mu         sync.Mutex
+	strategy   core.Strategy
+	acInstance string
+	ac         *AdmissionController
+	tasks      map[string]*sched.Task
+}
+
+var _ ccm.Component = (*LoadBalancer)(nil)
+
+// AttrACInstance names the admission controller instance the balancer
+// serves; it defaults to "Central-AC".
+const AttrACInstance = "AC_Instance"
+
+// NewLoadBalancer returns an unconfigured LB component; the AC instance is
+// resolved from the container at activation.
+func NewLoadBalancer() *LoadBalancer {
+	return &LoadBalancer{acInstance: "Central-AC"}
+}
+
+// Configure parses the LB strategy and workload.
+func (lb *LoadBalancer) Configure(attrs map[string]string) error {
+	var err error
+	if lb.strategy, err = parseStrategyAttr(attrs, AttrLBStrategy); err != nil {
+		return err
+	}
+	if id, ok := attrs[AttrACInstance]; ok && id != "" {
+		lb.acInstance = id
+	}
+	wl, err := attrString(attrs, AttrWorkload)
+	if err != nil {
+		return err
+	}
+	w, err := spec.Parse([]byte(wl))
+	if err != nil {
+		return err
+	}
+	tasks, err := w.SchedTasks()
+	if err != nil {
+		return err
+	}
+	lb.tasks = make(map[string]*sched.Task, len(tasks))
+	for _, t := range tasks {
+		lb.tasks[t.ID] = t
+	}
+	return nil
+}
+
+// Activate resolves the co-deployed admission controller and registers the
+// Location facet.
+func (lb *LoadBalancer) Activate(ctx *ccm.Context) error {
+	container, _ := ctx.Service(SvcContainer).(*ccm.Container)
+	if container == nil {
+		return errors.New("live: LB requires the container service")
+	}
+	comp, ok := container.Lookup(lb.acInstance)
+	if !ok {
+		return fmt.Errorf("live: LB: admission controller instance %q not installed", lb.acInstance)
+	}
+	ac, ok := comp.(*AdmissionController)
+	if !ok {
+		return fmt.Errorf("live: LB: instance %q is not an admission controller", lb.acInstance)
+	}
+	lb.mu.Lock()
+	lb.ac = ac
+	lb.mu.Unlock()
+	ctx.ORB.RegisterServant("lb", lb.servant)
+	return nil
+}
+
+// Passivate is a no-op; the ORB teardown retires the servant.
+func (lb *LoadBalancer) Passivate() error { return nil }
+
+// Strategy returns the configured LB strategy.
+func (lb *LoadBalancer) Strategy() core.Strategy {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	return lb.strategy
+}
+
+// servant answers Location(taskID) with the gob-encoded placement.
+func (lb *LoadBalancer) servant(op string, arg []byte) ([]byte, error) {
+	if op != "Location" {
+		return nil, fmt.Errorf("live: lb: unknown operation %q", op)
+	}
+	var taskID string
+	if err := decode(arg, &taskID); err != nil {
+		return nil, err
+	}
+	lb.mu.Lock()
+	t, ok := lb.tasks[taskID]
+	ac := lb.ac
+	lb.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("live: lb: unknown task %q", taskID)
+	}
+	if ac == nil {
+		return nil, errors.New("live: lb: not activated")
+	}
+	ctrl := ac.Controller()
+	if ctrl == nil {
+		return nil, errors.New("live: lb: admission controller not configured")
+	}
+	return encode(ctrl.Location(t, 0)), nil
+}

@@ -1,0 +1,146 @@
+// Package live binds the configurable middleware services to the real
+// transport stack (internal/orb + internal/eventchan + internal/ccm): task
+// effectors, the centralized admission controller and load balancer, idle
+// resetters, and subtask executors run as CCM-style components on nodes
+// connected by the federated event channel, exactly as in the paper's
+// Figure 3 component diagram.
+//
+// The live binding exists for the parts of the evaluation that need real
+// clocks and real message passing — the Section 7.3 overhead measurements —
+// and for the runnable daemons and examples. The schedulability experiments
+// (Figures 5 and 6) use the deterministic simulation binding in
+// internal/core instead.
+package live
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"time"
+
+	"repro/internal/sched"
+)
+
+// Event type names routed through the federated event channel. TaskArrive,
+// Accept, Trigger and IdleReset cross the network (Figure 3's event
+// source/sink ports); Release, Complete and Done stay node-local.
+const (
+	// EvTaskArrive flows TE → AC when a job arrives.
+	EvTaskArrive = "TaskArrive"
+	// EvAccept flows AC → TE with the admission decision and placement.
+	EvAccept = "Accept"
+	// EvTrigger flows between consecutive subtask components, possibly
+	// across nodes.
+	EvTrigger = "Trigger"
+	// EvIdleReset flows IR → AC when a processor goes idle.
+	EvIdleReset = "IdleReset"
+	// EvRelease is the local TE → first-subtask release path (the paper's
+	// Release method call).
+	EvRelease = "Release"
+	// EvComplete is the local subtask → IR completion report (the paper's
+	// Complete method call).
+	EvComplete = "Complete"
+	// EvDone is a local notification that a job's last subtask finished;
+	// drivers and metrics collectors subscribe to it.
+	EvDone = "Done"
+)
+
+// TaskArrive announces a job arrival to the admission controller.
+type TaskArrive struct {
+	// Task and Job identify the arrival.
+	Task string
+	Job  int64
+	// Proc is the arrival processor.
+	Proc int
+	// ArrivalNanos is the arrival wall-clock time (UnixNano), the base for
+	// the job's absolute deadline.
+	ArrivalNanos int64
+}
+
+// Accept carries the admission decision back to the task effectors.
+type Accept struct {
+	// Task and Job identify the arrival the decision answers.
+	Task string
+	Job  int64
+	// Ok reports whether the job may be released.
+	Ok bool
+	// Placement assigns each stage to a processor (nil when rejected).
+	Placement []sched.PlacedStage
+	// Relocated reports that the first stage moved off the arrival
+	// processor, so the duplicate's TE must release it.
+	Relocated bool
+	// PerTaskDecision marks a decision that settles a periodic task under
+	// per-task admission control: the TE caches it.
+	PerTaskDecision bool
+	// ArrivalNanos echoes the arrival time.
+	ArrivalNanos int64
+}
+
+// Trigger releases the next subtask in a chain.
+type Trigger struct {
+	// Task and Job identify the in-flight job.
+	Task string
+	Job  int64
+	// Stage is the subtask to execute now.
+	Stage int
+	// Placement is the job's full assignment, so downstream stages route
+	// themselves.
+	Placement []sched.PlacedStage
+	// ArrivalNanos is the job's arrival time, carried for response-time and
+	// deadline accounting.
+	ArrivalNanos int64
+}
+
+// IdleReset reports completed subjobs from an idle processor.
+type IdleReset struct {
+	// Proc is the reporting processor.
+	Proc int
+	// Entries are the completed, unexpired contributions to remove.
+	Entries []sched.EntryRef
+}
+
+// Complete is the node-local subtask → IR completion report.
+type Complete struct {
+	// Ref and Stage identify the completed subjob.
+	Ref   sched.JobRef
+	Stage int
+	// Kind is the owning task's kind (IR-per-task filters on it).
+	Kind sched.TaskKind
+	// DeadlineNanos is the job's absolute deadline (UnixNano).
+	DeadlineNanos int64
+}
+
+// Done announces the completion of a job's last subtask.
+type Done struct {
+	// Task and Job identify the finished job.
+	Task string
+	Job  int64
+	// ArrivalNanos and DoneNanos bound the response time.
+	ArrivalNanos int64
+	DoneNanos    int64
+}
+
+// encode gob-encodes an event payload.
+func encode(v any) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		// Payload types are closed over in this package; failure to encode
+		// one is a programming error.
+		panic(fmt.Sprintf("live: encode %T: %v", v, err))
+	}
+	return buf.Bytes()
+}
+
+// decode gob-decodes an event payload into out, returning false (and
+// logging nothing) on corrupt payloads so handlers can drop them.
+func decode(payload []byte, out any) error {
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(out); err != nil {
+		return fmt.Errorf("live: decode %T: %w", out, err)
+	}
+	return nil
+}
+
+// nowNanos returns the current wall clock as UnixNano. Live deadlines use
+// UnixNano durations so every node on a host shares the same base; the DES
+// binding uses virtual offsets instead.
+func nowNanos() int64 { return time.Now().UnixNano() }

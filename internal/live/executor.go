@@ -1,0 +1,159 @@
+package live
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// job is one queued execution request.
+type execJob struct {
+	priority int
+	seq      int64
+	run      func()
+}
+
+// execHeap orders jobs by (priority, submission order).
+type execHeap []*execJob
+
+func (h execHeap) Len() int { return len(h) }
+func (h execHeap) Less(i, j int) bool {
+	if h[i].priority != h[j].priority {
+		return h[i].priority < h[j].priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h execHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *execHeap) Push(x any)   { *h = append(*h, x.(*execJob)) }
+func (h *execHeap) Pop() any {
+	old := *h
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return j
+}
+
+// Executor is a node's CPU stand-in: a single dispatch worker draining a
+// priority queue of subjob executions, with an idle callback invoked when
+// the queue empties — the live counterpart of the paper's per-component
+// dispatching threads plus the lowest-priority idle detector thread.
+//
+// Execution is run-to-completion (no preemption): Go cannot preempt a
+// running goroutine by OS priority the way the paper's KURT-Linux threads
+// are preempted. Higher-priority subjobs still overtake queued lower-
+// priority ones; exact preemption semantics are covered by the simulation
+// binding.
+type Executor struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  execHeap
+	seq    int64
+	busy   bool
+	closed bool
+	onIdle func()
+
+	wg sync.WaitGroup
+}
+
+// NewExecutor starts the dispatch worker.
+func NewExecutor() *Executor {
+	e := &Executor{}
+	e.cond = sync.NewCond(&e.mu)
+	e.wg.Add(1)
+	go e.loop()
+	return e
+}
+
+// SetIdleCallback installs fn, invoked by the worker each time the queue
+// drains. Passing nil disables it.
+func (e *Executor) SetIdleCallback(fn func()) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.onIdle = fn
+}
+
+// Submit enqueues work at a priority (smaller runs first). Submissions after
+// Close are dropped.
+func (e *Executor) Submit(priority int, run func()) {
+	if run == nil {
+		panic("live: nil work submitted")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return
+	}
+	e.seq++
+	heap.Push(&e.queue, &execJob{priority: priority, seq: e.seq, run: run})
+	e.cond.Signal()
+}
+
+// Idle reports whether the executor has no queued or running work.
+func (e *Executor) Idle() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return !e.busy && len(e.queue) == 0
+}
+
+// loop is the dispatch worker.
+func (e *Executor) loop() {
+	defer e.wg.Done()
+	for {
+		e.mu.Lock()
+		for len(e.queue) == 0 && !e.closed {
+			e.cond.Wait()
+		}
+		if e.closed {
+			e.mu.Unlock()
+			return
+		}
+		j := heap.Pop(&e.queue).(*execJob)
+		e.busy = true
+		e.mu.Unlock()
+
+		j.run()
+
+		e.mu.Lock()
+		e.busy = false
+		drained := len(e.queue) == 0
+		idle := e.onIdle
+		e.mu.Unlock()
+		if drained && idle != nil {
+			idle()
+		}
+	}
+}
+
+// Close stops the worker after the running job (if any) finishes. Queued
+// jobs are discarded.
+func (e *Executor) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		e.wg.Wait()
+		return
+	}
+	e.closed = true
+	e.queue = nil
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	e.wg.Wait()
+}
+
+// BusyWait spins for approximately d, modeling subtask execution time.
+// Sleeping would under-represent CPU contention; spinning matches the
+// paper's CPU-bound synthetic subtasks. Long durations still sleep most of
+// the interval to avoid burning test time.
+func BusyWait(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if d > 2*time.Millisecond {
+		time.Sleep(d - time.Millisecond)
+		d = time.Millisecond
+	}
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+	}
+}

@@ -1,0 +1,137 @@
+package live
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestExecutorRunsByPriority(t *testing.T) {
+	e := NewExecutor()
+	defer e.Close()
+	var mu sync.Mutex
+	var got []string
+	var wg sync.WaitGroup
+	block := make(chan struct{})
+	// First job occupies the worker so the rest queue up and sort.
+	wg.Add(4)
+	e.Submit(5, func() { <-block; wg.Done() })
+	time.Sleep(20 * time.Millisecond)
+	for _, s := range []struct {
+		prio  int
+		label string
+	}{{3, "c"}, {1, "a"}, {2, "b"}} {
+		s := s
+		e.Submit(s.prio, func() {
+			mu.Lock()
+			got = append(got, s.label)
+			mu.Unlock()
+			wg.Done()
+		})
+	}
+	close(block)
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("execution order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestExecutorFIFOWithinPriority(t *testing.T) {
+	e := NewExecutor()
+	defer e.Close()
+	var mu sync.Mutex
+	var got []int
+	var wg sync.WaitGroup
+	block := make(chan struct{})
+	wg.Add(6)
+	e.Submit(1, func() { <-block; wg.Done() })
+	time.Sleep(20 * time.Millisecond)
+	for i := 0; i < 5; i++ {
+		i := i
+		e.Submit(2, func() {
+			mu.Lock()
+			got = append(got, i)
+			mu.Unlock()
+			wg.Done()
+		})
+	}
+	close(block)
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("FIFO violated: %v", got)
+		}
+	}
+}
+
+func TestExecutorIdleCallback(t *testing.T) {
+	e := NewExecutor()
+	defer e.Close()
+	var idles atomic.Int64
+	e.SetIdleCallback(func() { idles.Add(1) })
+	done := make(chan struct{})
+	e.Submit(1, func() {})
+	e.Submit(1, func() { close(done) })
+	<-done
+	// Wait for the worker to drain and report idle.
+	deadline := time.Now().Add(time.Second)
+	for idles.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if idles.Load() == 0 {
+		t.Fatal("idle callback never fired")
+	}
+	if !e.Idle() {
+		t.Error("executor not idle after drain")
+	}
+}
+
+func TestExecutorCloseDropsQueued(t *testing.T) {
+	e := NewExecutor()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var ran atomic.Int64
+	e.Submit(1, func() { close(started); <-release; ran.Add(1) })
+	<-started
+	e.Submit(1, func() { ran.Add(1) }) // queued behind the running job
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		close(release)
+	}()
+	e.Close() // waits for the running job, drops the queued one
+	if got := ran.Load(); got != 1 {
+		t.Errorf("ran %d jobs, want 1 (queued job dropped at close)", got)
+	}
+	e.Submit(1, func() { t.Error("submit after close executed") })
+	time.Sleep(20 * time.Millisecond)
+	e.Close() // idempotent
+}
+
+func TestExecutorNilSubmitPanics(t *testing.T) {
+	e := NewExecutor()
+	defer e.Close()
+	defer func() {
+		if recover() == nil {
+			t.Error("nil work did not panic")
+		}
+	}()
+	e.Submit(1, nil)
+}
+
+func TestBusyWait(t *testing.T) {
+	start := time.Now()
+	BusyWait(3 * time.Millisecond)
+	if elapsed := time.Since(start); elapsed < 3*time.Millisecond {
+		t.Errorf("BusyWait returned after %v, want at least 3ms", elapsed)
+	}
+	BusyWait(0)  // no-op
+	BusyWait(-1) // no-op
+}

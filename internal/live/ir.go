@@ -1,0 +1,118 @@
+package live
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/ccm"
+	"repro/internal/core"
+	"repro/internal/eventchan"
+)
+
+// IdleResetter is the live IR component: it records Complete reports from
+// the local subtask components and, when the node's executor drains (the
+// idle detector), pushes an "Idle Resetting" event with the newly completed,
+// unexpired subjobs to the admission controller.
+type IdleResetter struct {
+	mu       sync.Mutex
+	proc     int
+	strategy core.Strategy
+	rec      *core.IdleResetter
+	ch       *eventchan.Channel
+	executor *Executor
+	closed   bool
+
+	// ReportPush measures the paper's operation 7 (report completed
+	// subtasks: idle detection through event push).
+	ReportPush core.OpStats
+}
+
+var _ ccm.Component = (*IdleResetter)(nil)
+
+// NewIdleResetter returns an unconfigured IR component.
+func NewIdleResetter() *IdleResetter { return &IdleResetter{} }
+
+// Configure parses the processor ID and IR strategy.
+func (ir *IdleResetter) Configure(attrs map[string]string) error {
+	proc, err := attrInt(attrs, AttrProcessor)
+	if err != nil {
+		return err
+	}
+	strategy, err := parseStrategyAttr(attrs, AttrIRStrategy)
+	if err != nil {
+		return err
+	}
+	ir.proc = proc
+	ir.strategy = strategy
+	ir.rec = core.NewIdleResetter(strategy, proc)
+	return nil
+}
+
+// Activate subscribes to local Complete reports and installs the idle
+// detector on the node executor. With the None strategy the component stays
+// inert, avoiding all resetting overhead.
+func (ir *IdleResetter) Activate(ctx *ccm.Context) error {
+	if ir.rec == nil {
+		return errors.New("live: IR activated before configuration")
+	}
+	if ir.strategy == core.StrategyNone {
+		return nil
+	}
+	exec, _ := ctx.Service(SvcExecutor).(*Executor)
+	if exec == nil {
+		return errors.New("live: IR requires an executor service")
+	}
+	ir.ch = ctx.Events
+	ir.executor = exec
+	ctx.Events.Subscribe(EvComplete, ir.onComplete)
+	exec.SetIdleCallback(ir.onIdle)
+	return nil
+}
+
+// Passivate detaches the idle detector.
+func (ir *IdleResetter) Passivate() error {
+	ir.mu.Lock()
+	defer ir.mu.Unlock()
+	ir.closed = true
+	if ir.executor != nil {
+		ir.executor.SetIdleCallback(nil)
+	}
+	return nil
+}
+
+// onComplete records a local subjob completion.
+func (ir *IdleResetter) onComplete(ev eventchan.Event) {
+	var c Complete
+	if err := decode(ev.Payload, &c); err != nil {
+		return
+	}
+	ir.mu.Lock()
+	defer ir.mu.Unlock()
+	if ir.closed {
+		return
+	}
+	ir.rec.Complete(c.Ref, c.Stage, c.Kind, time.Duration(c.DeadlineNanos))
+}
+
+// onIdle runs as the idle detector: it reports newly completed subjobs.
+func (ir *IdleResetter) onIdle() {
+	start := time.Now()
+	ir.mu.Lock()
+	if ir.closed {
+		ir.mu.Unlock()
+		return
+	}
+	reports := ir.rec.Report(time.Duration(nowNanos()))
+	ch := ir.ch
+	proc := ir.proc
+	ir.mu.Unlock()
+	if len(reports) == 0 {
+		return
+	}
+	_ = ch.Push(eventchan.Event{Type: EvIdleReset, Payload: encode(IdleReset{
+		Proc:    proc,
+		Entries: reports,
+	})})
+	ir.ReportPush.Add(time.Since(start))
+}

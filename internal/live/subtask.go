@@ -1,0 +1,171 @@
+package live
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/ccm"
+	"repro/internal/core"
+	"repro/internal/eventchan"
+	"repro/internal/sched"
+)
+
+// Subtask attribute names.
+const (
+	AttrTask     = "Task"
+	AttrStage    = "Stage"
+	AttrExec     = "Exec"
+	AttrPriority = "Priority"
+	AttrDeadline = "Deadline"
+	AttrKind     = "Kind"
+	AttrLast     = "Last"
+)
+
+// Subtask is the live F/I Subtask and Last Subtask component: it owns a
+// dispatch slot at a fixed EDMS priority in the node's executor, consumes
+// Release (stage 0) and Trigger (later stages) events targeted at its
+// (task, stage, processor) identity, executes the subjob, reports the
+// completion to the local IR component, and either publishes the next
+// Trigger (F/I) or the Done notification (Last) — the paper's two subtask
+// component kinds, unified by the Last attribute.
+//
+// One instance is deployed per (task, stage) on the stage's home processor
+// and on every replica processor (the duplicates in Figure 1).
+type Subtask struct {
+	task     string
+	stage    int
+	exec     time.Duration
+	priority int
+	deadline time.Duration
+	kind     sched.TaskKind
+	last     bool
+	proc     int
+
+	ch       *eventchan.Channel
+	executor *Executor
+	scale    float64
+
+	// ReleaseHandle measures the paper's operations 5/6: handling a Release
+	// event through submission to the dispatch queue (on the home processor
+	// that is "release the task"; on a replica it is "release the duplicate
+	// task").
+	ReleaseHandle core.OpStats
+	// Executed counts subjobs run by this instance.
+	Executed int64
+}
+
+var _ ccm.Component = (*Subtask)(nil)
+
+// NewSubtask returns an unconfigured subtask component.
+func NewSubtask() *Subtask { return &Subtask{} }
+
+// Configure parses the instance attributes.
+func (s *Subtask) Configure(attrs map[string]string) error {
+	var err error
+	if s.task, err = attrString(attrs, AttrTask); err != nil {
+		return err
+	}
+	if s.stage, err = attrInt(attrs, AttrStage); err != nil {
+		return err
+	}
+	if s.exec, err = attrDuration(attrs, AttrExec); err != nil {
+		return err
+	}
+	if s.priority, err = attrInt(attrs, AttrPriority); err != nil {
+		return err
+	}
+	if s.deadline, err = attrDuration(attrs, AttrDeadline); err != nil {
+		return err
+	}
+	if s.proc, err = attrInt(attrs, AttrProcessor); err != nil {
+		return err
+	}
+	if s.last, err = attrBool(attrs, AttrLast); err != nil {
+		return err
+	}
+	kind, err := attrString(attrs, AttrKind)
+	if err != nil {
+		return err
+	}
+	switch kind {
+	case "periodic":
+		s.kind = sched.Periodic
+	case "aperiodic":
+		s.kind = sched.Aperiodic
+	default:
+		return fmt.Errorf("live: subtask kind %q invalid", kind)
+	}
+	return nil
+}
+
+// Activate wires the component's ports and dispatch thread.
+func (s *Subtask) Activate(ctx *ccm.Context) error {
+	exec, _ := ctx.Service(SvcExecutor).(*Executor)
+	if exec == nil {
+		return errors.New("live: subtask requires an executor service")
+	}
+	s.executor = exec
+	s.scale = 1
+	if sc, ok := ctx.Service(SvcExecScale).(float64); ok && sc > 0 {
+		s.scale = sc
+	}
+	s.ch = ctx.Events
+	if s.stage == 0 {
+		ctx.Events.Subscribe(EvRelease, s.onTrigger)
+	} else {
+		ctx.Events.Subscribe(EvTrigger, s.onTrigger)
+	}
+	return nil
+}
+
+// Passivate is a no-op: the executor drains at node shutdown.
+func (s *Subtask) Passivate() error { return nil }
+
+// onTrigger filters events for this instance and submits the subjob.
+func (s *Subtask) onTrigger(ev eventchan.Event) {
+	start := time.Now()
+	var trg Trigger
+	if err := decode(ev.Payload, &trg); err != nil {
+		return
+	}
+	if trg.Task != s.task || trg.Stage != s.stage {
+		return
+	}
+	if trg.Stage >= len(trg.Placement) || trg.Placement[trg.Stage].Proc != s.proc {
+		return
+	}
+	s.executor.Submit(s.priority, func() { s.run(trg) })
+	if s.stage == 0 {
+		s.ReleaseHandle.Add(time.Since(start))
+	}
+}
+
+// run executes one subjob and drives the completion protocol.
+func (s *Subtask) run(trg Trigger) {
+	BusyWait(time.Duration(float64(s.exec) * s.scale))
+	s.Executed++
+
+	// Paper: "Both F/I Subtask and Last Subtask components call the
+	// Complete method of the local IR component" — a local event here.
+	deadline := time.Unix(0, trg.ArrivalNanos).Add(s.deadline)
+	_ = s.ch.Push(eventchan.Event{Type: EvComplete, Payload: encode(Complete{
+		Ref:           sched.JobRef{Task: trg.Task, Job: trg.Job},
+		Stage:         s.stage,
+		Kind:          s.kind,
+		DeadlineNanos: deadline.UnixNano(),
+	})})
+
+	if s.last {
+		_ = s.ch.Push(eventchan.Event{Type: EvDone, Payload: encode(Done{
+			Task:         trg.Task,
+			Job:          trg.Job,
+			ArrivalNanos: trg.ArrivalNanos,
+			DoneNanos:    nowNanos(),
+		})})
+		return
+	}
+	next := trg
+	next.Stage = trg.Stage + 1
+	_ = s.ch.Push(eventchan.Event{Type: EvTrigger, Payload: encode(next)})
+}

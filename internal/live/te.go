@@ -1,0 +1,234 @@
+package live
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/ccm"
+	"repro/internal/core"
+	"repro/internal/eventchan"
+	"repro/internal/sched"
+	"repro/internal/spec"
+)
+
+// TaskEffector is the live TE component (paper Section 5): it holds arriving
+// tasks in a waiting queue, pushes "Task Arrive" events to the admission
+// controller, and releases jobs when the corresponding "Accept" event
+// arrives. Its Per-task behavior caches per-task admission decisions so
+// subsequent jobs of an admitted periodic task release immediately without
+// another round trip.
+//
+// One instance runs on each application processor. Accept events fan out to
+// every effector; the effector on the task's home (arrival) processor owns
+// the decision and publishes the Release event, which the federation routes
+// to the node hosting the assigned first stage — when the first stage was
+// re-allocated, that is the duplicate's node (the paper's operation 6).
+type TaskEffector struct {
+	mu      sync.Mutex
+	proc    int
+	tasks   map[string]*sched.Task
+	nextJob map[string]int64
+	// decided caches per-task decisions (Accept.PerTaskDecision).
+	decided map[string]*Accept
+	// waiting holds arrivals awaiting a decision.
+	waiting map[sched.JobRef]struct{}
+	ch      *eventchan.Channel
+	closed  bool
+
+	// Stats counts the effector's view of the workload.
+	Stats TEStats
+	// HoldPush measures the paper's operation 1 (hold task + push event).
+	HoldPush core.OpStats
+}
+
+// TEStats aggregates effector-side counters.
+type TEStats struct {
+	// Arrived counts jobs arriving on this processor.
+	Arrived int64
+	// Released counts jobs this effector released.
+	Released int64
+	// Skipped counts jobs rejected by the admission controller.
+	Skipped int64
+	// Relocated counts released jobs whose first stage moved to a replica.
+	Relocated int64
+}
+
+var _ ccm.Component = (*TaskEffector)(nil)
+
+// NewTaskEffector returns an unconfigured TE component.
+func NewTaskEffector() *TaskEffector {
+	return &TaskEffector{
+		nextJob: make(map[string]int64),
+		decided: make(map[string]*Accept),
+		waiting: make(map[sched.JobRef]struct{}),
+	}
+}
+
+// Configure parses the processor ID and workload.
+func (te *TaskEffector) Configure(attrs map[string]string) error {
+	proc, err := attrInt(attrs, AttrProcessor)
+	if err != nil {
+		return err
+	}
+	wl, err := attrString(attrs, AttrWorkload)
+	if err != nil {
+		return err
+	}
+	w, err := spec.Parse([]byte(wl))
+	if err != nil {
+		return err
+	}
+	tasks, err := w.SchedTasks()
+	if err != nil {
+		return err
+	}
+	te.proc = proc
+	te.tasks = make(map[string]*sched.Task, len(tasks))
+	for _, t := range tasks {
+		te.tasks[t.ID] = t
+	}
+	return nil
+}
+
+// Activate subscribes to Accept events.
+func (te *TaskEffector) Activate(ctx *ccm.Context) error {
+	te.ch = ctx.Events
+	ctx.Events.Subscribe(EvAccept, te.onAccept)
+	return nil
+}
+
+// Passivate stops accepting arrivals.
+func (te *TaskEffector) Passivate() error {
+	te.mu.Lock()
+	defer te.mu.Unlock()
+	te.closed = true
+	return nil
+}
+
+// Proc returns the effector's processor ID.
+func (te *TaskEffector) Proc() int { return te.proc }
+
+// StatsSnapshot returns a copy of the counters.
+func (te *TaskEffector) StatsSnapshot() TEStats {
+	te.mu.Lock()
+	defer te.mu.Unlock()
+	return te.Stats
+}
+
+// Arrive is the application-facing entry point: one job of the named task
+// arrives at this processor (the task's home processor). It returns the
+// assigned job number.
+func (te *TaskEffector) Arrive(taskID string) (int64, error) {
+	start := time.Now()
+	te.mu.Lock()
+	if te.closed {
+		te.mu.Unlock()
+		return 0, errors.New("live: task effector passivated")
+	}
+	t, ok := te.tasks[taskID]
+	if !ok {
+		te.mu.Unlock()
+		return 0, errors.New("live: unknown task " + taskID)
+	}
+	job := te.nextJob[taskID]
+	te.nextJob[taskID] = job + 1
+	te.Stats.Arrived++
+	arrival := nowNanos()
+
+	// Per-task fast path: a cached decision releases or skips immediately.
+	if dec, ok := te.decided[taskID]; ok {
+		ch := te.ch
+		if dec.Ok {
+			te.Stats.Released++
+			if dec.Relocated {
+				te.Stats.Relocated++
+			}
+			te.mu.Unlock()
+			te.release(ch, t.ID, job, dec.Placement, arrival)
+		} else {
+			te.Stats.Skipped++
+			te.mu.Unlock()
+		}
+		return job, nil
+	}
+
+	ref := sched.JobRef{Task: taskID, Job: job}
+	te.waiting[ref] = struct{}{}
+	ch := te.ch
+	te.mu.Unlock()
+
+	err := ch.Push(eventchan.Event{Type: EvTaskArrive, Payload: encode(TaskArrive{
+		Task:         taskID,
+		Job:          job,
+		Proc:         te.proc,
+		ArrivalNanos: arrival,
+	})})
+	te.HoldPush.Add(time.Since(start))
+	return job, err
+}
+
+// onAccept handles a decision event. Only the task's home effector acts: it
+// clears the hold and publishes the Release event, which the federation
+// routes to the node hosting the assigned first stage.
+func (te *TaskEffector) onAccept(ev eventchan.Event) {
+	var dec Accept
+	if err := decode(ev.Payload, &dec); err != nil {
+		return
+	}
+	te.mu.Lock()
+	if te.closed {
+		te.mu.Unlock()
+		return
+	}
+	t, known := te.tasks[dec.Task]
+	if !known || t.Subtasks[0].Processor != te.proc {
+		// Not the home effector for this task.
+		te.mu.Unlock()
+		return
+	}
+	ref := sched.JobRef{Task: dec.Task, Job: dec.Job}
+	if _, held := te.waiting[ref]; !held {
+		// Duplicate or stale decision.
+		te.mu.Unlock()
+		return
+	}
+	delete(te.waiting, ref)
+
+	if dec.PerTaskDecision {
+		if _, ok := te.decided[dec.Task]; !ok {
+			cached := dec
+			te.decided[dec.Task] = &cached
+		}
+	}
+
+	if !dec.Ok {
+		te.Stats.Skipped++
+		te.mu.Unlock()
+		return
+	}
+	te.Stats.Released++
+	if dec.Relocated {
+		te.Stats.Relocated++
+	}
+	ch := te.ch
+	te.mu.Unlock()
+
+	te.release(ch, dec.Task, dec.Job, dec.Placement, dec.ArrivalNanos)
+}
+
+// release publishes the Release event that starts the first subtask. The
+// event channel delivers it locally and across the federation; the subtask
+// component on the assigned processor picks it up.
+func (te *TaskEffector) release(ch *eventchan.Channel, task string, job int64, placement []sched.PlacedStage, arrivalNanos int64) {
+	if ch == nil {
+		return
+	}
+	_ = ch.Push(eventchan.Event{Type: EvRelease, Payload: encode(Trigger{
+		Task:         task,
+		Job:          job,
+		Stage:        0,
+		Placement:    placement,
+		ArrivalNanos: arrivalNanos,
+	})})
+}

@@ -1,0 +1,454 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// AUBTerm computes the per-processor term of the aperiodic utilization bound
+// condition: f(u) = u(1 - u/2) / (1 - u). The condition for task T_i under
+// EDMS is Σ_j f(U_Vij) ≤ 1 over the processors T_i visits (condition (1) in
+// the paper, after Abdelzaher et al.). For u ≥ 1 the term is +Inf: a fully
+// (or over-) utilized processor can never satisfy the condition.
+func AUBTerm(u float64) float64 {
+	if u >= 1 {
+		return math.Inf(1)
+	}
+	if u <= 0 {
+		return 0
+	}
+	return u * (1 - u/2) / (1 - u)
+}
+
+// PathFeasible reports whether a task visiting processors with the given
+// synthetic utilizations satisfies the AUB condition Σ f(u) ≤ 1.
+func PathFeasible(utils []float64) bool {
+	var sum float64
+	for _, u := range utils {
+		sum += AUBTerm(u)
+		if sum > 1 {
+			return false
+		}
+	}
+	return sum <= 1
+}
+
+// RemovalReason records why a contribution left the ledger.
+type RemovalReason int
+
+// Removal reasons. Enums start at one; the zero value means "not removed".
+const (
+	// RemovedExpiry marks contributions removed because the job's absolute
+	// deadline passed, at which point the task leaves the current task set
+	// S(t).
+	RemovedExpiry RemovalReason = iota + 1
+	// RemovedIdleReset marks contributions of completed subjobs removed
+	// early by the idle resetting rule.
+	RemovedIdleReset
+	// RemovedRelocation marks contributions withdrawn because the load
+	// balancer re-allocated the stage to a different processor.
+	RemovedRelocation
+)
+
+// String returns the lowercase name of the reason.
+func (r RemovalReason) String() string {
+	switch r {
+	case RemovedExpiry:
+		return "expiry"
+	case RemovedIdleReset:
+		return "idle-reset"
+	case RemovedRelocation:
+		return "relocation"
+	default:
+		return fmt.Sprintf("RemovalReason(%d)", int(r))
+	}
+}
+
+// PlacedStage is one stage of a job bound to a concrete processor, with its
+// synthetic utilization amount. The admission controller obtains placements
+// from the load balancer and records them in the ledger.
+type PlacedStage struct {
+	// Stage is the zero-based subtask index.
+	Stage int
+	// Proc is the processor the stage will execute on.
+	Proc int
+	// Util is the stage's synthetic utilization contribution C/D.
+	Util float64
+}
+
+// EntryRef names one ledger contribution: a (job, stage) pair and the
+// processor carrying its utilization. Idle resetters report these back to
+// the admission controller.
+type EntryRef struct {
+	// Ref is the owning job.
+	Ref JobRef
+	// Stage is the subtask index within the job.
+	Stage int
+	// Proc is the processor carrying the contribution.
+	Proc int
+}
+
+// entry is one live or historical contribution record.
+type entry struct {
+	ref       JobRef
+	stage     int
+	proc      int
+	amount    float64
+	kind      TaskKind
+	permanent bool
+	expiry    time.Duration // absolute virtual deadline; 0 when permanent
+	completed bool
+	removed   RemovalReason // 0 while active
+}
+
+// jobKey indexes jobs in the ledger.
+type jobKey struct {
+	task string
+	job  int64
+}
+
+// jobRec groups the entries of one admitted job.
+type jobRec struct {
+	entries []*entry
+}
+
+// active reports whether the job still carries at least one non-removed
+// contribution.
+func (j *jobRec) active() bool {
+	for _, e := range j.entries {
+		if e.removed == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// inFlight reports whether the job still has at least one uncompleted stage.
+// Only in-flight jobs can still miss their deadlines, so the admission test
+// is evaluated over in-flight jobs plus the candidate.
+func (j *jobRec) inFlight() bool {
+	for _, e := range j.entries {
+		if !e.completed {
+			return true
+		}
+	}
+	return false
+}
+
+// Ledger is the synthetic-utilization ledger maintained by the admission
+// controller. It tracks, per processor, the sum of C/D contributions of the
+// current task set, with per-entry state so the per-task/per-job admission
+// strategies and the three idle-resetting strategies are all policies over
+// the same records.
+//
+// Ledger is not safe for concurrent use; the admission controller serializes
+// access (the paper's architecture is a single centralized AC).
+type Ledger struct {
+	util []float64
+	jobs map[jobKey]*jobRec
+}
+
+// NewLedger returns an empty ledger over numProcs processors numbered
+// 0..numProcs-1.
+func NewLedger(numProcs int) *Ledger {
+	return &Ledger{
+		util: make([]float64, numProcs),
+		jobs: make(map[jobKey]*jobRec),
+	}
+}
+
+// NumProcs returns the number of processors the ledger tracks.
+func (l *Ledger) NumProcs() int { return len(l.util) }
+
+// Util returns the current synthetic utilization of the processor.
+func (l *Ledger) Util(proc int) float64 {
+	if proc < 0 || proc >= len(l.util) {
+		return 0
+	}
+	return l.util[proc]
+}
+
+// Utils returns a copy of all per-processor synthetic utilizations.
+func (l *Ledger) Utils() []float64 {
+	return append([]float64(nil), l.util...)
+}
+
+// AddJob records the contributions of an admitted job placed per placement.
+// When permanent is true the contributions never expire (the per-task
+// admission strategy reserves a periodic task's synthetic utilization for
+// its whole lifetime); otherwise expiry is the job's absolute deadline.
+// Adding an already-present job is an error: the admission controller must
+// not double-admit.
+func (l *Ledger) AddJob(ref JobRef, kind TaskKind, placement []PlacedStage, permanent bool, expiry time.Duration) error {
+	k := jobKey{ref.Task, ref.Job}
+	if _, ok := l.jobs[k]; ok {
+		return fmt.Errorf("sched: job %s already in ledger", ref)
+	}
+	rec := &jobRec{entries: make([]*entry, 0, len(placement))}
+	for _, p := range placement {
+		if p.Proc < 0 || p.Proc >= len(l.util) {
+			return fmt.Errorf("sched: job %s stage %d placed on unknown processor %d", ref, p.Stage, p.Proc)
+		}
+		if p.Util < 0 {
+			return fmt.Errorf("sched: job %s stage %d has negative utilization %g", ref, p.Stage, p.Util)
+		}
+		e := &entry{
+			ref:       ref,
+			stage:     p.Stage,
+			proc:      p.Proc,
+			amount:    p.Util,
+			kind:      kind,
+			permanent: permanent,
+			expiry:    expiry,
+		}
+		rec.entries = append(rec.entries, e)
+		l.util[p.Proc] += p.Util
+	}
+	l.jobs[k] = rec
+	return nil
+}
+
+// ExpireJob removes all remaining contributions of the job because its
+// absolute deadline passed, and forgets the job. Permanent entries are not
+// removed by expiry (per-task reservations outlive individual deadlines);
+// jobs made only of permanent entries are left in place. It returns the
+// number of contributions removed.
+func (l *Ledger) ExpireJob(ref JobRef) int {
+	k := jobKey{ref.Task, ref.Job}
+	rec, ok := l.jobs[k]
+	if !ok {
+		return 0
+	}
+	n := 0
+	permanentOnly := true
+	for _, e := range rec.entries {
+		if e.permanent {
+			continue
+		}
+		permanentOnly = false
+		if e.removed == 0 {
+			e.removed = RemovedExpiry
+			l.subtract(e.proc, e.amount)
+			n++
+		}
+	}
+	if !permanentOnly {
+		delete(l.jobs, k)
+	}
+	return n
+}
+
+// RemoveTask withdraws a permanent per-task reservation entirely (the task
+// left the system). It returns the number of contributions removed.
+func (l *Ledger) RemoveTask(task string) int {
+	n := 0
+	for k, rec := range l.jobs {
+		if k.task != task {
+			continue
+		}
+		for _, e := range rec.entries {
+			if e.removed == 0 {
+				e.removed = RemovedExpiry
+				l.subtract(e.proc, e.amount)
+				n++
+			}
+		}
+		delete(l.jobs, k)
+	}
+	return n
+}
+
+// MarkComplete records that the subjob of the given stage finished
+// executing, making its contribution eligible for idle resetting. Unknown
+// references are ignored (the job may already have expired).
+func (l *Ledger) MarkComplete(ref JobRef, stage int) {
+	rec, ok := l.jobs[jobKey{ref.Task, ref.Job}]
+	if !ok {
+		return
+	}
+	for _, e := range rec.entries {
+		if e.stage == stage {
+			e.completed = true
+		}
+	}
+}
+
+// ResetEntry applies the idle resetting rule to a single reported
+// contribution: if the entry is known, completed, and still active, its
+// contribution is removed. It returns true if utilization was released.
+// Permanent (per-task reserved) entries are never reset: the per-task
+// admission strategy must keep the reservation, which is exactly why the
+// AC-per-task/IR-per-job combination is invalid.
+func (l *Ledger) ResetEntry(r EntryRef) bool {
+	rec, ok := l.jobs[jobKey{r.Ref.Task, r.Ref.Job}]
+	if !ok {
+		return false
+	}
+	for _, e := range rec.entries {
+		if e.stage != r.Stage || e.proc != r.Proc {
+			continue
+		}
+		if e.permanent || !e.completed || e.removed != 0 {
+			return false
+		}
+		e.removed = RemovedIdleReset
+		l.subtract(e.proc, e.amount)
+		return true
+	}
+	return false
+}
+
+// CompletedOn returns the completed, still-active contributions on the given
+// processor, optionally restricted to aperiodic tasks. Idle resetter
+// components use it (in the simulation binding) to build their report when
+// the processor goes idle. Results are ordered deterministically.
+func (l *Ledger) CompletedOn(proc int, includePeriodic bool) []EntryRef {
+	var out []EntryRef
+	for _, rec := range l.jobs {
+		for _, e := range rec.entries {
+			if e.proc != proc || !e.completed || e.removed != 0 || e.permanent {
+				continue
+			}
+			if !includePeriodic && e.kind == Periodic {
+				continue
+			}
+			out = append(out, EntryRef{Ref: e.ref, Stage: e.stage, Proc: e.proc})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Ref.Task != out[j].Ref.Task {
+			return out[i].Ref.Task < out[j].Ref.Task
+		}
+		if out[i].Ref.Job != out[j].Ref.Job {
+			return out[i].Ref.Job < out[j].Ref.Job
+		}
+		return out[i].Stage < out[j].Stage
+	})
+	return out
+}
+
+// Relocate moves the active contributions of a job to a new placement (used
+// by AC-per-task with LB-per-job, where an admitted task's reservation
+// follows the jobs). Completed/removed entries are left as-is.
+func (l *Ledger) Relocate(ref JobRef, placement []PlacedStage) error {
+	rec, ok := l.jobs[jobKey{ref.Task, ref.Job}]
+	if !ok {
+		return fmt.Errorf("sched: relocate: job %s not in ledger", ref)
+	}
+	byStage := make(map[int]PlacedStage, len(placement))
+	for _, p := range placement {
+		if p.Proc < 0 || p.Proc >= len(l.util) {
+			return fmt.Errorf("sched: relocate: job %s stage %d on unknown processor %d", ref, p.Stage, p.Proc)
+		}
+		byStage[p.Stage] = p
+	}
+	for _, e := range rec.entries {
+		p, ok := byStage[e.stage]
+		if !ok || e.removed != 0 || e.proc == p.Proc {
+			continue
+		}
+		l.subtract(e.proc, e.amount)
+		e.proc = p.Proc
+		e.amount = p.Util
+		l.util[p.Proc] += p.Util
+	}
+	return nil
+}
+
+// subtract decreases a processor's utilization, clamping tiny negative
+// floating-point residue to zero.
+func (l *Ledger) subtract(proc int, amount float64) {
+	l.util[proc] -= amount
+	if l.util[proc] < 0 && l.util[proc] > -1e-9 {
+		l.util[proc] = 0
+	}
+}
+
+// Admissible evaluates the AUB admission test for a candidate job with the
+// given placement: with the candidate's contributions tentatively added,
+// condition (1) must continue to hold for the candidate and for every
+// in-flight job in the current task set. It does not modify the ledger.
+func (l *Ledger) Admissible(placement []PlacedStage) bool {
+	// Tentative utilizations: current plus the candidate's contributions.
+	delta := make(map[int]float64, len(placement))
+	for _, p := range placement {
+		delta[p.Proc] += p.Util
+	}
+	utilAt := func(proc int) float64 {
+		return l.util[proc] + delta[proc]
+	}
+
+	// Candidate's own condition.
+	var sum float64
+	for _, p := range placement {
+		sum += AUBTerm(utilAt(p.Proc))
+	}
+	if sum > 1 {
+		return false
+	}
+
+	// Condition for every in-flight admitted job, over the processors its
+	// active contributions visit. Fully completed jobs cannot miss their
+	// deadlines anymore and are skipped.
+	for _, rec := range l.jobs {
+		if !rec.inFlight() || !rec.active() {
+			continue
+		}
+		var s float64
+		for _, e := range rec.entries {
+			if e.removed != 0 {
+				continue
+			}
+			s += AUBTerm(utilAt(e.proc))
+			if s > 1 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ActiveJobs returns the references of jobs that still hold at least one
+// active contribution, in deterministic order. Intended for tests and
+// instrumentation.
+func (l *Ledger) ActiveJobs() []JobRef {
+	var out []JobRef
+	for k, rec := range l.jobs {
+		if rec.active() {
+			out = append(out, JobRef{Task: k.task, Job: k.job})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Task != out[j].Task {
+			return out[i].Task < out[j].Task
+		}
+		return out[i].Job < out[j].Job
+	})
+	return out
+}
+
+// CheckInvariants recomputes per-processor utilization from entry records
+// and verifies it matches the running sums within tolerance, and that no
+// utilization is negative. Property tests call it after random operation
+// sequences.
+func (l *Ledger) CheckInvariants() error {
+	recomputed := make([]float64, len(l.util))
+	for _, rec := range l.jobs {
+		for _, e := range rec.entries {
+			if e.removed == 0 {
+				recomputed[e.proc] += e.amount
+			}
+		}
+	}
+	for p := range l.util {
+		if l.util[p] < 0 {
+			return fmt.Errorf("sched: processor %d has negative utilization %g", p, l.util[p])
+		}
+		if diff := math.Abs(l.util[p] - recomputed[p]); diff > 1e-6 {
+			return fmt.Errorf("sched: processor %d utilization drift: running %g vs recomputed %g", p, l.util[p], recomputed[p])
+		}
+	}
+	return nil
+}

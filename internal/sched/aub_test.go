@@ -1,0 +1,415 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestAUBTerm(t *testing.T) {
+	tests := []struct {
+		u    float64
+		want float64
+	}{
+		{u: 0, want: 0},
+		{u: -0.5, want: 0},
+		{u: 0.5, want: 0.75},
+		{u: 1, want: math.Inf(1)},
+		{u: 1.5, want: math.Inf(1)},
+	}
+	for _, tt := range tests {
+		if got := AUBTerm(tt.u); got != tt.want {
+			t.Errorf("AUBTerm(%g) = %g, want %g", tt.u, got, tt.want)
+		}
+	}
+}
+
+func TestAUBTermMonotonic(t *testing.T) {
+	// f is strictly increasing on [0, 1).
+	f := func(a, b float64) bool {
+		a = math.Abs(math.Mod(a, 1))
+		b = math.Abs(math.Mod(b, 1))
+		if a > b {
+			a, b = b, a
+		}
+		if a == b {
+			return true
+		}
+		return AUBTerm(a) < AUBTerm(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPathFeasible(t *testing.T) {
+	tests := []struct {
+		name  string
+		utils []float64
+		want  bool
+	}{
+		{name: "empty", utils: nil, want: true},
+		{name: "one half-loaded stage", utils: []float64{0.5}, want: true},
+		{name: "two half-loaded stages", utils: []float64{0.5, 0.5}, want: false},
+		{name: "full processor", utils: []float64{1.0}, want: false},
+		{name: "many light stages", utils: []float64{0.1, 0.1, 0.1, 0.1}, want: true},
+		// The single-stage AUB bound is 2 - sqrt(2) ≈ 0.5858.
+		{name: "single just-feasible", utils: []float64{0.585}, want: true},
+		{name: "single just-infeasible", utils: []float64{0.587}, want: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := PathFeasible(tt.utils); got != tt.want {
+				t.Errorf("PathFeasible(%v) = %v, want %v", tt.utils, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestRemovalReasonString(t *testing.T) {
+	if RemovedExpiry.String() != "expiry" || RemovedIdleReset.String() != "idle-reset" ||
+		RemovedRelocation.String() != "relocation" {
+		t.Error("unexpected RemovalReason strings")
+	}
+	if RemovalReason(0).String() != "RemovalReason(0)" {
+		t.Error("zero RemovalReason should format numerically")
+	}
+}
+
+func place(stages ...PlacedStage) []PlacedStage { return stages }
+
+func TestLedgerAddAndExpire(t *testing.T) {
+	l := NewLedger(3)
+	ref := JobRef{Task: "t1", Job: 0}
+	pl := place(
+		PlacedStage{Stage: 0, Proc: 0, Util: 0.2},
+		PlacedStage{Stage: 1, Proc: 2, Util: 0.1},
+	)
+	if err := l.AddJob(ref, Aperiodic, pl, false, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Util(0); !almostEqual(got, 0.2) {
+		t.Errorf("Util(0) = %g, want 0.2", got)
+	}
+	if got := l.Util(2); !almostEqual(got, 0.1) {
+		t.Errorf("Util(2) = %g, want 0.1", got)
+	}
+	if got := l.Util(1); got != 0 {
+		t.Errorf("Util(1) = %g, want 0", got)
+	}
+	// Double admission must fail.
+	if err := l.AddJob(ref, Aperiodic, pl, false, time.Second); err == nil {
+		t.Error("AddJob accepted duplicate job")
+	}
+	if n := l.ExpireJob(ref); n != 2 {
+		t.Errorf("ExpireJob removed %d entries, want 2", n)
+	}
+	for p := 0; p < 3; p++ {
+		if got := l.Util(p); got != 0 {
+			t.Errorf("after expiry Util(%d) = %g, want 0", p, got)
+		}
+	}
+	// Expiring again is a no-op.
+	if n := l.ExpireJob(ref); n != 0 {
+		t.Errorf("second ExpireJob removed %d entries, want 0", n)
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLedgerAddJobErrors(t *testing.T) {
+	l := NewLedger(2)
+	bad := place(PlacedStage{Stage: 0, Proc: 5, Util: 0.1})
+	if err := l.AddJob(JobRef{Task: "x", Job: 0}, Periodic, bad, false, time.Second); err == nil {
+		t.Error("AddJob accepted out-of-range processor")
+	}
+	neg := place(PlacedStage{Stage: 0, Proc: 0, Util: -0.1})
+	if err := l.AddJob(JobRef{Task: "y", Job: 0}, Periodic, neg, false, time.Second); err == nil {
+		t.Error("AddJob accepted negative utilization")
+	}
+}
+
+func TestLedgerPermanentReservation(t *testing.T) {
+	l := NewLedger(2)
+	ref := JobRef{Task: "p1", Job: 0}
+	pl := place(PlacedStage{Stage: 0, Proc: 0, Util: 0.3})
+	if err := l.AddJob(ref, Periodic, pl, true, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Expiry must not touch a permanent per-task reservation.
+	if n := l.ExpireJob(ref); n != 0 {
+		t.Errorf("ExpireJob removed %d permanent entries", n)
+	}
+	if got := l.Util(0); !almostEqual(got, 0.3) {
+		t.Errorf("Util(0) = %g after expiry of permanent entry", got)
+	}
+	// Idle resetting must not touch it either, even when completed.
+	l.MarkComplete(ref, 0)
+	if l.ResetEntry(EntryRef{Ref: ref, Stage: 0, Proc: 0}) {
+		t.Error("ResetEntry removed a permanent reservation")
+	}
+	// RemoveTask withdraws it.
+	if n := l.RemoveTask("p1"); n != 1 {
+		t.Errorf("RemoveTask removed %d entries, want 1", n)
+	}
+	if got := l.Util(0); got != 0 {
+		t.Errorf("Util(0) = %g after RemoveTask", got)
+	}
+}
+
+func TestLedgerIdleReset(t *testing.T) {
+	l := NewLedger(2)
+	ap := JobRef{Task: "a1", Job: 0}
+	per := JobRef{Task: "p1", Job: 3}
+	if err := l.AddJob(ap, Aperiodic, place(PlacedStage{Stage: 0, Proc: 0, Util: 0.2}), false, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AddJob(per, Periodic, place(PlacedStage{Stage: 0, Proc: 0, Util: 0.25}), false, time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Nothing completed yet: nothing to reset.
+	if refs := l.CompletedOn(0, true); len(refs) != 0 {
+		t.Fatalf("CompletedOn before completion = %v", refs)
+	}
+	if l.ResetEntry(EntryRef{Ref: ap, Stage: 0, Proc: 0}) {
+		t.Error("ResetEntry succeeded for uncompleted subjob")
+	}
+
+	l.MarkComplete(ap, 0)
+	l.MarkComplete(per, 0)
+
+	// IR per task: aperiodic subjobs only.
+	refs := l.CompletedOn(0, false)
+	if len(refs) != 1 || refs[0].Ref != ap {
+		t.Fatalf("CompletedOn(aperiodic only) = %v, want [%v]", refs, ap)
+	}
+	// IR per job: both.
+	refs = l.CompletedOn(0, true)
+	if len(refs) != 2 {
+		t.Fatalf("CompletedOn(both) = %v, want 2 entries", refs)
+	}
+
+	if !l.ResetEntry(EntryRef{Ref: ap, Stage: 0, Proc: 0}) {
+		t.Error("ResetEntry failed for completed aperiodic subjob")
+	}
+	if got := l.Util(0); !almostEqual(got, 0.25) {
+		t.Errorf("Util(0) = %g after aperiodic reset, want 0.25", got)
+	}
+	// Double reset is a no-op.
+	if l.ResetEntry(EntryRef{Ref: ap, Stage: 0, Proc: 0}) {
+		t.Error("second ResetEntry succeeded")
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLedgerAdmissible(t *testing.T) {
+	l := NewLedger(2)
+	// Background in-flight job visiting both processors at 0.3 each:
+	// f(0.3) + f(0.3) = 0.7286 ≤ 1, feasible.
+	base := place(
+		PlacedStage{Stage: 0, Proc: 0, Util: 0.3},
+		PlacedStage{Stage: 1, Proc: 1, Util: 0.3},
+	)
+	if !l.Admissible(base) {
+		t.Fatal("empty ledger rejected feasible two-stage job")
+	}
+	if err := l.AddJob(JobRef{Task: "bg", Job: 0}, Periodic, base, false, time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Light candidate on processor 0: own condition f(0.35) = 0.444 and
+	// background condition f(0.35) + f(0.3) = 0.809 both pass.
+	cand := place(PlacedStage{Stage: 0, Proc: 0, Util: 0.05})
+	if !l.Admissible(cand) {
+		t.Error("feasible candidate rejected")
+	}
+
+	// A candidate that would push processor 0 to 1.0 must be rejected.
+	heavy := place(PlacedStage{Stage: 0, Proc: 0, Util: 0.7})
+	if l.Admissible(heavy) {
+		t.Error("candidate saturating processor 0 admitted")
+	}
+
+	// A candidate whose own condition passes but which breaks the in-flight
+	// background job's condition must be rejected: candidate on processor 1
+	// at 0.25 gives own f(0.55) = 0.886 ≤ 1, but background becomes
+	// f(0.3) + f(0.55) = 1.25 > 1.
+	breaker := place(PlacedStage{Stage: 0, Proc: 1, Util: 0.25})
+	if l.Admissible(breaker) {
+		t.Error("candidate breaking in-flight job condition admitted")
+	}
+}
+
+func TestLedgerAdmissibleSkipsCompletedJobs(t *testing.T) {
+	l := NewLedger(2)
+	done := JobRef{Task: "done", Job: 0}
+	if err := l.AddJob(done, Aperiodic, place(
+		PlacedStage{Stage: 0, Proc: 0, Util: 0.3},
+		PlacedStage{Stage: 1, Proc: 1, Util: 0.3},
+	), false, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	l.MarkComplete(done, 0)
+	l.MarkComplete(done, 1)
+	// The fully completed job cannot miss its deadline anymore, so only the
+	// candidate's own condition matters: candidate on processor 1 at 0.2
+	// gives own f(0.5) = 0.75 ≤ 1, while the completed job's hypothetical
+	// condition f(0.3) + f(0.5) = 1.11 would have failed.
+	cand := place(PlacedStage{Stage: 0, Proc: 1, Util: 0.2})
+	if !l.Admissible(cand) {
+		t.Error("candidate rejected due to already-completed job")
+	}
+}
+
+func TestLedgerRelocate(t *testing.T) {
+	l := NewLedger(3)
+	ref := JobRef{Task: "m1", Job: 0}
+	if err := l.AddJob(ref, Periodic, place(
+		PlacedStage{Stage: 0, Proc: 0, Util: 0.2},
+		PlacedStage{Stage: 1, Proc: 1, Util: 0.1},
+	), true, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Relocate(ref, place(
+		PlacedStage{Stage: 0, Proc: 2, Util: 0.2},
+		PlacedStage{Stage: 1, Proc: 1, Util: 0.1},
+	)); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Util(0); got != 0 {
+		t.Errorf("Util(0) = %g after relocation, want 0", got)
+	}
+	if got := l.Util(2); !almostEqual(got, 0.2) {
+		t.Errorf("Util(2) = %g after relocation, want 0.2", got)
+	}
+	if err := l.Relocate(JobRef{Task: "nope", Job: 9}, nil); err == nil {
+		t.Error("Relocate of unknown job succeeded")
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLedgerActiveJobsOrdering(t *testing.T) {
+	l := NewLedger(1)
+	for _, ref := range []JobRef{{Task: "b", Job: 1}, {Task: "a", Job: 2}, {Task: "a", Job: 0}} {
+		if err := l.AddJob(ref, Aperiodic, place(PlacedStage{Proc: 0, Util: 0.01}), false, time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := l.ActiveJobs()
+	want := []JobRef{{Task: "a", Job: 0}, {Task: "a", Job: 2}, {Task: "b", Job: 1}}
+	if len(got) != len(want) {
+		t.Fatalf("ActiveJobs() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ActiveJobs() = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestLedgerRandomOps drives the ledger through random operation sequences
+// and checks the accounting invariants after every step.
+func TestLedgerRandomOps(t *testing.T) {
+	const (
+		numProcs = 4
+		numOps   = 5000
+	)
+	rng := rand.New(rand.NewSource(42))
+	l := NewLedger(numProcs)
+	var live []JobRef
+	next := int64(0)
+
+	for op := 0; op < numOps; op++ {
+		switch rng.Intn(4) {
+		case 0: // admit
+			ref := JobRef{Task: "t", Job: next}
+			next++
+			stages := 1 + rng.Intn(3)
+			pl := make([]PlacedStage, stages)
+			for s := range pl {
+				pl[s] = PlacedStage{Stage: s, Proc: rng.Intn(numProcs), Util: rng.Float64() * 0.3}
+			}
+			kind := Periodic
+			if rng.Intn(2) == 0 {
+				kind = Aperiodic
+			}
+			if err := l.AddJob(ref, kind, pl, false, time.Duration(op)*time.Millisecond); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, ref)
+		case 1: // expire
+			if len(live) == 0 {
+				continue
+			}
+			i := rng.Intn(len(live))
+			l.ExpireJob(live[i])
+			live = append(live[:i], live[i+1:]...)
+		case 2: // complete a random stage
+			if len(live) == 0 {
+				continue
+			}
+			l.MarkComplete(live[rng.Intn(len(live))], rng.Intn(3))
+		case 3: // idle reset on a random processor
+			proc := rng.Intn(numProcs)
+			for _, r := range l.CompletedOn(proc, rng.Intn(2) == 0) {
+				l.ResetEntry(r)
+			}
+		}
+		if err := l.CheckInvariants(); err != nil {
+			t.Fatalf("op %d: %v", op, err)
+		}
+	}
+}
+
+// TestAdmissibleNeverBreaksCondition verifies by construction that any
+// sequence of admissions accepted by the test keeps condition (1) holding
+// for every in-flight job.
+func TestAdmissibleNeverBreaksCondition(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const numProcs = 3
+	l := NewLedger(numProcs)
+	type admitted struct {
+		procs []int
+	}
+	var adm []admitted
+	for i := 0; i < 400; i++ {
+		stages := 1 + rng.Intn(3)
+		pl := make([]PlacedStage, stages)
+		procs := make([]int, stages)
+		for s := range pl {
+			p := rng.Intn(numProcs)
+			pl[s] = PlacedStage{Stage: s, Proc: p, Util: rng.Float64() * 0.4}
+			procs[s] = p
+		}
+		if !l.Admissible(pl) {
+			continue
+		}
+		ref := JobRef{Task: "t", Job: int64(i)}
+		if err := l.AddJob(ref, Aperiodic, pl, false, time.Hour); err != nil {
+			t.Fatal(err)
+		}
+		adm = append(adm, admitted{procs: procs})
+		// Every admitted (never-completed) job must satisfy condition (1)
+		// under the post-admission utilizations.
+		for _, a := range adm {
+			var sum float64
+			for _, p := range a.procs {
+				sum += AUBTerm(l.Util(p))
+			}
+			if sum > 1+1e-9 {
+				t.Fatalf("after admission %d: condition violated (sum=%g)", i, sum)
+			}
+		}
+	}
+	if len(adm) == 0 {
+		t.Fatal("no jobs admitted; test is vacuous")
+	}
+}

@@ -1,0 +1,195 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// This file implements deferrable-server (DS) admission control, the
+// alternative aperiodic scheduling technique the paper's prior work (Zhang
+// et al., RTAS 2007) evaluated against the aperiodic utilization bound. The
+// paper adopts AUB because it performs comparably with a simpler middleware
+// mechanism (Section 2); this implementation exists to reproduce that
+// comparison as an ablation.
+//
+// Model: each processor dedicates a deferrable server with budget B
+// replenished every period P to aperiodic subjobs. An aperiodic job is
+// admitted if, on every processor it visits, the server can supply the
+// job's execution demand before its end-to-end deadline, given the work
+// already committed to that server. Supply is bounded with the classic
+// periodic-server supply bound function, which is conservative (safe) for a
+// deferrable server.
+
+// DeferrableServer is one processor's aperiodic server with its committed
+// backlog. It is not safe for concurrent use.
+type DeferrableServer struct {
+	budget time.Duration
+	period time.Duration
+
+	// commitments holds admitted-but-unfinished work, by job.
+	commitments map[jobKey]*dsCommitment
+}
+
+// dsCommitment is one admitted job's demand on a server.
+type dsCommitment struct {
+	remaining time.Duration
+	deadline  time.Duration // absolute virtual deadline
+}
+
+// NewDeferrableServer returns a server with the given budget and period.
+// Budget must not exceed the period.
+func NewDeferrableServer(budget, period time.Duration) (*DeferrableServer, error) {
+	if budget <= 0 || period <= 0 || budget > period {
+		return nil, fmt.Errorf("sched: invalid deferrable server (budget %v, period %v)", budget, period)
+	}
+	return &DeferrableServer{
+		budget:      budget,
+		period:      period,
+		commitments: make(map[jobKey]*dsCommitment),
+	}, nil
+}
+
+// Utilization returns the server's bandwidth B/P.
+func (s *DeferrableServer) Utilization() float64 {
+	return float64(s.budget) / float64(s.period)
+}
+
+// SupplyBound returns a lower bound on the execution time the server
+// delivers in any window of the given length: the periodic-server supply
+// bound function sbf(L) = max over whole replenishments plus the partial
+// final chunk, offset by the worst-case initial blackout of P - B.
+func (s *DeferrableServer) SupplyBound(window time.Duration) time.Duration {
+	blackout := s.period - s.budget
+	if window <= blackout {
+		return 0
+	}
+	avail := window - blackout
+	full := avail / s.period
+	rest := avail - full*s.period
+	if rest > s.budget {
+		rest = s.budget
+	}
+	return full*s.budget + rest
+}
+
+// Admissible reports whether a new demand (exec by absolute deadline) fits:
+// for every commitment deadline d (including the candidate's), the total
+// remaining work due by d must not exceed the supply bound over [now, d].
+// This is the EDF demand test against the server's supply.
+func (s *DeferrableServer) Admissible(now time.Duration, exec time.Duration, deadline time.Duration) bool {
+	if exec <= 0 || deadline <= now {
+		return false
+	}
+	// Collect deadlines of live commitments plus the candidate.
+	type point struct {
+		deadline time.Duration
+		work     time.Duration
+	}
+	points := make([]point, 0, len(s.commitments)+1)
+	for _, c := range s.commitments {
+		if c.deadline > now && c.remaining > 0 {
+			points = append(points, point{c.deadline, c.remaining})
+		}
+	}
+	points = append(points, point{deadline, exec})
+	sort.Slice(points, func(i, j int) bool { return points[i].deadline < points[j].deadline })
+
+	var demand time.Duration
+	for _, p := range points {
+		demand += p.work
+		if demand > s.SupplyBound(p.deadline-now) {
+			return false
+		}
+	}
+	return true
+}
+
+// Commit records an admitted job's demand. Committing the same job twice is
+// an error.
+func (s *DeferrableServer) Commit(ref JobRef, exec, deadline time.Duration) error {
+	k := jobKey{ref.Task, ref.Job}
+	if _, ok := s.commitments[k]; ok {
+		return fmt.Errorf("sched: job %s already committed to server", ref)
+	}
+	s.commitments[k] = &dsCommitment{remaining: exec, deadline: deadline}
+	return nil
+}
+
+// Complete removes a finished job's remaining demand.
+func (s *DeferrableServer) Complete(ref JobRef) {
+	delete(s.commitments, jobKey{ref.Task, ref.Job})
+}
+
+// Expire drops commitments whose deadlines have passed.
+func (s *DeferrableServer) Expire(now time.Duration) int {
+	n := 0
+	for k, c := range s.commitments {
+		if c.deadline <= now {
+			delete(s.commitments, k)
+			n++
+		}
+	}
+	return n
+}
+
+// Backlog returns the number of live commitments.
+func (s *DeferrableServer) Backlog() int { return len(s.commitments) }
+
+// DSAdmission is a multi-processor deferrable-server admission controller
+// for end-to-end aperiodic tasks: one server per processor; a job is
+// admitted only if every stage fits its processor's server.
+type DSAdmission struct {
+	servers []*DeferrableServer
+}
+
+// NewDSAdmission builds one server per processor with uniform budget and
+// period.
+func NewDSAdmission(numProcs int, budget, period time.Duration) (*DSAdmission, error) {
+	if numProcs <= 0 {
+		return nil, fmt.Errorf("sched: DS admission needs processors, got %d", numProcs)
+	}
+	servers := make([]*DeferrableServer, numProcs)
+	for i := range servers {
+		s, err := NewDeferrableServer(budget, period)
+		if err != nil {
+			return nil, err
+		}
+		servers[i] = s
+	}
+	return &DSAdmission{servers: servers}, nil
+}
+
+// Server returns processor i's server.
+func (d *DSAdmission) Server(i int) *DeferrableServer { return d.servers[i] }
+
+// Arrive tests and (if admissible) commits one aperiodic job of the task
+// arriving at now, placing stages on their home processors. It reports
+// whether the job was admitted.
+func (d *DSAdmission) Arrive(t *Task, job int64, now time.Duration) bool {
+	deadline := now + t.Deadline
+	for i, st := range t.Subtasks {
+		if st.Processor >= len(d.servers) {
+			return false
+		}
+		if !d.servers[st.Processor].Admissible(now, t.Subtasks[i].Exec, deadline) {
+			return false
+		}
+	}
+	ref := JobRef{Task: t.ID, Job: job}
+	for i, st := range t.Subtasks {
+		// Commit per stage; stage refs share the job ref because each server
+		// tracks only its local share.
+		if err := d.servers[st.Processor].Commit(JobRef{Task: ref.Task, Job: ref.Job<<8 | int64(i)}, t.Subtasks[i].Exec, deadline); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// Expire drops expired commitments on every server.
+func (d *DSAdmission) Expire(now time.Duration) {
+	for _, s := range d.servers {
+		s.Expire(now)
+	}
+}

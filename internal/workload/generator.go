@@ -1,0 +1,285 @@
+// Package workload generates the randomized task sets used by the paper's
+// evaluation (Section 7): balanced random workloads for Figure 5, imbalanced
+// workloads for Figure 6, and the smaller random workloads used for the
+// overhead measurements in Section 7.3.
+//
+// Generation is fully deterministic given Params.Seed, so experiments are
+// reproducible and each of the paper's "10 randomly generated task sets"
+// corresponds to one seed.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/sched"
+)
+
+// Params describes one randomized task-set generation, mirroring the
+// workload descriptions in Sections 7.1 and 7.2.
+type Params struct {
+	// NumAperiodic and NumPeriodic count tasks by kind (the paper uses 4
+	// aperiodic + 5 periodic).
+	NumAperiodic int
+	NumPeriodic  int
+	// MinStages and MaxStages bound the uniformly distributed number of
+	// subtasks per task (1..5 for Figure 5, 1..3 for Figure 6 and the
+	// overhead runs).
+	MinStages int
+	MaxStages int
+	// HomeProcs lists the processors home subtasks are randomly assigned to.
+	HomeProcs []int
+	// ReplicaProcs lists the processors duplicates are randomly picked from.
+	// A replica is never placed on its subtask's home processor; when
+	// ReplicaProcs equals HomeProcs the duplicate lands on one of "the other"
+	// application processors, as in Section 7.1.
+	ReplicaProcs []int
+	// TargetUtil is the per-processor synthetic utilization if all tasks
+	// arrive simultaneously (0.5 in Section 7.1, 0.7 in Section 7.2).
+	// Execution times are scaled per processor to hit it exactly.
+	TargetUtil float64
+	// MinDeadline and MaxDeadline bound the uniformly distributed end-to-end
+	// deadlines (250 ms to 10 s in the paper). Periodic tasks use period =
+	// deadline, as in Section 7.1.
+	MinDeadline time.Duration
+	MaxDeadline time.Duration
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// validate checks parameter sanity.
+func (p Params) validate() error {
+	switch {
+	case p.NumAperiodic < 0 || p.NumPeriodic < 0 || p.NumAperiodic+p.NumPeriodic == 0:
+		return fmt.Errorf("workload: need at least one task (aperiodic=%d periodic=%d)", p.NumAperiodic, p.NumPeriodic)
+	case p.MinStages < 1 || p.MaxStages < p.MinStages:
+		return fmt.Errorf("workload: invalid stage bounds [%d, %d]", p.MinStages, p.MaxStages)
+	case len(p.HomeProcs) == 0:
+		return fmt.Errorf("workload: no home processors")
+	case len(p.ReplicaProcs) == 0:
+		return fmt.Errorf("workload: no replica processors")
+	case p.TargetUtil <= 0 || p.TargetUtil >= 1:
+		return fmt.Errorf("workload: target utilization %g out of (0, 1)", p.TargetUtil)
+	case p.MinDeadline <= 0 || p.MaxDeadline < p.MinDeadline:
+		return fmt.Errorf("workload: invalid deadline bounds [%v, %v]", p.MinDeadline, p.MaxDeadline)
+	}
+	// A subtask needs at least one candidate replica different from any home
+	// processor choice.
+	if len(p.ReplicaProcs) == 1 {
+		for _, h := range p.HomeProcs {
+			if h == p.ReplicaProcs[0] {
+				return fmt.Errorf("workload: replica pool {%d} collides with home processor %d", p.ReplicaProcs[0], h)
+			}
+		}
+	}
+	return nil
+}
+
+// Figure5Params returns the Section 7.1 balanced random workload for one of
+// the ten task sets: 9 tasks (4 aperiodic, 5 periodic), 1-5 subtasks per
+// task over 5 application processors, deadlines uniform in [250 ms, 10 s],
+// per-processor synthetic utilization 0.5, and one duplicate per subtask on
+// a random other processor.
+func Figure5Params(set int) Params {
+	return Params{
+		NumAperiodic: 4,
+		NumPeriodic:  5,
+		MinStages:    1,
+		MaxStages:    5,
+		HomeProcs:    []int{0, 1, 2, 3, 4},
+		ReplicaProcs: []int{0, 1, 2, 3, 4},
+		TargetUtil:   0.5,
+		MinDeadline:  250 * time.Millisecond,
+		MaxDeadline:  10 * time.Second,
+		Seed:         figureSeed(5, set),
+	}
+}
+
+// Figure6Params returns the Section 7.2 imbalanced workload for one of the
+// ten task sets: all home subtasks on processors {0,1,2} at synthetic
+// utilization 0.7, all duplicates on the spare processors {3,4}, and 1-3
+// subtasks per task.
+func Figure6Params(set int) Params {
+	return Params{
+		NumAperiodic: 4,
+		NumPeriodic:  5,
+		MinStages:    1,
+		MaxStages:    3,
+		HomeProcs:    []int{0, 1, 2},
+		ReplicaProcs: []int{3, 4},
+		TargetUtil:   0.7,
+		MinDeadline:  250 * time.Millisecond,
+		MaxDeadline:  10 * time.Second,
+		Seed:         figureSeed(6, set),
+	}
+}
+
+// OverheadParams returns the Section 7.3 workload: as Figure 5 but with 1-3
+// subtasks per task over 3 application processors.
+func OverheadParams(set int) Params {
+	return Params{
+		NumAperiodic: 4,
+		NumPeriodic:  5,
+		MinStages:    1,
+		MaxStages:    3,
+		HomeProcs:    []int{0, 1, 2},
+		ReplicaProcs: []int{0, 1, 2},
+		TargetUtil:   0.5,
+		MinDeadline:  250 * time.Millisecond,
+		MaxDeadline:  10 * time.Second,
+		Seed:         figureSeed(7, set),
+	}
+}
+
+// figureSeed derives a distinct deterministic seed per (figure, set).
+func figureSeed(figure, set int) int64 {
+	return int64(figure)*1_000_003 + int64(set)*7919 + 1
+}
+
+// Generate produces a random task set per the parameters. Periodic task
+// phases are staggered uniformly within one period; aperiodic tasks use
+// Poisson arrivals with mean interarrival equal to their deadline, which
+// makes an aperiodic task's long-run load comparable to a periodic task with
+// period = deadline (the paper normalizes both through the "if all tasks
+// arrive simultaneously" synthetic utilization).
+func Generate(p Params) ([]*sched.Task, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	total := p.NumAperiodic + p.NumPeriodic
+	tasks := make([]*sched.Task, 0, total)
+
+	type stageRef struct {
+		task  int
+		stage int
+	}
+	// Raw execution weights per stage; scaled per processor afterwards so
+	// each processor's synthetic utilization is exactly TargetUtil.
+	weights := make(map[stageRef]float64)
+	byProc := make(map[int][]stageRef)
+
+	for i := 0; i < total; i++ {
+		kind := sched.Periodic
+		name := fmt.Sprintf("P%d", i-p.NumAperiodic)
+		if i < p.NumAperiodic {
+			kind = sched.Aperiodic
+			name = fmt.Sprintf("A%d", i)
+		}
+		deadline := p.MinDeadline + time.Duration(rng.Int63n(int64(p.MaxDeadline-p.MinDeadline)+1))
+		t := &sched.Task{
+			ID:       name,
+			Kind:     kind,
+			Deadline: deadline,
+		}
+		if kind == sched.Periodic {
+			t.Period = deadline
+			t.Phase = time.Duration(rng.Int63n(int64(t.Period)))
+		} else {
+			t.MeanInterarrival = deadline
+		}
+		numStages := p.MinStages + rng.Intn(p.MaxStages-p.MinStages+1)
+		for s := 0; s < numStages; s++ {
+			home := p.HomeProcs[rng.Intn(len(p.HomeProcs))]
+			replica := pickReplica(rng, p.ReplicaProcs, home)
+			t.Subtasks = append(t.Subtasks, sched.Subtask{
+				Index:     s,
+				Processor: home,
+				Replicas:  []int{replica},
+				// Exec filled in after scaling.
+				Exec: time.Nanosecond,
+			})
+			ref := stageRef{task: i, stage: s}
+			w := rng.Float64()
+			for w == 0 {
+				w = rng.Float64()
+			}
+			weights[ref] = w
+			byProc[home] = append(byProc[home], ref)
+		}
+		tasks = append(tasks, t)
+	}
+
+	// Scale execution times so each processor's synthetic utilization (sum
+	// of C/D over home-placed stages) is exactly TargetUtil.
+	for _, refs := range byProc {
+		var sum float64
+		for _, r := range refs {
+			sum += weights[r]
+		}
+		for _, r := range refs {
+			t := tasks[r.task]
+			util := weights[r] / sum * p.TargetUtil
+			exec := time.Duration(util * float64(t.Deadline))
+			if exec <= 0 {
+				exec = time.Microsecond
+			}
+			t.Subtasks[r.stage].Exec = exec
+		}
+	}
+
+	for _, t := range tasks {
+		if err := t.Validate(); err != nil {
+			return nil, fmt.Errorf("workload: generated invalid task: %w", err)
+		}
+	}
+	sched.AssignEDMSPriorities(tasks)
+	return tasks, nil
+}
+
+// pickReplica draws a replica processor different from home.
+func pickReplica(rng *rand.Rand, pool []int, home int) int {
+	for {
+		r := pool[rng.Intn(len(pool))]
+		if r != home {
+			return r
+		}
+	}
+}
+
+// Scale returns copies of the tasks with every duration (period, deadline,
+// phase, mean interarrival, execution times) multiplied by factor. Synthetic
+// utilizations are invariant under scaling, so a compressed workload
+// exercises the same admission behavior in less wall-clock time — used by
+// the live overhead experiments.
+func Scale(tasks []*sched.Task, factor float64) []*sched.Task {
+	if factor <= 0 {
+		panic("workload: non-positive scale factor")
+	}
+	scaleDur := func(d time.Duration) time.Duration {
+		return time.Duration(float64(d) * factor)
+	}
+	out := make([]*sched.Task, len(tasks))
+	for i, t := range tasks {
+		c := t.Clone()
+		c.Period = scaleDur(t.Period)
+		c.Deadline = scaleDur(t.Deadline)
+		c.Phase = scaleDur(t.Phase)
+		c.MeanInterarrival = scaleDur(t.MeanInterarrival)
+		for s := range c.Subtasks {
+			c.Subtasks[s].Exec = scaleDur(t.Subtasks[s].Exec)
+			if c.Subtasks[s].Exec <= 0 {
+				c.Subtasks[s].Exec = time.Microsecond
+			}
+		}
+		out[i] = c
+	}
+	return out
+}
+
+// MaxProc returns the highest processor index referenced by the tasks, for
+// sizing simulations.
+func MaxProc(tasks []*sched.Task) int {
+	maxP := 0
+	for _, t := range tasks {
+		for _, st := range t.Subtasks {
+			for _, p := range st.Candidates() {
+				if p > maxP {
+					maxP = p
+				}
+			}
+		}
+	}
+	return maxP
+}

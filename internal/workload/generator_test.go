@@ -1,0 +1,195 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sched"
+)
+
+func TestGenerateFigure5Shape(t *testing.T) {
+	for set := 0; set < 10; set++ {
+		tasks, err := Generate(Figure5Params(set))
+		if err != nil {
+			t.Fatalf("set %d: %v", set, err)
+		}
+		if len(tasks) != 9 {
+			t.Fatalf("set %d: %d tasks, want 9", set, len(tasks))
+		}
+		var aper, per int
+		for _, tk := range tasks {
+			if err := tk.Validate(); err != nil {
+				t.Errorf("set %d: %v", set, err)
+			}
+			switch tk.Kind {
+			case sched.Aperiodic:
+				aper++
+				if tk.MeanInterarrival != tk.Deadline {
+					t.Errorf("set %d task %s: mean interarrival %v != deadline %v",
+						set, tk.ID, tk.MeanInterarrival, tk.Deadline)
+				}
+			case sched.Periodic:
+				per++
+				if tk.Period != tk.Deadline {
+					t.Errorf("set %d task %s: period %v != deadline %v", set, tk.ID, tk.Period, tk.Deadline)
+				}
+				if tk.Phase >= tk.Period {
+					t.Errorf("set %d task %s: phase %v >= period %v", set, tk.ID, tk.Phase, tk.Period)
+				}
+			}
+			if tk.Deadline < 250*time.Millisecond || tk.Deadline > 10*time.Second {
+				t.Errorf("set %d task %s: deadline %v out of [250ms, 10s]", set, tk.ID, tk.Deadline)
+			}
+			if n := len(tk.Subtasks); n < 1 || n > 5 {
+				t.Errorf("set %d task %s: %d stages, want 1..5", set, tk.ID, n)
+			}
+			if tk.Priority == 0 {
+				t.Errorf("set %d task %s: no EDMS priority assigned", set, tk.ID)
+			}
+			for _, st := range tk.Subtasks {
+				if st.Processor < 0 || st.Processor > 4 {
+					t.Errorf("set %d task %s: home processor %d out of range", set, tk.ID, st.Processor)
+				}
+				if len(st.Replicas) != 1 {
+					t.Errorf("set %d task %s: %d replicas, want 1", set, tk.ID, len(st.Replicas))
+				}
+			}
+		}
+		if aper != 4 || per != 5 {
+			t.Errorf("set %d: %d aperiodic / %d periodic, want 4/5", set, aper, per)
+		}
+	}
+}
+
+// perProcUtil sums home-placed synthetic utilization per processor.
+func perProcUtil(tasks []*sched.Task) map[int]float64 {
+	utils := make(map[int]float64)
+	for _, tk := range tasks {
+		for i, st := range tk.Subtasks {
+			utils[st.Processor] += tk.StageUtil(i)
+		}
+	}
+	return utils
+}
+
+func TestGenerateFigure5UtilizationTarget(t *testing.T) {
+	tasks, err := Generate(Figure5Params(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for proc, u := range perProcUtil(tasks) {
+		// Scaling is exact up to the nanosecond rounding of execution times.
+		if u < 0.49 || u > 0.51 {
+			t.Errorf("processor %d synthetic utilization %g, want 0.5", proc, u)
+		}
+	}
+}
+
+func TestGenerateFigure6Shape(t *testing.T) {
+	tasks, err := Generate(Figure6Params(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tk := range tasks {
+		if n := len(tk.Subtasks); n < 1 || n > 3 {
+			t.Errorf("task %s: %d stages, want 1..3", tk.ID, n)
+		}
+		for _, st := range tk.Subtasks {
+			if st.Processor > 2 {
+				t.Errorf("task %s: home processor %d, want group {0,1,2}", tk.ID, st.Processor)
+			}
+			for _, r := range st.Replicas {
+				if r != 3 && r != 4 {
+					t.Errorf("task %s: replica on %d, want group {3,4}", tk.ID, r)
+				}
+			}
+		}
+	}
+	for proc, u := range perProcUtil(tasks) {
+		if proc > 2 {
+			t.Errorf("home utilization on replica processor %d", proc)
+			continue
+		}
+		if u < 0.69 || u > 0.71 {
+			t.Errorf("processor %d synthetic utilization %g, want 0.7", proc, u)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(Figure5Params(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Figure5Params(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("different task counts for same seed")
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].Deadline != b[i].Deadline ||
+			len(a[i].Subtasks) != len(b[i].Subtasks) || a[i].Phase != b[i].Phase {
+			t.Fatalf("task %d differs between identical generations", i)
+		}
+		for s := range a[i].Subtasks {
+			if a[i].Subtasks[s].Exec != b[i].Subtasks[s].Exec ||
+				a[i].Subtasks[s].Processor != b[i].Subtasks[s].Processor {
+				t.Fatalf("task %d stage %d differs between identical generations", i, s)
+			}
+		}
+	}
+	// Different sets differ.
+	c, err := Generate(Figure5Params(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		if a[i].Deadline != c[i].Deadline {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("sets 2 and 3 generated identical deadlines")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Params)
+	}{
+		{"no tasks", func(p *Params) { p.NumAperiodic, p.NumPeriodic = 0, 0 }},
+		{"bad stages", func(p *Params) { p.MinStages = 0 }},
+		{"stages inverted", func(p *Params) { p.MinStages, p.MaxStages = 4, 2 }},
+		{"no home procs", func(p *Params) { p.HomeProcs = nil }},
+		{"no replica procs", func(p *Params) { p.ReplicaProcs = nil }},
+		{"zero util", func(p *Params) { p.TargetUtil = 0 }},
+		{"util too high", func(p *Params) { p.TargetUtil = 1.0 }},
+		{"bad deadlines", func(p *Params) { p.MinDeadline = 0 }},
+		{"deadlines inverted", func(p *Params) { p.MinDeadline, p.MaxDeadline = time.Second, time.Millisecond }},
+		{"replica pool collides", func(p *Params) { p.HomeProcs = []int{0}; p.ReplicaProcs = []int{0} }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := Figure5Params(0)
+			tt.mutate(&p)
+			if _, err := Generate(p); err == nil {
+				t.Error("Generate accepted invalid params")
+			}
+		})
+	}
+}
+
+func TestMaxProc(t *testing.T) {
+	tasks, err := Generate(Figure6Params(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := MaxProc(tasks); got != 4 {
+		t.Errorf("MaxProc = %d, want 4 (replica group)", got)
+	}
+}

@@ -1,0 +1,226 @@
+// Package rtmw is a reconfigurable real-time middleware for distributed
+// cyber-physical systems with aperiodic and periodic events — a Go
+// reproduction of Zhang, Gill, Lu, "Reconfigurable Real-Time Middleware for
+// Distributed Cyber-Physical Systems with Aperiodic Events" (WUCSE-2008-5 /
+// ICDCS 2008).
+//
+// The middleware provides three configurable services for end-to-end task
+// management under the aperiodic utilization bound (AUB) analysis:
+//
+//   - Admission control (AC): per-task or per-job AUB admission tests;
+//   - Idle resetting (IR): none, per-task (aperiodic subjobs), or per-job
+//     (aperiodic + periodic subjobs) removal of completed subjobs'
+//     synthetic utilization when a processor idles;
+//   - Load balancing (LB): none, per-task, or per-job assignment of
+//     subtasks to the least-utilized replica.
+//
+// A front-end configuration engine maps four application-characteristic
+// questions (job skipping, replication, state persistence, overhead
+// tolerance) to a valid strategy combination, rejects the contradictory
+// AC-per-task/IR-per-job configurations, and generates XML deployment plans
+// executed over live nodes.
+//
+// Two bindings run the same policies:
+//
+//   - a deterministic discrete-event simulation for schedulability
+//     experiments (Figures 5 and 6 of the paper), and
+//   - a live binding over a TCP object request broker and federated event
+//     channels for real deployments and overhead measurement (Figure 8).
+//
+// This package is a facade over the internal implementation packages; see
+// DESIGN.md for the architecture and EXPERIMENTS.md for the reproduction
+// results.
+package rtmw
+
+import (
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/configengine"
+	"repro/internal/core"
+	"repro/internal/deploy"
+	"repro/internal/experiments"
+	"repro/internal/sched"
+	"repro/internal/spec"
+	"repro/internal/workload"
+)
+
+// Task model re-exports.
+type (
+	// Task is an end-to-end task: a chain of subtasks with a deadline.
+	Task = sched.Task
+	// Subtask is one stage of an end-to-end task.
+	Subtask = sched.Subtask
+	// TaskKind distinguishes periodic from aperiodic tasks.
+	TaskKind = sched.TaskKind
+	// JobRef identifies one release of a task.
+	JobRef = sched.JobRef
+)
+
+// Task kinds.
+const (
+	Periodic  = sched.Periodic
+	Aperiodic = sched.Aperiodic
+)
+
+// Strategy configuration re-exports.
+type (
+	// Strategy is one service axis setting (N / T / J).
+	Strategy = core.Strategy
+	// Config is an AC/IR/LB strategy combination such as "J_T_N".
+	Config = core.Config
+)
+
+// Strategy values.
+const (
+	StrategyNone    = core.StrategyNone
+	StrategyPerTask = core.StrategyPerTask
+	StrategyPerJob  = core.StrategyPerJob
+)
+
+// ParseConfig parses an "AC_IR_LB" tuple such as "J_T_N" and validates it.
+func ParseConfig(s string) (Config, error) { return core.ParseConfig(s) }
+
+// AllCombinations returns the 15 valid strategy combinations in the paper's
+// figure order.
+func AllCombinations() []Config { return core.AllCombinations() }
+
+// AssignEDMSPriorities assigns End-to-end Deadline Monotonic priorities.
+func AssignEDMSPriorities(tasks []*Task) { sched.AssignEDMSPriorities(tasks) }
+
+// Simulation re-exports: the deterministic virtual-time binding.
+type (
+	// SimConfig parameterizes a simulation run.
+	SimConfig = core.SimConfig
+	// SimSystem is a configured simulation.
+	SimSystem = core.SimSystem
+	// Metrics is a run's accounting; its AcceptedUtilizationRatio is the
+	// paper's headline metric.
+	Metrics = core.Metrics
+)
+
+// NewSimulation builds a simulation of the middleware over the tasks.
+func NewSimulation(cfg SimConfig, tasks []*Task) (*SimSystem, error) {
+	return core.NewSimSystem(cfg, tasks)
+}
+
+// Simulate is the one-call form: build, run, return metrics.
+func Simulate(cfg SimConfig, tasks []*Task) (*Metrics, error) {
+	sim, err := core.NewSimSystem(cfg, tasks)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(), nil
+}
+
+// Workload specification re-exports.
+type (
+	// Workload is the JSON workload specification file model.
+	Workload = spec.Workload
+	// TaskSpec describes one task in a workload specification.
+	TaskSpec = spec.TaskSpec
+	// SubtaskSpec describes one stage in a workload specification.
+	SubtaskSpec = spec.SubtaskSpec
+)
+
+// ParseWorkload decodes and validates a JSON workload specification.
+func ParseWorkload(data []byte) (*Workload, error) { return spec.Parse(data) }
+
+// WorkloadFromTasks builds a specification from model tasks.
+func WorkloadFromTasks(name string, processors int, tasks []*Task) *Workload {
+	return spec.FromTasks(name, processors, tasks)
+}
+
+// Random workload generation re-exports (the paper's Section 7 setups).
+type WorkloadParams = workload.Params
+
+// Workload parameter constructors for the paper's experiments.
+var (
+	Figure5Params  = workload.Figure5Params
+	Figure6Params  = workload.Figure6Params
+	OverheadParams = workload.OverheadParams
+)
+
+// GenerateWorkload produces a random task set per the parameters.
+func GenerateWorkload(p WorkloadParams) ([]*Task, error) { return workload.Generate(p) }
+
+// ScaleWorkload multiplies every duration in the tasks by factor, keeping
+// synthetic utilizations invariant.
+func ScaleWorkload(tasks []*Task, factor float64) []*Task { return workload.Scale(tasks, factor) }
+
+// Configuration engine re-exports.
+type (
+	// Answers are the developer's responses to the four questions of the
+	// front-end configuration engine.
+	Answers = configengine.Answers
+	// Tolerance is the overhead-tolerance answer (N / PT / PJ).
+	Tolerance = configengine.Tolerance
+	// MappingResult is a strategy selection with its reasoning.
+	MappingResult = configengine.Result
+	// DeploymentPlan is an XML deployment plan.
+	DeploymentPlan = deploy.Plan
+	// DeploymentNode declares one node in a plan.
+	DeploymentNode = deploy.Node
+)
+
+// Overhead tolerance values.
+const (
+	ToleranceNone    = configengine.ToleranceNone
+	TolerancePerTask = configengine.TolerancePerTask
+	TolerancePerJob  = configengine.TolerancePerJob
+)
+
+// MapAnswers applies Table 1 to select a valid strategy combination.
+func MapAnswers(a Answers) MappingResult { return configengine.MapAnswers(a) }
+
+// DefaultAnswers returns the engine's defaults (everything per task).
+func DefaultAnswers() Answers { return configengine.DefaultAnswers() }
+
+// GeneratePlan emits the XML deployment plan for a workload under a
+// strategy combination.
+func GeneratePlan(name string, w *Workload, cfg Config, manager DeploymentNode, apps []DeploymentNode) (*DeploymentPlan, error) {
+	return configengine.GeneratePlan(name, w, cfg, manager, apps)
+}
+
+// ParsePlan decodes an XML deployment plan.
+func ParsePlan(data []byte) (*DeploymentPlan, error) { return deploy.Parse(data) }
+
+// Live cluster re-exports: the real-transport binding.
+type (
+	// ClusterOptions configures an in-process live deployment.
+	ClusterOptions = cluster.Options
+	// Cluster is a running live deployment (manager + application nodes on
+	// TCP loopback, deployed through the configuration engine and plan
+	// launcher).
+	Cluster = cluster.Cluster
+)
+
+// StartCluster deploys and activates a live cluster.
+func StartCluster(opts ClusterOptions) (*Cluster, error) { return cluster.Start(opts) }
+
+// Experiment re-exports: regenerate the paper's tables and figures.
+type (
+	// FigureOptions parameterizes the Figure 5/6 experiments.
+	FigureOptions = experiments.FigureOptions
+	// ComboResult is one strategy combination's accepted utilization ratio.
+	ComboResult = experiments.ComboResult
+	// OverheadOptions parameterizes the Figure 7/8 overhead measurement.
+	OverheadOptions = experiments.OverheadOptions
+	// OverheadReport is the measured overhead accounting.
+	OverheadReport = experiments.OverheadReport
+)
+
+// Experiment runners and renderers.
+var (
+	RunFigure5     = experiments.RunFigure5
+	RunFigure6     = experiments.RunFigure6
+	RunOverhead    = experiments.RunOverhead
+	RenderFigure   = experiments.RenderFigure
+	RenderCSV      = experiments.RenderCSV
+	RenderOverhead = experiments.RenderOverhead
+	RenderTable1   = configengine.RenderTable1
+)
+
+// DefaultLinkDelay is the simulated one-way communication delay, calibrated
+// to the paper's measured 322 µs mean on its 100 Mbps testbed.
+const DefaultLinkDelay = 322 * time.Microsecond

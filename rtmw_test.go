@@ -1,0 +1,118 @@
+package rtmw_test
+
+import (
+	"testing"
+	"time"
+
+	rtmw "repro"
+)
+
+// TestFacadeSimulationQuickstart exercises the README quickstart path
+// through the public facade.
+func TestFacadeSimulationQuickstart(t *testing.T) {
+	tasks := []*rtmw.Task{
+		{
+			ID: "sensor", Kind: rtmw.Periodic,
+			Period: 200 * time.Millisecond, Deadline: 200 * time.Millisecond,
+			Subtasks: []rtmw.Subtask{
+				{Index: 0, Exec: 20 * time.Millisecond, Processor: 0, Replicas: []int{1}},
+				{Index: 1, Exec: 10 * time.Millisecond, Processor: 1},
+			},
+		},
+		{
+			ID: "alert", Kind: rtmw.Aperiodic,
+			Deadline: 150 * time.Millisecond, MeanInterarrival: 300 * time.Millisecond,
+			Subtasks: []rtmw.Subtask{
+				{Index: 0, Exec: 15 * time.Millisecond, Processor: 1},
+			},
+		},
+	}
+	cfg, err := rtmw.ParseConfig("J_J_T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := rtmw.Simulate(rtmw.SimConfig{
+		Strategies: cfg,
+		NumProcs:   2,
+		Horizon:    time.Minute,
+		Seed:       1,
+	}, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Total.Arrived == 0 || m.Total.Released == 0 {
+		t.Fatalf("metrics = %+v", m.Total)
+	}
+	if r := m.AcceptedUtilizationRatio(); r <= 0 || r > 1 {
+		t.Errorf("accepted utilization ratio = %g", r)
+	}
+}
+
+func TestFacadeConfigEngine(t *testing.T) {
+	res := rtmw.MapAnswers(rtmw.Answers{
+		JobSkipping:      true,
+		Replication:      true,
+		StatePersistence: false,
+		Overhead:         rtmw.TolerancePerJob,
+	})
+	if res.Config.String() != "J_J_J" {
+		t.Errorf("mapping = %s, want J_J_J", res.Config)
+	}
+	if _, err := rtmw.ParseConfig("T_J_N"); err == nil {
+		t.Error("facade accepted the contradictory T_J_N configuration")
+	}
+	if got := len(rtmw.AllCombinations()); got != 15 {
+		t.Errorf("AllCombinations = %d, want 15", got)
+	}
+}
+
+func TestFacadeWorkloadRoundTrip(t *testing.T) {
+	tasks, err := rtmw.GenerateWorkload(rtmw.Figure5Params(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := rtmw.WorkloadFromTasks("fig5", 5, tasks)
+	data, err := w.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := rtmw.ParseWorkload(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w2.Tasks) != len(tasks) {
+		t.Errorf("round trip lost tasks: %d vs %d", len(w2.Tasks), len(tasks))
+	}
+	scaled := rtmw.ScaleWorkload(tasks, 0.5)
+	if scaled[0].Deadline != tasks[0].Deadline/2 {
+		t.Error("ScaleWorkload did not halve deadlines")
+	}
+}
+
+func TestFacadePlanGeneration(t *testing.T) {
+	w, err := rtmw.ParseWorkload([]byte(`{
+	  "name": "facade", "processors": 1,
+	  "tasks": [{"id": "t", "kind": "periodic", "period": "1s", "deadline": "1s",
+	    "subtasks": [{"exec": "10ms", "processor": 0}]}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := rtmw.GeneratePlan("p", w, rtmw.MapAnswers(rtmw.DefaultAnswers()).Config,
+		rtmw.DeploymentNode{Name: "m", Address: "127.0.0.1:1", Processor: -1},
+		[]rtmw.DeploymentNode{{Name: "a0", Address: "127.0.0.1:2", Processor: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := plan.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan2, err := rtmw.ParsePlan(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan2.Name != "p" || len(plan2.Instances) == 0 {
+		t.Errorf("plan round trip = %+v", plan2)
+	}
+}
