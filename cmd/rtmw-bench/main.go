@@ -8,8 +8,10 @@
 //	rtmw-bench all               everything above
 //
 // Figure runs accept -sets and -horizon; overhead accepts -duration and
-// -pings. Output goes to stdout; add -csv to also emit machine-readable
-// series for the figures.
+// -pings. The figure and ablation sweeps fan their independent trials over
+// -parallel workers (results are bit-identical to a serial run). Output goes
+// to stdout; add -csv for machine-readable series or -json for structured
+// documents.
 package main
 
 import (
@@ -35,43 +37,51 @@ func run() error {
 		horizon  = flag.Duration("horizon", 5*time.Minute, "virtual workload duration per run")
 		duration = flag.Duration("duration", 5*time.Second, "live overhead run duration")
 		pings    = flag.Int("pings", 1000, "event round trips for the communication-delay estimate")
+		parallel = flag.Int("parallel", 1, "concurrent trial workers for figure/ablation sweeps (0 = one per CPU)")
 		csv      = flag.Bool("csv", false, "also print CSV series for figures")
+		jsonOut  = flag.Bool("json", false, "also print JSON documents for figures and the ablation")
 	)
 	flag.Parse()
 	cmd := flag.Arg(0)
 	if cmd == "" {
 		flag.Usage()
-		return fmt.Errorf("missing subcommand: table1 | figure5 | figure6 | overhead | all")
+		return fmt.Errorf("missing subcommand: table1 | figure5 | figure6 | overhead | ablation | all")
 	}
 
-	figOpts := experiments.FigureOptions{Sets: *sets, Horizon: *horizon}
+	workers := *parallel
+	if workers < 1 {
+		workers = experiments.ResolveWorkers(workers)
+	}
+	figOpts := experiments.FigureOptions{Sets: *sets, Horizon: *horizon, Workers: workers}
 	ovOpts := experiments.OverheadOptions{Duration: *duration, PingCount: *pings}
 
-	runFigure5 := func() error {
-		results, err := experiments.RunFigure5(figOpts)
+	renderFigure := func(name, title string, run func(experiments.FigureOptions) ([]experiments.ComboResult, error)) error {
+		results, err := run(figOpts)
 		if err != nil {
 			return err
 		}
-		fmt.Println(experiments.RenderFigure(
-			fmt.Sprintf("Figure 5: accepted utilization ratio, random balanced workloads (%d sets, %v)", *sets, *horizon),
-			results))
+		fmt.Println(experiments.RenderFigure(title, results))
 		if *csv {
 			fmt.Println(experiments.RenderCSV(results))
+		}
+		if *jsonOut {
+			doc, err := experiments.RenderFigureJSON(name, results)
+			if err != nil {
+				return err
+			}
+			fmt.Println(doc)
 		}
 		return nil
 	}
+	runFigure5 := func() error {
+		return renderFigure("figure5",
+			fmt.Sprintf("Figure 5: accepted utilization ratio, random balanced workloads (%d sets, %v, %d workers)", *sets, *horizon, workers),
+			experiments.RunFigure5)
+	}
 	runFigure6 := func() error {
-		results, err := experiments.RunFigure6(figOpts)
-		if err != nil {
-			return err
-		}
-		fmt.Println(experiments.RenderFigure(
-			fmt.Sprintf("Figure 6: accepted utilization ratio, imbalanced workloads (%d sets, %v)", *sets, *horizon),
-			results))
-		if *csv {
-			fmt.Println(experiments.RenderCSV(results))
-		}
-		return nil
+		return renderFigure("figure6",
+			fmt.Sprintf("Figure 6: accepted utilization ratio, imbalanced workloads (%d sets, %v, %d workers)", *sets, *horizon, workers),
+			experiments.RunFigure6)
 	}
 	runOverhead := func() error {
 		fmt.Fprintf(os.Stderr, "running live overhead measurement (%v + %d pings)...\n", *duration, *pings)
@@ -88,11 +98,18 @@ func run() error {
 		return nil
 	}
 	runAblation := func() error {
-		results, err := experiments.RunAblationAUBvsDS(experiments.AblationOptions{Seeds: 10})
+		results, err := experiments.RunAblationAUBvsDS(experiments.AblationOptions{Seeds: 10, Workers: workers})
 		if err != nil {
 			return err
 		}
 		fmt.Println(experiments.RenderAblation(results))
+		if *jsonOut {
+			doc, err := experiments.RenderAblationJSON(results)
+			if err != nil {
+				return err
+			}
+			fmt.Println(doc)
+		}
 		return nil
 	}
 

@@ -74,6 +74,12 @@ type ControllerStats struct {
 	Relocations int64
 	// IdleResets counts contributions removed by idle-resetting reports.
 	IdleResets int64
+	// Expiries counts contributions removed because their job's absolute
+	// deadline passed.
+	Expiries int64
+	// TaskRemovals counts contributions withdrawn because a task left the
+	// system entirely (RemoveTask).
+	TaskRemovals int64
 }
 
 // NewController returns a controller for the given strategy configuration
@@ -302,9 +308,28 @@ func (c *Controller) Location(t *sched.Task, job int64) []sched.PlacedStage {
 }
 
 // ExpireJob removes the remaining contributions of a job whose absolute
-// deadline passed. Per-task reservations are unaffected.
-func (c *Controller) ExpireJob(ref sched.JobRef) {
-	c.ledger.ExpireJob(ref)
+// deadline passed. Per-task reservations are unaffected. It returns the
+// number of contributions removed (zero for jobs already fully reset or
+// unknown), so callers can account expiry work without rescanning.
+func (c *Controller) ExpireJob(ref sched.JobRef) int {
+	n := c.ledger.ExpireJob(ref)
+	c.Stats.Expiries += int64(n)
+	return n
+}
+
+// RemoveTask withdraws a task from the system entirely: its remaining ledger
+// contributions (including a permanent per-task reservation) are released
+// through the ledger's task index, and the controller's per-task decision
+// memory is cleared so a task re-registered under the same name is treated
+// as new. It returns the number of contributions removed.
+func (c *Controller) RemoveTask(task string) int {
+	n := c.ledger.RemoveTask(task)
+	c.Stats.TaskRemovals += int64(n)
+	delete(c.admitted, task)
+	delete(c.rejected, task)
+	delete(c.placements, task)
+	delete(c.reservations, task)
+	return n
 }
 
 // IdleReset processes an "Idle Resetting" event: the reported subjobs are

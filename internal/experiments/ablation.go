@@ -32,6 +32,11 @@ type AblationOptions struct {
 	ServerUtil float64
 	// Seeds is the number of independent runs to average.
 	Seeds int
+	// Workers bounds how many seeds replay concurrently. Zero or one runs
+	// serially; negative values use one worker per CPU. Each seed owns an
+	// independent stream and ledger and lands in its own result slot, so
+	// the output is bit-identical for any worker count.
+	Workers int
 }
 
 // withDefaults fills unset fields.
@@ -80,21 +85,28 @@ type arrivalEvent struct {
 // reports both accepted utilization ratios.
 func RunAblationAUBvsDS(opts AblationOptions) ([]AblationResult, error) {
 	opts = opts.withDefaults()
-	aub := AblationResult{Technique: "AUB"}
-	ds := AblationResult{Technique: "DS"}
+	workers := opts.Workers
+	if workers < 0 {
+		workers = ResolveWorkers(workers)
+	}
+	aub := AblationResult{Technique: "AUB", PerSeed: make([]float64, opts.Seeds)}
+	ds := AblationResult{Technique: "DS", PerSeed: make([]float64, opts.Seeds)}
 
-	for seed := 0; seed < opts.Seeds; seed++ {
+	err := runTrials(opts.Seeds, workers, func(seed int) error {
 		tasks, events, err := ablationStream(opts, int64(seed))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		aubRatio := replayAUB(opts, tasks, events)
+		aub.PerSeed[seed] = replayAUB(opts, tasks, events)
 		dsRatio, err := replayDS(opts, events)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		aub.PerSeed = append(aub.PerSeed, aubRatio)
-		ds.PerSeed = append(ds.PerSeed, dsRatio)
+		ds.PerSeed[seed] = dsRatio
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	aub.AcceptedRatio = meanOf(aub.PerSeed)
 	ds.AcceptedRatio = meanOf(ds.PerSeed)

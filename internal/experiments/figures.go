@@ -29,6 +29,12 @@ type FigureOptions struct {
 	ACDelay   time.Duration
 	// Combos restricts the strategy combinations; nil runs all 15.
 	Combos []core.Config
+	// Workers bounds how many (combo, set) trials run concurrently. Zero or
+	// one runs serially on the calling goroutine; negative values use one
+	// worker per CPU. Every trial owns an independent SimSystem seeded from
+	// its set number and results are assembled in (combo, set) order, so
+	// the output is bit-identical for any worker count.
+	Workers int
 }
 
 // withDefaults fills unset options.
@@ -70,38 +76,55 @@ func RunFigure6(opts FigureOptions) ([]ComboResult, error) {
 	return runFigure(workload.Figure6Params, opts)
 }
 
-// runFigure runs every (combo, set) pair and aggregates.
+// runFigure fans every (combo, set) trial across the bounded worker pool
+// and aggregates the ratios in deterministic (combo, set) order.
 func runFigure(params func(set int) workload.Params, opts FigureOptions) ([]ComboResult, error) {
 	opts = opts.withDefaults()
-	results := make([]ComboResult, 0, len(opts.Combos))
-	for _, combo := range opts.Combos {
-		res := ComboResult{Combo: combo, PerSet: make([]float64, 0, opts.Sets)}
-		for set := 0; set < opts.Sets; set++ {
-			p := params(set)
-			tasks, err := workload.Generate(p)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: set %d: %w", set, err)
-			}
-			sim, err := core.NewSimSystem(core.SimConfig{
-				Strategies: combo,
-				NumProcs:   workload.MaxProc(tasks) + 1,
-				LinkDelay:  opts.LinkDelay,
-				ACDelay:    opts.ACDelay,
-				Horizon:    opts.Horizon,
-				Seed:       p.Seed ^ 0x5DEECE66D,
-			}, tasks)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: combo %s set %d: %w", combo, set, err)
-			}
-			m := sim.Run()
-			res.PerSet = append(res.PerSet, m.AcceptedUtilizationRatio())
+	workers := opts.Workers
+	if workers < 0 {
+		workers = ResolveWorkers(workers)
+	}
+
+	// One slot per trial, indexed combo-major so assembly is a simple walk.
+	ratios := make([]float64, len(opts.Combos)*opts.Sets)
+	err := runTrials(len(ratios), workers, func(i int) error {
+		combo := opts.Combos[i/opts.Sets]
+		set := i % opts.Sets
+		p := params(set)
+		tasks, err := workload.Generate(p)
+		if err != nil {
+			return fmt.Errorf("experiments: set %d: %w", set, err)
 		}
+		sim, err := core.NewSimSystem(core.SimConfig{
+			Strategies: combo,
+			NumProcs:   workload.MaxProc(tasks) + 1,
+			LinkDelay:  opts.LinkDelay,
+			ACDelay:    opts.ACDelay,
+			Horizon:    opts.Horizon,
+			Seed:       p.Seed ^ 0x5DEECE66D,
+		}, tasks)
+		if err != nil {
+			return fmt.Errorf("experiments: combo %s set %d: %w", combo, set, err)
+		}
+		ratios[i] = sim.Run().AcceptedUtilizationRatio()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	results := make([]ComboResult, 0, len(opts.Combos))
+	for c, combo := range opts.Combos {
+		perSet := append([]float64(nil), ratios[c*opts.Sets:(c+1)*opts.Sets]...)
 		var sum float64
-		for _, r := range res.PerSet {
+		for _, r := range perSet {
 			sum += r
 		}
-		res.Mean = sum / float64(len(res.PerSet))
-		results = append(results, res)
+		results = append(results, ComboResult{
+			Combo:  combo,
+			Mean:   sum / float64(len(perSet)),
+			PerSet: perSet,
+		})
 	}
 	return results, nil
 }

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// This file is the concurrent trial harness for the experiment runners.
+// Every (combo, set) trial of the Figure 5/6 sweeps and every seed of the
+// ablation owns an independent SimSystem (or replay ledger), so trials are
+// embarrassingly parallel; the harness fans them across a bounded worker
+// pool while writing each result into its pre-assigned slot, which keeps
+// result ordering — and therefore the rendered figures — bit-identical to
+// the serial runner.
+
+// ResolveWorkers normalizes a worker-count option: values below 1 select
+// one worker per available CPU, everything else is used as given.
+func ResolveWorkers(workers int) int {
+	if workers < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// runTrials executes fn(i) for every i in [0, n) on at most workers
+// concurrent goroutines. With workers ≤ 1 it degenerates to a plain serial
+// loop on the calling goroutine (no goroutines spawned, deterministic
+// failure point). Every trial runs regardless of other trials' failures —
+// results land in caller-owned slots — and the error of the lowest-indexed
+// failed trial is returned, matching the serial loop's first-error
+// semantics.
+func runTrials(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	errs := make([]error, n)
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// comboJSON is the machine-readable form of one ComboResult; the combo is
+// emitted as its AC_IR_LB tuple string.
+type comboJSON struct {
+	Combo  string    `json:"combo"`
+	Mean   float64   `json:"mean"`
+	PerSet []float64 `json:"per_set"`
+}
+
+// figureJSON is the top-level JSON document for one figure series.
+type figureJSON struct {
+	Figure  string      `json:"figure"`
+	Results []comboJSON `json:"results"`
+}
+
+// RenderFigureJSON emits a figure series as an indented JSON document for
+// machine consumption (the -json mode of rtmw-bench).
+func RenderFigureJSON(name string, results []ComboResult) (string, error) {
+	doc := figureJSON{Figure: name, Results: make([]comboJSON, 0, len(results))}
+	for _, r := range results {
+		doc.Results = append(doc.Results, comboJSON{
+			Combo:  r.Combo.String(),
+			Mean:   r.Mean,
+			PerSet: r.PerSet,
+		})
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("experiments: encode %s: %w", name, err)
+	}
+	return string(out), nil
+}
+
+// ablationJSON is the machine-readable form of one ablation technique row.
+type ablationJSON struct {
+	Technique     string    `json:"technique"`
+	AcceptedRatio float64   `json:"accepted_ratio"`
+	PerSeed       []float64 `json:"per_seed"`
+}
+
+// RenderAblationJSON emits the AUB-vs-DS comparison as indented JSON.
+func RenderAblationJSON(results []AblationResult) (string, error) {
+	doc := struct {
+		Ablation string         `json:"ablation"`
+		Results  []ablationJSON `json:"results"`
+	}{Ablation: "AUB-vs-DS"}
+	for _, r := range results {
+		doc.Results = append(doc.Results, ablationJSON{
+			Technique:     r.Technique,
+			AcceptedRatio: r.AcceptedRatio,
+			PerSeed:       r.PerSeed,
+		})
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("experiments: encode ablation: %w", err)
+	}
+	return string(out), nil
+}

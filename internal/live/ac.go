@@ -42,6 +42,9 @@ type AdmissionController struct {
 	// DecisionDelay measures operation time from TaskArrive receipt to
 	// Accept push (manager-side total).
 	DecisionDelay core.OpStats
+	// ResetApply measures the manager-side time to apply one idle-resetting
+	// report to the ledger (operation 8's AC half).
+	ResetApply core.OpStats
 }
 
 // Compile-time interface check.
@@ -181,18 +184,50 @@ func (ac *AdmissionController) expire(ref sched.JobRef) {
 	ac.ctrl.ExpireJob(ref)
 }
 
-// onIdleReset applies an "Idle Resetting" report.
+// onIdleReset applies an "Idle Resetting" report, accounting how many
+// contributions the ledger actually released (entries may already be gone
+// through deadline expiry, so the applied count is the ground truth the
+// experiments report).
 func (ac *AdmissionController) onIdleReset(ev eventchan.Event) {
 	var rep IdleReset
 	if err := decode(ev.Payload, &rep); err != nil {
 		return
 	}
 	ac.mu.Lock()
-	defer ac.mu.Unlock()
 	if ac.closed {
+		ac.mu.Unlock()
 		return
 	}
+	// Time only the ledger apply, not decode or lock contention.
+	start := time.Now()
 	ac.ctrl.IdleReset(rep.Entries)
+	elapsed := time.Since(start)
+	ac.mu.Unlock()
+	ac.ResetApply.Add(elapsed)
+}
+
+// ResetsApplied returns the number of ledger contributions removed through
+// idle-resetting reports so far (the controller's IdleResets counter).
+func (ac *AdmissionController) ResetsApplied() int64 {
+	ac.mu.Lock()
+	defer ac.mu.Unlock()
+	if ac.ctrl == nil {
+		return 0
+	}
+	return ac.ctrl.Stats.IdleResets
+}
+
+// CompletedOn exposes the ledger's per-processor view of completed,
+// still-active contributions (through the per-processor entry index), so
+// remote idle resetters and diagnostic tools can reconcile their local
+// pending sets against the manager's ledger.
+func (ac *AdmissionController) CompletedOn(proc int, includePeriodic bool) []sched.EntryRef {
+	ac.mu.Lock()
+	defer ac.mu.Unlock()
+	if ac.ctrl == nil {
+		return nil
+	}
+	return ac.ctrl.Ledger().CompletedOn(proc, includePeriodic)
 }
 
 // parseStrategyAttr reads one N/T/J attribute.

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 )
 
@@ -50,6 +52,9 @@ const (
 	// RemovedRelocation marks contributions withdrawn because the load
 	// balancer re-allocated the stage to a different processor.
 	RemovedRelocation
+	// RemovedWithdrawal marks contributions withdrawn because the whole
+	// task left the system (RemoveTask), before any deadline expired.
+	RemovedWithdrawal
 )
 
 // String returns the lowercase name of the reason.
@@ -61,6 +66,8 @@ func (r RemovalReason) String() string {
 		return "idle-reset"
 	case RemovedRelocation:
 		return "relocation"
+	case RemovedWithdrawal:
+		return "withdrawal"
 	default:
 		return fmt.Sprintf("RemovalReason(%d)", int(r))
 	}
@@ -112,6 +119,12 @@ type jobKey struct {
 // jobRec groups the entries of one admitted job.
 type jobRec struct {
 	entries []*entry
+	// group is the signature group the job currently belongs to; nil while
+	// the job has no active contribution.
+	group *sigGroup
+	// counted reports whether the job is currently included in
+	// group.counted (it is in flight and active).
+	counted bool
 }
 
 // active reports whether the job still carries at least one non-removed
@@ -137,26 +150,102 @@ func (j *jobRec) inFlight() bool {
 	return false
 }
 
+// signature returns the canonical processor-visit signature of the job's
+// active contributions: the multiset of processors its non-removed entries
+// occupy, encoded deterministically, plus the per-processor entry counts.
+// Jobs with equal signatures have identical AUB sums, so the ledger
+// evaluates each signature once per admission test instead of once per job.
+func (j *jobRec) signature() (string, []int, map[int]int) {
+	count := make(map[int]int)
+	for _, e := range j.entries {
+		if e.removed == 0 {
+			count[e.proc]++
+		}
+	}
+	if len(count) == 0 {
+		return "", nil, nil
+	}
+	procs := make([]int, 0, len(count))
+	for p := range count {
+		procs = append(procs, p)
+	}
+	sort.Ints(procs)
+	var b strings.Builder
+	for i, p := range procs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(p))
+		b.WriteByte(':')
+		b.WriteString(strconv.Itoa(count[p]))
+	}
+	return b.String(), procs, count
+}
+
+// sigGroup aggregates every ledger job sharing one processor-visit
+// signature. The AUB condition of a job depends only on its signature (the
+// per-processor terms are shared by all jobs), so one cached sum serves the
+// whole group and Admissible touches groups, not jobs.
+type sigGroup struct {
+	sig   string
+	procs []int       // sorted distinct processors of the signature
+	count map[int]int // active entries per processor (shared by members)
+	// members is the number of jobRecs pointing at this group.
+	members int
+	// counted is the number of member jobs that are in flight and active —
+	// exactly the jobs the admission test must cover.
+	counted int
+	// cachedSum is Σ_p count[p]·f(util[p]) under the current utilizations,
+	// recomputed whenever a constituent processor's utilization changes.
+	cachedSum float64
+}
+
 // Ledger is the synthetic-utilization ledger maintained by the admission
 // controller. It tracks, per processor, the sum of C/D contributions of the
 // current task set, with per-entry state so the per-task/per-job admission
 // strategies and the three idle-resetting strategies are all policies over
 // the same records.
 //
+// Internally the ledger is fully indexed so the admission hot path never
+// scans the job map: per-processor entry sets serve CompletedOn, a
+// task→jobs index serves RemoveTask, and jobs are aggregated into
+// processor-visit signature groups with cached AUB sums so Admissible only
+// re-evaluates the groups whose processors a candidate perturbs.
+//
 // Ledger is not safe for concurrent use; the admission controller serializes
 // access (the paper's architecture is a single centralized AC).
 type Ledger struct {
 	util []float64
+	term []float64 // term[p] = AUBTerm(util[p]), maintained with util
 	jobs map[jobKey]*jobRec
+
+	procEntries []map[*entry]struct{} // active entries per processor
+	taskJobs    map[string]map[int64]*jobRec
+	groups      map[string]*sigGroup     // signature → group
+	procGroups  []map[*sigGroup]struct{} // groups whose signature visits proc
+	// violated counts groups with counted > 0 whose cachedSum already
+	// exceeds 1: while any exist, no candidate is admissible (adding
+	// utilization can only grow a group's sum).
+	violated int
 }
 
 // NewLedger returns an empty ledger over numProcs processors numbered
 // 0..numProcs-1.
 func NewLedger(numProcs int) *Ledger {
-	return &Ledger{
-		util: make([]float64, numProcs),
-		jobs: make(map[jobKey]*jobRec),
+	l := &Ledger{
+		util:        make([]float64, numProcs),
+		term:        make([]float64, numProcs),
+		jobs:        make(map[jobKey]*jobRec),
+		procEntries: make([]map[*entry]struct{}, numProcs),
+		taskJobs:    make(map[string]map[int64]*jobRec),
+		groups:      make(map[string]*sigGroup),
+		procGroups:  make([]map[*sigGroup]struct{}, numProcs),
 	}
+	for p := 0; p < numProcs; p++ {
+		l.procEntries[p] = make(map[*entry]struct{})
+		l.procGroups[p] = make(map[*sigGroup]struct{})
+	}
+	return l
 }
 
 // NumProcs returns the number of processors the ledger tracks.
@@ -175,6 +264,142 @@ func (l *Ledger) Utils() []float64 {
 	return append([]float64(nil), l.util...)
 }
 
+// addUtil changes a processor's utilization and settles its caches. Batch
+// mutations touching several entries use raw util adjustments plus one
+// settleProc per distinct processor instead, so shared signature groups are
+// refreshed once per processor rather than once per entry.
+func (l *Ledger) addUtil(proc int, amount float64) {
+	l.util[proc] += amount
+	l.settleProc(proc)
+}
+
+// settleProc finalizes a processor after raw utilization adjustments:
+// clamps tiny negative floating-point residue to zero, recaches the AUB
+// term, and refreshes the cached sums of every signature group visiting the
+// processor.
+func (l *Ledger) settleProc(proc int) {
+	if l.util[proc] < 0 && l.util[proc] > -1e-9 {
+		l.util[proc] = 0
+	}
+	l.term[proc] = AUBTerm(l.util[proc])
+	for g := range l.procGroups[proc] {
+		l.refreshGroupSum(g)
+	}
+}
+
+// touchProc appends a processor to a small deduplicated batch buffer.
+func touchProc(procs []int, proc int) []int {
+	for _, p := range procs {
+		if p == proc {
+			return procs
+		}
+	}
+	return append(procs, proc)
+}
+
+// refreshGroupSum recomputes a group's cached AUB sum from the current
+// per-processor terms (a fresh deterministic sum over the sorted signature,
+// never an incremental adjustment, so the cache cannot drift), maintaining
+// the violated counter.
+func (l *Ledger) refreshGroupSum(g *sigGroup) {
+	was := g.counted > 0 && g.cachedSum > 1
+	var s float64
+	for _, p := range g.procs {
+		s += float64(g.count[p]) * l.term[p]
+	}
+	g.cachedSum = s
+	l.flipViolated(g, was)
+}
+
+// flipViolated adjusts the violated counter after a group's counted or
+// cachedSum changed; was is the group's violation status before the change.
+func (l *Ledger) flipViolated(g *sigGroup, was bool) {
+	now := g.counted > 0 && g.cachedSum > 1
+	if was && !now {
+		l.violated--
+	} else if !was && now {
+		l.violated++
+	}
+}
+
+// setCounted flips a job's membership in its group's counted tally.
+func (l *Ledger) setCounted(rec *jobRec, counted bool) {
+	g := rec.group
+	if g == nil || rec.counted == counted {
+		rec.counted = counted && g != nil
+		return
+	}
+	was := g.counted > 0 && g.cachedSum > 1
+	if counted {
+		g.counted++
+	} else {
+		g.counted--
+	}
+	rec.counted = counted
+	l.flipViolated(g, was)
+}
+
+// leaveGroup detaches a job from its current signature group, releasing the
+// group when the last member leaves.
+func (l *Ledger) leaveGroup(rec *jobRec) {
+	g := rec.group
+	if g == nil {
+		return
+	}
+	l.setCounted(rec, false)
+	g.members--
+	if g.members == 0 {
+		delete(l.groups, g.sig)
+		for _, p := range g.procs {
+			delete(l.procGroups[p], g)
+		}
+	}
+	rec.group = nil
+}
+
+// reindex re-derives a job's signature group membership and counted status
+// after any mutation of its entries. It must run after the utilization
+// updates of the same mutation so a newly created group caches the final
+// sums.
+func (l *Ledger) reindex(rec *jobRec) {
+	sig, procs, count := rec.signature()
+	if rec.group == nil || rec.group.sig != sig {
+		l.leaveGroup(rec)
+		if sig != "" {
+			g, ok := l.groups[sig]
+			if !ok {
+				g = &sigGroup{sig: sig, procs: procs, count: count}
+				l.groups[sig] = g
+				for _, p := range procs {
+					l.procGroups[p][g] = struct{}{}
+				}
+				// Fill the cache; with no counted members yet the
+				// violated flip inside is a no-op.
+				l.refreshGroupSum(g)
+			}
+			g.members++
+			rec.group = g
+		}
+	}
+	l.setCounted(rec, rec.group != nil && rec.inFlight() && rec.active())
+}
+
+// forgetJob removes a job record and all its index state. The caller has
+// already settled the job's utilization contributions.
+func (l *Ledger) forgetJob(k jobKey, rec *jobRec) {
+	l.leaveGroup(rec)
+	for _, e := range rec.entries {
+		delete(l.procEntries[e.proc], e)
+	}
+	delete(l.jobs, k)
+	if jobs := l.taskJobs[k.task]; jobs != nil {
+		delete(jobs, k.job)
+		if len(jobs) == 0 {
+			delete(l.taskJobs, k.task)
+		}
+	}
+}
+
 // AddJob records the contributions of an admitted job placed per placement.
 // When permanent is true the contributions never expire (the per-task
 // admission strategy reserves a periodic task's synthetic utilization for
@@ -186,7 +411,6 @@ func (l *Ledger) AddJob(ref JobRef, kind TaskKind, placement []PlacedStage, perm
 	if _, ok := l.jobs[k]; ok {
 		return fmt.Errorf("sched: job %s already in ledger", ref)
 	}
-	rec := &jobRec{entries: make([]*entry, 0, len(placement))}
 	for _, p := range placement {
 		if p.Proc < 0 || p.Proc >= len(l.util) {
 			return fmt.Errorf("sched: job %s stage %d placed on unknown processor %d", ref, p.Stage, p.Proc)
@@ -194,6 +418,11 @@ func (l *Ledger) AddJob(ref JobRef, kind TaskKind, placement []PlacedStage, perm
 		if p.Util < 0 {
 			return fmt.Errorf("sched: job %s stage %d has negative utilization %g", ref, p.Stage, p.Util)
 		}
+	}
+	rec := &jobRec{entries: make([]*entry, 0, len(placement))}
+	var touchedBuf [8]int
+	touched := touchedBuf[:0]
+	for _, p := range placement {
 		e := &entry{
 			ref:       ref,
 			stage:     p.Stage,
@@ -204,9 +433,21 @@ func (l *Ledger) AddJob(ref JobRef, kind TaskKind, placement []PlacedStage, perm
 			expiry:    expiry,
 		}
 		rec.entries = append(rec.entries, e)
+		l.procEntries[p.Proc][e] = struct{}{}
 		l.util[p.Proc] += p.Util
+		touched = touchProc(touched, p.Proc)
+	}
+	for _, p := range touched {
+		l.settleProc(p)
 	}
 	l.jobs[k] = rec
+	jobs := l.taskJobs[k.task]
+	if jobs == nil {
+		jobs = make(map[int64]*jobRec)
+		l.taskJobs[k.task] = jobs
+	}
+	jobs[k.job] = rec
+	l.reindex(rec)
 	return nil
 }
 
@@ -223,6 +464,8 @@ func (l *Ledger) ExpireJob(ref JobRef) int {
 	}
 	n := 0
 	permanentOnly := true
+	var touchedBuf [8]int
+	touched := touchedBuf[:0]
 	for _, e := range rec.entries {
 		if e.permanent {
 			continue
@@ -230,12 +473,17 @@ func (l *Ledger) ExpireJob(ref JobRef) int {
 		permanentOnly = false
 		if e.removed == 0 {
 			e.removed = RemovedExpiry
-			l.subtract(e.proc, e.amount)
+			delete(l.procEntries[e.proc], e)
+			l.util[e.proc] -= e.amount
+			touched = touchProc(touched, e.proc)
 			n++
 		}
 	}
+	for _, p := range touched {
+		l.settleProc(p)
+	}
 	if !permanentOnly {
-		delete(l.jobs, k)
+		l.forgetJob(k, rec)
 	}
 	return n
 }
@@ -244,18 +492,22 @@ func (l *Ledger) ExpireJob(ref JobRef) int {
 // left the system). It returns the number of contributions removed.
 func (l *Ledger) RemoveTask(task string) int {
 	n := 0
-	for k, rec := range l.jobs {
-		if k.task != task {
-			continue
-		}
+	for job, rec := range l.taskJobs[task] {
+		var touchedBuf [8]int
+		touched := touchedBuf[:0]
 		for _, e := range rec.entries {
 			if e.removed == 0 {
-				e.removed = RemovedExpiry
-				l.subtract(e.proc, e.amount)
+				e.removed = RemovedWithdrawal
+				delete(l.procEntries[e.proc], e)
+				l.util[e.proc] -= e.amount
+				touched = touchProc(touched, e.proc)
 				n++
 			}
 		}
-		delete(l.jobs, k)
+		for _, p := range touched {
+			l.settleProc(p)
+		}
+		l.forgetJob(jobKey{task, job}, rec)
 	}
 	return n
 }
@@ -268,10 +520,18 @@ func (l *Ledger) MarkComplete(ref JobRef, stage int) {
 	if !ok {
 		return
 	}
+	changed := false
 	for _, e := range rec.entries {
-		if e.stage == stage {
+		if e.stage == stage && !e.completed {
 			e.completed = true
+			changed = true
 		}
+	}
+	if changed {
+		// The active set — and with it the signature group — is unchanged,
+		// but the job may have left the in-flight set, which drops it from
+		// the admission test.
+		l.setCounted(rec, rec.group != nil && rec.inFlight() && rec.active())
 	}
 }
 
@@ -294,7 +554,9 @@ func (l *Ledger) ResetEntry(r EntryRef) bool {
 			return false
 		}
 		e.removed = RemovedIdleReset
-		l.subtract(e.proc, e.amount)
+		delete(l.procEntries[e.proc], e)
+		l.addUtil(e.proc, -e.amount)
+		l.reindex(rec)
 		return true
 	}
 	return false
@@ -303,19 +565,22 @@ func (l *Ledger) ResetEntry(r EntryRef) bool {
 // CompletedOn returns the completed, still-active contributions on the given
 // processor, optionally restricted to aperiodic tasks. Idle resetter
 // components use it (in the simulation binding) to build their report when
-// the processor goes idle. Results are ordered deterministically.
+// the processor goes idle. It reads the per-processor entry index, so the
+// cost scales with the processor's own entries rather than the whole job
+// map. Results are ordered deterministically.
 func (l *Ledger) CompletedOn(proc int, includePeriodic bool) []EntryRef {
+	if proc < 0 || proc >= len(l.procEntries) {
+		return nil
+	}
 	var out []EntryRef
-	for _, rec := range l.jobs {
-		for _, e := range rec.entries {
-			if e.proc != proc || !e.completed || e.removed != 0 || e.permanent {
-				continue
-			}
-			if !includePeriodic && e.kind == Periodic {
-				continue
-			}
-			out = append(out, EntryRef{Ref: e.ref, Stage: e.stage, Proc: e.proc})
+	for e := range l.procEntries[proc] {
+		if !e.completed || e.removed != 0 || e.permanent {
+			continue
 		}
+		if !includePeriodic && e.kind == Periodic {
+			continue
+		}
+		out = append(out, EntryRef{Ref: e.ref, Stage: e.stage, Proc: e.proc})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Ref.Task != out[j].Ref.Task {
@@ -344,34 +609,127 @@ func (l *Ledger) Relocate(ref JobRef, placement []PlacedStage) error {
 		}
 		byStage[p.Stage] = p
 	}
+	var touchedBuf [8]int
+	touched := touchedBuf[:0]
 	for _, e := range rec.entries {
 		p, ok := byStage[e.stage]
 		if !ok || e.removed != 0 || e.proc == p.Proc {
 			continue
 		}
-		l.subtract(e.proc, e.amount)
+		delete(l.procEntries[e.proc], e)
+		l.util[e.proc] -= e.amount
+		touched = touchProc(touched, e.proc)
 		e.proc = p.Proc
 		e.amount = p.Util
-		l.util[p.Proc] += p.Util
+		l.procEntries[e.proc][e] = struct{}{}
+		l.util[e.proc] += p.Util
+		touched = touchProc(touched, e.proc)
+	}
+	if len(touched) > 0 {
+		for _, p := range touched {
+			l.settleProc(p)
+		}
+		l.reindex(rec)
 	}
 	return nil
-}
-
-// subtract decreases a processor's utilization, clamping tiny negative
-// floating-point residue to zero.
-func (l *Ledger) subtract(proc int, amount float64) {
-	l.util[proc] -= amount
-	if l.util[proc] < 0 && l.util[proc] > -1e-9 {
-		l.util[proc] = 0
-	}
 }
 
 // Admissible evaluates the AUB admission test for a candidate job with the
 // given placement: with the candidate's contributions tentatively added,
 // condition (1) must continue to hold for the candidate and for every
 // in-flight job in the current task set. It does not modify the ledger.
+//
+// The evaluation is indexed: jobs visiting none of the candidate's
+// processors keep their cached (already ≤ 1, else the violated counter
+// short-circuits) sums untouched, and the perturbed jobs are evaluated once
+// per distinct processor-visit signature instead of once per job. The
+// decision is equivalent to the full-scan referenceAdmissible.
 func (l *Ledger) Admissible(placement []PlacedStage) bool {
-	// Tentative utilizations: current plus the candidate's contributions.
+	for _, p := range placement {
+		if p.Util < 0 {
+			// Negative candidates void the monotonicity the fast path
+			// relies on; fall back to the reference evaluation.
+			return l.referenceAdmissible(placement)
+		}
+	}
+
+	// Candidate's own condition under the tentative utilizations. Placements
+	// are short chains, so the per-processor delta is summed by a direct
+	// walk instead of a map — the admission hot path stays allocation-free.
+	var sum float64
+	for _, p := range placement {
+		sum += AUBTerm(l.util[p.Proc] + candidateDelta(placement, p.Proc))
+	}
+	if sum > 1 {
+		return false
+	}
+
+	// Some in-flight job already violates its condition without the
+	// candidate; adding utilization cannot repair it.
+	if l.violated > 0 {
+		return false
+	}
+
+	// Re-evaluate only the signature groups that visit a perturbed
+	// processor; every other in-flight job's sum is its cached sum, which
+	// the violated counter already vouches for.
+	var seenBuf [16]*sigGroup
+	seen := seenBuf[:0]
+	for i, p := range placement {
+		dup := false
+		for _, q := range placement[:i] {
+			if q.Proc == p.Proc {
+				dup = true
+				break
+			}
+		}
+		if dup || candidateDelta(placement, p.Proc) == 0 {
+			continue
+		}
+		for g := range l.procGroups[p.Proc] {
+			if g.counted == 0 {
+				continue
+			}
+			visited := false
+			for _, s := range seen {
+				if s == g {
+					visited = true
+					break
+				}
+			}
+			if visited {
+				continue
+			}
+			seen = append(seen, g)
+			var s float64
+			for _, q := range g.procs {
+				s += float64(g.count[q]) * AUBTerm(l.util[q]+candidateDelta(placement, q))
+				if s > 1 {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// candidateDelta sums the candidate placement's utilization on one
+// processor.
+func candidateDelta(placement []PlacedStage, proc int) float64 {
+	var d float64
+	for _, p := range placement {
+		if p.Proc == proc {
+			d += p.Util
+		}
+	}
+	return d
+}
+
+// referenceAdmissible is the paper-literal full-scan admission test: every
+// in-flight job's condition is recomputed from its entry records. It is the
+// behavioral reference for the indexed Admissible, kept for CheckInvariants
+// and the differential property tests.
+func (l *Ledger) referenceAdmissible(placement []PlacedStage) bool {
 	delta := make(map[int]float64, len(placement))
 	for _, p := range placement {
 		delta[p.Proc] += p.Util
@@ -430,15 +788,23 @@ func (l *Ledger) ActiveJobs() []JobRef {
 }
 
 // CheckInvariants recomputes per-processor utilization from entry records
-// and verifies it matches the running sums within tolerance, and that no
-// utilization is negative. Property tests call it after random operation
-// sequences.
+// and verifies it matches the running sums within tolerance, that no
+// utilization is negative, and that every index (per-processor entries,
+// task→jobs, signature groups with their cached sums and the violated
+// counter) agrees with the ground-truth records. It also cross-checks the
+// indexed Admissible against referenceAdmissible on the empty candidate.
+// Property tests call it after random operation sequences.
 func (l *Ledger) CheckInvariants() error {
 	recomputed := make([]float64, len(l.util))
+	activeEntries := 0
 	for _, rec := range l.jobs {
 		for _, e := range rec.entries {
 			if e.removed == 0 {
 				recomputed[e.proc] += e.amount
+				activeEntries++
+				if _, ok := l.procEntries[e.proc][e]; !ok {
+					return fmt.Errorf("sched: active entry %s/%d missing from processor %d index", e.ref, e.stage, e.proc)
+				}
 			}
 		}
 	}
@@ -449,6 +815,132 @@ func (l *Ledger) CheckInvariants() error {
 		if diff := math.Abs(l.util[p] - recomputed[p]); diff > 1e-6 {
 			return fmt.Errorf("sched: processor %d utilization drift: running %g vs recomputed %g", p, l.util[p], recomputed[p])
 		}
+		if l.term[p] != AUBTerm(l.util[p]) {
+			return fmt.Errorf("sched: processor %d has stale AUB term cache", p)
+		}
+	}
+	indexed := 0
+	for p := range l.procEntries {
+		indexed += len(l.procEntries[p])
+		for e := range l.procEntries[p] {
+			if e.removed != 0 {
+				return fmt.Errorf("sched: removed entry %s/%d still in processor %d index", e.ref, e.stage, p)
+			}
+			if e.proc != p {
+				return fmt.Errorf("sched: entry %s/%d indexed under processor %d but placed on %d", e.ref, e.stage, p, e.proc)
+			}
+		}
+	}
+	if indexed != activeEntries {
+		return fmt.Errorf("sched: processor index holds %d entries, records hold %d", indexed, activeEntries)
+	}
+
+	taskIndexed := 0
+	for task, jobs := range l.taskJobs {
+		for job, rec := range jobs {
+			taskIndexed++
+			if l.jobs[jobKey{task, job}] != rec {
+				return fmt.Errorf("sched: task index entry %s/%d does not match job map", task, job)
+			}
+		}
+	}
+	if taskIndexed != len(l.jobs) {
+		return fmt.Errorf("sched: task index holds %d jobs, job map holds %d", taskIndexed, len(l.jobs))
+	}
+
+	members := make(map[*sigGroup]int)
+	counted := make(map[*sigGroup]int)
+	for k, rec := range l.jobs {
+		sig, _, _ := rec.signature()
+		switch {
+		case sig == "" && rec.group != nil:
+			return fmt.Errorf("sched: inactive job %s/%d still grouped", k.task, k.job)
+		case sig != "" && rec.group == nil:
+			return fmt.Errorf("sched: active job %s/%d has no signature group", k.task, k.job)
+		case rec.group != nil && rec.group.sig != sig:
+			return fmt.Errorf("sched: job %s/%d grouped under %q, signature is %q", k.task, k.job, rec.group.sig, sig)
+		}
+		if rec.group != nil {
+			members[rec.group]++
+			want := rec.inFlight() && rec.active()
+			if rec.counted != want {
+				return fmt.Errorf("sched: job %s/%d counted=%v, want %v", k.task, k.job, rec.counted, want)
+			}
+			if rec.counted {
+				counted[rec.group]++
+			}
+		}
+	}
+	wantViolated := 0
+	for sig, g := range l.groups {
+		if g.sig != sig {
+			return fmt.Errorf("sched: group keyed %q names itself %q", sig, g.sig)
+		}
+		if g.members != members[g] {
+			return fmt.Errorf("sched: group %q has %d members, records show %d", sig, g.members, members[g])
+		}
+		if g.counted != counted[g] {
+			return fmt.Errorf("sched: group %q counts %d in-flight jobs, records show %d", sig, g.counted, counted[g])
+		}
+		var s float64
+		for _, p := range g.procs {
+			s += float64(g.count[p]) * l.term[p]
+		}
+		if math.Abs(s-g.cachedSum) > 1e-9 && !(math.IsInf(s, 1) && math.IsInf(g.cachedSum, 1)) {
+			return fmt.Errorf("sched: group %q cached sum %g, recomputed %g", sig, g.cachedSum, s)
+		}
+		for _, p := range g.procs {
+			if _, ok := l.procGroups[p][g]; !ok {
+				return fmt.Errorf("sched: group %q missing from processor %d group index", sig, p)
+			}
+		}
+		if g.counted > 0 && g.cachedSum > 1 {
+			wantViolated++
+		}
+	}
+	if len(members) != len(l.groups) {
+		return fmt.Errorf("sched: %d groups referenced by jobs, %d registered", len(members), len(l.groups))
+	}
+	for p := range l.procGroups {
+		for g := range l.procGroups[p] {
+			if l.groups[g.sig] != g {
+				return fmt.Errorf("sched: processor %d group index holds unregistered group %q", p, g.sig)
+			}
+		}
+	}
+	if l.violated != wantViolated {
+		return fmt.Errorf("sched: violated counter %d, recomputed %d", l.violated, wantViolated)
+	}
+
+	if fast, ref := l.Admissible(nil), l.referenceAdmissible(nil); fast != ref {
+		// The indexed path sums count[p]·f(u_p) over sorted processors, the
+		// reference sums f(u_p) once per entry in record order; at a job sum
+		// within rounding distance of the bound the two can legitimately
+		// land on opposite sides, so only flag disagreements away from it.
+		if !l.nearAUBBoundary(1e-9) {
+			return fmt.Errorf("sched: indexed Admissible(nil)=%v disagrees with reference %v", fast, ref)
+		}
 	}
 	return nil
+}
+
+// nearAUBBoundary reports whether any in-flight job's AUB sum lies within
+// eps of the admission bound 1, where floating-point summation order can
+// flip the decision.
+func (l *Ledger) nearAUBBoundary(eps float64) bool {
+	for _, rec := range l.jobs {
+		if !rec.inFlight() || !rec.active() {
+			continue
+		}
+		var s float64
+		for _, e := range rec.entries {
+			if e.removed == 0 {
+				s += AUBTerm(l.util[e.proc])
+			}
+		}
+		if math.Abs(s-1) <= eps {
+			return true
+		}
+	}
+	return false
 }

@@ -70,7 +70,7 @@ func TestPathFeasible(t *testing.T) {
 
 func TestRemovalReasonString(t *testing.T) {
 	if RemovedExpiry.String() != "expiry" || RemovedIdleReset.String() != "idle-reset" ||
-		RemovedRelocation.String() != "relocation" {
+		RemovedRelocation.String() != "relocation" || RemovedWithdrawal.String() != "withdrawal" {
 		t.Error("unexpected RemovalReason strings")
 	}
 	if RemovalReason(0).String() != "RemovalReason(0)" {

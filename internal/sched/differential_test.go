@@ -1,0 +1,193 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// differentialHarness drives one ledger through a random operation sequence
+// and, after every mutation, asserts that the indexed Admissible agrees with
+// the full-scan referenceAdmissible on a batch of random candidate
+// placements, and that CheckInvariants (which audits every index) holds.
+func differentialHarness(t *testing.T, seed int64, ops int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	const procs = 6
+	l := NewLedger(procs)
+
+	var live []JobRef
+	nextJob := int64(0)
+
+	randPlacement := func(maxUtil float64) []PlacedStage {
+		stages := 1 + rng.Intn(3)
+		pl := make([]PlacedStage, stages)
+		for s := range pl {
+			pl[s] = PlacedStage{Stage: s, Proc: rng.Intn(procs), Util: rng.Float64() * maxUtil}
+		}
+		return pl
+	}
+
+	checkAgreement := func(step int, op string) {
+		t.Helper()
+		if err := l.CheckInvariants(); err != nil {
+			t.Fatalf("seed %d step %d after %s: %v", seed, step, op, err)
+		}
+		for q := 0; q < 4; q++ {
+			cand := randPlacement(0.5)
+			fast := l.Admissible(cand)
+			ref := l.referenceAdmissible(cand)
+			if fast != ref {
+				t.Fatalf("seed %d step %d after %s: Admissible(%v) = %v, reference = %v",
+					seed, step, op, cand, fast, ref)
+			}
+		}
+	}
+
+	for step := 0; step < ops; step++ {
+		var op string
+		switch rng.Intn(10) {
+		case 0, 1, 2: // AddJob, deliberately without an admission check so
+			// overloaded (violating) states are exercised too.
+			ref := JobRef{Task: fmt.Sprintf("t%d", rng.Intn(5)), Job: nextJob}
+			nextJob++
+			kind := Aperiodic
+			if rng.Intn(2) == 0 {
+				kind = Periodic
+			}
+			permanent := rng.Intn(5) == 0
+			if err := l.AddJob(ref, kind, randPlacement(0.6), permanent, time.Duration(step)*time.Millisecond); err != nil {
+				t.Fatalf("seed %d step %d: AddJob: %v", seed, step, err)
+			}
+			live = append(live, ref)
+			op = "AddJob"
+		case 3, 4: // ExpireJob (sometimes of an unknown job).
+			ref := JobRef{Task: "nope", Job: -1}
+			if len(live) > 0 && rng.Intn(8) != 0 {
+				i := rng.Intn(len(live))
+				ref = live[i]
+				live = append(live[:i], live[i+1:]...)
+			}
+			l.ExpireJob(ref)
+			op = "ExpireJob"
+		case 5: // MarkComplete on a random live job and stage.
+			if len(live) == 0 {
+				continue
+			}
+			l.MarkComplete(live[rng.Intn(len(live))], rng.Intn(3))
+			op = "MarkComplete"
+		case 6: // ResetEntry via CompletedOn, as the idle resetters do.
+			proc := rng.Intn(procs)
+			for _, r := range l.CompletedOn(proc, rng.Intn(2) == 0) {
+				l.ResetEntry(r)
+			}
+			op = "ResetEntry"
+		case 7: // ResetEntry on a raw random reference (mostly misses).
+			if len(live) == 0 {
+				continue
+			}
+			l.ResetEntry(EntryRef{Ref: live[rng.Intn(len(live))], Stage: rng.Intn(3), Proc: rng.Intn(procs)})
+			op = "ResetEntry-raw"
+		case 8: // Relocate a live job.
+			if len(live) == 0 {
+				continue
+			}
+			ref := live[rng.Intn(len(live))]
+			if err := l.Relocate(ref, randPlacement(0.4)); err != nil {
+				t.Fatalf("seed %d step %d: Relocate(%s): %v", seed, step, ref, err)
+			}
+			op = "Relocate"
+		case 9: // RemoveTask withdraws every job of one task name.
+			task := fmt.Sprintf("t%d", rng.Intn(5))
+			l.RemoveTask(task)
+			kept := live[:0]
+			for _, ref := range live {
+				if ref.Task != task {
+					kept = append(kept, ref)
+				}
+			}
+			live = kept
+			op = "RemoveTask"
+		}
+		checkAgreement(step, op)
+	}
+}
+
+// TestLedgerDifferentialAdmissible is the differential property test for the
+// indexed admission fast path: random AddJob/ExpireJob/MarkComplete/
+// ResetEntry/Relocate/RemoveTask sequences must leave the indexed Admissible
+// decision-equivalent to the full-scan reference on every query, with all
+// ledger indexes passing CheckInvariants at every step.
+func TestLedgerDifferentialAdmissible(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			differentialHarness(t, seed, 120)
+		})
+	}
+}
+
+// TestLedgerAdmissibleOverload pins the violated-counter behavior: once any
+// in-flight job's condition is broken by force-added load, every candidate is
+// rejected by both evaluations, and draining the overload restores agreement.
+func TestLedgerAdmissibleOverload(t *testing.T) {
+	l := NewLedger(2)
+	ref := JobRef{Task: "x", Job: 0}
+	pl := []PlacedStage{{Stage: 0, Proc: 0, Util: 0.5}}
+	if err := l.AddJob(ref, Aperiodic, pl, false, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	// Force the processor far past the bound without admission checks.
+	heavy := JobRef{Task: "y", Job: 0}
+	if err := l.AddJob(heavy, Aperiodic, []PlacedStage{{Stage: 0, Proc: 0, Util: 0.9}}, false, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	cand := []PlacedStage{{Stage: 0, Proc: 1, Util: 0.01}}
+	if l.Admissible(cand) {
+		t.Error("candidate admitted while an in-flight job's condition is violated")
+	}
+	if l.referenceAdmissible(cand) {
+		t.Error("reference admitted while an in-flight job's condition is violated")
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	l.ExpireJob(heavy)
+	if !l.Admissible(cand) {
+		t.Error("candidate rejected after the overload drained")
+	}
+	if got, want := l.Admissible(cand), l.referenceAdmissible(cand); got != want {
+		t.Errorf("fast %v disagrees with reference %v after drain", got, want)
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLedgerAdmissibleSkipsUntouchedJobs asserts the structural property the
+// refactor is about: a candidate whose processors no ledger job visits must
+// not trigger any per-group evaluation (only the O(1) violated check), so
+// the decision cost is independent of the in-flight job count.
+func TestLedgerAdmissibleSkipsUntouchedJobs(t *testing.T) {
+	l := NewLedger(4)
+	for i := 0; i < 500; i++ {
+		ref := JobRef{Task: "bg", Job: int64(i)}
+		pl := []PlacedStage{{Stage: 0, Proc: i % 3, Util: 0.001}}
+		if err := l.AddJob(ref, Aperiodic, pl, false, time.Hour); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 500 jobs collapse into 3 signature groups.
+	if len(l.groups) != 3 {
+		t.Fatalf("got %d signature groups, want 3", len(l.groups))
+	}
+	// A candidate on the untouched processor 3 perturbs no group.
+	cand := []PlacedStage{{Stage: 0, Proc: 3, Util: 0.2}}
+	if len(l.procGroups[3]) != 0 {
+		t.Fatalf("processor 3 unexpectedly indexes %d groups", len(l.procGroups[3]))
+	}
+	if !l.Admissible(cand) || !l.referenceAdmissible(cand) {
+		t.Error("trivially feasible candidate rejected")
+	}
+}

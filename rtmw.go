@@ -28,8 +28,8 @@
 //     channels for real deployments and overhead measurement (Figure 8).
 //
 // This package is a facade over the internal implementation packages; see
-// DESIGN.md for the architecture and EXPERIMENTS.md for the reproduction
-// results.
+// README.md for a quickstart and DESIGN.md for the layer architecture and
+// the admission ledger's index design.
 package rtmw
 
 import (
@@ -198,7 +198,10 @@ type (
 // StartCluster deploys and activates a live cluster.
 func StartCluster(opts ClusterOptions) (*Cluster, error) { return cluster.Start(opts) }
 
-// Experiment re-exports: regenerate the paper's tables and figures.
+// Experiment re-exports: regenerate the paper's tables and figures. The
+// figure and ablation runners fan their independent (combo, set) / seed
+// trials over a bounded worker pool when Workers is set; results are
+// bit-identical to a serial run.
 type (
 	// FigureOptions parameterizes the Figure 5/6 experiments.
 	FigureOptions = experiments.FigureOptions
@@ -208,17 +211,28 @@ type (
 	OverheadOptions = experiments.OverheadOptions
 	// OverheadReport is the measured overhead accounting.
 	OverheadReport = experiments.OverheadReport
+	// AblationOptions parameterizes the AUB-vs-deferrable-server ablation.
+	AblationOptions = experiments.AblationOptions
+	// AblationResult is one admission technique's outcome in the ablation.
+	AblationResult = experiments.AblationResult
 )
 
 // Experiment runners and renderers.
 var (
-	RunFigure5     = experiments.RunFigure5
-	RunFigure6     = experiments.RunFigure6
-	RunOverhead    = experiments.RunOverhead
-	RenderFigure   = experiments.RenderFigure
-	RenderCSV      = experiments.RenderCSV
-	RenderOverhead = experiments.RenderOverhead
-	RenderTable1   = configengine.RenderTable1
+	RunFigure5         = experiments.RunFigure5
+	RunFigure6         = experiments.RunFigure6
+	RunOverhead        = experiments.RunOverhead
+	RunAblationAUBvsDS = experiments.RunAblationAUBvsDS
+	RenderFigure       = experiments.RenderFigure
+	RenderCSV          = experiments.RenderCSV
+	RenderFigureJSON   = experiments.RenderFigureJSON
+	RenderAblation     = experiments.RenderAblation
+	RenderAblationJSON = experiments.RenderAblationJSON
+	RenderOverhead     = experiments.RenderOverhead
+	RenderTable1       = configengine.RenderTable1
+	// ResolveWorkers normalizes a Workers option (values below 1 select one
+	// worker per CPU).
+	ResolveWorkers = experiments.ResolveWorkers
 )
 
 // DefaultLinkDelay is the simulated one-way communication delay, calibrated
