@@ -3,6 +3,9 @@ package rtmw_test
 import (
 	"context"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -336,6 +339,158 @@ func BenchmarkEventFanout(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// --- Event plane: federated throughput, batched vs pre-refactor path ---
+
+// benchEventPlane measures end-to-end federated event throughput: pubs
+// goroutines push b.N events total through one gateway to a remote
+// consumer, and the benchmark ends when the last event is delivered.
+// batched selects the event plane (group-commit gateway batches over the
+// batching ORB writer); otherwise both layers use the pre-refactor
+// single-message reference paths (PushUnbatched over the legacy locked
+// writer), so the ratio between the two modes is the event-plane speedup.
+func benchEventPlane(b *testing.B, pubs int, batched bool) {
+	var prodOpts []orb.Option
+	if !batched {
+		prodOpts = append(prodOpts, orb.WithLegacyWriter())
+	}
+	producerORB := orb.New("plane-prod", prodOpts...)
+	defer producerORB.Shutdown()
+	consumerORB := orb.New("plane-cons")
+	addr, err := consumerORB.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer consumerORB.Shutdown()
+
+	// Block policy: publishers throttle to the gateway's drain rate instead
+	// of ballooning the pending backlog, so the measurement is of the
+	// transport, not of the garbage collector.
+	producer := eventchan.New("plane-prod", producerORB, eventchan.WithSinkPolicy(eventchan.Block), eventchan.WithSinkQueueDepth(1<<16))
+	consumer := eventchan.New("plane-cons", consumerORB)
+	total := int64(b.N)
+	var got atomic.Int64
+	done := make(chan struct{})
+	consumer.Subscribe("E", func(eventchan.Event) {
+		if got.Add(1) == total {
+			close(done)
+		}
+	})
+	producer.AddRemoteSink("E", addr.String())
+	push := (*eventchan.Channel).Push
+	if !batched {
+		push = (*eventchan.Channel).PushUnbatched
+	}
+	payload := []byte("0123456789abcdef")
+
+	// Settle garbage from prior (sub-)benchmark runs so each mode measures
+	// its own allocation behavior, not its predecessor's heap.
+	runtime.GC()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for p := 0; p < pubs; p++ {
+		n := b.N / pubs
+		if p < b.N%pubs {
+			n++
+		}
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				if err := push(producer, eventchan.Event{Type: "E", Payload: payload}); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(n)
+	}
+	wg.Wait()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Minute):
+		b.Fatalf("delivered %d/%d events", got.Load(), total)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkEventPlane is the scaling series behind the event-plane refactor:
+// compare batched vs single at each publisher count; the acceptance bar is
+// batched ≥ 5× single at 64 publishers.
+func BenchmarkEventPlane(b *testing.B) {
+	for _, pubs := range []int{1, 8, 64} {
+		pubs := pubs
+		b.Run(fmt.Sprintf("batched/publishers=%d", pubs), func(b *testing.B) { benchEventPlane(b, pubs, true) })
+		b.Run(fmt.Sprintf("single/publishers=%d", pubs), func(b *testing.B) { benchEventPlane(b, pubs, false) })
+	}
+}
+
+// BenchmarkORBOneWayStream isolates the transport half: a stream of one-way
+// invocations on one pooled connection, batched writer vs the legacy locked
+// writer, at 1 and 16 concurrent senders.
+func BenchmarkORBOneWayStream(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		opts []orb.Option
+	}{
+		{"batched", nil},
+		{"legacy", []orb.Option{orb.WithLegacyWriter()}},
+	} {
+		mode := mode
+		for _, senders := range []int{1, 16} {
+			senders := senders
+			b.Run(fmt.Sprintf("%s/senders=%d", mode.name, senders), func(b *testing.B) {
+				server := orb.New("stream-server")
+				addr, err := server.Listen("127.0.0.1:0")
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer server.Shutdown()
+				total := int64(b.N)
+				var got atomic.Int64
+				done := make(chan struct{})
+				server.RegisterServant("sink", func(op string, arg []byte) ([]byte, error) {
+					if got.Add(1) == total {
+						close(done)
+					}
+					return nil, nil
+				})
+				client := orb.New("stream-client", mode.opts...)
+				defer client.Shutdown()
+				payload := []byte("0123456789abcdef")
+				runtime.GC()
+				b.ReportAllocs()
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				for s := 0; s < senders; s++ {
+					n := b.N / senders
+					if s < b.N%senders {
+						n++
+					}
+					wg.Add(1)
+					go func(n int) {
+						defer wg.Done()
+						for i := 0; i < n; i++ {
+							if err := client.InvokeOneWay(addr.String(), "sink", "push", payload); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}(n)
+				}
+				wg.Wait()
+				select {
+				case <-done:
+				case <-time.After(2 * time.Minute):
+					b.Fatalf("dispatched %d/%d one-ways", got.Load(), total)
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "msgs/sec")
+			})
+		}
 	}
 }
 

@@ -11,12 +11,15 @@
 // -pings. The figure and ablation sweeps fan their independent trials over
 // -parallel workers (results are bit-identical to a serial run). Output goes
 // to stdout; add -csv for machine-readable series or -json for structured
-// documents.
+// documents. With -json, the JSON documents are the only stdout output (the
+// human-readable tables move to stderr), so stdout redirects to a valid
+// .json file.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"time"
@@ -55,14 +58,21 @@ func run() error {
 	figOpts := experiments.FigureOptions{Sets: *sets, Horizon: *horizon, Workers: workers}
 	ovOpts := experiments.OverheadOptions{Duration: *duration, PingCount: *pings}
 
+	// With -json, human-readable tables move to stderr so stdout stays a
+	// valid JSON stream (the CI perf-trajectory artifact redirects it).
+	tableW := io.Writer(os.Stdout)
+	if *jsonOut {
+		tableW = os.Stderr
+	}
+
 	renderFigure := func(name, title string, run func(experiments.FigureOptions) ([]experiments.ComboResult, error)) error {
 		results, err := run(figOpts)
 		if err != nil {
 			return err
 		}
-		fmt.Println(experiments.RenderFigure(title, results))
+		fmt.Fprintln(tableW, experiments.RenderFigure(title, results))
 		if *csv {
-			fmt.Println(experiments.RenderCSV(results))
+			fmt.Fprintln(tableW, experiments.RenderCSV(results))
 		}
 		if *jsonOut {
 			doc, err := experiments.RenderFigureJSON(name, results)
@@ -102,7 +112,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Println(experiments.RenderAblation(results))
+		fmt.Fprintln(tableW, experiments.RenderAblation(results))
 		if *jsonOut {
 			doc, err := experiments.RenderAblationJSON(results)
 			if err != nil {

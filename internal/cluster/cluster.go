@@ -36,6 +36,9 @@ type Options struct {
 	ExecScale float64
 	// Seed drives the arrival generators.
 	Seed int64
+	// NodeOptions tune every node's transport plane (ORB send queue and
+	// write batch, gateway sink queue and batch).
+	NodeOptions []live.NodeOption
 }
 
 // Cluster is a running live deployment.
@@ -81,7 +84,7 @@ func Start(opts Options) (*Cluster, error) {
 		return nil, err
 	}
 
-	c.Manager, err = live.NewNode("manager", -1, "127.0.0.1:0", opts.ExecScale)
+	c.Manager, err = live.NewNode("manager", -1, "127.0.0.1:0", opts.ExecScale, opts.NodeOptions...)
 	if err != nil {
 		return fail(err)
 	}
@@ -91,7 +94,7 @@ func Start(opts Options) (*Cluster, error) {
 	appDecls := make([]deploy.Node, opts.Workload.Processors)
 	for i := 0; i < opts.Workload.Processors; i++ {
 		name := fmt.Sprintf("app%d", i)
-		node, err := live.NewNode(name, i, "127.0.0.1:0", opts.ExecScale)
+		node, err := live.NewNode(name, i, "127.0.0.1:0", opts.ExecScale, opts.NodeOptions...)
 		if err != nil {
 			return fail(err)
 		}
@@ -204,6 +207,20 @@ func (c *Cluster) StopDrivers() {
 		d.Stop()
 	}
 	c.drivers = nil
+}
+
+// TransportStats snapshots every node's transport-plane counters, keyed by
+// node name — the overload accounting surface for scale experiments: how
+// well writes batched, and whether backpressure shed any events.
+func (c *Cluster) TransportStats() map[string]live.NodeTransportStats {
+	out := make(map[string]live.NodeTransportStats, len(c.Apps)+1)
+	if c.Manager != nil {
+		out[c.Manager.Name] = c.Manager.TransportStats()
+	}
+	for _, app := range c.Apps {
+		out[app.Name] = app.TransportStats()
+	}
+	return out
 }
 
 // Drain waits until every application executor is idle or the timeout

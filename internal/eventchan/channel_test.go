@@ -133,7 +133,11 @@ func TestEventCodecRoundTrip(t *testing.T) {
 		{Type: "X", Source: "Y", Payload: make([]byte, 1024)},
 	}
 	for _, ev := range tests {
-		got, err := decodeEvent(encodeEvent(ev))
+		enc, err := encodeEvent(ev)
+		if err != nil {
+			t.Fatalf("encode(%+v): %v", ev, err)
+		}
+		got, err := decodeEvent(enc)
 		if err != nil {
 			t.Fatalf("decode(%+v): %v", ev, err)
 		}

@@ -57,14 +57,15 @@ func NewAdmissionController() *AdmissionController {
 
 // Configure parses the strategy tuple, processor count, and workload.
 func (ac *AdmissionController) Configure(attrs map[string]string) error {
+	var cfg core.Config
 	var err error
-	if ac.cfg.AC, err = parseStrategyAttr(attrs, AttrACStrategy); err != nil {
+	if cfg.AC, err = parseStrategyAttr(attrs, AttrACStrategy); err != nil {
 		return err
 	}
-	if ac.cfg.IR, err = parseStrategyAttr(attrs, AttrIRStrategy); err != nil {
+	if cfg.IR, err = parseStrategyAttr(attrs, AttrIRStrategy); err != nil {
 		return err
 	}
-	if ac.cfg.LB, err = parseStrategyAttr(attrs, AttrLBStrategy); err != nil {
+	if cfg.LB, err = parseStrategyAttr(attrs, AttrLBStrategy); err != nil {
 		return err
 	}
 	procs, err := attrInt(attrs, AttrProcessors)
@@ -83,15 +84,22 @@ func (ac *AdmissionController) Configure(attrs map[string]string) error {
 	if err != nil {
 		return err
 	}
-	ac.ctrl, err = core.NewController(ac.cfg, procs)
+	ctrl, err := core.NewController(cfg, procs)
 	if err != nil {
 		return err
 	}
-	ac.ctrl.EnableTiming()
-	ac.tasks = make(map[string]*sched.Task, len(tasks))
+	ctrl.EnableTiming()
+	index := make(map[string]*sched.Task, len(tasks))
 	for _, t := range tasks {
-		ac.tasks[t.ID] = t
+		index[t.ID] = t
 	}
+	// Publish under the lock the event handlers read through: ORB dispatch
+	// goroutines carry no other happens-before edge to them.
+	ac.mu.Lock()
+	ac.cfg = cfg
+	ac.ctrl = ctrl
+	ac.tasks = index
+	ac.mu.Unlock()
 	return nil
 }
 
@@ -104,10 +112,15 @@ func (ac *AdmissionController) Controller() *core.Controller {
 
 // Activate subscribes the component's event sinks.
 func (ac *AdmissionController) Activate(ctx *ccm.Context) error {
+	ac.mu.Lock()
 	if ac.ctrl == nil {
+		ac.mu.Unlock()
 		return errors.New("live: AC activated before configuration")
 	}
 	ac.ch = ctx.Events
+	ac.mu.Unlock()
+	// Subscribe outside the lock (delivery holds the shard lock, then
+	// handlers take ac.mu).
 	ctx.Events.Subscribe(EvTaskArrive, ac.onTaskArrive)
 	ctx.Events.Subscribe(EvIdleReset, ac.onIdleReset)
 	return nil
@@ -272,12 +285,9 @@ func NewLoadBalancer() *LoadBalancer {
 
 // Configure parses the LB strategy and workload.
 func (lb *LoadBalancer) Configure(attrs map[string]string) error {
-	var err error
-	if lb.strategy, err = parseStrategyAttr(attrs, AttrLBStrategy); err != nil {
+	strategy, err := parseStrategyAttr(attrs, AttrLBStrategy)
+	if err != nil {
 		return err
-	}
-	if id, ok := attrs[AttrACInstance]; ok && id != "" {
-		lb.acInstance = id
 	}
 	wl, err := attrString(attrs, AttrWorkload)
 	if err != nil {
@@ -291,10 +301,17 @@ func (lb *LoadBalancer) Configure(attrs map[string]string) error {
 	if err != nil {
 		return err
 	}
-	lb.tasks = make(map[string]*sched.Task, len(tasks))
+	index := make(map[string]*sched.Task, len(tasks))
 	for _, t := range tasks {
-		lb.tasks[t.ID] = t
+		index[t.ID] = t
 	}
+	lb.mu.Lock()
+	lb.strategy = strategy
+	if id, ok := attrs[AttrACInstance]; ok && id != "" {
+		lb.acInstance = id
+	}
+	lb.tasks = index
+	lb.mu.Unlock()
 	return nil
 }
 
@@ -305,13 +322,16 @@ func (lb *LoadBalancer) Activate(ctx *ccm.Context) error {
 	if container == nil {
 		return errors.New("live: LB requires the container service")
 	}
-	comp, ok := container.Lookup(lb.acInstance)
+	lb.mu.Lock()
+	acInstance := lb.acInstance
+	lb.mu.Unlock()
+	comp, ok := container.Lookup(acInstance)
 	if !ok {
-		return fmt.Errorf("live: LB: admission controller instance %q not installed", lb.acInstance)
+		return fmt.Errorf("live: LB: admission controller instance %q not installed", acInstance)
 	}
 	ac, ok := comp.(*AdmissionController)
 	if !ok {
-		return fmt.Errorf("live: LB: instance %q is not an admission controller", lb.acInstance)
+		return fmt.Errorf("live: LB: instance %q is not an admission controller", acInstance)
 	}
 	lb.mu.Lock()
 	lb.ac = ac

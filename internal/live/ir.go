@@ -43,9 +43,13 @@ func (ir *IdleResetter) Configure(attrs map[string]string) error {
 	if err != nil {
 		return err
 	}
+	// Publish under the lock the event handlers read through; configuration
+	// arrives in an ORB dispatch goroutine.
+	ir.mu.Lock()
 	ir.proc = proc
 	ir.strategy = strategy
 	ir.rec = core.NewIdleResetter(strategy, proc)
+	ir.mu.Unlock()
 	return nil
 }
 
@@ -53,18 +57,25 @@ func (ir *IdleResetter) Configure(attrs map[string]string) error {
 // detector on the node executor. With the None strategy the component stays
 // inert, avoiding all resetting overhead.
 func (ir *IdleResetter) Activate(ctx *ccm.Context) error {
+	exec, _ := ctx.Service(SvcExecutor).(*Executor)
+	ir.mu.Lock()
 	if ir.rec == nil {
+		ir.mu.Unlock()
 		return errors.New("live: IR activated before configuration")
 	}
 	if ir.strategy == core.StrategyNone {
+		ir.mu.Unlock()
 		return nil
 	}
-	exec, _ := ctx.Service(SvcExecutor).(*Executor)
 	if exec == nil {
+		ir.mu.Unlock()
 		return errors.New("live: IR requires an executor service")
 	}
 	ir.ch = ctx.Events
 	ir.executor = exec
+	ir.mu.Unlock()
+	// Subscribe and install the idle detector outside the lock (delivery
+	// holds the shard lock, then handlers take ir.mu).
 	ctx.Events.Subscribe(EvComplete, ir.onComplete)
 	exec.SetIdleCallback(ir.onIdle)
 	return nil

@@ -41,19 +41,60 @@ type Node struct {
 	Executor  *Executor
 }
 
+// NodeOption tunes a node's transport stack at assembly time.
+type NodeOption func(*nodeConfig)
+
+// nodeConfig collects the transport options a NodeOption may set.
+type nodeConfig struct {
+	orbOpts  []orb.Option
+	chanOpts []eventchan.Option
+}
+
+// WithORBOptions forwards options to the node's ORB (send-queue depth,
+// write-batch cap, legacy writer).
+func WithORBOptions(opts ...orb.Option) NodeOption {
+	return func(c *nodeConfig) { c.orbOpts = append(c.orbOpts, opts...) }
+}
+
+// WithChannelOptions forwards options to the node's event channel (sink
+// queue depth, sink batch cap).
+func WithChannelOptions(opts ...eventchan.Option) NodeOption {
+	return func(c *nodeConfig) { c.chanOpts = append(c.chanOpts, opts...) }
+}
+
+// NodeTransportStats combines a node's write-path and event-plane counters
+// for overload accounting.
+type NodeTransportStats struct {
+	// ORB counts frames, flushes, bytes and refused overload sends.
+	ORB orb.TransportStats
+	// Events counts pushes, forwards, federation batches and drops.
+	Events eventchan.PlaneStats
+}
+
 // NewNode assembles and starts a node listening on bindAddr (use
 // "127.0.0.1:0" for tests). execScale compresses subtask execution times;
-// pass 1.0 for real time.
-func NewNode(name string, proc int, bindAddr string, execScale float64) (*Node, error) {
+// pass 1.0 for real time. Options tune the transport plane; defaults suit
+// tests and examples.
+func NewNode(name string, proc int, bindAddr string, execScale float64, opts ...NodeOption) (*Node, error) {
 	if execScale <= 0 {
 		return nil, fmt.Errorf("live: node %s: execScale must be positive, got %g", name, execScale)
 	}
-	o := orb.New(name)
+	var cfg nodeConfig
+	// Live nodes default the gateway to the Block policy: the event plane
+	// carries control events (Accept, Release, Trigger) whose silent loss
+	// strands admitted jobs, so a full sink throttles pushers instead of
+	// shedding. Deployments that prefer shedding pass
+	// WithChannelOptions(eventchan.WithSinkPolicy(eventchan.DropNewest)).
+	cfg.chanOpts = append(cfg.chanOpts, eventchan.WithSinkPolicy(eventchan.Block))
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	o := orb.New(name, cfg.orbOpts...)
 	addr, err := o.Listen(bindAddr)
 	if err != nil {
 		return nil, err
 	}
-	ch := eventchan.New(name, o)
+	ch := eventchan.New(name, o, cfg.chanOpts...)
 	exec := NewExecutor()
 	ctx := &ccm.Context{
 		Node:   name,
@@ -85,6 +126,14 @@ func (n *Node) Close() error {
 	n.Channel.Close()
 	n.ORB.Shutdown()
 	return err
+}
+
+// TransportStats snapshots the node's transport-plane counters.
+func (n *Node) TransportStats() NodeTransportStats {
+	return NodeTransportStats{
+		ORB:    n.ORB.TransportStats(),
+		Events: n.Channel.PlaneStats(),
+	}
 }
 
 // --- attribute helpers shared by the live components ---

@@ -115,7 +115,9 @@ func (d *Driver) generate(t *sched.Task) {
 			return
 		case <-timer.C:
 		}
-		if _, err := d.te.Arrive(t.ID); err != nil {
+		if _, err := d.te.Arrive(t.ID); err != nil && !TransportOverloaded(err) {
+			// Overload means the plane shed this arrival (counted by the
+			// TE); keep generating. Any other error is terminal.
 			return
 		}
 		var gap time.Duration

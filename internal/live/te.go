@@ -8,6 +8,7 @@ import (
 	"repro/internal/ccm"
 	"repro/internal/core"
 	"repro/internal/eventchan"
+	"repro/internal/orb"
 	"repro/internal/sched"
 	"repro/internal/spec"
 )
@@ -31,8 +32,16 @@ type TaskEffector struct {
 	nextJob map[string]int64
 	// decided caches per-task decisions (Accept.PerTaskDecision).
 	decided map[string]*Accept
-	// waiting holds arrivals awaiting a decision.
-	waiting map[sched.JobRef]struct{}
+	// waiting holds arrivals awaiting a decision, by arrival time
+	// (UnixNano). Holds whose TaskArrive was lost in a batched gateway
+	// flush (the failure surfaces on the flusher, not on piggybacked
+	// pushers) would otherwise leak: sweepWaiting purges holds past every
+	// possible deadline.
+	waiting map[sched.JobRef]int64
+	// maxDeadline bounds how long any hold can still get a decision.
+	maxDeadline time.Duration
+	// sweepAt is the waiting size that triggers the next amortized sweep.
+	sweepAt int
 	ch      *eventchan.Channel
 	closed  bool
 
@@ -52,6 +61,9 @@ type TEStats struct {
 	Skipped int64
 	// Relocated counts released jobs whose first stage moved to a replica.
 	Relocated int64
+	// Overloaded counts arrivals whose TaskArrive push was refused by
+	// transport backpressure (the event plane shed the load explicitly).
+	Overloaded int64
 }
 
 var _ ccm.Component = (*TaskEffector)(nil)
@@ -61,7 +73,8 @@ func NewTaskEffector() *TaskEffector {
 	return &TaskEffector{
 		nextJob: make(map[string]int64),
 		decided: make(map[string]*Accept),
-		waiting: make(map[sched.JobRef]struct{}),
+		waiting: make(map[sched.JobRef]int64),
+		sweepAt: minWaitingSweep,
 	}
 }
 
@@ -83,17 +96,33 @@ func (te *TaskEffector) Configure(attrs map[string]string) error {
 	if err != nil {
 		return err
 	}
-	te.proc = proc
-	te.tasks = make(map[string]*sched.Task, len(tasks))
+	index := make(map[string]*sched.Task, len(tasks))
+	var maxDL time.Duration
 	for _, t := range tasks {
-		te.tasks[t.ID] = t
+		index[t.ID] = t
+		if t.Deadline > maxDL {
+			maxDL = t.Deadline
+		}
 	}
+	// Configuration and activation arrive over the ORB in dispatch
+	// goroutines; publish the fields under the same lock Arrive reads them
+	// under.
+	te.mu.Lock()
+	te.proc = proc
+	te.tasks = index
+	te.maxDeadline = maxDL
+	te.mu.Unlock()
 	return nil
 }
 
 // Activate subscribes to Accept events.
 func (te *TaskEffector) Activate(ctx *ccm.Context) error {
+	te.mu.Lock()
 	te.ch = ctx.Events
+	te.mu.Unlock()
+	// Subscribe outside the lock: delivery fan-out holds the channel's
+	// shard lock while handlers take te.mu, so the reverse order here
+	// could deadlock.
 	ctx.Events.Subscribe(EvAccept, te.onAccept)
 	return nil
 }
@@ -107,7 +136,11 @@ func (te *TaskEffector) Passivate() error {
 }
 
 // Proc returns the effector's processor ID.
-func (te *TaskEffector) Proc() int { return te.proc }
+func (te *TaskEffector) Proc() int {
+	te.mu.Lock()
+	defer te.mu.Unlock()
+	return te.proc
+}
 
 // StatsSnapshot returns a copy of the counters.
 func (te *TaskEffector) StatsSnapshot() TEStats {
@@ -154,18 +187,61 @@ func (te *TaskEffector) Arrive(taskID string) (int64, error) {
 	}
 
 	ref := sched.JobRef{Task: taskID, Job: job}
-	te.waiting[ref] = struct{}{}
+	te.waiting[ref] = arrival
+	te.sweepWaitingLocked(arrival)
 	ch := te.ch
+	proc := te.proc
 	te.mu.Unlock()
 
 	err := ch.Push(eventchan.Event{Type: EvTaskArrive, Payload: encode(TaskArrive{
 		Task:         taskID,
 		Job:          job,
-		Proc:         te.proc,
+		Proc:         proc,
 		ArrivalNanos: arrival,
 	})})
+	if err != nil {
+		// The arrival failed (shed or transport loss): no Accept will
+		// answer this hold, so release it — a late decision for the ref is
+		// dropped as stale by onAccept.
+		te.mu.Lock()
+		delete(te.waiting, ref)
+		if TransportOverloaded(err) {
+			te.Stats.Overloaded++
+		}
+		te.mu.Unlock()
+	}
 	te.HoldPush.Add(time.Since(start))
 	return job, err
+}
+
+// minWaitingSweep is the smallest waiting-map size that triggers a sweep.
+const minWaitingSweep = 128
+
+// sweepWaitingLocked amortizes hold cleanup: once the waiting map reaches
+// the watermark, holds older than the longest task deadline — which can no
+// longer receive a meaningful decision — are purged, and the watermark
+// doubles with the surviving population. Called with te.mu held.
+func (te *TaskEffector) sweepWaitingLocked(nowNanos int64) {
+	if len(te.waiting) < te.sweepAt || te.maxDeadline <= 0 {
+		return
+	}
+	horizon := nowNanos - int64(te.maxDeadline)
+	for ref, arrived := range te.waiting {
+		if arrived < horizon {
+			delete(te.waiting, ref)
+		}
+	}
+	te.sweepAt = 2 * len(te.waiting)
+	if te.sweepAt < minWaitingSweep {
+		te.sweepAt = minWaitingSweep
+	}
+}
+
+// TransportOverloaded reports whether err is an explicit backpressure signal
+// from the event plane (a full ORB send queue or gateway sink queue) rather
+// than a transport failure: the operation was shed, not broken.
+func TransportOverloaded(err error) bool {
+	return errors.Is(err, orb.ErrOverloaded) || errors.Is(err, eventchan.ErrBackpressure)
 }
 
 // onAccept handles a decision event. Only the task's home effector acts: it

@@ -23,9 +23,11 @@ func (e *RemoteError) Error() string { return "orb: remote exception: " + e.Mess
 
 // clientConn is one pooled outbound connection with request/reply
 // correlation: the readLoop demultiplexes replies to waiting invokers by
-// request id.
+// request id. All writes go through the connection's frame sender (the
+// batched writer, or the legacy locked writer in reference mode).
 type clientConn struct {
-	conn net.Conn
+	conn   net.Conn
+	writer frameSender
 
 	mu      sync.Mutex
 	nextID  uint64
@@ -33,8 +35,8 @@ type clientConn struct {
 	dead    bool
 }
 
-// newClientConn wraps an established connection. The owner must start
-// readLoop in a goroutine it tracks.
+// newClientConn wraps an established connection. The owner must attach a
+// frame sender and start readLoop in a goroutine it tracks.
 func newClientConn(conn net.Conn) *clientConn {
 	return &clientConn{
 		conn:    conn,
@@ -60,6 +62,7 @@ func (c *clientConn) close() {
 	waiters := c.waiting
 	c.waiting = make(map[uint64]chan message)
 	c.mu.Unlock()
+	c.writer.close()
 	c.conn.Close()
 	for _, ch := range waiters {
 		close(ch)
@@ -87,19 +90,17 @@ func (c *clientConn) readLoop() {
 	}
 }
 
-// send writes a framed message under the write lock.
-func (c *clientConn) send(m message) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.dead {
+// send frames and transmits one message. Transport failures tear the
+// connection down; validation errors and overloads leave it healthy.
+func (c *clientConn) send(m message, block bool) error {
+	if c.broken() {
 		return ErrConnectionClosed
 	}
-	if err := writeMessage(c.conn, m); err != nil {
-		// Mark dead without closing under the lock; readLoop will observe
-		// the closed socket.
-		c.dead = true
-		c.conn.Close()
-		return fmt.Errorf("orb: send: %w", err)
+	if err := c.writer.send(m, block); err != nil {
+		if errors.Is(err, ErrConnectionClosed) {
+			c.close()
+		}
+		return err
 	}
 	return nil
 }
@@ -117,7 +118,7 @@ func (c *clientConn) invoke(ctx context.Context, key, op string, arg []byte) ([]
 	c.waiting[id] = ch
 	c.mu.Unlock()
 
-	err := c.send(message{kind: msgRequest, id: id, key: key, op: op, body: arg})
+	err := c.send(message{kind: msgRequest, id: id, key: key, op: op, body: arg}, true)
 	if err != nil {
 		c.mu.Lock()
 		delete(c.waiting, id)
@@ -142,11 +143,13 @@ func (c *clientConn) invoke(ctx context.Context, key, op string, arg []byte) ([]
 	}
 }
 
-// oneWay sends a request without reply correlation.
-func (c *clientConn) oneWay(key, op string, arg []byte) error {
+// oneWay sends a request without reply correlation. block selects the
+// backpressure policy on a full send queue: wait for space, or fail fast
+// with ErrOverloaded.
+func (c *clientConn) oneWay(key, op string, arg []byte, block bool) error {
 	c.mu.Lock()
 	c.nextID++
 	id := c.nextID
 	c.mu.Unlock()
-	return c.send(message{kind: msgOneWay, id: id, key: key, op: op, body: arg})
+	return c.send(message{kind: msgOneWay, id: id, key: key, op: op, body: arg}, block)
 }

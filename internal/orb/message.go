@@ -34,13 +34,15 @@ type message struct {
 	body   []byte
 }
 
-// writeMessage frames and writes m:
+// appendFrame validates m and appends its framed encoding to dst:
 //
 //	uint32 length | byte kind | uint64 id | payload
 //
 // where the request payload is uint16 keyLen | key | uint16 opLen | op |
-// body, and the reply payload is byte status | body.
-func writeMessage(w io.Writer, m message) error {
+// body, and the reply payload is byte status | body. Frames are
+// self-contained, so a batched flush of n frames is byte-identical to n
+// sequential writeMessage calls.
+func appendFrame(dst []byte, m message) ([]byte, error) {
 	var payload int
 	switch m.kind {
 	case msgRequest, msgOneWay:
@@ -48,13 +50,15 @@ func writeMessage(w io.Writer, m message) error {
 	case msgReply:
 		payload = 1 + len(m.body)
 	default:
-		return fmt.Errorf("orb: unknown message kind %d", m.kind)
+		return dst, fmt.Errorf("orb: unknown message kind %d", m.kind)
 	}
 	total := 1 + 8 + payload
 	if total > maxFrame {
-		return fmt.Errorf("orb: frame of %d bytes exceeds limit", total)
+		return dst, fmt.Errorf("orb: frame of %d bytes exceeds limit", total)
 	}
-	buf := make([]byte, 4+total)
+	start := len(dst)
+	dst = append(dst, make([]byte, 4+total)...)
+	buf := dst[start:]
 	binary.BigEndian.PutUint32(buf[0:], uint32(total))
 	buf[4] = m.kind
 	binary.BigEndian.PutUint64(buf[5:], m.id)
@@ -62,7 +66,7 @@ func writeMessage(w io.Writer, m message) error {
 	switch m.kind {
 	case msgRequest, msgOneWay:
 		if len(m.key) > 0xFFFF || len(m.op) > 0xFFFF {
-			return errors.New("orb: key or operation name too long")
+			return dst[:start], errors.New("orb: key or operation name too long")
 		}
 		binary.BigEndian.PutUint16(buf[off:], uint16(len(m.key)))
 		off += 2
@@ -75,7 +79,17 @@ func writeMessage(w io.Writer, m message) error {
 		buf[off] = m.status
 		copy(buf[off+1:], m.body)
 	}
-	_, err := w.Write(buf)
+	return dst, nil
+}
+
+// writeMessage frames and writes m in one call: the pre-batching reference
+// path, kept for the batched writer's differential tests.
+func writeMessage(w io.Writer, m message) error {
+	buf, err := appendFrame(nil, m)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
 	return err
 }
 

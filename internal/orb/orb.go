@@ -33,12 +33,36 @@ func WithInvokeTimeout(d time.Duration) Option {
 	return func(o *ORB) { o.invokeTimeout = d }
 }
 
+// WithSendQueueDepth bounds each connection's send queue (default
+// DefaultSendQueueDepth). A full queue blocks two-way senders and fails
+// non-blocking one-way senders with ErrOverloaded.
+func WithSendQueueDepth(n int) Option {
+	return func(o *ORB) { o.sendDepth = n }
+}
+
+// WithWriteBatch caps how many frames one flush coalesces (default
+// DefaultWriteBatch).
+func WithWriteBatch(n int) Option {
+	return func(o *ORB) { o.writeBatch = n }
+}
+
+// WithLegacyWriter selects the pre-batching write path — one locked write
+// syscall per message, no send queue. Kept as the reference behavior for
+// differential tests and the event-plane benchmark baseline.
+func WithLegacyWriter() Option {
+	return func(o *ORB) { o.legacyWrites = true }
+}
+
 // ORB is one node's object request broker: a server endpoint hosting
 // servants plus a client-side connection pool. The zero value is not usable;
 // call New.
 type ORB struct {
 	name          string
 	invokeTimeout time.Duration
+	sendDepth     int
+	writeBatch    int
+	legacyWrites  bool
+	stats         transportStats
 
 	mu       sync.Mutex
 	servants map[string]Handler
@@ -55,6 +79,8 @@ func New(name string, opts ...Option) *ORB {
 	o := &ORB{
 		name:          name,
 		invokeTimeout: 5 * time.Second,
+		sendDepth:     DefaultSendQueueDepth,
+		writeBatch:    DefaultWriteBatch,
 		servants:      make(map[string]Handler),
 		clients:       make(map[string]*clientConn),
 		inbound:       make(map[net.Conn]struct{}),
@@ -63,6 +89,19 @@ func New(name string, opts ...Option) *ORB {
 		opt(o)
 	}
 	return o
+}
+
+// TransportStats snapshots the write-path counters across all of the ORB's
+// connections: frames, flush syscalls (their ratio is the achieved batching
+// factor), bytes, and refused overload sends.
+func (o *ORB) TransportStats() TransportStats { return o.stats.snapshot() }
+
+// newSender builds the configured write path for one connection.
+func (o *ORB) newSender(conn net.Conn) frameSender {
+	if o.legacyWrites {
+		return &legacyWriter{conn: conn, stats: &o.stats}
+	}
+	return newConnWriter(conn, o.sendDepth, o.writeBatch, &o.stats, &o.wg)
 }
 
 // Name returns the ORB's diagnostic name.
@@ -148,11 +187,12 @@ func (o *ORB) acceptLoop(ln net.Listener) {
 }
 
 // serveConn reads requests off one inbound connection and dispatches them.
-// Replies are written under a per-connection lock so concurrent handlers
-// cannot interleave frames.
+// Replies go through the connection's frame sender, so concurrent handlers
+// cannot interleave frames and bursts of replies coalesce into one flush.
 func (o *ORB) serveConn(conn net.Conn) {
 	defer conn.Close()
-	var writeMu sync.Mutex
+	sender := o.newSender(conn)
+	defer sender.close()
 	for {
 		msg, err := readMessage(conn)
 		if err != nil {
@@ -163,7 +203,7 @@ func (o *ORB) serveConn(conn net.Conn) {
 			o.wg.Add(1)
 			go func(m message) {
 				defer o.wg.Done()
-				o.dispatch(conn, &writeMu, m)
+				o.dispatch(sender, m)
 			}(msg)
 		default:
 			// Unexpected message kind on a server connection; drop it.
@@ -172,7 +212,7 @@ func (o *ORB) serveConn(conn net.Conn) {
 }
 
 // dispatch invokes the servant and, for two-way requests, writes the reply.
-func (o *ORB) dispatch(conn net.Conn, writeMu *sync.Mutex, m message) {
+func (o *ORB) dispatch(sender frameSender, m message) {
 	h, ok := o.lookup(m.key)
 	var (
 		body []byte
@@ -194,10 +234,10 @@ func (o *ORB) dispatch(conn net.Conn, writeMu *sync.Mutex, m message) {
 		reply.status = statusOK
 		reply.body = body
 	}
-	writeMu.Lock()
-	defer writeMu.Unlock()
-	// Ignore write errors: the peer tears the connection down and retries.
-	_ = writeMessage(conn, reply)
+	// Replies block on a full queue (bounded by the queue depth, never
+	// dropped); write errors are ignored — the peer tears the connection
+	// down and retries.
+	_ = sender.send(reply, true)
 }
 
 // Invoke performs a two-way invocation on the servant key at addr. The
@@ -217,13 +257,26 @@ func (o *ORB) Invoke(ctx context.Context, addr, key, op string, arg []byte) ([]b
 }
 
 // InvokeOneWay sends a request without waiting for a reply (the event-push
-// pattern of the federated event channel).
+// pattern of the federated event channel). A full send queue applies
+// backpressure by blocking until the writer drains or the connection dies.
 func (o *ORB) InvokeOneWay(addr, key, op string, arg []byte) error {
 	cc, err := o.client(addr)
 	if err != nil {
 		return err
 	}
-	return cc.oneWay(key, op, arg)
+	return cc.oneWay(key, op, arg, true)
+}
+
+// TryInvokeOneWay is InvokeOneWay with fail-fast overload semantics: when
+// the connection's bounded send queue is full it returns ErrOverloaded
+// immediately instead of blocking, so best-effort paths can shed load
+// explicitly.
+func (o *ORB) TryInvokeOneWay(addr, key, op string, arg []byte) error {
+	cc, err := o.client(addr)
+	if err != nil {
+		return err
+	}
+	return cc.oneWay(key, op, arg, false)
 }
 
 // client returns (dialing if necessary) the pooled connection to addr.
@@ -250,13 +303,14 @@ func (o *ORB) client(addr string) (*clientConn, error) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	if o.closed {
-		fresh.close()
+		nc.Close()
 		return nil, errors.New("orb: shut down")
 	}
 	if cur, ok := o.clients[addr]; ok && !cur.broken() {
-		fresh.close()
+		nc.Close()
 		return cur, nil
 	}
+	fresh.writer = o.newSender(nc)
 	o.clients[addr] = fresh
 	o.wg.Add(1)
 	go func() {

@@ -1,0 +1,264 @@
+package orb
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrOverloaded reports that a bounded send queue was full when a
+// non-blocking send was attempted. It is the ORB's explicit backpressure
+// signal: callers on best-effort paths (event pushes) may drop and count,
+// instead of blocking behind a slow peer.
+var ErrOverloaded = errors.New("orb: send queue overloaded")
+
+// Batched-writer defaults, overridable with WithSendQueueDepth and
+// WithWriteBatch.
+const (
+	// DefaultSendQueueDepth bounds the per-connection send queue.
+	DefaultSendQueueDepth = 1024
+	// DefaultWriteBatch caps the frames coalesced into one flush.
+	DefaultWriteBatch = 128
+)
+
+// maxPooledFrame bounds the capacity of buffers returned to the frame pool,
+// so one oversized payload does not pin a large allocation forever.
+const maxPooledFrame = 64 << 10
+
+// framePool recycles frame buffers across connections and messages.
+var framePool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 512)
+	return &b
+}}
+
+// getFrame fetches a pooled buffer, logically empty.
+func getFrame() *[]byte {
+	f := framePool.Get().(*[]byte)
+	*f = (*f)[:0]
+	return f
+}
+
+// putFrame recycles a buffer unless it grew past the pooling cap.
+func putFrame(f *[]byte) {
+	if cap(*f) > maxPooledFrame {
+		return
+	}
+	framePool.Put(f)
+}
+
+// TransportStats is a snapshot of an ORB's batched-writer counters, across
+// all of its connections (inbound reply writers and outbound client
+// writers).
+type TransportStats struct {
+	// FramesSent counts frames handed to the kernel.
+	FramesSent int64
+	// Flushes counts write syscalls; FramesSent/Flushes is the achieved
+	// batching factor.
+	Flushes int64
+	// BytesSent counts payload bytes written.
+	BytesSent int64
+	// Overloads counts sends refused with ErrOverloaded.
+	Overloads int64
+}
+
+// transportStats is the atomic accumulator behind TransportStats.
+type transportStats struct {
+	frames    atomic.Int64
+	flushes   atomic.Int64
+	bytes     atomic.Int64
+	overloads atomic.Int64
+}
+
+func (s *transportStats) snapshot() TransportStats {
+	return TransportStats{
+		FramesSent: s.frames.Load(),
+		Flushes:    s.flushes.Load(),
+		BytesSent:  s.bytes.Load(),
+		Overloads:  s.overloads.Load(),
+	}
+}
+
+// frameSender abstracts the two write paths: the batched connWriter and the
+// pre-batching legacyWriter reference implementation.
+type frameSender interface {
+	// send frames and transmits m. block selects the policy when the send
+	// queue is full: wait for space (true) or fail with ErrOverloaded
+	// (false). Frame-validation errors leave the connection healthy;
+	// transport failures are (or wrap) ErrConnectionClosed.
+	send(m message, block bool) error
+	// close releases the sender's resources. It does not close the
+	// underlying connection unless the sender owns a failed one.
+	close()
+}
+
+// connWriter owns every write on one connection: senders enqueue framed
+// messages onto a bounded queue, and a single goroutine drains it,
+// coalescing whatever is queued (up to the batch cap) into one
+// net.Buffers flush — a writev on TCP — so n concurrent senders cost one
+// syscall, not n. Frame buffers are pool-recycled after each flush.
+type connWriter struct {
+	conn     net.Conn
+	queue    chan *[]byte
+	done     chan struct{}
+	maxBatch int
+	stats    *transportStats
+	once     sync.Once
+}
+
+// newConnWriter starts the writer goroutine, tracked by wg.
+func newConnWriter(conn net.Conn, depth, maxBatch int, stats *transportStats, wg *sync.WaitGroup) *connWriter {
+	if depth <= 0 {
+		depth = DefaultSendQueueDepth
+	}
+	if maxBatch <= 0 {
+		maxBatch = DefaultWriteBatch
+	}
+	w := &connWriter{
+		conn:     conn,
+		queue:    make(chan *[]byte, depth),
+		done:     make(chan struct{}),
+		maxBatch: maxBatch,
+		stats:    stats,
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		w.loop()
+	}()
+	return w
+}
+
+// send implements frameSender.
+func (w *connWriter) send(m message, block bool) error {
+	f := getFrame()
+	enc, err := appendFrame(*f, m)
+	if err != nil {
+		putFrame(f)
+		return err
+	}
+	*f = enc
+	// Check for death first: a closed done and a non-full queue are both
+	// ready, and the blocking select below would pick between them at
+	// random — enqueueing onto a writer that already drained reports a
+	// phantom success.
+	select {
+	case <-w.done:
+		putFrame(f)
+		return ErrConnectionClosed
+	default:
+	}
+	if block {
+		select {
+		case w.queue <- f:
+			return nil
+		case <-w.done:
+			putFrame(f)
+			return ErrConnectionClosed
+		}
+	}
+	select {
+	case w.queue <- f:
+		return nil
+	default:
+		w.stats.overloads.Add(1)
+		putFrame(f)
+		return ErrOverloaded
+	}
+}
+
+// close stops the writer goroutine; queued frames are discarded.
+func (w *connWriter) close() {
+	w.once.Do(func() { close(w.done) })
+}
+
+// loop is the writer goroutine: take one frame (blocking), opportunistically
+// coalesce everything else already queued, flush once.
+func (w *connWriter) loop() {
+	frames := make([]*[]byte, 0, w.maxBatch)
+	backing := make([][]byte, 0, w.maxBatch)
+	for {
+		frames = frames[:0]
+		select {
+		case f := <-w.queue:
+			frames = append(frames, f)
+		case <-w.done:
+			w.drain()
+			return
+		}
+	coalesce:
+		for len(frames) < w.maxBatch {
+			select {
+			case f := <-w.queue:
+				frames = append(frames, f)
+			default:
+				break coalesce
+			}
+		}
+		backing = backing[:0]
+		var total int64
+		for _, f := range frames {
+			backing = append(backing, *f)
+			total += int64(len(*f))
+		}
+		// One vectored write for the whole batch. net.Buffers consumes the
+		// header copy, not `backing` itself.
+		bufs := net.Buffers(backing)
+		_, err := bufs.WriteTo(w.conn)
+		for _, f := range frames {
+			putFrame(f)
+		}
+		if err != nil {
+			// The connection is gone: close it so the peer's and our read
+			// loops observe the failure, then stop.
+			w.conn.Close()
+			w.close()
+			w.drain()
+			return
+		}
+		w.stats.frames.Add(int64(len(frames)))
+		w.stats.flushes.Add(1)
+		w.stats.bytes.Add(total)
+	}
+}
+
+// drain recycles whatever was queued when the writer stopped.
+func (w *connWriter) drain() {
+	for {
+		select {
+		case f := <-w.queue:
+			putFrame(f)
+		default:
+			return
+		}
+	}
+}
+
+// legacyWriter is the pre-batching reference path: one locked Write per
+// message. It is kept selectable (WithLegacyWriter) so differential tests
+// and benchmarks can compare the batched plane against the original
+// single-message behavior.
+type legacyWriter struct {
+	mu    sync.Mutex
+	conn  net.Conn
+	stats *transportStats
+}
+
+func (l *legacyWriter) send(m message, _ bool) error {
+	frame, err := appendFrame(nil, m)
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, err := l.conn.Write(frame); err != nil {
+		l.conn.Close()
+		return errors.Join(ErrConnectionClosed, err)
+	}
+	l.stats.frames.Add(1)
+	l.stats.flushes.Add(1)
+	l.stats.bytes.Add(int64(len(frame)))
+	return nil
+}
+
+func (l *legacyWriter) close() {}
