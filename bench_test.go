@@ -284,11 +284,19 @@ func BenchmarkAdmissionTestScaling(b *testing.B) {
 // BenchmarkFigureRunner measures one Figure 5 sweep (all 15 combinations)
 // through the experiment harness at different worker counts; workers=1 is
 // the serial baseline, so the ratio between sub-benchmarks is the
-// parallel-runner speedup on this machine.
+// parallel-runner speedup on this machine. jobs/sec and allocs/job are
+// reported as custom metrics so the perf trajectory stays comparable across
+// machines (ns/op is hardware-bound; allocations per simulated job are not).
 func BenchmarkFigureRunner(b *testing.B) {
 	for _, workers := range []int{1, 2, 4} {
 		workers := workers
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var jobs int64
+			var ms0, ms1 runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&ms0)
+			b.ReportAllocs()
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				results, err := rtmw.RunFigure5(rtmw.FigureOptions{
 					Sets:    2,
@@ -301,6 +309,15 @@ func BenchmarkFigureRunner(b *testing.B) {
 				if len(results) != 15 {
 					b.Fatalf("got %d combos, want 15", len(results))
 				}
+				for _, r := range results {
+					jobs += r.Jobs
+				}
+			}
+			b.StopTimer()
+			runtime.ReadMemStats(&ms1)
+			if jobs > 0 {
+				b.ReportMetric(float64(jobs)/b.Elapsed().Seconds(), "jobs/sec")
+				b.ReportMetric(float64(ms1.Mallocs-ms0.Mallocs)/float64(jobs), "allocs/job")
 			}
 		})
 	}
@@ -517,7 +534,11 @@ func BenchmarkAblationAUBvsDS(b *testing.B) {
 
 // BenchmarkSimulation measures one full 5-minute virtual run of the J_J_J
 // configuration over a Figure 5 workload: the cost of the DES substrate
-// itself.
+// itself. jobs/sec and allocs/job ride along as custom metrics for the
+// cross-machine perf trajectory. The pre-pool engine (retained in
+// internal/des reference.go) ran this at ~30.8k allocs/op; the pooled core
+// is the same workload at ~1.1k — see BENCH_baseline.json for the guarded
+// values.
 func BenchmarkSimulation(b *testing.B) {
 	tasks, err := rtmw.GenerateWorkload(rtmw.Figure5Params(0))
 	if err != nil {
@@ -529,11 +550,69 @@ func BenchmarkSimulation(b *testing.B) {
 		Horizon:    5 * time.Minute,
 		Seed:       1,
 	}
+	var jobs int64
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := rtmw.Simulate(cfg, tasks); err != nil {
+		m, err := rtmw.Simulate(cfg, tasks)
+		if err != nil {
 			b.Fatal(err)
 		}
+		jobs += m.Total.Arrived
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&ms1)
+	if jobs > 0 {
+		b.ReportMetric(float64(jobs)/b.Elapsed().Seconds(), "jobs/sec")
+		b.ReportMetric(float64(ms1.Mallocs-ms0.Mallocs)/float64(jobs), "allocs/job")
+	}
+}
+
+// BenchmarkSimHotPath measures the pooled simulation core end to end at the
+// scale sweep's platform sizes: one virtual second of the fully dynamic
+// J_J_J middleware per iteration, reporting events/sec, jobs/sec and
+// allocs/job. The 200-processor/50k-task point is the regime the
+// allocation-free rewrite targets — the paper's experiments at 40× the
+// testbed's processor count.
+func BenchmarkSimHotPath(b *testing.B) {
+	for _, pt := range []struct{ procs, tasks int }{{5, 100}, {50, 10_000}, {200, 50_000}} {
+		pt := pt
+		b.Run(fmt.Sprintf("procs=%d/tasks=%d", pt.procs, pt.tasks), func(b *testing.B) {
+			tasks, err := rtmw.GenerateWorkload(rtmw.ScaleWorkloadParams(pt.procs, pt.tasks, 0))
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := rtmw.SimConfig{
+				Strategies: rtmw.Config{AC: rtmw.StrategyPerJob, IR: rtmw.StrategyPerJob, LB: rtmw.StrategyPerJob},
+				NumProcs:   pt.procs,
+				Horizon:    time.Second,
+				Seed:       1,
+			}
+			var jobs, events int64
+			var ms0, ms1 runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&ms0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sim, err := rtmw.NewSimulation(cfg, tasks)
+				if err != nil {
+					b.Fatal(err)
+				}
+				m := sim.Run()
+				jobs += m.Total.Arrived
+				events += sim.Engine().Fired()
+			}
+			b.StopTimer()
+			runtime.ReadMemStats(&ms1)
+			if jobs > 0 {
+				b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+				b.ReportMetric(float64(jobs)/b.Elapsed().Seconds(), "jobs/sec")
+				b.ReportMetric(float64(ms1.Mallocs-ms0.Mallocs)/float64(jobs), "allocs/job")
+			}
+		})
 	}
 }

@@ -1,0 +1,210 @@
+// Command benchguard compares `go test -bench` output against a checked-in
+// JSON baseline and fails (exit 1) on regressions beyond each entry's
+// tolerance. It guards the perf trajectory of the admission, event-plane and
+// simulation benchmarks in CI.
+//
+//	go test -run '^$' -bench ... -benchmem -benchtime 1x . | tee bench.txt
+//	go run ./cmd/benchguard -baseline BENCH_baseline.json -input bench.txt
+//
+// Metric semantics: entries are lower-is-better unless the metric is a
+// */sec rate. Entries marked advisory only warn — time-based metrics are
+// advisory by default in the checked-in baseline because ns/op is hardware
+// bound, while allocs/op and allocs/job are deterministic per workload and
+// therefore enforced across machines. Run with -update to rewrite the
+// baseline's values from the current input (tolerances and flags are kept).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Entry is one guarded (benchmark, metric) pair.
+type Entry struct {
+	// Bench is the benchmark name as printed by `go test -bench`, without
+	// the -GOMAXPROCS suffix (e.g. "BenchmarkSimulation",
+	// "BenchmarkSimHotPath/procs=50/tasks=10000").
+	Bench string `json:"bench"`
+	// Metric is the unit column to guard (e.g. "allocs/op", "ns/op",
+	// "jobs/sec").
+	Metric string `json:"metric"`
+	// Value is the baseline measurement.
+	Value float64 `json:"value"`
+	// Tolerance is the allowed relative regression (0.2 = 20%).
+	Tolerance float64 `json:"tolerance"`
+	// Advisory entries report regressions without failing the run.
+	Advisory bool `json:"advisory,omitempty"`
+	// Note documents why the entry is configured the way it is.
+	Note string `json:"note,omitempty"`
+}
+
+// Baseline is the checked-in file format.
+type Baseline struct {
+	Note       string  `json:"note,omitempty"`
+	Benchmarks []Entry `json:"benchmarks"`
+}
+
+var suffixRe = regexp.MustCompile(`-\d+$`)
+
+// parseBench extracts metric values per benchmark from `go test -bench`
+// output: every line starting with "Benchmark" contributes its value/unit
+// pairs.
+func parseBench(r io.Reader) (map[string]map[string]float64, error) {
+	out := make(map[string]map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		name := suffixRe.ReplaceAllString(fields[0], "")
+		metrics := out[name]
+		if metrics == nil {
+			metrics = make(map[string]float64)
+			out[name] = metrics
+		}
+		// fields[1] is the iteration count; the rest are value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchguard: bad value %q on line %q", fields[i], line)
+			}
+			metrics[fields[i+1]] = v
+		}
+	}
+	return out, sc.Err()
+}
+
+// higherIsBetter reports whether a metric improves upward (throughput rates)
+// rather than downward (times, allocations, bytes).
+func higherIsBetter(metric string) bool {
+	return strings.HasSuffix(metric, "/sec")
+}
+
+func run() error {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_baseline.json", "baseline JSON file")
+		inputPath    = flag.String("input", "-", "bench output file (- for stdin)")
+		update       = flag.Bool("update", false, "rewrite the baseline's values from the input instead of checking")
+		strictTime   = flag.Bool("strict-time", false, "treat advisory entries as enforced (same-machine comparisons)")
+	)
+	flag.Parse()
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		return err
+	}
+	var base Baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("benchguard: parse %s: %w", *baselinePath, err)
+	}
+
+	var in io.Reader = os.Stdin
+	if *inputPath != "-" {
+		f, err := os.Open(*inputPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	results, err := parseBench(in)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("benchguard: no benchmark lines in input")
+	}
+
+	if *update {
+		for i := range base.Benchmarks {
+			e := &base.Benchmarks[i]
+			if metrics, ok := results[e.Bench]; ok {
+				if v, ok := metrics[e.Metric]; ok {
+					e.Value = v
+				}
+			}
+		}
+		out, err := json.MarshalIndent(base, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*baselinePath, append(out, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("benchguard: baseline %s updated (%d entries)\n", *baselinePath, len(base.Benchmarks))
+		return nil
+	}
+
+	failures := 0
+	// missing reports an absent benchmark or metric: enforced entries fail
+	// the run, advisory entries (unless -strict-time) only warn.
+	missing := func(e Entry, what string) {
+		if e.Advisory && !*strictTime {
+			fmt.Printf("WARN     %-55s %-12s (%s; advisory)\n", e.Bench, e.Metric, what)
+			return
+		}
+		fmt.Printf("MISSING  %-55s %-12s (%s)\n", e.Bench, e.Metric, what)
+		failures++
+	}
+	for _, e := range base.Benchmarks {
+		metrics, ok := results[e.Bench]
+		if !ok {
+			missing(e, "benchmark not in input")
+			continue
+		}
+		v, ok := metrics[e.Metric]
+		if !ok {
+			missing(e, "metric not reported")
+			continue
+		}
+		var regressed bool
+		changeStr := "n/a"
+		if higherIsBetter(e.Metric) {
+			regressed = v < e.Value*(1-e.Tolerance)
+		} else if e.Value == 0 {
+			// A zero baseline means "must stay zero"; a relative change is
+			// undefined, so only the absolute value is reported.
+			regressed = v > 0
+		} else {
+			regressed = v > e.Value*(1+e.Tolerance)
+		}
+		if e.Value != 0 {
+			changeStr = fmt.Sprintf("%+.1f%%", (v-e.Value)/e.Value*100)
+		}
+		status := "ok"
+		switch {
+		case regressed && (e.Advisory && !*strictTime):
+			status = "WARN"
+		case regressed:
+			status = "FAIL"
+			failures++
+		}
+		fmt.Printf("%-8s %-55s %-12s base %14.4g  now %14.4g  (%s, tol %.0f%%)\n",
+			status, e.Bench, e.Metric, e.Value, v, changeStr, e.Tolerance*100)
+	}
+	if failures > 0 {
+		return fmt.Errorf("benchguard: %d regression(s) beyond tolerance", failures)
+	}
+	fmt.Println("benchguard: all guarded benchmarks within tolerance")
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

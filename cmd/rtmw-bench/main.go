@@ -5,15 +5,18 @@
 //	rtmw-bench figure6           accepted utilization ratio, imbalanced workloads
 //	rtmw-bench overhead          Figure 7/8 service overhead table (live, TCP)
 //	rtmw-bench ablation          AUB vs deferrable-server admission (Section 2)
+//	rtmw-bench scale             large-scenario throughput sweep (pooled DES core)
 //	rtmw-bench all               everything above
 //
 // Figure runs accept -sets and -horizon; overhead accepts -duration and
-// -pings. The figure and ablation sweeps fan their independent trials over
-// -parallel workers (results are bit-identical to a serial run). Output goes
-// to stdout; add -csv for machine-readable series or -json for structured
-// documents. With -json, the JSON documents are the only stdout output (the
-// human-readable tables move to stderr), so stdout redirects to a valid
-// .json file.
+// -pings; the scale sweep accepts -points (PROCSxTASKS pairs) and -horizon
+// (defaulting to 2s of virtual time — its workloads use shorter deadlines
+// than the figures). The figure and ablation sweeps fan their independent
+// trials over -parallel workers (results are bit-identical to a serial run).
+// Output goes to stdout; add -csv for machine-readable series or -json for
+// structured documents. With -json, the JSON documents are the only stdout
+// output (the human-readable tables move to stderr), so stdout redirects to
+// a valid .json file.
 package main
 
 import (
@@ -41,15 +44,22 @@ func run() error {
 		duration = flag.Duration("duration", 5*time.Second, "live overhead run duration")
 		pings    = flag.Int("pings", 1000, "event round trips for the communication-delay estimate")
 		parallel = flag.Int("parallel", 1, "concurrent trial workers for figure/ablation sweeps (0 = one per CPU)")
+		points   = flag.String("points", "5x100,50x10000,200x50000", "scale sweep points as PROCSxTASKS pairs")
 		csv      = flag.Bool("csv", false, "also print CSV series for figures")
-		jsonOut  = flag.Bool("json", false, "also print JSON documents for figures and the ablation")
+		jsonOut  = flag.Bool("json", false, "also print JSON documents for figures, the ablation, and the scale sweep")
 	)
 	flag.Parse()
 	cmd := flag.Arg(0)
 	if cmd == "" {
 		flag.Usage()
-		return fmt.Errorf("missing subcommand: table1 | figure5 | figure6 | overhead | ablation | all")
+		return fmt.Errorf("missing subcommand: table1 | figure5 | figure6 | overhead | ablation | scale | all")
 	}
+	horizonSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "horizon" {
+			horizonSet = true
+		}
+	})
 
 	workers := *parallel
 	if workers < 1 {
@@ -107,6 +117,30 @@ func run() error {
 		fmt.Println("Valid strategy combinations (Figure 2): 15 of 18; AC-per-task with IR-per-job is contradictory.")
 		return nil
 	}
+	runScale := func() error {
+		pts, err := experiments.ParseScalePoints(*points)
+		if err != nil {
+			return err
+		}
+		opts := experiments.ScaleOptions{Points: pts}
+		if horizonSet {
+			opts.Horizon = *horizon
+		}
+		results, err := experiments.RunScale(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(tableW, experiments.RenderScale(
+			fmt.Sprintf("Scale sweep: simulated middleware throughput by platform size (points %s)", *points), results))
+		if *jsonOut {
+			doc, err := experiments.RenderScaleJSON(results)
+			if err != nil {
+				return err
+			}
+			fmt.Println(doc)
+		}
+		return nil
+	}
 	runAblation := func() error {
 		results, err := experiments.RunAblationAUBvsDS(experiments.AblationOptions{Seeds: 10, Workers: workers})
 		if err != nil {
@@ -134,8 +168,10 @@ func run() error {
 		return runOverhead()
 	case "ablation":
 		return runAblation()
+	case "scale":
+		return runScale()
 	case "all":
-		for _, f := range []func() error{runTable1, runFigure5, runFigure6, runOverhead, runAblation} {
+		for _, f := range []func() error{runTable1, runFigure5, runFigure6, runOverhead, runAblation, runScale} {
 			if err := f(); err != nil {
 				return err
 			}

@@ -12,7 +12,8 @@ type Decision struct {
 	// Accept reports whether the job may be released.
 	Accept bool
 	// Placement is the processor assignment for each stage of the job. It is
-	// nil when Accept is false.
+	// nil when Accept is false. Callers must treat it as read-only: under
+	// LB-none it aliases the controller's cached per-task home placement.
 	Placement []sched.PlacedStage
 	// Relocated reports whether the first stage was assigned away from the
 	// task's home (arrival) processor, so the release must go to the
@@ -53,6 +54,15 @@ type Controller struct {
 	// reservations maps an admitted per-task periodic task to the job
 	// reference holding its permanent ledger contribution.
 	reservations map[string]sched.JobRef
+	// homePlace caches each task's home placement (a pure function of the
+	// task's subtasks), so LB-none decisions do not allocate per arrival.
+	// Cached slices are handed out read-only; RemoveTask invalidates.
+	homePlace map[string][]sched.PlacedStage
+
+	// deltaScratch is the balanced-placement accumulator, one slot per
+	// processor, zeroed after each use — the dense replacement for the old
+	// per-call map[int]float64.
+	deltaScratch []float64
 
 	// Stats accumulate controller-side counters for the experiments.
 	Stats ControllerStats
@@ -98,6 +108,8 @@ func NewController(cfg Config, numProcs int) (*Controller, error) {
 		rejected:     make(map[string]bool),
 		placements:   make(map[string][]sched.PlacedStage),
 		reservations: make(map[string]sched.JobRef),
+		homePlace:    make(map[string][]sched.PlacedStage),
+		deltaScratch: make([]float64, numProcs),
 	}, nil
 }
 
@@ -117,14 +129,26 @@ func homePlacement(t *sched.Task) []sched.PlacedStage {
 	return out
 }
 
+// cachedHome returns the task's home placement from the per-task cache,
+// computing it on first use. The returned slice is shared and read-only.
+func (c *Controller) cachedHome(t *sched.Task) []sched.PlacedStage {
+	if p, ok := c.homePlace[t.ID]; ok {
+		return p
+	}
+	p := homePlacement(t)
+	c.homePlace[t.ID] = p
+	return p
+}
+
 // balancedPlacement implements the paper's load balancing heuristic: each
 // stage goes to the candidate processor (home or replica) with the lowest
 // synthetic utilization, accounting for the contributions already placed for
 // earlier stages of the same job. Ties go to the candidate listed first, so
-// the home processor wins ties deterministically.
+// the home processor wins ties deterministically. The per-job accumulator is
+// the controller's reusable dense scratch, zeroed on exit.
 func (c *Controller) balancedPlacement(t *sched.Task) []sched.PlacedStage {
 	out := make([]sched.PlacedStage, len(t.Subtasks))
-	delta := make(map[int]float64)
+	delta := c.deltaScratch
 	for i, st := range t.Subtasks {
 		u := t.StageUtil(i)
 		best := st.Processor
@@ -137,6 +161,9 @@ func (c *Controller) balancedPlacement(t *sched.Task) []sched.PlacedStage {
 		out[i] = sched.PlacedStage{Stage: i, Proc: best, Util: u}
 		delta[best] += u
 	}
+	for _, p := range out {
+		delta[p.Proc] = 0
+	}
 	return out
 }
 
@@ -144,7 +171,7 @@ func (c *Controller) balancedPlacement(t *sched.Task) []sched.PlacedStage {
 func (c *Controller) placeFor(t *sched.Task, job int64) []sched.PlacedStage {
 	switch c.cfg.LB {
 	case StrategyNone:
-		return homePlacement(t)
+		return c.cachedHome(t)
 	case StrategyPerTask:
 		// Periodic tasks are assigned once, at first arrival; every
 		// aperiodic arrival is an independent task with a single release and
@@ -161,7 +188,7 @@ func (c *Controller) placeFor(t *sched.Task, job int64) []sched.PlacedStage {
 	case StrategyPerJob:
 		return c.balancedPlacement(t)
 	default:
-		return homePlacement(t)
+		return c.cachedHome(t)
 	}
 }
 
@@ -329,6 +356,7 @@ func (c *Controller) RemoveTask(task string) int {
 	delete(c.rejected, task)
 	delete(c.placements, task)
 	delete(c.reservations, task)
+	delete(c.homePlace, task)
 	return n
 }
 
@@ -342,8 +370,7 @@ func (c *Controller) IdleReset(reports []sched.EntryRef) int {
 	}
 	n := 0
 	for _, r := range reports {
-		c.ledger.MarkComplete(r.Ref, r.Stage)
-		if c.ledger.ResetEntry(r) {
+		if c.ledger.ResetReported(r) {
 			n++
 		}
 	}

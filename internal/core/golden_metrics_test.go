@@ -1,0 +1,142 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// gk is a golden KindMetrics record with float fields stored as exact IEEE
+// 754 bit patterns.
+type gk struct {
+	arrived, released, skipped, completed, missed int64
+	arrivedUtilBits, releasedUtilBits             uint64
+	totalResponse, maxResponse                    int64
+}
+
+func (g gk) diff(t *testing.T, label string, k KindMetrics) {
+	t.Helper()
+	if k.Arrived != g.arrived || k.Released != g.released || k.Skipped != g.skipped ||
+		k.Completed != g.completed || k.Missed != g.missed {
+		t.Errorf("%s: counts {%d %d %d %d %d}, golden {%d %d %d %d %d}",
+			label, k.Arrived, k.Released, k.Skipped, k.Completed, k.Missed,
+			g.arrived, g.released, g.skipped, g.completed, g.missed)
+	}
+	if bits := math.Float64bits(k.ArrivedUtil); bits != g.arrivedUtilBits {
+		t.Errorf("%s: ArrivedUtil bits 0x%016x, golden 0x%016x", label, bits, g.arrivedUtilBits)
+	}
+	if bits := math.Float64bits(k.ReleasedUtil); bits != g.releasedUtilBits {
+		t.Errorf("%s: ReleasedUtil bits 0x%016x, golden 0x%016x", label, bits, g.releasedUtilBits)
+	}
+	if int64(k.TotalResponse) != g.totalResponse || int64(k.MaxResponse) != g.maxResponse {
+		t.Errorf("%s: responses {%d %d}, golden {%d %d}",
+			label, int64(k.TotalResponse), int64(k.MaxResponse), g.totalResponse, g.maxResponse)
+	}
+}
+
+// goldenMetricsTable holds bit-exact Metrics captured from the seed
+// simulation engine (the pre-pool container/heap + closure implementation,
+// retained as internal/des reference.go) running one-minute Figure 5/6
+// sweeps. The pooled engine must reproduce every field exactly: the typed
+// event rewrite preserves (time, seq) event ordering, RNG draw order, and
+// float accumulation order byte for byte, so any divergence here is a
+// semantics change, not noise.
+//
+// Note: the float fields assume IEEE-strict evaluation; Go guarantees this
+// per platform, and the table was captured on amd64 (the CI architecture).
+var goldenMetricsTable = []struct {
+	combo                      string
+	figure, set                int
+	total, periodic, aperiodic gk
+}{
+	{"J_J_J", 5, 0,
+		gk{132, 97, 35, 97, 0, 0x4043316d4e9282e5, 0x403729a05b48aa6d, 116226373131, 4571409121},
+		gk{44, 42, 2, 42, 0, 0x402548e3c644d94a, 0x4023cabe6dc16cc2, 75953839934, 4571409121},
+		gk{88, 55, 33, 55, 0, 0x403bbe68ba029922, 0x402a888248cfe811, 40272533197, 2223257590}},
+	{"J_J_J", 5, 1,
+		gk{181, 120, 61, 120, 0, 0x404dcd80ffba129a, 0x4042953cd4ba027a, 110444254316, 3530526556},
+		gk{53, 43, 10, 43, 0, 0x402716a0087d7cb5, 0x402180e2f97a9d36, 53198585595, 3223486280},
+		gk{128, 77, 51, 77, 0, 0x404807d8fd9ab36b, 0x403c6a082cb6b657, 57245668721, 3530526556}},
+	{"J_J_J", 6, 0,
+		gk{91, 83, 8, 83, 0, 0x4033171a9ea56619, 0x40309a11741aa220, 109576285244, 5447234585},
+		gk{55, 53, 2, 53, 0, 0x4022cc960db3ca7f, 0x4021248b06a52d71, 67685224303, 5447234585},
+		gk{36, 30, 6, 30, 0, 0x4023619f2f9701b3, 0x40200f97e19016d2, 41891060941, 1872612073}},
+	{"T_T_T", 5, 0,
+		gk{132, 56, 76, 56, 0, 0x4043316d4e9282e5, 0x4025040d2e0a78a0, 67280202827, 4905181565},
+		gk{44, 37, 7, 37, 0, 0x402548e3c644d94a, 0x4021288b19b4f3b4, 62057152538, 4905181565},
+		gk{88, 19, 69, 19, 0, 0x403bbe68ba029922, 0x3ffedc10a2ac274f, 5223050289, 1346322915}},
+	{"T_T_T", 5, 1,
+		gk{181, 49, 132, 49, 0, 0x404dcd80ffba129a, 0x40258dbdb26d8e67, 48980498714, 1368814805},
+		gk{53, 47, 6, 47, 0, 0x402716a0087d7cb5, 0x402417abef0503c9, 47844938243, 1368814805},
+		gk{128, 2, 126, 2, 0, 0x404807d8fd9ab36b, 0x3fe7611c3688a9d6, 1135560471, 821749646}},
+	{"T_T_T", 6, 0,
+		gk{91, 62, 29, 62, 0, 0x4033171a9ea56619, 0x402433f332a30751, 76447577567, 5233154406},
+		gk{55, 55, 0, 55, 0, 0x4022cc960db3ca7f, 0x4022cc960db3ca7f, 72309490220, 5233154406},
+		gk{36, 7, 29, 7, 0, 0x4023619f2f9701b3, 0x3fe675d24ef3cd2f, 4138087347, 1712648900}},
+	{"J_N_N", 5, 0,
+		gk{132, 48, 84, 48, 0, 0x4043316d4e9282e5, 0x401d478e4b5b1f6d, 43106358730, 3776668940},
+		gk{44, 26, 18, 26, 0, 0x402548e3c644d94a, 0x4012b665966baff4, 35595598532, 3776668940},
+		gk{88, 22, 66, 22, 0, 0x403bbe68ba029922, 0x4005225169dededf, 7510760198, 1346322915}},
+	{"J_N_N", 5, 1,
+		gk{181, 39, 142, 39, 0, 0x404dcd80ffba129a, 0x4022917ed3648132, 38685017491, 1184853559},
+		gk{53, 39, 14, 39, 0, 0x402716a0087d7cb5, 0x4022917ed3648132, 38685017491, 1184853559},
+		gk{128, 0, 128, 0, 0, 0x404807d8fd9ab36b, 0x0000000000000000, 0, 0}},
+	{"J_N_N", 6, 0,
+		gk{91, 56, 35, 56, 0, 0x4033171a9ea56619, 0x401873da5475c3ef, 37744841972, 1611294477},
+		gk{55, 42, 13, 42, 0, 0x4022cc960db3ca7f, 0x400edf82e01869b0, 22429047709, 1439692056},
+		gk{36, 14, 22, 14, 0, 0x4023619f2f9701b3, 0x40020831c8d31e24, 15315794263, 1611294477}},
+	{"T_N_J", 5, 0,
+		gk{132, 53, 79, 53, 0, 0x4043316d4e9282e5, 0x4024ae8cb02eadde, 59463021883, 3146061775},
+		gk{44, 37, 7, 37, 0, 0x402548e3c644d94a, 0x401dec6e0e798e4f, 52107092067, 3146061775},
+		gk{88, 16, 72, 16, 0, 0x403bbe68ba029922, 0x4006e156a3c79ad9, 7355929816, 1346322915}},
+	{"T_N_J", 5, 1,
+		gk{181, 49, 132, 49, 0, 0x404dcd80ffba129a, 0x402e4d55257dc1ac, 47795021703, 2905718938},
+		gk{53, 29, 24, 29, 0, 0x402716a0087d7cb5, 0x4020071f20fd7496, 32587964989, 1440818122},
+		gk{128, 20, 108, 20, 0, 0x404807d8fd9ab36b, 0x401c8c6c09009a24, 15207056714, 2905718938}},
+	{"T_N_J", 6, 0,
+		gk{91, 67, 24, 67, 0, 0x4033171a9ea56619, 0x402323c415b8b31d, 61916280405, 3184034251},
+		gk{55, 48, 7, 48, 0, 0x4022cc960db3ca7f, 0x40159adfbcb37d14, 38960085441, 3184034251},
+		gk{36, 19, 17, 19, 0, 0x4023619f2f9701b3, 0x4010aca86ebde928, 22956194964, 1659253771}},
+}
+
+// TestGoldenMetricsBitIdentical runs Figure 5/6 sweeps through the pooled
+// simulation core and asserts Metrics bit-identical to the values the seed
+// (reference) engine produced for the same seeds — the sim-level half of the
+// differential proof (the engine-level half is internal/des's
+// TestEngineDifferential).
+func TestGoldenMetricsBitIdentical(t *testing.T) {
+	for _, g := range goldenMetricsTable {
+		cfg, err := ParseConfig(g.combo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var p workload.Params
+		if g.figure == 5 {
+			p = workload.Figure5Params(g.set)
+		} else {
+			p = workload.Figure6Params(g.set)
+		}
+		tasks, err := workload.Generate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := NewSimSystem(SimConfig{
+			Strategies: cfg,
+			NumProcs:   workload.MaxProc(tasks) + 1,
+			Horizon:    time.Minute,
+			Seed:       p.Seed ^ 0x5DEECE66D,
+		}, tasks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := sim.Run()
+		label := func(part string) string {
+			return g.combo + "/fig" + string(rune('0'+g.figure)) + "/set" + string(rune('0'+g.set)) + "/" + part
+		}
+		g.total.diff(t, label("total"), m.Total)
+		g.periodic.diff(t, label("periodic"), m.Periodic)
+		g.aperiodic.diff(t, label("aperiodic"), m.Aperiodic)
+	}
+}

@@ -69,10 +69,19 @@ func (ir *IdleResetter) Complete(ref sched.JobRef, stage int, kind sched.TaskKin
 // nil result means there is nothing new to report and no event should be
 // pushed.
 func (ir *IdleResetter) Report(now time.Duration) []sched.EntryRef {
+	return ir.ReportInto(now, nil)
+}
+
+// ReportInto is Report appending into a caller-provided buffer, so a binding
+// that recycles report buffers (the simulation's idle-report pool) produces
+// reports without allocating. Semantics are identical to Report: buf is
+// returned unchanged when there is nothing pending, and the Reports counter
+// only advances when entries were produced.
+func (ir *IdleResetter) ReportInto(now time.Duration, buf []sched.EntryRef) []sched.EntryRef {
 	if len(ir.pending) == 0 {
-		return nil
+		return buf
 	}
-	var out []sched.EntryRef
+	out := buf
 	for _, c := range ir.pending {
 		if c.deadline <= now {
 			continue
@@ -80,7 +89,7 @@ func (ir *IdleResetter) Report(now time.Duration) []sched.EntryRef {
 		out = append(out, sched.EntryRef{Ref: c.ref, Stage: c.stage, Proc: ir.proc})
 	}
 	ir.pending = ir.pending[:0]
-	if len(out) > 0 {
+	if len(out) > len(buf) {
 		ir.Reports++
 	}
 	return out

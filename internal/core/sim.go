@@ -69,10 +69,58 @@ type pendingJob struct {
 	arrival time.Duration
 }
 
+// Typed simulation event kinds. Every hot-path transition of the simulated
+// middleware is a des.Event dispatched through SimSystem.HandleEvent, so
+// steady-state arrivals schedule no closures. Payload conventions: A is a
+// dense task index or pool slot, B a secondary slot or stage, N a job
+// number, D an arrival time.
+const (
+	// evArrive fires a job arrival at the task effector. A = task index.
+	evArrive int32 = iota + 1
+	// evManagerArrive is the TE's "Task Arrive" event reaching the task
+	// manager after one link delay. A = task, N = job, D = arrival.
+	evManagerArrive
+	// evDecide runs the manager-side LB Location call + admission test after
+	// the AC processing delay. A = task, N = job, D = arrival.
+	evDecide
+	// evExpire removes an accepted job's remaining contributions at its
+	// absolute deadline. A = task, N = job.
+	evExpire
+	// evDeliver applies the AC decision back at the task effector after one
+	// link delay. A = task, B = decision pool slot, N = job, D = arrival.
+	evDeliver
+	// evStageDone is a subjob completion delivered by the simulated
+	// processor. A = released-job pool slot, B = stage.
+	evStageDone
+	// evStageStart submits the next stage after a cross-processor trigger
+	// event (one link delay). A = released-job pool slot, B = stage.
+	evStageStart
+	// evIdleReport delivers an idle-resetting report to the AC after one
+	// link delay. A = report pool slot.
+	evIdleReport
+)
+
+// relJob is one released, in-flight job in the pooled job table: the state
+// the old closure chain used to capture, now indexed by slot so stage events
+// carry a single int32. The placement slice is copied in at release and its
+// capacity is reused across occupants.
+type relJob struct {
+	task      int32
+	job       int64
+	arrival   time.Duration
+	placement []sched.PlacedStage
+}
+
 // SimSystem wires the configurable components onto the discrete-event
 // substrate: one simulated processor per application node, an IR component
 // and task-effector state per node, and the centralized AC+LB controller on
 // the task manager node.
+//
+// Tasks are interned to dense indices at construction; all per-task runtime
+// state (TE memory, next job numbers, metric accumulators) lives in slices
+// indexed by that ID, and in-flight decisions, released jobs and idle
+// reports live in free-listed pools, so a steady-state arrival performs no
+// map lookups and no allocations in the simulation layer.
 type SimSystem struct {
 	cfg     SimConfig
 	eng     *des.Engine
@@ -82,10 +130,19 @@ type SimSystem struct {
 	ctrl    *Controller
 	rng     *rand.Rand
 	tasks   []*sched.Task
-	te      map[string]*teState
+	te      []teState
+	nextJob []int64
+	accs    []*MetricAcc
 	metrics Metrics
-	nextJob map[string]int64
 	trace   []TraceEvent
+
+	// Pools for in-flight event payloads too wide for a des.Event.
+	jobs     []relJob
+	freeJobs []int32
+	decs     []Decision
+	freeDecs []int32
+	reports  [][]sched.EntryRef
+	freeReps []int32
 }
 
 // NewSimSystem builds a simulation over the given tasks. Tasks are cloned;
@@ -132,8 +189,9 @@ func NewSimSystem(cfg SimConfig, tasks []*sched.Task) (*SimSystem, error) {
 		links:   des.NewLink(eng, cfg.LinkDelay),
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 		tasks:   cloned,
-		te:      make(map[string]*teState),
-		nextJob: make(map[string]int64),
+		te:      make([]teState, len(cloned)),
+		nextJob: make([]int64, len(cloned)),
+		accs:    make([]*MetricAcc, len(cloned)),
 	}
 	s.procs = make([]*des.Processor, cfg.NumProcs)
 	s.irs = make([]*IdleResetter, cfg.NumProcs)
@@ -157,6 +215,17 @@ func (s *SimSystem) Controller() *Controller { return s.ctrl }
 // Engine exposes the simulation engine (tests use it for clock access).
 func (s *SimSystem) Engine() *des.Engine { return s.eng }
 
+// acc returns (creating lazily, so idle tasks never appear in the per-task
+// metrics) the cached metric accumulator for a task.
+func (s *SimSystem) acc(ti int32) *MetricAcc {
+	a := s.accs[ti]
+	if a == nil {
+		a = s.metrics.Acc(s.tasks[ti])
+		s.accs[ti] = a
+	}
+	return a
+}
+
 // Run executes the workload: arrivals from time zero to the horizon, then a
 // drain window long enough for every in-flight job to finish or expire.
 // After the drain it audits the admission ledger's indexes (CheckInvariants),
@@ -164,11 +233,11 @@ func (s *SimSystem) Engine() *des.Engine { return s.eng }
 // inconsistent ledger is a programming bug and panics loudly.
 func (s *SimSystem) Run() *Metrics {
 	var maxDeadline time.Duration
-	for _, t := range s.tasks {
+	for i, t := range s.tasks {
 		if t.Deadline > maxDeadline {
 			maxDeadline = t.Deadline
 		}
-		s.scheduleFirstArrival(t)
+		s.scheduleFirstArrival(int32(i))
 	}
 	s.eng.RunUntil(s.cfg.Horizon + 2*maxDeadline + time.Second)
 	if err := s.ctrl.Ledger().CheckInvariants(); err != nil {
@@ -178,7 +247,8 @@ func (s *SimSystem) Run() *Metrics {
 }
 
 // scheduleFirstArrival schedules the first job arrival for a task.
-func (s *SimSystem) scheduleFirstArrival(t *sched.Task) {
+func (s *SimSystem) scheduleFirstArrival(ti int32) {
+	t := s.tasks[ti]
 	at := t.Phase
 	if t.Kind == sched.Aperiodic {
 		at += s.exp(t.MeanInterarrival)
@@ -186,7 +256,7 @@ func (s *SimSystem) scheduleFirstArrival(t *sched.Task) {
 	if at > s.cfg.Horizon {
 		return
 	}
-	s.eng.At(at, func() { s.arrive(t) })
+	s.eng.AtEvent(at, s, des.Event{Kind: evArrive, A: ti})
 }
 
 // exp samples an exponential interarrival with the given mean (Poisson
@@ -199,15 +269,47 @@ func (s *SimSystem) exp(mean time.Duration) time.Duration {
 	return time.Duration(-float64(mean) * math.Log(u))
 }
 
+// HandleEvent is the engine's dispatch target: a jump table over the typed
+// simulation events. It is an implementation detail exposed only because the
+// des engine calls it.
+func (s *SimSystem) HandleEvent(ev des.Event) {
+	switch ev.Kind {
+	case evArrive:
+		s.arrive(ev.A)
+	case evManagerArrive:
+		// On the task manager: queue the LB Location call + admission test
+		// behind the AC processing delay.
+		s.eng.AfterEvent(s.cfg.ACDelay, s, des.Event{Kind: evDecide, A: ev.A, N: ev.N, D: ev.D})
+	case evDecide:
+		s.decide(ev.A, ev.N, ev.D)
+	case evExpire:
+		s.ctrl.ExpireJob(sched.JobRef{Task: s.tasks[ev.A].ID, Job: ev.N})
+	case evDeliver:
+		d := s.decs[ev.B]
+		s.freeDec(ev.B)
+		s.deliverDecision(ev.A, ev.N, ev.D, d)
+	case evStageDone:
+		s.stageDone(ev.A, ev.B)
+	case evStageStart:
+		s.startStage(ev.A, ev.B)
+	case evIdleReport:
+		s.ctrl.IdleReset(s.reports[ev.A])
+		s.freeReport(ev.A)
+	default:
+		panic(fmt.Sprintf("core: unknown sim event kind %d", ev.Kind))
+	}
+}
+
 // arrive processes one job arrival at the task's home (first-stage)
 // processor and schedules the next arrival.
-func (s *SimSystem) arrive(t *sched.Task) {
+func (s *SimSystem) arrive(ti int32) {
+	t := s.tasks[ti]
 	now := s.eng.Now()
 	if now > s.cfg.Horizon {
 		return
 	}
-	job := s.nextJob[t.ID]
-	s.nextJob[t.ID] = job + 1
+	job := s.nextJob[ti]
+	s.nextJob[ti] = job + 1
 
 	// Schedule the next arrival.
 	var next time.Duration
@@ -217,22 +319,22 @@ func (s *SimSystem) arrive(t *sched.Task) {
 		next = now + s.exp(t.MeanInterarrival)
 	}
 	if next <= s.cfg.Horizon {
-		s.eng.At(next, func() { s.arrive(t) })
+		s.eng.AtEvent(next, s, des.Event{Kind: evArrive, A: ti})
 	}
 
-	s.metrics.JobArrived(t)
+	s.acc(ti).Arrived()
 	s.record(TraceArrived, sched.JobRef{Task: t.ID, Job: job}, -1, t.Subtasks[0].Processor)
 
 	// The TE's Per-task fast path: jobs of a decided periodic task under
 	// per-task admission control release (or skip) immediately, except when
 	// LB-per-job requires a fresh placement from the manager.
 	if t.Kind == sched.Periodic && s.cfg.Strategies.AC == StrategyPerTask {
-		st := s.teFor(t)
+		st := &s.te[ti]
 		if st.decided && s.cfg.Strategies.LB != StrategyPerJob {
 			if st.accept {
-				s.release(t, job, st.placement, now)
+				s.release(ti, job, st.placement, now)
 			} else {
-				s.metrics.JobSkipped(t)
+				s.acc(ti).Skipped()
 				s.record(TraceSkipped, sched.JobRef{Task: t.ID, Job: job}, -1, -1)
 			}
 			return
@@ -243,51 +345,46 @@ func (s *SimSystem) arrive(t *sched.Task) {
 			st.waiting = append(st.waiting, pendingJob{job: job, arrival: now})
 			if !st.requested {
 				st.requested = true
-				s.requestDecision(t, job, now)
+				s.requestDecision(ti, job, now)
 			}
 			return
 		}
 		// Decided + LB-per-job: round trip for the new placement.
 	}
 
-	s.requestDecision(t, job, now)
+	s.requestDecision(ti, job, now)
 }
 
-// teFor returns (creating if needed) the task effector state for a task.
-func (s *SimSystem) teFor(t *sched.Task) *teState {
-	st, ok := s.te[t.ID]
-	if !ok {
-		st = &teState{}
-		s.te[t.ID] = st
+// requestDecision models the TE pushing a "Task Arrive" event to the AC; the
+// manager-side decision and the "Accept" event back are chained typed
+// events.
+func (s *SimSystem) requestDecision(ti int32, job int64, arrival time.Duration) {
+	s.links.SendEvent(s, des.Event{Kind: evManagerArrive, A: ti, N: job, D: arrival})
+}
+
+// decide runs the manager-side admission decision and pushes the "Accept"
+// (or reject) event back to the releasing task effector.
+func (s *SimSystem) decide(ti int32, job int64, arrival time.Duration) {
+	t := s.tasks[ti]
+	d := s.ctrl.Arrive(t, job, arrival)
+	if d.Accept && !d.Reserved {
+		// One expiry event per accepted job: with the indexed ledger the
+		// event is an O(1) lookup (a no-op when idle resetting already
+		// drained the job), so the drain tail stays cheap even at large
+		// in-flight job counts.
+		s.eng.AtEvent(arrival+t.Deadline, s, des.Event{Kind: evExpire, A: ti, N: job})
 	}
-	return st
-}
-
-// requestDecision models the TE pushing a "Task Arrive" event to the AC,
-// the manager-side decision, and the "Accept" (or reject) event back.
-func (s *SimSystem) requestDecision(t *sched.Task, job int64, arrival time.Duration) {
-	s.links.Send(func() {
-		// On the task manager: LB Location call + admission test.
-		s.eng.After(s.cfg.ACDelay, func() {
-			d := s.ctrl.Arrive(t, job, arrival)
-			if d.Accept && !d.Reserved {
-				// One expiry event per accepted job: with the indexed
-				// ledger the event is an O(1) lookup (a no-op when idle
-				// resetting already drained the job), so the drain tail
-				// stays cheap even at large in-flight job counts.
-				ref := sched.JobRef{Task: t.ID, Job: job}
-				s.eng.At(arrival+t.Deadline, func() { s.ctrl.ExpireJob(ref) })
-			}
-			// "Accept" event back to the releasing task effector.
-			s.links.Send(func() { s.deliverDecision(t, job, arrival, d) })
-		})
-	})
+	// "Accept" event back to the releasing task effector; the decision waits
+	// in the pool while the event crosses the link.
+	di := s.allocDec(d)
+	s.links.SendEvent(s, des.Event{Kind: evDeliver, A: ti, B: di, N: job, D: arrival})
 }
 
 // deliverDecision applies the AC decision at the task effector(s).
-func (s *SimSystem) deliverDecision(t *sched.Task, job int64, arrival time.Duration, d Decision) {
+func (s *SimSystem) deliverDecision(ti int32, job int64, arrival time.Duration, d Decision) {
+	t := s.tasks[ti]
 	if t.Kind == sched.Periodic && s.cfg.Strategies.AC == StrategyPerTask {
-		st := s.teFor(t)
+		st := &s.te[ti]
 		if !st.decided {
 			st.decided = true
 			st.accept = d.Accept
@@ -297,66 +394,135 @@ func (s *SimSystem) deliverDecision(t *sched.Task, job int64, arrival time.Durat
 			st.waiting = nil
 			for _, w := range waiting {
 				if d.Accept {
-					s.release(t, w.job, d.Placement, w.arrival)
+					s.release(ti, w.job, d.Placement, w.arrival)
 				} else {
-					s.metrics.JobSkipped(t)
+					s.acc(ti).Skipped()
 					s.record(TraceSkipped, sched.JobRef{Task: t.ID, Job: w.job}, -1, -1)
 				}
 			}
+			// Keep the drained queue's capacity for any later use.
+			st.waiting = waiting[:0]
 			return
 		}
 		// LB-per-job refresh for an already-admitted task.
 		st.placement = d.Placement
 	}
 	if d.Accept {
-		s.release(t, job, d.Placement, arrival)
+		s.release(ti, job, d.Placement, arrival)
 	} else {
-		s.metrics.JobSkipped(t)
+		s.acc(ti).Skipped()
 		s.record(TraceSkipped, sched.JobRef{Task: t.ID, Job: job}, -1, -1)
 	}
 }
 
 // release starts the job's first subjob on its assigned processor.
-func (s *SimSystem) release(t *sched.Task, job int64, placement []sched.PlacedStage, arrival time.Duration) {
-	s.metrics.JobReleased(t)
-	s.record(TraceReleased, sched.JobRef{Task: t.ID, Job: job}, -1, placement[0].Proc)
-	s.startStage(t, job, placement, 0, arrival)
+func (s *SimSystem) release(ti int32, job int64, placement []sched.PlacedStage, arrival time.Duration) {
+	s.acc(ti).Released()
+	s.record(TraceReleased, sched.JobRef{Task: s.tasks[ti].ID, Job: job}, -1, placement[0].Proc)
+	ji := s.allocJob(ti, job, arrival, placement)
+	s.startStage(ji, 0)
 }
 
-// startStage submits the i-th subjob and chains the next stage on
-// completion. Trigger events between stages on different processors traverse
-// the federated event channel (one link delay); stages co-located on the
-// same processor are dispatched through the local channel at no delay.
-func (s *SimSystem) startStage(t *sched.Task, job int64, placement []sched.PlacedStage, i int, arrival time.Duration) {
-	proc := placement[i].Proc
-	ref := sched.JobRef{Task: t.ID, Job: job}
-	s.procs[proc].Submit(&des.ExecRequest{
-		Label:     fmt.Sprintf("%s/%d", ref, i),
-		Priority:  t.Priority,
-		Remaining: t.Subtasks[i].Exec,
-		OnComplete: func() {
-			now := s.eng.Now()
-			s.irs[proc].Complete(ref, i, t.Kind, arrival+t.Deadline)
-			s.record(TraceStageDone, ref, i, proc)
-			if i == len(placement)-1 {
-				s.metrics.JobCompleted(t, now-arrival)
-				s.record(TraceCompleted, ref, -1, proc)
-				return
-			}
-			if placement[i+1].Proc == proc {
-				s.startStage(t, job, placement, i+1, arrival)
-				return
-			}
-			s.links.Send(func() { s.startStage(t, job, placement, i+1, arrival) })
-		},
-	})
+// startStage submits the i-th subjob; completion and cross-processor trigger
+// events chain through stageDone. Trigger events between stages on different
+// processors traverse the federated event channel (one link delay); stages
+// co-located on the same processor are dispatched through the local channel
+// at no delay.
+func (s *SimSystem) startStage(ji, stage int32) {
+	j := &s.jobs[ji]
+	t := s.tasks[j.task]
+	proc := j.placement[stage].Proc
+	s.procs[proc].SubmitEvent(t.Priority, t.Subtasks[stage].Exec, s, des.Event{Kind: evStageDone, A: ji, B: stage})
+}
+
+// stageDone handles one subjob completion: IR bookkeeping, then either the
+// next stage or job completion.
+func (s *SimSystem) stageDone(ji, stage int32) {
+	j := &s.jobs[ji]
+	ti := j.task
+	t := s.tasks[ti]
+	now := s.eng.Now()
+	proc := j.placement[stage].Proc
+	ref := sched.JobRef{Task: t.ID, Job: j.job}
+	s.irs[proc].Complete(ref, int(stage), t.Kind, j.arrival+t.Deadline)
+	s.record(TraceStageDone, ref, int(stage), proc)
+	if int(stage) == len(j.placement)-1 {
+		s.acc(ti).Completed(now - j.arrival)
+		s.record(TraceCompleted, ref, -1, proc)
+		s.freeJob(ji)
+		return
+	}
+	if j.placement[stage+1].Proc == proc {
+		s.startStage(ji, stage+1)
+		return
+	}
+	s.links.SendEvent(s, des.Event{Kind: evStageStart, A: ji, B: stage + 1})
 }
 
 // reportIdle pushes the processor's idle-resetting report to the AC.
 func (s *SimSystem) reportIdle(proc int) {
-	reports := s.irs[proc].Report(s.eng.Now())
-	if len(reports) == 0 {
+	ri := s.allocReport()
+	out := s.irs[proc].ReportInto(s.eng.Now(), s.reports[ri][:0])
+	s.reports[ri] = out
+	if len(out) == 0 {
+		s.freeReport(ri)
 		return
 	}
-	s.links.Send(func() { s.ctrl.IdleReset(reports) })
+	s.links.SendEvent(s, des.Event{Kind: evIdleReport, A: ri})
+}
+
+// allocJob takes a released-job slot and copies the placement into its
+// reusable buffer.
+func (s *SimSystem) allocJob(ti int32, job int64, arrival time.Duration, placement []sched.PlacedStage) int32 {
+	var ji int32
+	if n := len(s.freeJobs); n > 0 {
+		ji = s.freeJobs[n-1]
+		s.freeJobs = s.freeJobs[:n-1]
+	} else {
+		s.jobs = append(s.jobs, relJob{})
+		ji = int32(len(s.jobs) - 1)
+	}
+	j := &s.jobs[ji]
+	j.task = ti
+	j.job = job
+	j.arrival = arrival
+	j.placement = append(j.placement[:0], placement...)
+	return ji
+}
+
+func (s *SimSystem) freeJob(ji int32) {
+	s.freeJobs = append(s.freeJobs, ji)
+}
+
+// allocDec parks a decision while its "Accept" event crosses the link.
+func (s *SimSystem) allocDec(d Decision) int32 {
+	if n := len(s.freeDecs); n > 0 {
+		di := s.freeDecs[n-1]
+		s.freeDecs = s.freeDecs[:n-1]
+		s.decs[di] = d
+		return di
+	}
+	s.decs = append(s.decs, d)
+	return int32(len(s.decs) - 1)
+}
+
+func (s *SimSystem) freeDec(di int32) {
+	s.decs[di] = Decision{}
+	s.freeDecs = append(s.freeDecs, di)
+}
+
+// allocReport takes a reusable idle-report buffer slot.
+func (s *SimSystem) allocReport() int32 {
+	if n := len(s.freeReps); n > 0 {
+		ri := s.freeReps[n-1]
+		s.freeReps = s.freeReps[:n-1]
+		return ri
+	}
+	s.reports = append(s.reports, nil)
+	return int32(len(s.reports) - 1)
+}
+
+func (s *SimSystem) freeReport(ri int32) {
+	s.reports[ri] = s.reports[ri][:0]
+	s.freeReps = append(s.freeReps, ri)
 }

@@ -13,77 +13,142 @@
 // The engine is single-threaded: callbacks run inside Run, one at a time, in
 // (time, sequence) order. Events scheduled at equal times fire in the order
 // they were scheduled.
+//
+// # Allocation-free hot path
+//
+// The engine is built for large sweeps (hundreds of processors, tens of
+// thousands of tasks), so the per-event machinery avoids the heap entirely:
+//
+//   - timers live in a pooled slot arena recycled through a free list; a
+//     Timer handle is a value (engine, slot, generation) triple, and the
+//     generation counter keeps Cancel/Pending safe after the slot has been
+//     recycled for a later event;
+//   - the pending queue is an inlined 4-ary heap over (time, seq, slot)
+//     records — no container/heap, no interface boxing, no per-operation
+//     method values, and comparisons touch only inline fields;
+//   - besides closure callbacks (At/After), events can carry a small typed
+//     payload (AtEvent/AfterEvent) dispatched to an EventHandler, so the
+//     dominant simulation paths schedule events without capturing state in
+//     a fresh closure.
+//
+// The paper-simple implementation (heap-allocated timers boxed through
+// container/heap) is retained in reference.go; a differential property test
+// proves the two produce identical (time, seq) firing traces.
 package des
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
 
-// Timer is a handle to a scheduled callback. Cancelling an already-fired or
+// Event is a small typed payload delivered to an EventHandler when its timer
+// fires. The fields have no fixed meaning to the engine; handlers define
+// their own Kind space and field conventions. Carrying state here instead of
+// in a captured closure is what keeps the simulation hot path allocation
+// free.
+type Event struct {
+	// Kind selects the handler's dispatch arm.
+	Kind int32
+	// A and B are small operands (typically pool indices or stage numbers).
+	A, B int32
+	// N is a wide operand (typically a job number).
+	N int64
+	// D is a duration operand (typically an arrival time).
+	D time.Duration
+}
+
+// EventHandler consumes typed events scheduled with AtEvent/AfterEvent.
+// Implementations are usually a single struct with a jump table over
+// Event.Kind.
+type EventHandler interface {
+	HandleEvent(ev Event)
+}
+
+// dispatch kinds for pooled timer slots.
+const (
+	dispatchNone uint8 = iota // slot is free
+	dispatchFunc
+	dispatchHandler
+	dispatchProcComplete
+	dispatchProcIdle
+)
+
+// slot is one pooled timer record. Slots are recycled through Engine.free;
+// gen increments on every recycle so stale Timer handles go inert instead of
+// touching the slot's new occupant.
+type slot struct {
+	at        time.Duration
+	seq       int64
+	gen       uint32
+	dispatch  uint8
+	cancelled bool
+	ev        Event
+	fn        func()
+	h         EventHandler
+	proc      *Processor
+}
+
+// Timer is a handle to a scheduled callback. It is a plain value — copying
+// it is cheap and the zero value is inert. Cancelling an already-fired or
 // already-cancelled timer is a no-op.
 type Timer struct {
-	at      time.Duration
-	seq     int64
-	fn      func()
-	cancel  bool
-	fired   bool
-	heapIdx int
-	inHeap  bool
+	e   *Engine
+	idx int32
+	gen uint32
 }
 
 // Cancel prevents the callback from firing. It reports whether the timer was
-// still pending.
-func (t *Timer) Cancel() bool {
-	if t == nil || t.cancel || t.fired {
+// still pending. The slot's callback and payload references are dropped
+// immediately so a long drain cannot pin dead state; the slot itself is
+// recycled lazily when the heap pops it.
+func (t Timer) Cancel() bool {
+	if t.e == nil {
 		return false
 	}
-	t.cancel = true
+	s := &t.e.slots[t.idx]
+	if s.gen != t.gen || s.dispatch == dispatchNone || s.cancelled {
+		return false
+	}
+	s.cancelled = true
+	s.fn = nil
+	s.h = nil
+	s.proc = nil
+	s.ev = Event{}
+	t.e.live--
 	return true
 }
 
 // Pending reports whether the timer is still scheduled to fire.
-func (t *Timer) Pending() bool { return t != nil && !t.cancel && !t.fired }
-
-// timerHeap orders timers by (time, sequence).
-type timerHeap []*Timer
-
-func (h timerHeap) Len() int { return len(h) }
-func (h timerHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (t Timer) Pending() bool {
+	if t.e == nil {
+		return false
 	}
-	return h[i].seq < h[j].seq
+	s := &t.e.slots[t.idx]
+	return s.gen == t.gen && s.dispatch != dispatchNone && !s.cancelled
 }
-func (h timerHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].heapIdx = i
-	h[j].heapIdx = j
+
+// heapEnt is one pending-queue record: the ordering key inline plus the slot
+// index, so heap comparisons never chase a pointer.
+type heapEnt struct {
+	at  time.Duration
+	seq int64
+	idx int32
 }
-func (h *timerHeap) Push(x any) {
-	t := x.(*Timer)
-	t.heapIdx = len(*h)
-	t.inHeap = true
-	*h = append(*h, t)
-}
-func (h *timerHeap) Pop() any {
-	old := *h
-	n := len(old)
-	t := old[n-1]
-	old[n-1] = nil
-	t.inHeap = false
-	*h = old[:n-1]
-	return t
+
+func entLess(a, b heapEnt) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
 }
 
 // Engine is the simulation core. The zero value is not usable; call
 // NewEngine.
 type Engine struct {
-	now     time.Duration
-	seq     int64
-	pending timerHeap
-	fired   int64
+	now   time.Duration
+	seq   int64
+	fired int64
+	live  int // scheduled, not-yet-cancelled events — O(1) PendingCount
+	slots []slot
+	free  []int32
+	heap  []heapEnt // 4-ary min-heap ordered by (at, seq)
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -98,39 +163,112 @@ func (e *Engine) Now() time.Duration { return e.now }
 // and instrumentation.
 func (e *Engine) Fired() int64 { return e.fired }
 
-// At schedules fn to run at the given absolute virtual time. Scheduling in
-// the past (before Now) panics: it indicates a simulation logic bug, not a
-// recoverable condition.
-func (e *Engine) At(at time.Duration, fn func()) *Timer {
+// alloc takes a free slot, growing the arena when the free list is empty.
+func (e *Engine) alloc() int32 {
+	if n := len(e.free); n > 0 {
+		idx := e.free[n-1]
+		e.free = e.free[:n-1]
+		return idx
+	}
+	e.slots = append(e.slots, slot{})
+	return int32(len(e.slots) - 1)
+}
+
+// recycle returns a popped slot to the free list, bumping its generation so
+// outstanding handles go inert, and dropping every callback/payload
+// reference so fired or cancelled events never pin dead state.
+func (e *Engine) recycle(idx int32) {
+	s := &e.slots[idx]
+	s.gen++
+	s.dispatch = dispatchNone
+	s.cancelled = false
+	s.fn = nil
+	s.h = nil
+	s.proc = nil
+	s.ev = Event{}
+	e.free = append(e.free, idx)
+}
+
+// schedule is the single scheduling entry point behind At/AtEvent and the
+// processor-internal event kinds.
+func (e *Engine) schedule(at time.Duration, dispatch uint8, fn func(), h EventHandler, proc *Processor, ev Event) Timer {
 	if at < e.now {
 		panic(fmt.Sprintf("des: scheduling at %v before now %v", at, e.now))
 	}
+	e.seq++
+	idx := e.alloc()
+	s := &e.slots[idx]
+	s.at = at
+	s.seq = e.seq
+	s.dispatch = dispatch
+	s.cancelled = false
+	s.fn = fn
+	s.h = h
+	s.proc = proc
+	s.ev = ev
+	e.heapPush(heapEnt{at: at, seq: e.seq, idx: idx})
+	e.live++
+	return Timer{e: e, idx: idx, gen: s.gen}
+}
+
+// At schedules fn to run at the given absolute virtual time. Scheduling in
+// the past (before Now) panics: it indicates a simulation logic bug, not a
+// recoverable condition.
+func (e *Engine) At(at time.Duration, fn func()) Timer {
 	if fn == nil {
 		panic("des: scheduling nil callback")
 	}
-	e.seq++
-	t := &Timer{at: at, seq: e.seq, fn: fn}
-	heap.Push(&e.pending, t)
-	return t
+	return e.schedule(at, dispatchFunc, fn, nil, nil, Event{})
 }
 
 // After schedules fn to run d from now. Negative d panics.
-func (e *Engine) After(d time.Duration, fn func()) *Timer {
+func (e *Engine) After(d time.Duration, fn func()) Timer {
 	return e.At(e.now+d, fn)
+}
+
+// AtEvent schedules a typed event for h at the given absolute virtual time.
+// Unlike At, no closure is involved: the payload travels in the pooled slot,
+// so steady-state scheduling does not allocate.
+func (e *Engine) AtEvent(at time.Duration, h EventHandler, ev Event) Timer {
+	if h == nil {
+		panic("des: scheduling nil event handler")
+	}
+	return e.schedule(at, dispatchHandler, nil, h, nil, ev)
+}
+
+// AfterEvent schedules a typed event for h at d from now.
+func (e *Engine) AfterEvent(d time.Duration, h EventHandler, ev Event) Timer {
+	return e.AtEvent(e.now+d, h, ev)
 }
 
 // Step executes the next pending event, advancing the clock to its time. It
 // reports whether an event was executed.
 func (e *Engine) Step() bool {
-	for e.pending.Len() > 0 {
-		t := heap.Pop(&e.pending).(*Timer)
-		if t.cancel {
+	for len(e.heap) > 0 {
+		ent := e.heapPop()
+		s := &e.slots[ent.idx]
+		if s.cancelled {
+			e.recycle(ent.idx)
 			continue
 		}
-		e.now = t.at
-		t.fired = true
+		// Copy the dispatch fields and recycle before invoking, so the
+		// callback can schedule new events straight into this slot and the
+		// engine retains no reference to fired state.
+		dispatch, fn, h, proc, ev := s.dispatch, s.fn, s.h, s.proc, s.ev
+		e.recycle(ent.idx)
+		e.live--
+		e.now = ent.at
 		e.fired++
-		t.fn()
+		switch dispatch {
+		case dispatchFunc:
+			fn()
+		case dispatchHandler:
+			h.HandleEvent(ev)
+		case dispatchProcComplete:
+			proc.completeEvent(ev.A, uint32(ev.B))
+		case dispatchProcIdle:
+			proc.idleEvent()
+		}
 		return true
 	}
 	return false
@@ -140,14 +278,15 @@ func (e *Engine) Step() bool {
 // event is strictly after the horizon. The clock finishes at the horizon (or
 // at the last event time if later events remain).
 func (e *Engine) RunUntil(horizon time.Duration) {
-	for e.pending.Len() > 0 {
-		// Peek without popping: cancelled timers are skipped lazily.
-		t := e.pending[0]
-		if t.cancel {
-			heap.Pop(&e.pending)
+	for len(e.heap) > 0 {
+		// Peek without popping: cancelled timers are recycled lazily.
+		top := e.heap[0]
+		if e.slots[top.idx].cancelled {
+			e.heapPop()
+			e.recycle(top.idx)
 			continue
 		}
-		if t.at > horizon {
+		if top.at > horizon {
 			break
 		}
 		e.Step()
@@ -164,12 +303,59 @@ func (e *Engine) Run() {
 }
 
 // PendingCount returns the number of scheduled, not-yet-cancelled events.
-func (e *Engine) PendingCount() int {
-	n := 0
-	for _, t := range e.pending {
-		if !t.cancel {
-			n++
+// It is O(1): the engine keeps a live counter instead of scanning the heap,
+// so invariant audits inside hot test loops stay cheap.
+func (e *Engine) PendingCount() int { return e.live }
+
+// heapPush inserts an entry into the 4-ary heap.
+func (e *Engine) heapPush(x heapEnt) {
+	h := append(e.heap, x)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !entLess(h[i], h[p]) {
+			break
 		}
+		h[i], h[p] = h[p], h[i]
+		i = p
 	}
-	return n
+	e.heap = h
+}
+
+// heapPop removes and returns the minimum entry, sifting the former tail
+// down through a hole (one write per level instead of a swap). heapEnt holds
+// no pointers, so the vacated tail slot needs no zeroing.
+func (e *Engine) heapPop() heapEnt {
+	h := e.heap
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h = h[:n]
+	if n > 0 {
+		i := 0
+		for {
+			c := 4*i + 1
+			if c >= n {
+				break
+			}
+			best, bv := c, h[c]
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			for j := c + 1; j < end; j++ {
+				if entLess(h[j], bv) {
+					best, bv = j, h[j]
+				}
+			}
+			if !entLess(bv, last) {
+				break
+			}
+			h[i] = bv
+			i = best
+		}
+		h[i] = last
+	}
+	e.heap = h
+	return top
 }

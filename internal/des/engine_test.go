@@ -61,9 +61,12 @@ func TestEngineCancel(t *testing.T) {
 	if timer.Pending() {
 		t.Error("cancelled timer still pending")
 	}
-	var nilTimer *Timer
-	if nilTimer.Cancel() {
-		t.Error("nil timer Cancel returned true")
+	var zero Timer
+	if zero.Cancel() {
+		t.Error("zero-value timer Cancel returned true")
+	}
+	if zero.Pending() {
+		t.Error("zero-value timer reports pending")
 	}
 }
 

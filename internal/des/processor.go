@@ -1,7 +1,6 @@
 package des
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -9,42 +8,55 @@ import (
 // ExecRequest is one unit of work submitted to a simulated processor: a
 // subjob with a fixed-priority dispatch thread, per the paper's F/I and Last
 // Subtask components.
+//
+// Submit copies the request into a pooled internal record, so the struct
+// itself is a parameter block: the processor does not retain it, and on
+// completion it writes Remaining = 0, sets done, and clears OnComplete so
+// the request never pins the callback's captured state. Hot simulation
+// paths use SubmitEvent instead, which takes no heap record at all.
 type ExecRequest struct {
 	// Label identifies the request in traces and tests.
 	Label string
 	// Priority orders requests; smaller values preempt larger ones (EDMS
 	// priorities start at one for the shortest deadline).
 	Priority int
-	// Remaining is the execution time still owed. The processor decrements
-	// it across preemptions.
+	// Remaining is the execution time still owed. It is set to zero when the
+	// request completes.
 	Remaining time.Duration
-	// OnComplete runs (inside the engine) when the request finishes.
+	// OnComplete runs (inside the engine) when the request finishes. It is
+	// cleared after firing.
 	OnComplete func()
 
-	seq     int64
-	started time.Duration
-	done    bool
+	done bool
 }
 
-// reqHeap orders ready requests by (priority, submission order).
-type reqHeap []*ExecRequest
-
-func (h reqHeap) Len() int { return len(h) }
-func (h reqHeap) Less(i, j int) bool {
-	if h[i].Priority != h[j].Priority {
-		return h[i].Priority < h[j].Priority
-	}
-	return h[i].seq < h[j].seq
+// reqSlot is one pooled execution record. gen increments on every recycle so
+// a stale completion event (impossible by construction, but cheap to check)
+// can never complete the slot's new occupant.
+type reqSlot struct {
+	label      string
+	prio       int32
+	gen        uint32
+	active     bool
+	seq        int64
+	remaining  time.Duration
+	started    time.Duration
+	onComplete func()
+	h          EventHandler
+	ev         Event
+	ext        *ExecRequest
 }
-func (h reqHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *reqHeap) Push(x any)   { *h = append(*h, x.(*ExecRequest)) }
-func (h *reqHeap) Pop() any {
-	old := *h
-	n := len(old)
-	r := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return r
+
+// readyEnt is one ready-queue record: the ordering key inline plus the slot
+// index.
+type readyEnt struct {
+	prio int32
+	seq  int64
+	idx  int32
+}
+
+func readyLess(a, b readyEnt) bool {
+	return a.prio < b.prio || (a.prio == b.prio && a.seq < b.seq)
 }
 
 // Processor simulates a single CPU under preemptive fixed-priority
@@ -61,13 +73,16 @@ type Processor struct {
 	// ID numbers the processor within the cluster.
 	ID int
 
-	eng      *Engine
-	ready    reqHeap
-	running  *ExecRequest
-	complete *Timer
+	eng     *Engine
+	slots   []reqSlot
+	free    []int32
+	ready   []readyEnt // 4-ary min-heap ordered by (priority, seq)
+	running int32      // slot index of the running request, -1 when idle
+	onIdle  func()
+
+	complete Timer
+	idleEvt  Timer
 	seq      int64
-	onIdle   func()
-	idleEvt  *Timer
 
 	// BusyTime accumulates total executed time, for utilization accounting
 	// in tests.
@@ -76,7 +91,7 @@ type Processor struct {
 
 // NewProcessor returns an idle processor bound to the engine.
 func NewProcessor(eng *Engine, id int) *Processor {
-	return &Processor{ID: id, eng: eng}
+	return &Processor{ID: id, eng: eng, running: -1}
 }
 
 // SetIdleCallback installs fn to be called (via a zero-delay event) whenever
@@ -84,13 +99,39 @@ func NewProcessor(eng *Engine, id int) *Processor {
 func (p *Processor) SetIdleCallback(fn func()) { p.onIdle = fn }
 
 // Idle reports whether the processor has no running or ready work.
-func (p *Processor) Idle() bool { return p.running == nil && len(p.ready) == 0 }
+func (p *Processor) Idle() bool { return p.running < 0 && len(p.ready) == 0 }
 
 // QueueLen returns the number of ready (not running) requests.
 func (p *Processor) QueueLen() int { return len(p.ready) }
 
+// allocReq takes a free request slot, growing the arena when needed.
+func (p *Processor) allocReq() int32 {
+	if n := len(p.free); n > 0 {
+		idx := p.free[n-1]
+		p.free = p.free[:n-1]
+		return idx
+	}
+	p.slots = append(p.slots, reqSlot{})
+	return int32(len(p.slots) - 1)
+}
+
+// freeReq recycles a completed slot, dropping every callback/payload
+// reference so finished requests never pin dead job state.
+func (p *Processor) freeReq(idx int32) {
+	s := &p.slots[idx]
+	s.gen++
+	s.active = false
+	s.label = ""
+	s.onComplete = nil
+	s.h = nil
+	s.ev = Event{}
+	s.ext = nil
+	p.free = append(p.free, idx)
+}
+
 // Submit enqueues a request, preempting the running request if the new one
-// has higher priority (smaller value).
+// has higher priority (smaller value). The request struct is copied into a
+// pooled record; see ExecRequest.
 func (p *Processor) Submit(r *ExecRequest) {
 	if r == nil || r.Remaining <= 0 {
 		panic(fmt.Sprintf("des: processor %d: invalid exec request %+v", p.ID, r))
@@ -98,54 +139,117 @@ func (p *Processor) Submit(r *ExecRequest) {
 	if r.done {
 		panic(fmt.Sprintf("des: processor %d: resubmitting completed request %q", p.ID, r.Label))
 	}
+	idx := p.allocReq()
+	s := &p.slots[idx]
+	s.label = r.Label
+	s.prio = int32(r.Priority)
+	s.remaining = r.Remaining
+	s.onComplete = r.OnComplete
+	s.h = nil
+	s.ev = Event{}
+	s.ext = r
+	p.submitSlot(idx)
+}
+
+// SubmitEvent enqueues a unit of work whose completion delivers a typed
+// event to h instead of invoking a closure. This is the allocation-free
+// submission path used by the simulation binding's hot loop.
+func (p *Processor) SubmitEvent(priority int, exec time.Duration, h EventHandler, ev Event) {
+	if exec <= 0 {
+		panic(fmt.Sprintf("des: processor %d: invalid execution time %v", p.ID, exec))
+	}
+	if h == nil {
+		panic(fmt.Sprintf("des: processor %d: nil completion handler", p.ID))
+	}
+	idx := p.allocReq()
+	s := &p.slots[idx]
+	s.label = ""
+	s.prio = int32(priority)
+	s.remaining = exec
+	s.onComplete = nil
+	s.h = h
+	s.ev = ev
+	s.ext = nil
+	p.submitSlot(idx)
+}
+
+// submitSlot dispatches a filled slot: start it, preempt for it, or queue it.
+func (p *Processor) submitSlot(idx int32) {
 	p.seq++
-	r.seq = p.seq
-	if p.running == nil {
-		p.start(r)
+	s := &p.slots[idx]
+	s.seq = p.seq
+	s.active = true
+	if p.running < 0 {
+		p.start(idx)
 		return
 	}
-	if r.Priority < p.running.Priority {
+	run := &p.slots[p.running]
+	if s.prio < run.prio {
 		p.preempt()
-		heap.Push(&p.ready, p.running)
-		p.running = nil
-		p.start(r)
+		p.readyPush(readyEnt{prio: run.prio, seq: run.seq, idx: p.running})
+		p.running = -1
+		p.start(idx)
 		return
 	}
-	heap.Push(&p.ready, r)
+	p.readyPush(readyEnt{prio: s.prio, seq: s.seq, idx: idx})
 }
 
 // preempt stops the running request, charging it for the time executed so
 // far.
 func (p *Processor) preempt() {
-	ran := p.eng.Now() - p.running.started
-	p.running.Remaining -= ran
+	run := &p.slots[p.running]
+	ran := p.eng.Now() - run.started
+	run.remaining -= ran
 	p.BusyTime += ran
 	p.complete.Cancel()
-	p.complete = nil
+	p.complete = Timer{}
 }
 
-// start begins executing r and schedules its completion.
-func (p *Processor) start(r *ExecRequest) {
-	p.running = r
-	r.started = p.eng.Now()
-	p.complete = p.eng.After(r.Remaining, func() { p.finish(r) })
+// start begins executing the slot and schedules its completion as a typed
+// engine event carrying (slot, generation) — no closure.
+func (p *Processor) start(idx int32) {
+	p.running = idx
+	s := &p.slots[idx]
+	s.started = p.eng.Now()
+	p.complete = p.eng.schedule(p.eng.now+s.remaining, dispatchProcComplete, nil, nil, p, Event{A: idx, B: int32(s.gen)})
+}
+
+// completeEvent is the engine's dispatch target for completion timers.
+func (p *Processor) completeEvent(idx int32, gen uint32) {
+	s := &p.slots[idx]
+	if !s.active || s.gen != gen || p.running != idx {
+		panic(fmt.Sprintf("des: processor %d: completion for stale request slot %d", p.ID, idx))
+	}
+	p.finish(idx)
 }
 
 // finish completes the running request, dispatches the next ready request,
 // and arms the idle callback if the processor drained.
-func (p *Processor) finish(r *ExecRequest) {
-	p.BusyTime += p.eng.Now() - r.started
-	r.Remaining = 0
-	r.done = true
-	p.running = nil
-	p.complete = nil
-	if r.OnComplete != nil {
-		r.OnComplete()
+func (p *Processor) finish(idx int32) {
+	s := &p.slots[idx]
+	p.BusyTime += p.eng.Now() - s.started
+	// Copy the completion dispatch and recycle before invoking, so the
+	// callback can submit new work that reuses this slot and the processor
+	// retains no reference to finished state.
+	onComplete, h, ev, ext := s.onComplete, s.h, s.ev, s.ext
+	p.running = -1
+	p.complete = Timer{}
+	p.freeReq(idx)
+	if ext != nil {
+		ext.Remaining = 0
+		ext.done = true
+		ext.OnComplete = nil
 	}
-	// OnComplete may have submitted new local work synchronously.
-	if p.running == nil && len(p.ready) > 0 {
-		next := heap.Pop(&p.ready).(*ExecRequest)
-		p.start(next)
+	if onComplete != nil {
+		onComplete()
+	} else if h != nil {
+		h.HandleEvent(ev)
+	}
+	// The completion callback may have submitted new local work
+	// synchronously.
+	if p.running < 0 && len(p.ready) > 0 {
+		next := p.readyPop()
+		p.start(next.idx)
 	}
 	if p.Idle() && p.onIdle != nil {
 		p.armIdle()
@@ -156,14 +260,70 @@ func (p *Processor) finish(r *ExecRequest) {
 // callback re-checks idleness when it runs, like a lowest-priority idle
 // detector thread that only gets the CPU when nothing else is ready.
 func (p *Processor) armIdle() {
-	if p.idleEvt != nil && p.idleEvt.Pending() {
+	if p.idleEvt.Pending() {
 		return
 	}
-	p.idleEvt = p.eng.After(0, func() {
-		if p.Idle() && p.onIdle != nil {
-			p.onIdle()
+	p.idleEvt = p.eng.schedule(p.eng.now, dispatchProcIdle, nil, nil, p, Event{})
+}
+
+// idleEvent is the engine's dispatch target for idle-detector timers.
+func (p *Processor) idleEvent() {
+	if p.Idle() && p.onIdle != nil {
+		p.onIdle()
+	}
+}
+
+// readyPush inserts an entry into the 4-ary ready heap.
+func (p *Processor) readyPush(x readyEnt) {
+	h := append(p.ready, x)
+	i := len(h) - 1
+	for i > 0 {
+		par := (i - 1) / 4
+		if !readyLess(h[i], h[par]) {
+			break
 		}
-	})
+		h[i], h[par] = h[par], h[i]
+		i = par
+	}
+	p.ready = h
+}
+
+// readyPop removes and returns the highest-priority ready entry, sifting the
+// former tail down through a hole (one write per level instead of a swap).
+// readyEnt holds no pointers, so the vacated tail slot needs no zeroing.
+func (p *Processor) readyPop() readyEnt {
+	h := p.ready
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h = h[:n]
+	if n > 0 {
+		i := 0
+		for {
+			c := 4*i + 1
+			if c >= n {
+				break
+			}
+			best, bv := c, h[c]
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			for j := c + 1; j < end; j++ {
+				if readyLess(h[j], bv) {
+					best, bv = j, h[j]
+				}
+			}
+			if !readyLess(bv, last) {
+				break
+			}
+			h[i] = bv
+			i = best
+		}
+		h[i] = last
+	}
+	p.ready = h
+	return top
 }
 
 // Link models a point-to-point network path with a fixed one-way delay, used
@@ -193,4 +353,11 @@ func (l *Link) Delay() time.Duration { return l.delay }
 func (l *Link) Send(fn func()) {
 	l.Messages++
 	l.eng.After(l.delay, fn)
+}
+
+// SendEvent delivers a typed event to h after the link's one-way delay — the
+// allocation-free counterpart of Send.
+func (l *Link) SendEvent(h EventHandler, ev Event) {
+	l.Messages++
+	l.eng.AfterEvent(l.delay, h, ev)
 }

@@ -60,6 +60,9 @@ type ComboResult struct {
 	Mean float64
 	// PerSet holds the per-task-set ratios.
 	PerSet []float64
+	// Jobs is the total number of job arrivals simulated across the sets —
+	// the denominator for jobs/sec perf-trajectory metrics.
+	Jobs int64
 }
 
 // RunFigure5 reproduces Section 7.1: random balanced workloads over 5
@@ -87,6 +90,7 @@ func runFigure(params func(set int) workload.Params, opts FigureOptions) ([]Comb
 
 	// One slot per trial, indexed combo-major so assembly is a simple walk.
 	ratios := make([]float64, len(opts.Combos)*opts.Sets)
+	jobs := make([]int64, len(ratios))
 	err := runTrials(len(ratios), workers, func(i int) error {
 		combo := opts.Combos[i/opts.Sets]
 		set := i % opts.Sets
@@ -106,7 +110,9 @@ func runFigure(params func(set int) workload.Params, opts FigureOptions) ([]Comb
 		if err != nil {
 			return fmt.Errorf("experiments: combo %s set %d: %w", combo, set, err)
 		}
-		ratios[i] = sim.Run().AcceptedUtilizationRatio()
+		m := sim.Run()
+		ratios[i] = m.AcceptedUtilizationRatio()
+		jobs[i] = m.Total.Arrived
 		return nil
 	})
 	if err != nil {
@@ -120,10 +126,15 @@ func runFigure(params func(set int) workload.Params, opts FigureOptions) ([]Comb
 		for _, r := range perSet {
 			sum += r
 		}
+		var total int64
+		for _, j := range jobs[c*opts.Sets : (c+1)*opts.Sets] {
+			total += j
+		}
 		results = append(results, ComboResult{
 			Combo:  combo,
 			Mean:   sum / float64(len(perSet)),
 			PerSet: perSet,
+			Jobs:   total,
 		})
 	}
 	return results, nil

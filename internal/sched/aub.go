@@ -108,12 +108,18 @@ type entry struct {
 	expiry    time.Duration // absolute virtual deadline; 0 when permanent
 	completed bool
 	removed   RemovalReason // 0 while active
+	// procPos is the entry's position in procEntries[proc] while active,
+	// maintained by procEntryAdd/procEntryRemove.
+	procPos int
 }
 
-// jobKey indexes jobs in the ledger.
+// jobKey indexes jobs in the ledger by interned task ID: hashing an (int32,
+// int64) pair on every admission/expiry/reset is markedly cheaper than
+// hashing the task-name string, and the interning table is consulted once
+// per public call.
 type jobKey struct {
-	task string
-	job  int64
+	tid int32
+	job int64
 }
 
 // jobRec groups the entries of one admitted job.
@@ -187,9 +193,12 @@ func (j *jobRec) signature() (string, []int, map[int]int) {
 // per-processor terms are shared by all jobs), so one cached sum serves the
 // whole group and Admissible touches groups, not jobs.
 type sigGroup struct {
-	sig   string
-	procs []int       // sorted distinct processors of the signature
-	count map[int]int // active entries per processor (shared by members)
+	sig    string
+	procs  []int // sorted distinct processors of the signature
+	counts []int // active entries per processor, parallel to procs
+	// procPos holds, parallel to procs, the group's position in each
+	// processor's procGroups slice, maintained by procGroupAdd/Remove.
+	procPos []int
 	// members is the number of jobRecs pointing at this group.
 	members int
 	// counted is the number of member jobs that are in flight and active —
@@ -219,14 +228,46 @@ type Ledger struct {
 	term []float64 // term[p] = AUBTerm(util[p]), maintained with util
 	jobs map[jobKey]*jobRec
 
-	procEntries []map[*entry]struct{} // active entries per processor
-	taskJobs    map[string]map[int64]*jobRec
-	groups      map[string]*sigGroup     // signature → group
-	procGroups  []map[*sigGroup]struct{} // groups whose signature visits proc
+	// taskIDs interns task names to dense IDs (never removed; a task
+	// re-registered after RemoveTask reuses its ID) and taskNames maps back.
+	taskIDs   map[string]int32
+	taskNames []string
+
+	procEntries [][]*entry           // active entries per processor (swap-remove via entry.procPos)
+	taskJobs    []map[int64]*jobRec  // jobs per interned task ID
+	groups      map[string]*sigGroup // signature → group
+	procGroups  [][]*sigGroup        // groups whose signature visits proc (swap-remove via sigGroup.procPos)
 	// violated counts groups with counted > 0 whose cachedSum already
 	// exceeds 1: while any exist, no candidate is admissible (adding
 	// utilization can only grow a group's sum).
 	violated int
+
+	// Record pools: entry, jobRec and sigGroup records cycle through free
+	// lists instead of the heap, so steady-state admission traffic (admit →
+	// reset/expire → forget) allocates nothing once the pools warm up.
+	// Recycling happens only in forgetJob/leaveGroup, after every index has
+	// dropped its pointer.
+	freeEntries []*entry
+	freeRecs    []*jobRec
+	freeGroups  []*sigGroup
+
+	// Signature scratch for reindex: parallel (proc, count) arrays and the
+	// encoding buffer, reused across calls so deriving a job's signature
+	// allocates only when a previously unseen signature creates a group.
+	sigProcs  []int
+	sigCounts []int
+	sigBuf    []byte
+	// sigNames interns signature strings across group churn: a signature
+	// that disappears and reappears reuses the string materialized the
+	// first time. Bounded by the distinct signatures ever seen.
+	sigNames map[string]string
+
+	// candDelta/candTerm are Admissible's dense scratch: the candidate's
+	// per-processor utilization delta and the tentative AUB terms of the
+	// perturbed processors, computed once per test instead of once per
+	// signature-group visit. Zeroed (for the touched processors) on exit.
+	candDelta []float64
+	candTerm  []float64
 }
 
 // NewLedger returns an empty ledger over numProcs processors numbered
@@ -236,20 +277,185 @@ func NewLedger(numProcs int) *Ledger {
 		util:        make([]float64, numProcs),
 		term:        make([]float64, numProcs),
 		jobs:        make(map[jobKey]*jobRec),
-		procEntries: make([]map[*entry]struct{}, numProcs),
-		taskJobs:    make(map[string]map[int64]*jobRec),
+		taskIDs:     make(map[string]int32),
+		procEntries: make([][]*entry, numProcs),
 		groups:      make(map[string]*sigGroup),
-		procGroups:  make([]map[*sigGroup]struct{}, numProcs),
-	}
-	for p := 0; p < numProcs; p++ {
-		l.procEntries[p] = make(map[*entry]struct{})
-		l.procGroups[p] = make(map[*sigGroup]struct{})
+		procGroups:  make([][]*sigGroup, numProcs),
 	}
 	return l
 }
 
 // NumProcs returns the number of processors the ledger tracks.
 func (l *Ledger) NumProcs() int { return len(l.util) }
+
+// allocEntry takes a zeroed entry from the pool.
+func (l *Ledger) allocEntry() *entry {
+	if n := len(l.freeEntries); n > 0 {
+		e := l.freeEntries[n-1]
+		l.freeEntries = l.freeEntries[:n-1]
+		*e = entry{}
+		return e
+	}
+	return &entry{}
+}
+
+// allocRec takes an empty job record from the pool, keeping its entries
+// capacity.
+func (l *Ledger) allocRec() *jobRec {
+	if n := len(l.freeRecs); n > 0 {
+		r := l.freeRecs[n-1]
+		l.freeRecs = l.freeRecs[:n-1]
+		return r
+	}
+	return &jobRec{}
+}
+
+// allocGroup takes an empty signature group from the pool.
+func (l *Ledger) allocGroup() *sigGroup {
+	if n := len(l.freeGroups); n > 0 {
+		g := l.freeGroups[n-1]
+		l.freeGroups = l.freeGroups[:n-1]
+		return g
+	}
+	return &sigGroup{}
+}
+
+// internTask returns the dense ID for a task name, creating one (with its
+// empty per-task job index) on first use.
+func (l *Ledger) internTask(task string) int32 {
+	if tid, ok := l.taskIDs[task]; ok {
+		return tid
+	}
+	tid := int32(len(l.taskNames))
+	l.taskIDs[task] = tid
+	l.taskNames = append(l.taskNames, task)
+	l.taskJobs = append(l.taskJobs, nil)
+	return tid
+}
+
+// lookupJob resolves a public job reference against the interned indexes.
+func (l *Ledger) lookupJob(ref JobRef) (*jobRec, jobKey, bool) {
+	tid, ok := l.taskIDs[ref.Task]
+	if !ok {
+		return nil, jobKey{}, false
+	}
+	k := jobKey{tid, ref.Job}
+	rec, ok := l.jobs[k]
+	return rec, k, ok
+}
+
+// procEntryAdd appends an active entry to its processor's index, recording
+// its position for O(1) swap-removal.
+func (l *Ledger) procEntryAdd(e *entry) {
+	s := l.procEntries[e.proc]
+	e.procPos = len(s)
+	l.procEntries[e.proc] = append(s, e)
+}
+
+// procEntryRemove swap-removes an entry from its processor's index.
+func (l *Ledger) procEntryRemove(e *entry) {
+	s := l.procEntries[e.proc]
+	last := len(s) - 1
+	moved := s[last]
+	s[e.procPos] = moved
+	moved.procPos = e.procPos
+	s[last] = nil
+	l.procEntries[e.proc] = s[:last]
+}
+
+// procGroupAdd registers a group in the per-processor group index of every
+// processor its signature visits.
+func (l *Ledger) procGroupAdd(g *sigGroup) {
+	g.procPos = g.procPos[:0]
+	for _, p := range g.procs {
+		s := l.procGroups[p]
+		g.procPos = append(g.procPos, len(s))
+		l.procGroups[p] = append(s, g)
+	}
+}
+
+// procGroupRemove swap-removes a group from every per-processor index it is
+// registered in, fixing the moved group's back-pointer for that processor.
+func (l *Ledger) procGroupRemove(g *sigGroup) {
+	for i, p := range g.procs {
+		s := l.procGroups[p]
+		last := len(s) - 1
+		pos := g.procPos[i]
+		moved := s[last]
+		s[pos] = moved
+		if moved != g {
+			for j, mp := range moved.procs {
+				if mp == p {
+					moved.procPos[j] = pos
+					break
+				}
+			}
+		}
+		s[last] = nil
+		l.procGroups[p] = s[:last]
+	}
+}
+
+// signatureInto computes rec's processor-visit signature into the ledger's
+// scratch buffers: the returned bytes are the canonical encoding (empty when
+// the job has no active contribution) and l.sigProcs/l.sigCounts hold the
+// sorted distinct processors with their entry counts. The encoding is
+// byte-identical to jobRec.signature's, without the per-call map, slice and
+// string allocations.
+func (l *Ledger) signatureInto(j *jobRec) []byte {
+	procs := l.sigProcs[:0]
+	counts := l.sigCounts[:0]
+	for _, e := range j.entries {
+		if e.removed != 0 {
+			continue
+		}
+		found := false
+		for i := range procs {
+			if procs[i] == e.proc {
+				counts[i]++
+				found = true
+				break
+			}
+		}
+		if !found {
+			procs = append(procs, e.proc)
+			counts = append(counts, 1)
+		}
+	}
+	// Insertion sort of the parallel arrays; a job has at most a handful of
+	// stages.
+	for i := 1; i < len(procs); i++ {
+		for k := i; k > 0 && procs[k] < procs[k-1]; k-- {
+			procs[k], procs[k-1] = procs[k-1], procs[k]
+			counts[k], counts[k-1] = counts[k-1], counts[k]
+		}
+	}
+	buf := l.sigBuf[:0]
+	for i, p := range procs {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = strconv.AppendInt(buf, int64(p), 10)
+		buf = append(buf, ':')
+		buf = strconv.AppendInt(buf, int64(counts[i]), 10)
+	}
+	l.sigProcs, l.sigCounts, l.sigBuf = procs, counts, buf
+	return buf
+}
+
+// internSig returns the canonical string for a signature encoding,
+// materializing it at most once per distinct signature.
+func (l *Ledger) internSig(sig []byte) string {
+	if s, ok := l.sigNames[string(sig)]; ok {
+		return s
+	}
+	if l.sigNames == nil {
+		l.sigNames = make(map[string]string)
+	}
+	s := string(sig)
+	l.sigNames[s] = s
+	return s
+}
 
 // Util returns the current synthetic utilization of the processor.
 func (l *Ledger) Util(proc int) float64 {
@@ -282,7 +488,7 @@ func (l *Ledger) settleProc(proc int) {
 		l.util[proc] = 0
 	}
 	l.term[proc] = AUBTerm(l.util[proc])
-	for g := range l.procGroups[proc] {
+	for _, g := range l.procGroups[proc] {
 		l.refreshGroupSum(g)
 	}
 }
@@ -304,8 +510,8 @@ func touchProc(procs []int, proc int) []int {
 func (l *Ledger) refreshGroupSum(g *sigGroup) {
 	was := g.counted > 0 && g.cachedSum > 1
 	var s float64
-	for _, p := range g.procs {
-		s += float64(g.count[p]) * l.term[p]
+	for i, p := range g.procs {
+		s += float64(g.counts[i]) * l.term[p]
 	}
 	g.cachedSum = s
 	l.flipViolated(g, was)
@@ -350,9 +556,15 @@ func (l *Ledger) leaveGroup(rec *jobRec) {
 	g.members--
 	if g.members == 0 {
 		delete(l.groups, g.sig)
-		for _, p := range g.procs {
-			delete(l.procGroups[p], g)
-		}
+		l.procGroupRemove(g)
+		// Recycle: an empty group can never be violated (that requires
+		// counted > 0), so dropping it does not touch the violated counter.
+		g.sig = ""
+		g.procs = g.procs[:0]
+		g.counts = g.counts[:0]
+		g.counted = 0
+		g.cachedSum = 0
+		l.freeGroups = append(l.freeGroups, g)
 	}
 	rec.group = nil
 }
@@ -362,17 +574,21 @@ func (l *Ledger) leaveGroup(rec *jobRec) {
 // updates of the same mutation so a newly created group caches the final
 // sums.
 func (l *Ledger) reindex(rec *jobRec) {
-	sig, procs, count := rec.signature()
-	if rec.group == nil || rec.group.sig != sig {
+	sig := l.signatureInto(rec)
+	// string(sig) in the comparison and map lookup below does not allocate;
+	// the signature is only materialized as a string when a new group is
+	// created.
+	if rec.group == nil || rec.group.sig != string(sig) {
 		l.leaveGroup(rec)
-		if sig != "" {
-			g, ok := l.groups[sig]
+		if len(sig) > 0 {
+			g, ok := l.groups[string(sig)]
 			if !ok {
-				g = &sigGroup{sig: sig, procs: procs, count: count}
-				l.groups[sig] = g
-				for _, p := range procs {
-					l.procGroups[p][g] = struct{}{}
-				}
+				g = l.allocGroup()
+				g.sig = l.internSig(sig)
+				g.procs = append(g.procs[:0], l.sigProcs...)
+				g.counts = append(g.counts[:0], l.sigCounts...)
+				l.groups[g.sig] = g
+				l.procGroupAdd(g)
 				// Fill the cache; with no counted members yet the
 				// violated flip inside is a no-op.
 				l.refreshGroupSum(g)
@@ -389,15 +605,26 @@ func (l *Ledger) reindex(rec *jobRec) {
 func (l *Ledger) forgetJob(k jobKey, rec *jobRec) {
 	l.leaveGroup(rec)
 	for _, e := range rec.entries {
-		delete(l.procEntries[e.proc], e)
-	}
-	delete(l.jobs, k)
-	if jobs := l.taskJobs[k.task]; jobs != nil {
-		delete(jobs, k.job)
-		if len(jobs) == 0 {
-			delete(l.taskJobs, k.task)
+		if e.removed == 0 {
+			l.procEntryRemove(e)
 		}
 	}
+	delete(l.jobs, k)
+	if jobs := l.taskJobs[k.tid]; jobs != nil {
+		// The emptied inner map is kept: the task's next job reuses it (and
+		// its buckets), so steady-state admit/expire churn does not
+		// reallocate the index. RemoveTask drops the whole map.
+		delete(jobs, k.job)
+	}
+	// Every index has dropped the record; recycle it and its entries.
+	for i, e := range rec.entries {
+		l.freeEntries = append(l.freeEntries, e)
+		rec.entries[i] = nil
+	}
+	rec.entries = rec.entries[:0]
+	rec.group = nil
+	rec.counted = false
+	l.freeRecs = append(l.freeRecs, rec)
 }
 
 // AddJob records the contributions of an admitted job placed per placement.
@@ -407,7 +634,7 @@ func (l *Ledger) forgetJob(k jobKey, rec *jobRec) {
 // Adding an already-present job is an error: the admission controller must
 // not double-admit.
 func (l *Ledger) AddJob(ref JobRef, kind TaskKind, placement []PlacedStage, permanent bool, expiry time.Duration) error {
-	k := jobKey{ref.Task, ref.Job}
+	k := jobKey{l.internTask(ref.Task), ref.Job}
 	if _, ok := l.jobs[k]; ok {
 		return fmt.Errorf("sched: job %s already in ledger", ref)
 	}
@@ -419,21 +646,20 @@ func (l *Ledger) AddJob(ref JobRef, kind TaskKind, placement []PlacedStage, perm
 			return fmt.Errorf("sched: job %s stage %d has negative utilization %g", ref, p.Stage, p.Util)
 		}
 	}
-	rec := &jobRec{entries: make([]*entry, 0, len(placement))}
+	rec := l.allocRec()
 	var touchedBuf [8]int
 	touched := touchedBuf[:0]
 	for _, p := range placement {
-		e := &entry{
-			ref:       ref,
-			stage:     p.Stage,
-			proc:      p.Proc,
-			amount:    p.Util,
-			kind:      kind,
-			permanent: permanent,
-			expiry:    expiry,
-		}
+		e := l.allocEntry()
+		e.ref = ref
+		e.stage = p.Stage
+		e.proc = p.Proc
+		e.amount = p.Util
+		e.kind = kind
+		e.permanent = permanent
+		e.expiry = expiry
 		rec.entries = append(rec.entries, e)
-		l.procEntries[p.Proc][e] = struct{}{}
+		l.procEntryAdd(e)
 		l.util[p.Proc] += p.Util
 		touched = touchProc(touched, p.Proc)
 	}
@@ -441,10 +667,10 @@ func (l *Ledger) AddJob(ref JobRef, kind TaskKind, placement []PlacedStage, perm
 		l.settleProc(p)
 	}
 	l.jobs[k] = rec
-	jobs := l.taskJobs[k.task]
+	jobs := l.taskJobs[k.tid]
 	if jobs == nil {
 		jobs = make(map[int64]*jobRec)
-		l.taskJobs[k.task] = jobs
+		l.taskJobs[k.tid] = jobs
 	}
 	jobs[k.job] = rec
 	l.reindex(rec)
@@ -457,8 +683,7 @@ func (l *Ledger) AddJob(ref JobRef, kind TaskKind, placement []PlacedStage, perm
 // jobs made only of permanent entries are left in place. It returns the
 // number of contributions removed.
 func (l *Ledger) ExpireJob(ref JobRef) int {
-	k := jobKey{ref.Task, ref.Job}
-	rec, ok := l.jobs[k]
+	rec, k, ok := l.lookupJob(ref)
 	if !ok {
 		return 0
 	}
@@ -473,7 +698,7 @@ func (l *Ledger) ExpireJob(ref JobRef) int {
 		permanentOnly = false
 		if e.removed == 0 {
 			e.removed = RemovedExpiry
-			delete(l.procEntries[e.proc], e)
+			l.procEntryRemove(e)
 			l.util[e.proc] -= e.amount
 			touched = touchProc(touched, e.proc)
 			n++
@@ -491,14 +716,18 @@ func (l *Ledger) ExpireJob(ref JobRef) int {
 // RemoveTask withdraws a permanent per-task reservation entirely (the task
 // left the system). It returns the number of contributions removed.
 func (l *Ledger) RemoveTask(task string) int {
+	tid, ok := l.taskIDs[task]
+	if !ok {
+		return 0
+	}
 	n := 0
-	for job, rec := range l.taskJobs[task] {
+	for job, rec := range l.taskJobs[tid] {
 		var touchedBuf [8]int
 		touched := touchedBuf[:0]
 		for _, e := range rec.entries {
 			if e.removed == 0 {
 				e.removed = RemovedWithdrawal
-				delete(l.procEntries[e.proc], e)
+				l.procEntryRemove(e)
 				l.util[e.proc] -= e.amount
 				touched = touchProc(touched, e.proc)
 				n++
@@ -507,8 +736,9 @@ func (l *Ledger) RemoveTask(task string) int {
 		for _, p := range touched {
 			l.settleProc(p)
 		}
-		l.forgetJob(jobKey{task, job}, rec)
+		l.forgetJob(jobKey{tid, job}, rec)
 	}
+	l.taskJobs[tid] = nil
 	return n
 }
 
@@ -516,10 +746,15 @@ func (l *Ledger) RemoveTask(task string) int {
 // executing, making its contribution eligible for idle resetting. Unknown
 // references are ignored (the job may already have expired).
 func (l *Ledger) MarkComplete(ref JobRef, stage int) {
-	rec, ok := l.jobs[jobKey{ref.Task, ref.Job}]
+	rec, _, ok := l.lookupJob(ref)
 	if !ok {
 		return
 	}
+	l.markCompleteRec(rec, stage)
+}
+
+// markCompleteRec is MarkComplete after the job lookup.
+func (l *Ledger) markCompleteRec(rec *jobRec, stage int) {
 	changed := false
 	for _, e := range rec.entries {
 		if e.stage == stage && !e.completed {
@@ -542,10 +777,15 @@ func (l *Ledger) MarkComplete(ref JobRef, stage int) {
 // admission strategy must keep the reservation, which is exactly why the
 // AC-per-task/IR-per-job combination is invalid.
 func (l *Ledger) ResetEntry(r EntryRef) bool {
-	rec, ok := l.jobs[jobKey{r.Ref.Task, r.Ref.Job}]
+	rec, _, ok := l.lookupJob(r.Ref)
 	if !ok {
 		return false
 	}
+	return l.resetEntryRec(rec, r)
+}
+
+// resetEntryRec is ResetEntry after the job lookup.
+func (l *Ledger) resetEntryRec(rec *jobRec, r EntryRef) bool {
 	for _, e := range rec.entries {
 		if e.stage != r.Stage || e.proc != r.Proc {
 			continue
@@ -554,12 +794,27 @@ func (l *Ledger) ResetEntry(r EntryRef) bool {
 			return false
 		}
 		e.removed = RemovedIdleReset
-		delete(l.procEntries[e.proc], e)
+		l.procEntryRemove(e)
 		l.addUtil(e.proc, -e.amount)
 		l.reindex(rec)
 		return true
 	}
 	return false
+}
+
+// ResetReported applies one idle-resetting report entry: MarkComplete
+// followed by ResetEntry, with a single job lookup. It is behaviorally
+// identical to calling the two methods in that order — the admission
+// controller's hot path for "Idle Resetting" events uses it, while the two
+// standalone methods remain the granular API (and the differential property
+// test's ground truth).
+func (l *Ledger) ResetReported(r EntryRef) bool {
+	rec, _, ok := l.lookupJob(r.Ref)
+	if !ok {
+		return false
+	}
+	l.markCompleteRec(rec, r.Stage)
+	return l.resetEntryRec(rec, r)
 }
 
 // CompletedOn returns the completed, still-active contributions on the given
@@ -573,7 +828,7 @@ func (l *Ledger) CompletedOn(proc int, includePeriodic bool) []EntryRef {
 		return nil
 	}
 	var out []EntryRef
-	for e := range l.procEntries[proc] {
+	for _, e := range l.procEntries[proc] {
 		if !e.completed || e.removed != 0 || e.permanent {
 			continue
 		}
@@ -598,7 +853,7 @@ func (l *Ledger) CompletedOn(proc int, includePeriodic bool) []EntryRef {
 // by AC-per-task with LB-per-job, where an admitted task's reservation
 // follows the jobs). Completed/removed entries are left as-is.
 func (l *Ledger) Relocate(ref JobRef, placement []PlacedStage) error {
-	rec, ok := l.jobs[jobKey{ref.Task, ref.Job}]
+	rec, _, ok := l.lookupJob(ref)
 	if !ok {
 		return fmt.Errorf("sched: relocate: job %s not in ledger", ref)
 	}
@@ -616,12 +871,12 @@ func (l *Ledger) Relocate(ref JobRef, placement []PlacedStage) error {
 		if !ok || e.removed != 0 || e.proc == p.Proc {
 			continue
 		}
-		delete(l.procEntries[e.proc], e)
+		l.procEntryRemove(e)
 		l.util[e.proc] -= e.amount
 		touched = touchProc(touched, e.proc)
 		e.proc = p.Proc
 		e.amount = p.Util
-		l.procEntries[e.proc][e] = struct{}{}
+		l.procEntryAdd(e)
 		l.util[e.proc] += p.Util
 		touched = touchProc(touched, e.proc)
 	}
@@ -652,13 +907,39 @@ func (l *Ledger) Admissible(placement []PlacedStage) bool {
 			return l.referenceAdmissible(placement)
 		}
 	}
+	if l.candDelta == nil {
+		l.candDelta = make([]float64, len(l.util))
+		l.candTerm = make([]float64, len(l.util))
+	}
+	// Dense candidate deltas, accumulated in placement order so the sums
+	// are bit-identical to a per-processor candidateDelta walk, plus the
+	// tentative AUB term of each perturbed processor, computed once per
+	// test instead of once per signature-group visit.
+	delta, tent := l.candDelta, l.candTerm
+	var procsBuf [8]int
+	touched := procsBuf[:0]
+	for _, p := range placement {
+		delta[p.Proc] += p.Util
+		touched = touchProc(touched, p.Proc)
+	}
+	for _, p := range touched {
+		tent[p] = AUBTerm(l.util[p] + delta[p])
+	}
+	ok := l.admitScan(placement, delta, tent, touched)
+	for _, p := range touched {
+		delta[p] = 0
+		tent[p] = 0
+	}
+	return ok
+}
 
-	// Candidate's own condition under the tentative utilizations. Placements
-	// are short chains, so the per-processor delta is summed by a direct
-	// walk instead of a map — the admission hot path stays allocation-free.
+// admitScan is Admissible after the scratch is primed; split out so every
+// early return shares the caller's scratch cleanup.
+func (l *Ledger) admitScan(placement []PlacedStage, delta, tent []float64, touched []int) bool {
+	// Candidate's own condition under the tentative utilizations.
 	var sum float64
 	for _, p := range placement {
-		sum += AUBTerm(l.util[p.Proc] + candidateDelta(placement, p.Proc))
+		sum += tent[p.Proc]
 	}
 	if sum > 1 {
 		return false
@@ -672,21 +953,16 @@ func (l *Ledger) Admissible(placement []PlacedStage) bool {
 
 	// Re-evaluate only the signature groups that visit a perturbed
 	// processor; every other in-flight job's sum is its cached sum, which
-	// the violated counter already vouches for.
+	// the violated counter already vouches for. Unperturbed processors use
+	// the cached term (term[p] = AUBTerm(util[p]) by invariant), so the
+	// evaluation is bit-identical to recomputing every term.
 	var seenBuf [16]*sigGroup
 	seen := seenBuf[:0]
-	for i, p := range placement {
-		dup := false
-		for _, q := range placement[:i] {
-			if q.Proc == p.Proc {
-				dup = true
-				break
-			}
-		}
-		if dup || candidateDelta(placement, p.Proc) == 0 {
+	for _, pp := range touched {
+		if delta[pp] == 0 {
 			continue
 		}
-		for g := range l.procGroups[p.Proc] {
+		for _, g := range l.procGroups[pp] {
 			if g.counted == 0 {
 				continue
 			}
@@ -702,8 +978,12 @@ func (l *Ledger) Admissible(placement []PlacedStage) bool {
 			}
 			seen = append(seen, g)
 			var s float64
-			for _, q := range g.procs {
-				s += float64(g.count[q]) * AUBTerm(l.util[q]+candidateDelta(placement, q))
+			for qi, q := range g.procs {
+				t := l.term[q]
+				if delta[q] != 0 {
+					t = tent[q]
+				}
+				s += float64(g.counts[qi]) * t
 				if s > 1 {
 					return false
 				}
@@ -711,18 +991,6 @@ func (l *Ledger) Admissible(placement []PlacedStage) bool {
 		}
 	}
 	return true
-}
-
-// candidateDelta sums the candidate placement's utilization on one
-// processor.
-func candidateDelta(placement []PlacedStage, proc int) float64 {
-	var d float64
-	for _, p := range placement {
-		if p.Proc == proc {
-			d += p.Util
-		}
-	}
-	return d
 }
 
 // referenceAdmissible is the paper-literal full-scan admission test: every
@@ -775,7 +1043,7 @@ func (l *Ledger) ActiveJobs() []JobRef {
 	var out []JobRef
 	for k, rec := range l.jobs {
 		if rec.active() {
-			out = append(out, JobRef{Task: k.task, Job: k.job})
+			out = append(out, JobRef{Task: l.taskNames[k.tid], Job: k.job})
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -802,7 +1070,7 @@ func (l *Ledger) CheckInvariants() error {
 			if e.removed == 0 {
 				recomputed[e.proc] += e.amount
 				activeEntries++
-				if _, ok := l.procEntries[e.proc][e]; !ok {
+				if pe := l.procEntries[e.proc]; e.procPos < 0 || e.procPos >= len(pe) || pe[e.procPos] != e {
 					return fmt.Errorf("sched: active entry %s/%d missing from processor %d index", e.ref, e.stage, e.proc)
 				}
 			}
@@ -822,7 +1090,7 @@ func (l *Ledger) CheckInvariants() error {
 	indexed := 0
 	for p := range l.procEntries {
 		indexed += len(l.procEntries[p])
-		for e := range l.procEntries[p] {
+		for _, e := range l.procEntries[p] {
 			if e.removed != 0 {
 				return fmt.Errorf("sched: removed entry %s/%d still in processor %d index", e.ref, e.stage, p)
 			}
@@ -836,11 +1104,11 @@ func (l *Ledger) CheckInvariants() error {
 	}
 
 	taskIndexed := 0
-	for task, jobs := range l.taskJobs {
+	for tid, jobs := range l.taskJobs {
 		for job, rec := range jobs {
 			taskIndexed++
-			if l.jobs[jobKey{task, job}] != rec {
-				return fmt.Errorf("sched: task index entry %s/%d does not match job map", task, job)
+			if l.jobs[jobKey{int32(tid), job}] != rec {
+				return fmt.Errorf("sched: task index entry %s/%d does not match job map", l.taskNames[tid], job)
 			}
 		}
 	}
@@ -851,20 +1119,21 @@ func (l *Ledger) CheckInvariants() error {
 	members := make(map[*sigGroup]int)
 	counted := make(map[*sigGroup]int)
 	for k, rec := range l.jobs {
+		task := l.taskNames[k.tid]
 		sig, _, _ := rec.signature()
 		switch {
 		case sig == "" && rec.group != nil:
-			return fmt.Errorf("sched: inactive job %s/%d still grouped", k.task, k.job)
+			return fmt.Errorf("sched: inactive job %s/%d still grouped", task, k.job)
 		case sig != "" && rec.group == nil:
-			return fmt.Errorf("sched: active job %s/%d has no signature group", k.task, k.job)
+			return fmt.Errorf("sched: active job %s/%d has no signature group", task, k.job)
 		case rec.group != nil && rec.group.sig != sig:
-			return fmt.Errorf("sched: job %s/%d grouped under %q, signature is %q", k.task, k.job, rec.group.sig, sig)
+			return fmt.Errorf("sched: job %s/%d grouped under %q, signature is %q", task, k.job, rec.group.sig, sig)
 		}
 		if rec.group != nil {
 			members[rec.group]++
 			want := rec.inFlight() && rec.active()
 			if rec.counted != want {
-				return fmt.Errorf("sched: job %s/%d counted=%v, want %v", k.task, k.job, rec.counted, want)
+				return fmt.Errorf("sched: job %s/%d counted=%v, want %v", task, k.job, rec.counted, want)
 			}
 			if rec.counted {
 				counted[rec.group]++
@@ -882,15 +1151,19 @@ func (l *Ledger) CheckInvariants() error {
 		if g.counted != counted[g] {
 			return fmt.Errorf("sched: group %q counts %d in-flight jobs, records show %d", sig, g.counted, counted[g])
 		}
+		if len(g.counts) != len(g.procs) {
+			return fmt.Errorf("sched: group %q has %d counts for %d processors", sig, len(g.counts), len(g.procs))
+		}
 		var s float64
-		for _, p := range g.procs {
-			s += float64(g.count[p]) * l.term[p]
+		for i, p := range g.procs {
+			s += float64(g.counts[i]) * l.term[p]
 		}
 		if math.Abs(s-g.cachedSum) > 1e-9 && !(math.IsInf(s, 1) && math.IsInf(g.cachedSum, 1)) {
 			return fmt.Errorf("sched: group %q cached sum %g, recomputed %g", sig, g.cachedSum, s)
 		}
-		for _, p := range g.procs {
-			if _, ok := l.procGroups[p][g]; !ok {
+		for i, p := range g.procs {
+			pg := l.procGroups[p]
+			if i >= len(g.procPos) || g.procPos[i] < 0 || g.procPos[i] >= len(pg) || pg[g.procPos[i]] != g {
 				return fmt.Errorf("sched: group %q missing from processor %d group index", sig, p)
 			}
 		}
@@ -902,7 +1175,7 @@ func (l *Ledger) CheckInvariants() error {
 		return fmt.Errorf("sched: %d groups referenced by jobs, %d registered", len(members), len(l.groups))
 	}
 	for p := range l.procGroups {
-		for g := range l.procGroups[p] {
+		for _, g := range l.procGroups[p] {
 			if l.groups[g.sig] != g {
 				return fmt.Errorf("sched: processor %d group index holds unregistered group %q", p, g.sig)
 			}

@@ -28,7 +28,13 @@ type DeferrableServer struct {
 	period time.Duration
 
 	// commitments holds admitted-but-unfinished work, by job.
-	commitments map[jobKey]*dsCommitment
+	commitments map[dsKey]*dsCommitment
+}
+
+// dsKey indexes server commitments by job reference.
+type dsKey struct {
+	task string
+	job  int64
 }
 
 // dsCommitment is one admitted job's demand on a server.
@@ -46,7 +52,7 @@ func NewDeferrableServer(budget, period time.Duration) (*DeferrableServer, error
 	return &DeferrableServer{
 		budget:      budget,
 		period:      period,
-		commitments: make(map[jobKey]*dsCommitment),
+		commitments: make(map[dsKey]*dsCommitment),
 	}, nil
 }
 
@@ -108,7 +114,7 @@ func (s *DeferrableServer) Admissible(now time.Duration, exec time.Duration, dea
 // Commit records an admitted job's demand. Committing the same job twice is
 // an error.
 func (s *DeferrableServer) Commit(ref JobRef, exec, deadline time.Duration) error {
-	k := jobKey{ref.Task, ref.Job}
+	k := dsKey{ref.Task, ref.Job}
 	if _, ok := s.commitments[k]; ok {
 		return fmt.Errorf("sched: job %s already committed to server", ref)
 	}
@@ -118,7 +124,7 @@ func (s *DeferrableServer) Commit(ref JobRef, exec, deadline time.Duration) erro
 
 // Complete removes a finished job's remaining demand.
 func (s *DeferrableServer) Complete(ref JobRef) {
-	delete(s.commitments, jobKey{ref.Task, ref.Job})
+	delete(s.commitments, dsKey{ref.Task, ref.Job})
 }
 
 // Expire drops commitments whose deadlines have passed.

@@ -137,6 +137,39 @@ func figureSeed(figure, set int) int64 {
 	return int64(figure)*1_000_003 + int64(set)*7919 + 1
 }
 
+// ScaleParams returns a large-scenario workload for the scalability sweep:
+// the Figure 5 shape stretched to procs processors and tasks end-to-end
+// tasks, with the paper's 4:5 aperiodic:periodic ratio preserved. Deadlines
+// are drawn from [100 ms, 2 s] — shorter than the figure workloads — so a
+// horizon of a few virtual seconds already releases several jobs per task
+// and the sweep exercises steady-state admission churn at populations the
+// paper's five-processor testbed could not host.
+func ScaleParams(procs, tasks, set int) Params {
+	if procs < 2 {
+		procs = 2
+	}
+	if tasks < 1 {
+		tasks = 1
+	}
+	all := make([]int, procs)
+	for i := range all {
+		all[i] = i
+	}
+	aper := tasks * 4 / 9
+	return Params{
+		NumAperiodic: aper,
+		NumPeriodic:  tasks - aper,
+		MinStages:    1,
+		MaxStages:    3,
+		HomeProcs:    all,
+		ReplicaProcs: all,
+		TargetUtil:   0.5,
+		MinDeadline:  100 * time.Millisecond,
+		MaxDeadline:  2 * time.Second,
+		Seed:         figureSeed(9, set) ^ int64(procs)*2_000_003 ^ int64(tasks)*97,
+	}
+}
+
 // Generate produces a random task set per the parameters. Periodic task
 // phases are staggered uniformly within one period; aperiodic tasks use
 // Poisson arrivals with mean interarrival equal to their deadline, which

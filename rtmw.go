@@ -215,6 +215,14 @@ type (
 	AblationOptions = experiments.AblationOptions
 	// AblationResult is one admission technique's outcome in the ablation.
 	AblationResult = experiments.AblationResult
+	// ScaleOptions parameterizes the large-scenario throughput sweep over
+	// the pooled simulation core.
+	ScaleOptions = experiments.ScaleOptions
+	// ScalePoint is one (processors, tasks) configuration of the sweep.
+	ScalePoint = experiments.ScalePoint
+	// ScaleResult is one scale point's virtual workload and wall-clock
+	// throughput.
+	ScaleResult = experiments.ScaleResult
 )
 
 // Experiment runners and renderers.
@@ -223,13 +231,20 @@ var (
 	RunFigure6         = experiments.RunFigure6
 	RunOverhead        = experiments.RunOverhead
 	RunAblationAUBvsDS = experiments.RunAblationAUBvsDS
-	RenderFigure       = experiments.RenderFigure
-	RenderCSV          = experiments.RenderCSV
-	RenderFigureJSON   = experiments.RenderFigureJSON
-	RenderAblation     = experiments.RenderAblation
-	RenderAblationJSON = experiments.RenderAblationJSON
-	RenderOverhead     = experiments.RenderOverhead
-	RenderTable1       = configengine.RenderTable1
+	RunScale           = experiments.RunScale
+	RenderScale        = experiments.RenderScale
+	RenderScaleJSON    = experiments.RenderScaleJSON
+	ParseScalePoints   = experiments.ParseScalePoints
+	// ScaleWorkloadParams builds the large-scenario workload parameters for
+	// one (procs, tasks, set) scale point.
+	ScaleWorkloadParams = workload.ScaleParams
+	RenderFigure        = experiments.RenderFigure
+	RenderCSV           = experiments.RenderCSV
+	RenderFigureJSON    = experiments.RenderFigureJSON
+	RenderAblation      = experiments.RenderAblation
+	RenderAblationJSON  = experiments.RenderAblationJSON
+	RenderOverhead      = experiments.RenderOverhead
+	RenderTable1        = configengine.RenderTable1
 	// ResolveWorkers normalizes a Workers option (values below 1 select one
 	// worker per CPU).
 	ResolveWorkers = experiments.ResolveWorkers
