@@ -557,10 +557,11 @@ func BenchmarkSimulation(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		m, err := rtmw.Simulate(cfg, tasks)
+		sim, err := rtmw.NewSimBinding(cfg, tasks)
 		if err != nil {
 			b.Fatal(err)
 		}
+		m := sim.Run()
 		jobs += m.Total.Arrived
 	}
 	b.StopTimer()
@@ -569,6 +570,80 @@ func BenchmarkSimulation(b *testing.B) {
 		b.ReportMetric(float64(jobs)/b.Elapsed().Seconds(), "jobs/sec")
 		b.ReportMetric(float64(ms1.Mallocs-ms0.Mallocs)/float64(jobs), "allocs/job")
 	}
+}
+
+// --- Reconfiguration: the quiesce → swap → resume transaction ---
+
+// BenchmarkReconfigure measures the hot-reconfiguration machinery on both
+// bindings. sim-run is a full one-minute virtual run with a T_N_N → J_J_J
+// swap at 30s (its allocations are deterministic per workload and guarded
+// by benchguard); live-swap drives repeated full two-phase transactions —
+// quiesce over the ORB, per-node strategy swaps, route wiring, resume —
+// against a running in-process cluster, reporting the mean quiesce latency
+// as quiesce-ns.
+func BenchmarkReconfigure(b *testing.B) {
+	b.Run("sim-run", func(b *testing.B) {
+		tasks, err := rtmw.GenerateWorkload(rtmw.Figure5Params(0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		from, _ := rtmw.ParseConfig("T_N_N")
+		to, _ := rtmw.ParseConfig("J_J_J")
+		cfg := rtmw.SimConfig{Strategies: from, NumProcs: 5, Horizon: time.Minute, Seed: 1}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sim, err := rtmw.NewSimBinding(cfg, tasks)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sim.ScheduleReconfig(30*time.Second, to); err != nil {
+				b.Fatal(err)
+			}
+			m := sim.Run()
+			if m.Total.Released != m.Total.Completed {
+				b.Fatalf("jobs lost: %+v", m.Total)
+			}
+		}
+	})
+	b.Run("live-swap", func(b *testing.B) {
+		w, err := rtmw.ParseWorkload([]byte(`{
+		  "name": "bench-reconfig",
+		  "processors": 2,
+		  "tasks": [
+		    {"id": "flow", "kind": "periodic", "period": "80ms", "deadline": "80ms",
+		     "subtasks": [
+		       {"exec": "4ms", "processor": 0, "replicas": [1]},
+		       {"exec": "3ms", "processor": 1}
+		     ]},
+		    {"id": "alert", "kind": "aperiodic", "deadline": "60ms", "meanInterarrival": "70ms",
+		     "subtasks": [{"exec": "2ms", "processor": 1}]}
+		  ]
+		}`))
+		if err != nil {
+			b.Fatal(err)
+		}
+		start, _ := rtmw.ParseConfig("J_J_J")
+		alt, _ := rtmw.ParseConfig("J_T_N")
+		c, err := rtmw.StartLiveBinding(rtmw.ClusterOptions{Workload: w, Config: start, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		targets := []rtmw.Config{alt, start}
+		var quiesce time.Duration
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rep, err := c.Reconfigure(targets[i%2])
+			if err != nil {
+				b.Fatal(err)
+			}
+			quiesce += rep.Quiesce
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(quiesce.Nanoseconds())/float64(b.N), "quiesce-ns")
+	})
 }
 
 // BenchmarkSimHotPath measures the pooled simulation core end to end at the
@@ -598,7 +673,7 @@ func BenchmarkSimHotPath(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				sim, err := rtmw.NewSimulation(cfg, tasks)
+				sim, err := rtmw.NewSimBinding(cfg, tasks)
 				if err != nil {
 					b.Fatal(err)
 				}

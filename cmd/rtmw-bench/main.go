@@ -6,6 +6,7 @@
 //	rtmw-bench overhead          Figure 7/8 service overhead table (live, TCP)
 //	rtmw-bench ablation          AUB vs deferrable-server admission (Section 2)
 //	rtmw-bench scale             large-scenario throughput sweep (pooled DES core)
+//	rtmw-bench reconfig          mid-run strategy swap: quiesce latency + zero job loss
 //	rtmw-bench all               everything above
 //
 // Figure runs accept -sets and -horizon; overhead accepts -duration and
@@ -28,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/configengine"
+	"repro/internal/core"
 	"repro/internal/experiments"
 )
 
@@ -45,6 +47,8 @@ func run() error {
 		pings    = flag.Int("pings", 1000, "event round trips for the communication-delay estimate")
 		parallel = flag.Int("parallel", 1, "concurrent trial workers for figure/ablation sweeps (0 = one per CPU)")
 		points   = flag.String("points", "5x100,50x10000,200x50000", "scale sweep points as PROCSxTASKS pairs")
+		fromCfg  = flag.String("from", "T_N_N", "reconfig experiment: starting AC_IR_LB combination")
+		toCfg    = flag.String("to", "J_J_J", "reconfig experiment: target AC_IR_LB combination")
 		csv      = flag.Bool("csv", false, "also print CSV series for figures")
 		jsonOut  = flag.Bool("json", false, "also print JSON documents for figures, the ablation, and the scale sweep")
 	)
@@ -52,7 +56,7 @@ func run() error {
 	cmd := flag.Arg(0)
 	if cmd == "" {
 		flag.Usage()
-		return fmt.Errorf("missing subcommand: table1 | figure5 | figure6 | overhead | ablation | scale | all")
+		return fmt.Errorf("missing subcommand: table1 | figure5 | figure6 | overhead | ablation | scale | reconfig | all")
 	}
 	horizonSet := false
 	flag.Visit(func(f *flag.Flag) {
@@ -141,6 +145,36 @@ func run() error {
 		}
 		return nil
 	}
+	runReconfig := func() error {
+		from, err := core.ParseConfig(*fromCfg)
+		if err != nil {
+			return fmt.Errorf("-from: %w", err)
+		}
+		to, err := core.ParseConfig(*toCfg)
+		if err != nil {
+			return fmt.Errorf("-to: %w", err)
+		}
+		opts := experiments.ReconfigOptions{From: from, To: to, Sets: *sets, Workers: workers}
+		if horizonSet {
+			opts.Horizon = *horizon
+		} else {
+			opts.Horizon = 2 * time.Minute
+		}
+		results, err := experiments.RunReconfig(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(tableW, experiments.RenderReconfig(
+			fmt.Sprintf("Reconfiguration: %s -> %s at %v of %v (%d sets)", from, to, opts.Horizon/2, opts.Horizon, *sets), results))
+		if *jsonOut {
+			doc, err := experiments.RenderReconfigJSON(results)
+			if err != nil {
+				return err
+			}
+			fmt.Println(doc)
+		}
+		return nil
+	}
 	runAblation := func() error {
 		results, err := experiments.RunAblationAUBvsDS(experiments.AblationOptions{Seeds: 10, Workers: workers})
 		if err != nil {
@@ -170,8 +204,10 @@ func run() error {
 		return runAblation()
 	case "scale":
 		return runScale()
+	case "reconfig":
+		return runReconfig()
 	case "all":
-		for _, f := range []func() error{runTable1, runFigure5, runFigure6, runOverhead, runAblation, runScale} {
+		for _, f := range []func() error{runTable1, runFigure5, runFigure6, runOverhead, runAblation, runScale, runReconfig} {
 			if err := f(); err != nil {
 				return err
 			}

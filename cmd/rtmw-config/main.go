@@ -14,25 +14,108 @@
 //
 // Pass -config J_T_N to bypass the questionnaire with an explicit strategy
 // tuple; the engine still validates it.
+//
+// The reconfigure subcommand swaps strategies on a RUNNING cluster without
+// redeploying: it reads the executed plan, computes the reconfiguration
+// delta to the target combination, and drives the epoch-versioned
+// quiesce → swap → resume transaction over the ORB against the live nodes.
+// No job is dropped; arrivals during the quiesce are decided under the new
+// configuration.
+//
+//	rtmw-config reconfigure -plan plan.xml -config J_J_J [-out plan.xml]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/configengine"
 	"repro/internal/core"
 	"repro/internal/deploy"
+	"repro/internal/orb"
 	"repro/internal/spec"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "reconfigure" {
+		if err := runReconfigure(os.Args[2:]); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if err := run(); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// runReconfigure executes the reconfigure subcommand against a running
+// cluster.
+func runReconfigure(args []string) error {
+	fs := flag.NewFlagSet("rtmw-config reconfigure", flag.ExitOnError)
+	var (
+		planPath = fs.String("plan", "", "executed deployment plan of the running cluster (XML)")
+		target   = fs.String("config", "", "target AC_IR_LB tuple (e.g. J_J_J)")
+		out      = fs.String("out", "", "rewrite this plan file with the new configuration after a successful swap")
+		timeout  = fs.Duration("timeout", 30*time.Second, "transaction timeout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *planPath == "" {
+		return fmt.Errorf("missing -plan (the XML plan the running cluster was deployed from)")
+	}
+	if *target == "" {
+		return fmt.Errorf("missing -config (target AC_IR_LB tuple)")
+	}
+	data, err := os.ReadFile(*planPath)
+	if err != nil {
+		return err
+	}
+	plan, err := deploy.Parse(data)
+	if err != nil {
+		return err
+	}
+	to, err := core.ParseConfig(*target)
+	if err != nil {
+		return fmt.Errorf("invalid -config: %w", err)
+	}
+	delta, err := configengine.ReconfigDelta(plan, to)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "reconfiguring %s: %s -> %s (%d instance updates, %d new routes)\n",
+		plan.Name, delta.FromConfig, delta.ToConfig, len(delta.Updates), len(delta.Connections))
+
+	o := orb.New("rtmw-reconfigure")
+	defer o.Shutdown()
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	outcome, err := deploy.NewLauncher(o).ExecuteReconfig(ctx, delta)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "entered epoch %d: quiesced %v, %d deferred arrivals replayed under %s\n",
+		outcome.Epoch, outcome.QuiesceDuration.Round(time.Microsecond), outcome.Deferred, delta.ToConfig)
+	for node, d := range outcome.NodeTimings {
+		fmt.Fprintf(os.Stderr, "  %-10s swap %v\n", node, d.Round(time.Microsecond))
+	}
+	if *out != "" {
+		delta.Apply(plan)
+		encoded, err := plan.Encode()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, encoded, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (now %s)\n", *out, delta.ToConfig)
+	}
+	return nil
 }
 
 func run() error {

@@ -99,4 +99,22 @@ func main() {
 	}
 	fmt.Printf("generated deployment plan (%d instances, %d connections):\n\n%s\n",
 		len(plan.Instances), len(plan.Connections), data)
+
+	// Reconfiguration deltas: instead of regenerating and redeploying a
+	// full plan, the engine computes the minimal transaction that moves the
+	// RUNNING deployment to a new combination (rtmw-config's reconfigure
+	// subcommand executes it against live nodes).
+	target, err := rtmw.ParseConfig("J_T_T")
+	if err != nil {
+		log.Fatal(err)
+	}
+	delta, err := rtmw.ReconfigDelta(plan, target)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reconfiguration delta %s -> %s: %d instance updates, %d new event routes\n",
+		delta.FromConfig, delta.ToConfig, len(delta.Updates), len(delta.Connections))
+	for _, up := range delta.Updates {
+		fmt.Printf("  update %-12s on %-8s %v\n", up.ID, up.Node, up.Attrs)
+	}
 }

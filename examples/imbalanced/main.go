@@ -27,7 +27,7 @@ func main() {
 
 	for _, lb := range []rtmw.Strategy{rtmw.StrategyNone, rtmw.StrategyPerTask, rtmw.StrategyPerJob} {
 		cfg := rtmw.Config{AC: rtmw.StrategyPerJob, IR: rtmw.StrategyPerJob, LB: lb}
-		sim, err := rtmw.NewSimulation(rtmw.SimConfig{
+		sim, err := rtmw.NewSimBinding(rtmw.SimConfig{
 			Strategies: cfg,
 			NumProcs:   5,
 			Horizon:    5 * time.Minute,

@@ -83,7 +83,7 @@ func main() {
 	})
 	fmt.Printf("deploying plant monitor with configuration %s\n", res.Config)
 
-	c, err := rtmw.StartCluster(rtmw.ClusterOptions{
+	c, err := rtmw.StartLiveBinding(rtmw.ClusterOptions{
 		Workload: w,
 		Config:   res.Config,
 		Seed:     2026,
@@ -101,7 +101,26 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("driving plant workload for 3 seconds...")
-	time.Sleep(3 * time.Second)
+	time.Sleep(1500 * time.Millisecond)
+
+	// Operating conditions changed: the plant now needs per-task state
+	// persistence, so re-balancing jobs of a running task is off the table.
+	// Reconfigure the RUNNING cluster — quiesce, swap, resume — without
+	// dropping any in-flight scan or alert.
+	res2 := rtmw.MapAnswers(rtmw.Answers{
+		JobSkipping:      true,
+		Replication:      true,
+		StatePersistence: true,
+		Overhead:         rtmw.TolerancePerJob,
+	})
+	rep, err := c.Reconfigure(res2.Config)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hot-reconfigured %s -> %s (epoch %d): quiesced %v, %d arrivals deferred, %d jobs in flight\n",
+		rep.From, rep.To, rep.Epoch, rep.Quiesce.Round(time.Microsecond), rep.Deferred, rep.InFlightBefore)
+
+	time.Sleep(1500 * time.Millisecond)
 	c.StopDrivers()
 	c.Drain(2 * time.Second)
 	time.Sleep(100 * time.Millisecond)

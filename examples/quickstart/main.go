@@ -1,5 +1,7 @@
 // Quickstart: define a small mixed periodic/aperiodic workload, pick a
-// strategy combination, and simulate five minutes of middleware operation.
+// strategy combination through the configuration engine, and simulate five
+// minutes of middleware operation through the unified Binding surface —
+// including a live strategy swap halfway through the run.
 //
 //	go run ./examples/quickstart
 package main
@@ -52,7 +54,9 @@ func main() {
 		fmt.Printf("  - %s\n", note)
 	}
 
-	metrics, err := rtmw.Simulate(rtmw.SimConfig{
+	// Build the simulation binding. It shares the Binding surface (Submit /
+	// Snapshot / Reconfigure / Stop) with the live cluster binding.
+	sim, err := rtmw.NewSimBinding(rtmw.SimConfig{
 		Strategies: res.Config,
 		NumProcs:   2,
 		Horizon:    5 * time.Minute,
@@ -61,6 +65,22 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	// Hot-reconfigure mid-run: at 2.5 simulated minutes the system swaps to
+	// the minimal static configuration without dropping a single admitted
+	// job — the paper's reconfigurability claim as a first-class API.
+	minimal, err := rtmw.ParseConfig("T_N_N")
+	if err != nil {
+		log.Fatal(err)
+	}
+	swap, err := sim.ScheduleReconfig(150*time.Second, minimal)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	metrics := sim.Run()
+	fmt.Printf("\nreconfigured %s -> %s at %v: quiesced %v, %d arrivals deferred, %d jobs in flight preserved\n",
+		swap.From, swap.To, swap.At, swap.Quiesce, swap.Deferred, swap.InFlightBefore)
 
 	fmt.Printf("\n5 simulated minutes:\n")
 	fmt.Printf("  jobs arrived:    %d (periodic %d, aperiodic %d)\n",

@@ -60,6 +60,17 @@ type Component interface {
 	Passivate() error
 }
 
+// Reconfigurable is the optional fourth lifecycle stage: components that
+// implement it accept attribute changes while active, without passivation.
+// Reconfigure receives only the attributes being changed (plus the
+// coordination epoch), applies them atomically with respect to the
+// component's own event handlers, and leaves the component running. It is
+// the hot-swap half of the paper's "installable and configurable units"
+// claim: the same instance serves a new strategy value with no redeploy.
+type Reconfigurable interface {
+	Reconfigure(attrs map[string]string) error
+}
+
 // Factory creates one component instance.
 type Factory func() Component
 
@@ -119,6 +130,47 @@ type instance struct {
 	comp Component
 }
 
+// State is a container's lifecycle position. The machine is
+//
+//	Assembling → Active ⇄ Reconfiguring
+//	     └──────────┴────→ Stopped
+//
+// Reconfiguring is entered while one or more instances apply a live
+// attribute change and left when the last one finishes; installs and
+// lookups keep working throughout, so a reconfiguration never blocks the
+// data plane.
+type State int
+
+// Container lifecycle states.
+const (
+	// StateAssembling is the initial state: instances install and configure
+	// but nothing runs yet.
+	StateAssembling State = iota
+	// StateActive means every installed instance is activated.
+	StateActive
+	// StateReconfiguring means at least one instance is applying a live
+	// attribute change; the container is still serving.
+	StateReconfiguring
+	// StateStopped means the container has shut down.
+	StateStopped
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case StateAssembling:
+		return "Assembling"
+	case StateActive:
+		return "Active"
+	case StateReconfiguring:
+		return "Reconfiguring"
+	case StateStopped:
+		return "Stopped"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
 // Container hosts component instances on one node and drives their
 // lifecycle. Install order is preserved: activation runs in install order
 // and passivation in reverse, so consumers can be activated before
@@ -129,7 +181,10 @@ type Container struct {
 	mu        sync.Mutex
 	instances []instance
 	byID      map[string]Component
-	activated bool
+	state     State
+	// reconfiguring counts in-progress Reconfigure calls; the container
+	// shows StateReconfiguring while it is non-zero.
+	reconfiguring int
 }
 
 // NewContainer returns a container bound to the node context.
@@ -142,6 +197,13 @@ func NewContainer(ctx *Context) *Container {
 
 // Node returns the hosting node's name.
 func (c *Container) Node() string { return c.ctx.Node }
+
+// State returns the container's lifecycle state.
+func (c *Container) State() State {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.state
+}
 
 // Install configures and registers a component instance under a unique ID.
 // If the container is already activated, the instance is activated
@@ -165,7 +227,7 @@ func (c *Container) Install(id string, comp Component, attrs map[string]string) 
 	}
 	c.instances = append(c.instances, instance{id: id, comp: comp})
 	c.byID[id] = comp
-	activated := c.activated
+	activated := c.state == StateActive || c.state == StateReconfiguring
 	c.mu.Unlock()
 	// Activate outside the lock: components may look up peers in the
 	// container from Activate.
@@ -202,11 +264,11 @@ func (c *Container) InstanceIDs() []string {
 // lock so they may resolve peers via Lookup.
 func (c *Container) Activate() error {
 	c.mu.Lock()
-	if c.activated {
+	if c.state != StateAssembling {
 		c.mu.Unlock()
 		return errors.New("ccm: container already activated")
 	}
-	c.activated = true
+	c.state = StateActive
 	instances := append([]instance(nil), c.instances...)
 	c.mu.Unlock()
 
@@ -217,10 +279,55 @@ func (c *Container) Activate() error {
 				_ = instances[j].comp.Passivate()
 			}
 			c.mu.Lock()
-			c.activated = false
+			c.state = StateAssembling
 			c.mu.Unlock()
 			return fmt.Errorf("ccm: activate %s: %w", in.id, err)
 		}
+	}
+	return nil
+}
+
+// Reconfigure applies a live attribute change to one activated instance —
+// the container lifecycle's hot path for strategy swaps. The instance must
+// implement Reconfigurable; attribute maps are boundary-copied as in
+// Install. The container shows StateReconfiguring for the duration and
+// returns to StateActive when the last concurrent reconfiguration ends;
+// the component's own Reconfigure is responsible for atomicity with
+// respect to its event handlers.
+func (c *Container) Reconfigure(id string, attrs map[string]string) error {
+	c.mu.Lock()
+	if c.state != StateActive && c.state != StateReconfiguring {
+		c.mu.Unlock()
+		return fmt.Errorf("ccm: reconfigure %s: container is %s, not active", id, c.state)
+	}
+	comp, ok := c.byID[id]
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("ccm: reconfigure: instance %q not installed", id)
+	}
+	rc, ok := comp.(Reconfigurable)
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("ccm: instance %q (%T) is not reconfigurable", id, comp)
+	}
+	c.reconfiguring++
+	c.state = StateReconfiguring
+	c.mu.Unlock()
+
+	copied := make(map[string]string, len(attrs))
+	for k, v := range attrs {
+		copied[k] = v
+	}
+	err := rc.Reconfigure(copied)
+
+	c.mu.Lock()
+	c.reconfiguring--
+	if c.reconfiguring == 0 && c.state == StateReconfiguring {
+		c.state = StateActive
+	}
+	c.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("ccm: reconfigure %s: %w", id, err)
 	}
 	return nil
 }
@@ -231,7 +338,7 @@ func (c *Container) Activate() error {
 func (c *Container) Shutdown() error {
 	c.mu.Lock()
 	instances := append([]instance(nil), c.instances...)
-	c.activated = false
+	c.state = StateStopped
 	c.mu.Unlock()
 
 	var firstErr error

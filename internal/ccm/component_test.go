@@ -218,3 +218,103 @@ func TestNewContainerValidation(t *testing.T) {
 	}()
 	NewContainer(&Context{})
 }
+
+// reconfigurableComponent is a fakeComponent that also accepts live
+// attribute changes.
+type reconfigurableComponent struct {
+	fakeComponent
+	reconfigured map[string]string
+	failReconfig bool
+}
+
+func (r *reconfigurableComponent) Reconfigure(attrs map[string]string) error {
+	if r.failReconfig {
+		return errors.New("reconfigure failed")
+	}
+	r.reconfigured = attrs
+	return nil
+}
+
+func TestContainerReconfigureLifecycle(t *testing.T) {
+	c := NewContainer(testContext(t))
+	rc := &reconfigurableComponent{}
+	plain := &fakeComponent{}
+	if err := c.Install("rc", rc, map[string]string{"A": "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Install("plain", plain, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.State(); got != StateAssembling {
+		t.Errorf("state before activation = %s", got)
+	}
+
+	// Reconfiguration is an active-only lifecycle stage.
+	if err := c.Reconfigure("rc", map[string]string{"A": "2"}); err == nil {
+		t.Error("reconfigure before activation succeeded")
+	}
+	if err := c.Activate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.State(); got != StateActive {
+		t.Errorf("state after activation = %s", got)
+	}
+
+	attrs := map[string]string{"A": "2"}
+	if err := c.Reconfigure("rc", attrs); err != nil {
+		t.Fatal(err)
+	}
+	if rc.reconfigured["A"] != "2" {
+		t.Errorf("attrs not applied: %v", rc.reconfigured)
+	}
+	// Boundary copy: caller mutations must not leak into the component.
+	attrs["A"] = "tampered"
+	if rc.reconfigured["A"] != "2" {
+		t.Error("attribute map not boundary-copied")
+	}
+	if got := c.State(); got != StateActive {
+		t.Errorf("state after reconfiguration = %s", got)
+	}
+
+	// Unknown and non-reconfigurable instances fail cleanly.
+	if err := c.Reconfigure("ghost", nil); err == nil {
+		t.Error("unknown instance reconfigured")
+	}
+	if err := c.Reconfigure("plain", nil); err == nil {
+		t.Error("non-reconfigurable component reconfigured")
+	}
+
+	// A failing component reconfiguration surfaces and the container
+	// returns to Active.
+	rc.failReconfig = true
+	if err := c.Reconfigure("rc", nil); err == nil {
+		t.Error("component failure swallowed")
+	}
+	if got := c.State(); got != StateActive {
+		t.Errorf("state after failed reconfiguration = %s", got)
+	}
+
+	if err := c.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.State(); got != StateStopped {
+		t.Errorf("state after shutdown = %s", got)
+	}
+	if err := c.Reconfigure("rc", nil); err == nil {
+		t.Error("reconfigure after shutdown succeeded")
+	}
+}
+
+func TestContainerStateStrings(t *testing.T) {
+	for s, want := range map[State]string{
+		StateAssembling:    "Assembling",
+		StateActive:        "Active",
+		StateReconfiguring: "Reconfiguring",
+		StateStopped:       "Stopped",
+		State(42):          "State(42)",
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("State(%d).String() = %q, want %q", int(s), got, want)
+		}
+	}
+}

@@ -11,6 +11,7 @@ package cluster
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/ccm"
@@ -41,13 +42,17 @@ type Options struct {
 	NodeOptions []live.NodeOption
 }
 
-// Cluster is a running live deployment.
+// Cluster is a running live deployment. It implements the unified Binding
+// surface (Submit / Snapshot / Reconfigure / Stop) shared with the
+// simulation binding, so tools and experiments drive either through one
+// API.
 type Cluster struct {
 	// Manager is the task manager node; Apps are the application nodes in
 	// processor order.
 	Manager *live.Node
 	Apps    []*live.Node
-	// Plan is the executed deployment plan.
+	// Plan is the executed deployment plan. Reconfigure folds its deltas
+	// back in, so the plan always describes the running configuration.
 	Plan *deploy.Plan
 
 	tasks     []*sched.Task
@@ -55,6 +60,11 @@ type Cluster struct {
 	drivers   []*live.Driver
 	launcher  *orb.ORB
 	seed      int64
+
+	// cfgMu guards the active configuration and serializes Reconfigure
+	// transactions (the AC additionally refuses overlapping quiesces).
+	cfgMu sync.Mutex
+	cfg   core.Config
 }
 
 // Start builds, deploys and activates a cluster. Callers must Close it.
@@ -78,7 +88,7 @@ func Start(opts Options) (*Cluster, error) {
 		return nil, err
 	}
 
-	c := &Cluster{tasks: tasks, seed: opts.Seed}
+	c := &Cluster{tasks: tasks, seed: opts.Seed, cfg: opts.Config}
 	fail := func(err error) (*Cluster, error) {
 		c.Close()
 		return nil, err
@@ -124,6 +134,113 @@ func Start(opts Options) (*Cluster, error) {
 
 // Tasks returns the deployed scheduling-model tasks.
 func (c *Cluster) Tasks() []*sched.Task { return c.tasks }
+
+// Config returns the currently active strategy combination.
+func (c *Cluster) Config() core.Config {
+	c.cfgMu.Lock()
+	defer c.cfgMu.Unlock()
+	return c.cfg
+}
+
+// Submit injects one job arrival for the named task at its home (first
+// stage) processor's task effector — the live half of the unified Binding
+// surface — and returns the assigned job number.
+func (c *Cluster) Submit(taskID string) (int64, error) {
+	for _, t := range c.tasks {
+		if t.ID != taskID {
+			continue
+		}
+		te, err := c.TE(t.Subtasks[0].Processor)
+		if err != nil {
+			return 0, err
+		}
+		return te.Arrive(taskID)
+	}
+	return 0, fmt.Errorf("cluster: unknown task %q", taskID)
+}
+
+// Snapshot aggregates the effectors' and collector's counters with the
+// active configuration and reconfiguration epoch.
+func (c *Cluster) Snapshot() core.BindingSnapshot {
+	snap := core.BindingSnapshot{Config: c.Config()}
+	if ac, err := c.AC(); err == nil {
+		snap.Epoch = ac.Epoch()
+	}
+	snap.Arrived, snap.Released, snap.Skipped, snap.Completed = c.counters()
+	snap.InFlight = snap.Released - snap.Completed
+	return snap
+}
+
+// counters sums the effector-side job counters and the collector's
+// completions.
+func (c *Cluster) counters() (arrived, released, skipped, completed int64) {
+	for i := range c.Apps {
+		te, err := c.TE(i)
+		if err != nil {
+			continue
+		}
+		s := te.StatsSnapshot()
+		arrived += s.Arrived
+		released += s.Released
+		skipped += s.Skipped
+	}
+	if c.collector != nil {
+		completed = c.collector.Completed()
+	}
+	return arrived, released, skipped, completed
+}
+
+// Reconfigure swaps the cluster's AC/IR/LB strategy combination on the
+// running deployment without dropping jobs: the configuration engine emits
+// the delta (rejecting invalid targets before anything is touched), and the
+// plan launcher executes the epoch-versioned two-phase transaction over the
+// real ORB — quiesce admission on the manager, swap the strategy objects on
+// every node through the component Reconfigure lifecycle stage, wire any
+// new federation routes, resume and replay the arrivals buffered meanwhile.
+// Jobs in flight keep executing on their old placements throughout; Accept
+// decisions made before the quiesce stay valid and are recognizably stale
+// (epoch-stamped) to the effector caches.
+func (c *Cluster) Reconfigure(to core.Config) (*core.ReconfigReport, error) {
+	c.cfgMu.Lock()
+	defer c.cfgMu.Unlock()
+	delta, err := configengine.ReconfigDelta(c.Plan, to)
+	if err != nil {
+		return nil, err
+	}
+	before := c.inFlight()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	outcome, err := deploy.NewLauncher(c.launcher).ExecuteReconfig(ctx, delta)
+	if err != nil {
+		return nil, err
+	}
+	from := c.cfg
+	delta.Apply(c.Plan)
+	c.cfg = to
+	return &core.ReconfigReport{
+		From:           from,
+		To:             to,
+		Epoch:          outcome.Epoch,
+		Quiesce:        outcome.QuiesceDuration,
+		Deferred:       outcome.Deferred,
+		InFlightBefore: before,
+		InFlightAfter:  c.inFlight(),
+		NodeTimings:    outcome.NodeTimings,
+	}, nil
+}
+
+// inFlight counts released-but-uncompleted jobs from the effector and
+// collector counters.
+func (c *Cluster) inFlight() int64 {
+	_, released, _, completed := c.counters()
+	return released - completed
+}
+
+// Stop is the Binding teardown: drivers halt and every node shuts down.
+func (c *Cluster) Stop() error {
+	c.Close()
+	return nil
+}
 
 // Collector returns the completion collector.
 func (c *Cluster) Collector() *live.Collector { return c.collector }

@@ -1,0 +1,205 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/live"
+)
+
+// settle polls until cond holds or the timeout expires.
+func settle(t *testing.T, timeout time.Duration, cond func() bool) bool {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return cond()
+}
+
+// TestClusterReconfigureLiveNoJobLoss is the live half of the tentpole pin:
+// a running cluster under driver load swaps from the minimal static
+// configuration to the fully dynamic one and no admitted job is lost —
+// after the drain, every released job has completed and every arrival was
+// decided.
+func TestClusterReconfigureLiveNoJobLoss(t *testing.T) {
+	from := core.Config{AC: core.StrategyPerTask, IR: core.StrategyNone, LB: core.StrategyNone}
+	to := core.Config{AC: core.StrategyPerJob, IR: core.StrategyPerJob, LB: core.StrategyPerJob}
+	c := startCluster(t, from)
+
+	if err := c.StartDrivers(1.0); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(250 * time.Millisecond)
+
+	rep, err := c.Reconfigure(to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Epoch != 1 {
+		t.Errorf("epoch = %d, want 1", rep.Epoch)
+	}
+	if rep.From != from || rep.To != to {
+		t.Errorf("report configs = %s -> %s", rep.From, rep.To)
+	}
+	if rep.Quiesce <= 0 {
+		t.Errorf("quiesce duration = %v", rep.Quiesce)
+	}
+	if len(rep.NodeTimings) == 0 {
+		t.Error("no per-node swap timings recorded")
+	}
+	if got := c.Config(); got != to {
+		t.Errorf("cluster config = %s, want %s", got, to)
+	}
+
+	// The running system keeps operating under the new configuration.
+	time.Sleep(300 * time.Millisecond)
+	c.StopDrivers()
+	if !c.Drain(3 * time.Second) {
+		t.Fatal("executors never drained")
+	}
+
+	// Zero admitted-job loss: every released job completes once trailing
+	// Done events land, and every arrival was decided.
+	ok := settle(t, 2*time.Second, func() bool {
+		s := c.Snapshot()
+		return s.Released == s.Completed && s.Arrived == s.Released+s.Skipped
+	})
+	s := c.Snapshot()
+	if !ok {
+		t.Errorf("jobs lost across reconfiguration: arrived %d, released %d, skipped %d, completed %d",
+			s.Arrived, s.Released, s.Skipped, s.Completed)
+	}
+	if s.Arrived == 0 || s.Released == 0 {
+		t.Fatalf("workload inert: %+v", s)
+	}
+	if s.Epoch != 1 {
+		t.Errorf("snapshot epoch = %d", s.Epoch)
+	}
+
+	// The manager's controller actually swapped and its ledger is sane.
+	ac, err := c.AC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ac.Controller().Config(); got != to {
+		t.Errorf("AC controller config = %s, want %s", got, to)
+	}
+	if err := ac.Controller().Ledger().CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+	// The plan was folded forward: a second delta reads the new config.
+	if acInst := c.Plan.Instances[0]; acInst.Attrs()[live.AttrACStrategy] != "J" {
+		t.Errorf("plan not updated: %v", acInst.Attrs()[live.AttrACStrategy])
+	}
+}
+
+// TestClusterReconfigureInvalidTarget pins that a contradictory target is
+// rejected without disturbing the running configuration.
+func TestClusterReconfigureInvalidTarget(t *testing.T) {
+	from := core.Config{AC: core.StrategyPerJob, IR: core.StrategyPerJob, LB: core.StrategyNone}
+	c := startCluster(t, from)
+	bad := core.Config{AC: core.StrategyPerTask, IR: core.StrategyPerJob, LB: core.StrategyNone}
+	if _, err := c.Reconfigure(bad); err == nil {
+		t.Fatal("contradictory target accepted")
+	}
+	if got := c.Config(); got != from {
+		t.Errorf("config disturbed: %s", got)
+	}
+	ac, err := c.AC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ac.Controller().Config(); got != from {
+		t.Errorf("controller disturbed: %s", got)
+	}
+	if ac.Quiesced() {
+		t.Error("AC left quiesced after rejected target")
+	}
+	// Still operational: drive briefly and see completions.
+	if err := c.StartDrivers(1.0); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(300 * time.Millisecond)
+	c.StopDrivers()
+	c.Drain(2 * time.Second)
+	if !settle(t, 2*time.Second, func() bool { return c.Collector().Completed() > 0 }) {
+		t.Error("no completions after rejected reconfiguration")
+	}
+}
+
+// TestClusterReconfigureEnablesIdleResetting pins the route delta: moving
+// from IR-none to IR-per-job wires the IdleReset federation routes on the
+// fly, so reset reports start reaching the manager.
+func TestClusterReconfigureEnablesIdleResetting(t *testing.T) {
+	c := startCluster(t, core.Config{AC: core.StrategyPerJob, IR: core.StrategyNone, LB: core.StrategyNone})
+	if _, err := c.Reconfigure(core.Config{AC: core.StrategyPerJob, IR: core.StrategyPerJob, LB: core.StrategyNone}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.StartDrivers(1.0); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(500 * time.Millisecond)
+	c.StopDrivers()
+	c.Drain(2 * time.Second)
+	ac, err := c.AC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !settle(t, 2*time.Second, func() bool { return ac.ResetsApplied() > 0 }) {
+		t.Error("no idle resets reached the manager after enabling IR live")
+	}
+}
+
+// TestClusterSubmitAndSnapshot pins the unified Binding surface on the
+// live cluster.
+func TestClusterSubmitAndSnapshot(t *testing.T) {
+	c := startCluster(t, core.Config{AC: core.StrategyPerJob, IR: core.StrategyNone, LB: core.StrategyNone})
+	job, err := c.Submit("alert")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job != 0 {
+		t.Errorf("first job number = %d", job)
+	}
+	if _, err := c.Submit("ghost"); err == nil {
+		t.Error("unknown task accepted")
+	}
+	if !settle(t, 2*time.Second, func() bool {
+		s := c.Snapshot()
+		return s.Arrived == 1 && s.Completed == 1
+	}) {
+		t.Errorf("submitted job never completed: %+v", c.Snapshot())
+	}
+	if s := c.Snapshot(); s.Config.AC != core.StrategyPerJob || s.Epoch != 0 {
+		t.Errorf("snapshot = %+v", s)
+	}
+}
+
+// TestClusterReconfigureConcurrentQuiesceRefused pins the ErrQuiesced
+// sentinel: a second quiesce while one is open is refused at the AC.
+func TestClusterReconfigureConcurrentQuiesceRefused(t *testing.T) {
+	c := startCluster(t, core.Config{AC: core.StrategyPerJob, IR: core.StrategyNone, LB: core.StrategyNone})
+	ac, err := c.AC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ac.Quiesce(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ac.Quiesce(); !errors.Is(err, live.ErrQuiesced) {
+		t.Errorf("second quiesce error = %v, want ErrQuiesced", err)
+	}
+	// Reconfigure without quiesce → ErrNotQuiesced after resume.
+	if _, err := ac.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ac.Reconfigure(map[string]string{}); !errors.Is(err, live.ErrNotQuiesced) {
+		t.Errorf("unquiesced reconfigure error = %v, want ErrNotQuiesced", err)
+	}
+}

@@ -293,6 +293,130 @@ func GeneratePlan(name string, w *spec.Workload, cfg core.Config, manager deploy
 	return p, nil
 }
 
+// ReconfigDelta computes the minimal reconfiguration transaction that moves
+// a running deployment — described by the plan it was launched from — to the
+// target strategy combination: per-instance attribute updates for the
+// strategy-bearing components (the central AC and LB, every idle resetter,
+// and every task effector's cache reset) plus the federation routes the new
+// configuration needs that the plan does not already wire. The target is
+// validated through the same feasibility rules as a fresh configuration, so
+// a contradictory combination is rejected before anything touches the
+// running system. The current combination is read back from the plan's
+// admission controller instance.
+func ReconfigDelta(p *deploy.Plan, to core.Config) (*deploy.Delta, error) {
+	if err := to.Validate(); err != nil {
+		return nil, err
+	}
+	var acInst *deploy.Instance
+	for i := range p.Instances {
+		if p.Instances[i].Implementation == live.ImplAdmissionController {
+			acInst = &p.Instances[i]
+			break
+		}
+	}
+	if acInst == nil {
+		return nil, fmt.Errorf("configengine: plan %q has no admission controller instance", p.Name)
+	}
+	acAttrs := acInst.Attrs()
+	var from core.Config
+	var err error
+	if from.AC, err = planStrategy(acAttrs, live.AttrACStrategy); err != nil {
+		return nil, err
+	}
+	if from.IR, err = planStrategy(acAttrs, live.AttrIRStrategy); err != nil {
+		return nil, err
+	}
+	if from.LB, err = planStrategy(acAttrs, live.AttrLBStrategy); err != nil {
+		return nil, err
+	}
+	wlJSON, ok := acAttrs[live.AttrWorkload]
+	if !ok {
+		return nil, fmt.Errorf("configengine: plan %q: admission controller has no workload attribute", p.Name)
+	}
+	w, err := spec.Parse([]byte(wlJSON))
+	if err != nil {
+		return nil, err
+	}
+	tasks, err := w.SchedTasks()
+	if err != nil {
+		return nil, err
+	}
+
+	nodeOf := make(map[int]string, len(p.Nodes))
+	for _, n := range p.Nodes {
+		if n.Processor >= 0 {
+			nodeOf[n.Processor] = n.Name
+		}
+	}
+
+	d := &deploy.Delta{
+		Plan:        p,
+		FromConfig:  from.String(),
+		ToConfig:    to.String(),
+		ManagerNode: acInst.Node,
+		ManagerKey:  live.ReconfigServantKey,
+		EpochAttr:   live.AttrEpoch,
+	}
+
+	// Manager-hosted instances first: the policy object must swap before
+	// the effector caches reset, so a reset cache can only refill with
+	// new-configuration decisions.
+	d.Updates = append(d.Updates, deploy.InstanceUpdate{
+		ID: acInst.ID, Node: acInst.Node,
+		Attrs: map[string]string{
+			live.AttrACStrategy: to.AC.String(),
+			live.AttrIRStrategy: to.IR.String(),
+			live.AttrLBStrategy: to.LB.String(),
+		},
+	})
+	for _, inst := range p.Instances {
+		switch inst.Implementation {
+		case live.ImplLoadBalancer:
+			d.Updates = append(d.Updates, deploy.InstanceUpdate{
+				ID: inst.ID, Node: inst.Node,
+				Attrs: map[string]string{live.AttrLBStrategy: to.LB.String()},
+			})
+		case live.ImplIdleResetter:
+			d.Updates = append(d.Updates, deploy.InstanceUpdate{
+				ID: inst.ID, Node: inst.Node,
+				Attrs: map[string]string{live.AttrIRStrategy: to.IR.String()},
+			})
+		case live.ImplTaskEffector:
+			// Epoch-only update: drops the cached per-task decisions.
+			d.Updates = append(d.Updates, deploy.InstanceUpdate{
+				ID: inst.ID, Node: inst.Node, Attrs: map[string]string{},
+			})
+		}
+	}
+
+	// Federation routes the new configuration needs beyond the running
+	// plan's (the gateway ignores re-adds, so this subtraction is a pure
+	// optimization — and documentation of what actually changes).
+	have := make(map[deploy.Connection]bool, len(p.Connections))
+	for _, c := range p.Connections {
+		have[c] = true
+	}
+	for _, c := range planConnections(tasks, to, d.ManagerNode, nodeOf) {
+		if !have[c] {
+			d.Connections = append(d.Connections, c)
+		}
+	}
+	return d, nil
+}
+
+// planStrategy reads one strategy attribute from a plan instance.
+func planStrategy(attrs map[string]string, key string) (core.Strategy, error) {
+	v, ok := attrs[key]
+	if !ok {
+		return 0, fmt.Errorf("configengine: plan instance missing attribute %q", key)
+	}
+	s, err := core.ParseStrategy(v)
+	if err != nil {
+		return 0, fmt.Errorf("configengine: attribute %q: %w", key, err)
+	}
+	return s, nil
+}
+
 // planConnections computes the minimal federation routes.
 func planConnections(tasks []*sched.Task, cfg core.Config, manager string, nodeOf map[int]string) []deploy.Connection {
 	type route struct {

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/deploy"
+	"repro/internal/live"
 	"repro/internal/spec"
 )
 
@@ -280,5 +281,153 @@ func TestGeneratePlanErrors(t *testing.T) {
 	swapped := []deploy.Node{apps[1], apps[0]}
 	if _, err := GeneratePlan("x", w, good, manager, swapped); err == nil {
 		t.Error("GeneratePlan accepted mis-ordered processors")
+	}
+}
+
+// TestMapAnswersCrossProduct drives the engine over the full answer
+// cross-product — every job-skipping × replication × persistence ×
+// tolerance combination, including the unset zero tolerance the engine
+// defaults — and pins that every result is one of the 15 valid
+// combinations and the two contradictory AC-per-task/IR-per-job shapes are
+// never emitted.
+func TestMapAnswersCrossProduct(t *testing.T) {
+	valid := make(map[core.Config]bool, 15)
+	for _, c := range core.AllCombinations() {
+		valid[c] = true
+	}
+	if len(valid) != 15 {
+		t.Fatalf("AllCombinations returned %d combos", len(valid))
+	}
+	bools := []bool{false, true}
+	tols := []Tolerance{0, ToleranceNone, TolerancePerTask, TolerancePerJob}
+	seen := make(map[core.Config]bool)
+	count := 0
+	for _, js := range bools {
+		for _, rep := range bools {
+			for _, sp := range bools {
+				for _, tol := range tols {
+					count++
+					a := Answers{JobSkipping: js, Replication: rep, StatePersistence: sp, Overhead: tol}
+					r := MapAnswers(a)
+					if err := r.Config.Validate(); err != nil {
+						t.Errorf("answers %+v produced invalid config %s: %v", a, r.Config, err)
+					}
+					if !valid[r.Config] {
+						t.Errorf("answers %+v produced %s, not among the 15 valid combos", a, r.Config)
+					}
+					if r.Config.AC == core.StrategyPerTask && r.Config.IR == core.StrategyPerJob {
+						t.Errorf("answers %+v emitted the contradictory %s", a, r.Config)
+					}
+					if len(r.Notes) < 3 {
+						t.Errorf("answers %+v produced %d notes, want one per axis", a, len(r.Notes))
+					}
+					seen[r.Config] = true
+				}
+			}
+		}
+	}
+	if count != 32 {
+		t.Fatalf("cross-product covered %d answer tuples, want 32", count)
+	}
+	// The zero tolerance aliases per-task, so the distinct reachable set is
+	// what the 2×2×2×3 real cross-product maps to.
+	if len(seen) < 5 {
+		t.Errorf("mapping reached only %d distinct configs: %v", len(seen), seen)
+	}
+}
+
+// TestReconfigDelta pins the delta computation: attribute updates for every
+// strategy-bearing instance, epoch-reset updates for the effectors, and the
+// IdleReset routes that turning resetting on requires.
+func TestReconfigDelta(t *testing.T) {
+	w := testWorkload(t)
+	manager, apps := planNodes()
+	from := core.Config{AC: core.StrategyPerTask, IR: core.StrategyNone, LB: core.StrategyNone}
+	p, err := GeneratePlan("delta-test", w, from, manager, apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	to := core.Config{AC: core.StrategyPerJob, IR: core.StrategyPerJob, LB: core.StrategyPerJob}
+	d, err := ReconfigDelta(p, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.FromConfig != "T_N_N" || d.ToConfig != "J_J_J" {
+		t.Errorf("delta configs = %s -> %s", d.FromConfig, d.ToConfig)
+	}
+	if d.ManagerNode != "manager" || d.ManagerKey != live.ReconfigServantKey || d.EpochAttr != live.AttrEpoch {
+		t.Errorf("delta coordination fields = %+v", d)
+	}
+
+	updates := make(map[string]map[string]string, len(d.Updates))
+	for _, up := range d.Updates {
+		updates[up.ID] = up.Attrs
+	}
+	ac, ok := updates["Central-AC"]
+	if !ok || ac[live.AttrACStrategy] != "J" || ac[live.AttrIRStrategy] != "J" || ac[live.AttrLBStrategy] != "J" {
+		t.Errorf("Central-AC update = %v", ac)
+	}
+	if lb, ok := updates["Central-LB"]; !ok || lb[live.AttrLBStrategy] != "J" {
+		t.Errorf("Central-LB update = %v", lb)
+	}
+	for _, id := range []string{"IR-0", "IR-1"} {
+		if ir, ok := updates[id]; !ok || ir[live.AttrIRStrategy] != "J" {
+			t.Errorf("%s update = %v", id, ir)
+		}
+	}
+	for _, id := range []string{"TE-0", "TE-1"} {
+		if te, ok := updates[id]; !ok || len(te) != 0 {
+			t.Errorf("%s update = %v (want epoch-only)", id, te)
+		}
+	}
+	// The AC update must come first: policy swaps before cache resets.
+	if d.Updates[0].ID != "Central-AC" {
+		t.Errorf("first update = %s, want Central-AC", d.Updates[0].ID)
+	}
+
+	// IR none → per-job adds the IdleReset routes the plan lacks.
+	wantRoutes := map[deploy.Connection]bool{
+		{EventType: live.EvIdleReset, SourceNode: "app0", SinkNode: "manager"}: true,
+		{EventType: live.EvIdleReset, SourceNode: "app1", SinkNode: "manager"}: true,
+	}
+	for _, c := range d.Connections {
+		if !wantRoutes[c] {
+			t.Errorf("unexpected route %+v", c)
+		}
+		delete(wantRoutes, c)
+	}
+	for c := range wantRoutes {
+		t.Errorf("missing route %+v", c)
+	}
+
+	// Applying the delta folds the new strategies into the plan, so a
+	// subsequent delta reads the new current config.
+	d.Apply(p)
+	d2, err := ReconfigDelta(p, from)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.FromConfig != "J_J_J" {
+		t.Errorf("plan after Apply reads %s, want J_J_J", d2.FromConfig)
+	}
+	if len(d2.Connections) != 0 {
+		t.Errorf("reverse delta re-adds routes: %+v", d2.Connections)
+	}
+}
+
+// TestReconfigDeltaRejectsInvalid pins target validation and the
+// plan-shape errors.
+func TestReconfigDeltaRejectsInvalid(t *testing.T) {
+	w := testWorkload(t)
+	manager, apps := planNodes()
+	p, err := GeneratePlan("delta-test", w, core.Config{AC: core.StrategyPerJob, IR: core.StrategyPerJob, LB: core.StrategyNone}, manager, apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReconfigDelta(p, core.Config{AC: core.StrategyPerTask, IR: core.StrategyPerJob, LB: core.StrategyNone}); err == nil {
+		t.Error("contradictory target accepted")
+	}
+	if _, err := ReconfigDelta(&deploy.Plan{Name: "empty"}, core.Config{AC: core.StrategyPerJob, IR: core.StrategyNone, LB: core.StrategyNone}); err == nil {
+		t.Error("plan without admission controller accepted")
 	}
 }

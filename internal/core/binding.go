@@ -1,0 +1,55 @@
+package core
+
+import "time"
+
+// This file holds the types shared by the unified Binding API: both the
+// deterministic simulation (SimSystem) and the live cluster binding
+// (internal/cluster.Cluster) expose Submit/Snapshot/Reconfigure/Stop over
+// these structures, so tools and experiments can drive either binding
+// through one surface (the rtmw.Binding interface re-exports them).
+
+// BindingSnapshot is a point-in-time view of a running binding.
+type BindingSnapshot struct {
+	// Config is the currently active AC/IR/LB strategy combination.
+	Config Config
+	// Epoch counts completed reconfigurations: 0 for the initial
+	// configuration, incremented atomically at each strategy swap.
+	Epoch int64
+	// Arrived, Released, Skipped and Completed aggregate job counts over the
+	// binding's lifetime (all epochs).
+	Arrived   int64
+	Released  int64
+	Skipped   int64
+	Completed int64
+	// InFlight is the number of released jobs not yet completed.
+	InFlight int64
+}
+
+// ReconfigReport describes one completed reconfiguration transaction: the
+// epoch-versioned two-phase quiesce → swap → resume protocol both bindings
+// implement.
+type ReconfigReport struct {
+	// From and To are the strategy combinations before and after the swap.
+	From, To Config
+	// Epoch is the epoch entered by the swap (the Accept events decided
+	// after it carry this stamp).
+	Epoch int64
+	// At is the virtual time of the swap (simulation binding only).
+	At time.Duration
+	// Quiesce is how long admission was quiesced: the window during which
+	// new arrivals were deferred while in-flight decisions drained. Virtual
+	// time in the simulation binding, wall-clock in the live binding.
+	Quiesce time.Duration
+	// Deferred is the number of arrivals queued during the quiesce and
+	// replayed — and decided — under the new configuration.
+	Deferred int64
+	// InFlightBefore and InFlightAfter count released-but-uncompleted jobs
+	// on both sides of the swap; the protocol preserves them all.
+	InFlightBefore, InFlightAfter int64
+	// ReservationsReleased is the number of ledger contributions withdrawn
+	// by the reservation rebase (AC leaving per-task).
+	ReservationsReleased int
+	// NodeTimings records the per-node component swap durations of the live
+	// protocol, keyed by node name (nil in the simulation binding).
+	NodeTimings map[string]time.Duration
+}

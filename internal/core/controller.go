@@ -90,6 +90,11 @@ type ControllerStats struct {
 	// TaskRemovals counts contributions withdrawn because a task left the
 	// system entirely (RemoveTask).
 	TaskRemovals int64
+	// Reconfigs counts strategy reconfigurations applied to this controller,
+	// and ReconfigReleased the ledger contributions withdrawn by their
+	// reservation rebases.
+	Reconfigs        int64
+	ReconfigReleased int64
 }
 
 // NewController returns a controller for the given strategy configuration
@@ -115,6 +120,47 @@ func NewController(cfg Config, numProcs int) (*Controller, error) {
 
 // Config returns the controller's strategy configuration.
 func (c *Controller) Config() Config { return c.cfg }
+
+// Reconfigure swaps the controller's strategy combination in place while the
+// system keeps running: the admission ledger — and with it every in-flight
+// job's contributions — survives, and only the strategy-specific decision
+// memory is rebased under the new configuration:
+//
+//   - AC leaving per-task: the permanent per-task reservations are withdrawn
+//     from the ledger (per-job admission tests each arrival individually),
+//     and the per-task admitted/rejected memory is cleared so every task is
+//     re-evaluated under the new strategy. Jobs already released keep
+//     running: a reservation only backs future admission decisions.
+//   - AC entering per-task: nothing is withdrawn; each periodic task is
+//     tested and reserved at its next arrival.
+//   - LB change: per-task placement memory is cleared so the next arrival
+//     computes a fresh assignment under the new balancing rule. An existing
+//     per-task reservation is not moved eagerly; under LB-per-job it follows
+//     the next job's relocation as usual.
+//
+// Invalid target combinations are rejected without touching any state. It
+// returns the number of ledger contributions released by the rebase.
+func (c *Controller) Reconfigure(cfg Config) (int, error) {
+	if err := cfg.Validate(); err != nil {
+		return 0, err
+	}
+	released := 0
+	if c.cfg.AC == StrategyPerTask && cfg.AC != StrategyPerTask {
+		for task, ref := range c.reservations {
+			released += c.ledger.WithdrawJob(ref)
+			delete(c.reservations, task)
+		}
+		clear(c.admitted)
+		clear(c.rejected)
+	}
+	if c.cfg.LB != cfg.LB {
+		clear(c.placements)
+	}
+	c.cfg = cfg
+	c.Stats.Reconfigs++
+	c.Stats.ReconfigReleased += int64(released)
+	return released, nil
+}
 
 // Ledger exposes the synthetic-utilization ledger for instrumentation and
 // the idle-resetting path.

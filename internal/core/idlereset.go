@@ -45,6 +45,32 @@ func NewIdleResetter(strategy Strategy, proc int) *IdleResetter {
 // Strategy returns the resetter's configured strategy.
 func (ir *IdleResetter) Strategy() Strategy { return ir.strategy }
 
+// SetStrategy hot-swaps the resetting rule during a reconfiguration. The
+// pending set is refiltered under the new rule so the next Report never
+// leaks a completion the new strategy would not have recorded: switching to
+// per-task drops pending periodic subjobs, switching to none drops
+// everything.
+func (ir *IdleResetter) SetStrategy(s Strategy) {
+	if s == ir.strategy {
+		return
+	}
+	ir.strategy = s
+	switch s {
+	case StrategyNone:
+		ir.pending = ir.pending[:0]
+	case StrategyPerTask:
+		kept := ir.pending[:0]
+		for _, c := range ir.pending {
+			if c.kind == sched.Aperiodic {
+				kept = append(kept, c)
+			}
+		}
+		ir.pending = kept
+	case StrategyPerJob:
+		// Everything already pending stays reportable.
+	}
+}
+
 // Complete records a subjob completion from a local subtask component. Under
 // StrategyNone nothing is recorded. Under StrategyPerTask only aperiodic
 // subjobs are recorded ("the idle resetting component is notified when

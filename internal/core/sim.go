@@ -98,7 +98,33 @@ const (
 	// evIdleReport delivers an idle-resetting report to the AC after one
 	// link delay. A = report pool slot.
 	evIdleReport
+	// evReconfigQuiesce begins a reconfiguration: admission is quiesced (new
+	// arrivals defer) while in-flight decision round trips drain. A = index
+	// into the scheduled reconfiguration ops.
+	evReconfigQuiesce
+	// evReconfigSwap completes a reconfiguration after the quiesce window:
+	// strategies swap atomically and the deferred arrivals replay under the
+	// new configuration. A = reconfiguration op index.
+	evReconfigSwap
 )
+
+// deferredArrival is one job arrival held back while admission is quiesced
+// during a reconfiguration; it replays through the normal decision routing
+// once the new configuration is in place.
+type deferredArrival struct {
+	task    int32
+	job     int64
+	arrival time.Duration
+}
+
+// reconfigOp is one scheduled reconfiguration: the target configuration,
+// the report the swap fills in when it executes, and the virtual time the
+// quiesce began.
+type reconfigOp struct {
+	to         Config
+	report     *ReconfigReport
+	quiescedAt time.Duration
+}
 
 // relJob is one released, in-flight job in the pooled job table: the state
 // the old closure chain used to capture, now indexed by slot so stage events
@@ -130,19 +156,32 @@ type SimSystem struct {
 	ctrl    *Controller
 	rng     *rand.Rand
 	tasks   []*sched.Task
+	taskIdx map[string]int32
 	te      []teState
 	nextJob []int64
 	accs    []*MetricAcc
 	metrics Metrics
 	trace   []TraceEvent
 
+	// Reconfiguration state: while quiescing, new arrivals defer instead of
+	// entering the decision path; the swap event replays them under the new
+	// configuration. inFlight tracks released-but-uncompleted jobs for the
+	// Binding snapshot and the reconfiguration reports.
+	epoch     int64
+	quiescing bool
+	deferred  []deferredArrival
+	reconfigs []reconfigOp
+	reports   []ReconfigReport
+	inFlight  int64
+	stopped   bool
+
 	// Pools for in-flight event payloads too wide for a des.Event.
-	jobs     []relJob
-	freeJobs []int32
-	decs     []Decision
-	freeDecs []int32
-	reports  [][]sched.EntryRef
-	freeReps []int32
+	jobs      []relJob
+	freeJobs  []int32
+	decs      []Decision
+	freeDecs  []int32
+	irReports [][]sched.EntryRef
+	freeReps  []int32
 }
 
 // NewSimSystem builds a simulation over the given tasks. Tasks are cloned;
@@ -189,9 +228,13 @@ func NewSimSystem(cfg SimConfig, tasks []*sched.Task) (*SimSystem, error) {
 		links:   des.NewLink(eng, cfg.LinkDelay),
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 		tasks:   cloned,
+		taskIdx: make(map[string]int32, len(cloned)),
 		te:      make([]teState, len(cloned)),
 		nextJob: make([]int64, len(cloned)),
 		accs:    make([]*MetricAcc, len(cloned)),
+	}
+	for i, t := range cloned {
+		s.taskIdx[t.ID] = int32(i)
 	}
 	s.procs = make([]*des.Processor, cfg.NumProcs)
 	s.irs = make([]*IdleResetter, cfg.NumProcs)
@@ -232,6 +275,9 @@ func (s *SimSystem) acc(ti int32) *MetricAcc {
 // so every simulated experiment doubles as an index-consistency test; an
 // inconsistent ledger is a programming bug and panics loudly.
 func (s *SimSystem) Run() *Metrics {
+	if s.stopped {
+		return &s.metrics
+	}
 	var maxDeadline time.Duration
 	for i, t := range s.tasks {
 		if t.Deadline > maxDeadline {
@@ -244,6 +290,186 @@ func (s *SimSystem) Run() *Metrics {
 		panic(fmt.Sprintf("core: ledger inconsistent after run: %v", err))
 	}
 	return &s.metrics
+}
+
+// --- Unified Binding surface + live reconfiguration protocol ---
+
+// Submit injects one extra job arrival for the named task at the current
+// virtual time, beyond the workload's own arrival process. It is the
+// simulation half of the unified Binding surface: before Run it queues an
+// arrival at time zero; called from inside an engine callback it arrives
+// "now". The assigned job number is returned.
+func (s *SimSystem) Submit(taskID string) (int64, error) {
+	if s.stopped {
+		return 0, fmt.Errorf("core: sim: submit after Stop")
+	}
+	ti, ok := s.taskIdx[taskID]
+	if !ok {
+		return 0, fmt.Errorf("core: sim: unknown task %q", taskID)
+	}
+	t := s.tasks[ti]
+	job := s.nextJob[ti]
+	s.nextJob[ti] = job + 1
+	now := s.eng.Now()
+	s.acc(ti).Arrived()
+	s.record(TraceArrived, sched.JobRef{Task: t.ID, Job: job}, -1, t.Subtasks[0].Processor)
+	s.routeArrival(ti, job, now)
+	return job, nil
+}
+
+// Snapshot returns the binding's current configuration, epoch and aggregate
+// job accounting.
+func (s *SimSystem) Snapshot() BindingSnapshot {
+	return BindingSnapshot{
+		Config:    s.cfg.Strategies,
+		Epoch:     s.epoch,
+		Arrived:   s.metrics.Total.Arrived,
+		Released:  s.metrics.Total.Released,
+		Skipped:   s.metrics.Total.Skipped,
+		Completed: s.metrics.Total.Completed,
+		InFlight:  s.inFlight,
+	}
+}
+
+// Stop retires the binding: subsequent Run calls return the metrics
+// accumulated so far and Submit refuses new arrivals. The simulation holds
+// no external resources, so Stop never fails.
+func (s *SimSystem) Stop() error {
+	s.stopped = true
+	return nil
+}
+
+// quiesceWindow is how long admission stays quiesced before the strategy
+// swap: one manager-bound link delay plus the AC processing delay plus the
+// link delay back covers the last decision round trip started before the
+// quiesce, so by the swap instant no in-flight decision can be travelling.
+// The extra nanosecond orders the swap after same-instant deliveries.
+func (s *SimSystem) quiesceWindow() time.Duration {
+	return 2*s.cfg.LinkDelay + s.cfg.ACDelay + time.Nanosecond
+}
+
+// ScheduleReconfig schedules a reconfiguration to the target combination at
+// an absolute virtual time: the epoch-versioned two-phase protocol quiesces
+// admission at that instant, swaps strategies after the quiesce window, and
+// replays deferred arrivals under the new configuration. Invalid target
+// combinations are rejected immediately, leaving the run untouched.
+// Several reconfigurations may be scheduled to form a strategy schedule;
+// overlapping windows execute back to back in order. The returned report is
+// filled in when the swap executes (read it after Run).
+func (s *SimSystem) ScheduleReconfig(at time.Duration, to Config) (*ReconfigReport, error) {
+	if err := to.Validate(); err != nil {
+		return nil, err
+	}
+	if now := s.eng.Now(); at < now {
+		return nil, fmt.Errorf("core: sim: reconfigure at %v is in the past (now %v)", at, now)
+	}
+	rep := &ReconfigReport{From: s.cfg.Strategies, To: to}
+	s.reconfigs = append(s.reconfigs, reconfigOp{to: to, report: rep})
+	s.eng.AtEvent(at, s, des.Event{Kind: evReconfigQuiesce, A: int32(len(s.reconfigs) - 1)})
+	return rep, nil
+}
+
+// Reconfigure is the Binding form of ScheduleReconfig: with the engine idle
+// (before Run, or after a drain) no decision round trip can be in flight,
+// so the swap applies synchronously and the returned report is complete.
+// With events pending it schedules the protocol at the current virtual time
+// and the report is completed once virtual time passes the quiesce window.
+func (s *SimSystem) Reconfigure(to Config) (*ReconfigReport, error) {
+	if s.eng.PendingCount() > 0 {
+		return s.ScheduleReconfig(s.eng.Now(), to)
+	}
+	if err := to.Validate(); err != nil {
+		return nil, err
+	}
+	rep := &ReconfigReport{InFlightBefore: s.inFlight}
+	s.reconfigs = append(s.reconfigs, reconfigOp{to: to, report: rep, quiescedAt: s.eng.Now()})
+	s.swapConfig(int32(len(s.reconfigs) - 1))
+	return rep, nil
+}
+
+// ReconfigReports lists the completed reconfigurations in execution order.
+func (s *SimSystem) ReconfigReports() []ReconfigReport { return s.reports }
+
+// beginQuiesce starts a scheduled reconfiguration: admission quiesces (new
+// arrivals defer via routeArrival) and the swap is scheduled after the
+// quiesce window. If another reconfiguration is still draining, this one
+// retries right after its swap completes.
+func (s *SimSystem) beginQuiesce(idx int32) {
+	if s.quiescing {
+		s.eng.AfterEvent(s.quiesceWindow()+time.Nanosecond, s, des.Event{Kind: evReconfigQuiesce, A: idx})
+		return
+	}
+	op := &s.reconfigs[idx]
+	op.quiescedAt = s.eng.Now()
+	op.report.InFlightBefore = s.inFlight
+	s.quiescing = true
+	s.eng.AfterEvent(s.quiesceWindow(), s, des.Event{Kind: evReconfigSwap, A: idx})
+}
+
+// swapConfig atomically installs the target configuration once the quiesce
+// window has drained every in-flight decision round trip: the controller
+// rebases its ledger and decision memory, task-effector per-task caches
+// reset (they were decided under the old configuration), idle resetters
+// swap their rule, and the deferred arrivals replay — with their original
+// arrival times — under the new configuration. No admitted job is touched:
+// released jobs keep executing on their old placements.
+func (s *SimSystem) swapConfig(idx int32) {
+	op := &s.reconfigs[idx]
+	from := s.cfg.Strategies
+	released, err := s.ctrl.Reconfigure(op.to)
+	if err != nil {
+		// Targets are validated when scheduled; failing here is a bug.
+		panic(fmt.Sprintf("core: sim: reconfigure to %s: %v", op.to, err))
+	}
+	s.cfg.Strategies = op.to
+
+	// Reset effector memory: per-task decisions and placements were made
+	// under the old configuration. Any job somehow still waiting for a
+	// decision (none can be, after the quiesce window) joins the deferred
+	// replay so no arrival is ever dropped.
+	for i := range s.te {
+		st := &s.te[i]
+		for _, w := range st.waiting {
+			s.deferred = append(s.deferred, deferredArrival{task: int32(i), job: w.job, arrival: w.arrival})
+		}
+		st.waiting = st.waiting[:0]
+		st.decided = false
+		st.accept = false
+		st.placement = nil
+		st.requested = false
+	}
+
+	// Idle resetters swap their rule; processors gain or drop the idle
+	// detector to match.
+	for i := range s.irs {
+		s.irs[i].SetStrategy(op.to.IR)
+		if op.to.IR == StrategyNone {
+			s.procs[i].SetIdleCallback(nil)
+		} else if from.IR == StrategyNone {
+			i := i
+			s.procs[i].SetIdleCallback(func() { s.reportIdle(i) })
+		}
+	}
+
+	s.epoch++
+	s.quiescing = false
+	deferred := s.deferred
+	s.deferred = nil
+	*op.report = ReconfigReport{
+		From:                 from,
+		To:                   op.to,
+		Epoch:                s.epoch,
+		At:                   s.eng.Now(),
+		Quiesce:              s.eng.Now() - op.quiescedAt,
+		Deferred:             int64(len(deferred)),
+		InFlightBefore:       op.report.InFlightBefore,
+		InFlightAfter:        s.inFlight,
+		ReservationsReleased: released,
+	}
+	s.reports = append(s.reports, *op.report)
+	for _, d := range deferred {
+		s.routeArrival(d.task, d.job, d.arrival)
+	}
 }
 
 // scheduleFirstArrival schedules the first job arrival for a task.
@@ -293,8 +519,12 @@ func (s *SimSystem) HandleEvent(ev des.Event) {
 	case evStageStart:
 		s.startStage(ev.A, ev.B)
 	case evIdleReport:
-		s.ctrl.IdleReset(s.reports[ev.A])
+		s.ctrl.IdleReset(s.irReports[ev.A])
 		s.freeReport(ev.A)
+	case evReconfigQuiesce:
+		s.beginQuiesce(ev.A)
+	case evReconfigSwap:
+		s.swapConfig(ev.A)
 	default:
 		panic(fmt.Sprintf("core: unknown sim event kind %d", ev.Kind))
 	}
@@ -324,6 +554,20 @@ func (s *SimSystem) arrive(ti int32) {
 
 	s.acc(ti).Arrived()
 	s.record(TraceArrived, sched.JobRef{Task: t.ID, Job: job}, -1, t.Subtasks[0].Processor)
+	s.routeArrival(ti, job, now)
+}
+
+// routeArrival runs the task effector's decision routing for one arrived
+// job: while admission is quiesced the arrival defers; otherwise the TE's
+// per-task fast path applies or a "Task Arrive" round trip starts. Deferred
+// arrivals replay through this same path — with their original arrival
+// times — once the reconfiguration swap installs the new configuration.
+func (s *SimSystem) routeArrival(ti int32, job int64, arrival time.Duration) {
+	if s.quiescing {
+		s.deferred = append(s.deferred, deferredArrival{task: ti, job: job, arrival: arrival})
+		return
+	}
+	t := s.tasks[ti]
 
 	// The TE's Per-task fast path: jobs of a decided periodic task under
 	// per-task admission control release (or skip) immediately, except when
@@ -332,7 +576,7 @@ func (s *SimSystem) arrive(ti int32) {
 		st := &s.te[ti]
 		if st.decided && s.cfg.Strategies.LB != StrategyPerJob {
 			if st.accept {
-				s.release(ti, job, st.placement, now)
+				s.release(ti, job, st.placement, arrival)
 			} else {
 				s.acc(ti).Skipped()
 				s.record(TraceSkipped, sched.JobRef{Task: t.ID, Job: job}, -1, -1)
@@ -342,17 +586,17 @@ func (s *SimSystem) arrive(ti int32) {
 		if !st.decided {
 			// Hold the job until the first decision returns; only one "Task
 			// Arrive" round trip is outstanding per task.
-			st.waiting = append(st.waiting, pendingJob{job: job, arrival: now})
+			st.waiting = append(st.waiting, pendingJob{job: job, arrival: arrival})
 			if !st.requested {
 				st.requested = true
-				s.requestDecision(ti, job, now)
+				s.requestDecision(ti, job, arrival)
 			}
 			return
 		}
 		// Decided + LB-per-job: round trip for the new placement.
 	}
 
-	s.requestDecision(ti, job, now)
+	s.requestDecision(ti, job, arrival)
 }
 
 // requestDecision models the TE pushing a "Task Arrive" event to the AC; the
@@ -371,8 +615,14 @@ func (s *SimSystem) decide(ti int32, job int64, arrival time.Duration) {
 		// One expiry event per accepted job: with the indexed ledger the
 		// event is an O(1) lookup (a no-op when idle resetting already
 		// drained the job), so the drain tail stays cheap even at large
-		// in-flight job counts.
-		s.eng.AtEvent(arrival+t.Deadline, s, des.Event{Kind: evExpire, A: ti, N: job})
+		// in-flight job counts. A deferred arrival replayed after a
+		// reconfiguration can carry a deadline already in the past; its
+		// expiry then fires immediately instead of scheduling backwards.
+		expireAt := arrival + t.Deadline
+		if now := s.eng.Now(); expireAt < now {
+			expireAt = now
+		}
+		s.eng.AtEvent(expireAt, s, des.Event{Kind: evExpire, A: ti, N: job})
 	}
 	// "Accept" event back to the releasing task effector; the decision waits
 	// in the pool while the event crosses the link.
@@ -418,6 +668,7 @@ func (s *SimSystem) deliverDecision(ti int32, job int64, arrival time.Duration, 
 // release starts the job's first subjob on its assigned processor.
 func (s *SimSystem) release(ti int32, job int64, placement []sched.PlacedStage, arrival time.Duration) {
 	s.acc(ti).Released()
+	s.inFlight++
 	s.record(TraceReleased, sched.JobRef{Task: s.tasks[ti].ID, Job: job}, -1, placement[0].Proc)
 	ji := s.allocJob(ti, job, arrival, placement)
 	s.startStage(ji, 0)
@@ -448,6 +699,7 @@ func (s *SimSystem) stageDone(ji, stage int32) {
 	s.record(TraceStageDone, ref, int(stage), proc)
 	if int(stage) == len(j.placement)-1 {
 		s.acc(ti).Completed(now - j.arrival)
+		s.inFlight--
 		s.record(TraceCompleted, ref, -1, proc)
 		s.freeJob(ji)
 		return
@@ -462,8 +714,8 @@ func (s *SimSystem) stageDone(ji, stage int32) {
 // reportIdle pushes the processor's idle-resetting report to the AC.
 func (s *SimSystem) reportIdle(proc int) {
 	ri := s.allocReport()
-	out := s.irs[proc].ReportInto(s.eng.Now(), s.reports[ri][:0])
-	s.reports[ri] = out
+	out := s.irs[proc].ReportInto(s.eng.Now(), s.irReports[ri][:0])
+	s.irReports[ri] = out
 	if len(out) == 0 {
 		s.freeReport(ri)
 		return
@@ -518,11 +770,11 @@ func (s *SimSystem) allocReport() int32 {
 		s.freeReps = s.freeReps[:n-1]
 		return ri
 	}
-	s.reports = append(s.reports, nil)
-	return int32(len(s.reports) - 1)
+	s.irReports = append(s.irReports, nil)
+	return int32(len(s.irReports) - 1)
 }
 
 func (s *SimSystem) freeReport(ri int32) {
-	s.reports[ri] = s.reports[ri][:0]
+	s.irReports[ri] = s.irReports[ri][:0]
 	s.freeReps = append(s.freeReps, ri)
 }

@@ -70,8 +70,15 @@ func (l *Launcher) Execute(ctx context.Context, p *Plan) error {
 
 // invoke performs one NodeManager call with the launcher timeout.
 func (l *Launcher) invoke(ctx context.Context, addr, op string, body []byte) error {
+	_, err := l.invokeReply(ctx, addr, NodeManagerKey, op, body)
+	return err
+}
+
+// invokeReply performs one call against an arbitrary servant key with the
+// launcher timeout and returns the reply bytes (the reconfiguration
+// facet's Quiesce/Resume operations answer with values).
+func (l *Launcher) invokeReply(ctx context.Context, addr, key, op string, body []byte) ([]byte, error) {
 	cctx, cancel := context.WithTimeout(ctx, l.timeout)
 	defer cancel()
-	_, err := l.orb.Invoke(cctx, addr, NodeManagerKey, op, body)
-	return err
+	return l.orb.Invoke(cctx, addr, key, op, body)
 }

@@ -16,10 +16,11 @@ const NodeManagerKey = "nodemanager"
 
 // NodeManager operations.
 const (
-	opInstall  = "Install"
-	opConnect  = "Connect"
-	opActivate = "Activate"
-	opPing     = "Ping"
+	opInstall     = "Install"
+	opConnect     = "Connect"
+	opActivate    = "Activate"
+	opPing        = "Ping"
+	opReconfigure = "Reconfigure"
 )
 
 // InstallRequest asks a node to instantiate, configure and register one
@@ -31,6 +32,16 @@ type InstallRequest struct {
 	// Implementation names the factory in the node's component repository.
 	Implementation string
 	// Attrs are the flattened configProperty values.
+	Attrs map[string]string
+}
+
+// ReconfigRequest asks a node to apply a live attribute change to one
+// activated instance through the component's Reconfigure lifecycle stage.
+type ReconfigRequest struct {
+	// ID is the instance name.
+	ID string
+	// Attrs are the attribute values to change (including the coordination
+	// epoch stamped by the launcher).
 	Attrs map[string]string
 }
 
@@ -79,6 +90,18 @@ func (nm *NodeManager) dispatch(op string, arg []byte) ([]byte, error) {
 		}
 		nm.channel.AddRemoteSink(req.EventType, req.SinkAddr)
 		return nil, nil
+	case opReconfigure:
+		var req ReconfigRequest
+		if err := gobDecode(arg, &req); err != nil {
+			return nil, err
+		}
+		nm.mu.Lock()
+		activated := nm.activated
+		nm.mu.Unlock()
+		if !activated {
+			return nil, fmt.Errorf("deploy: nodemanager: reconfigure %s before activation", req.ID)
+		}
+		return nil, nm.container.Reconfigure(req.ID, req.Attrs)
 	case opActivate:
 		nm.mu.Lock()
 		defer nm.mu.Unlock()

@@ -171,6 +171,55 @@ func TestCommandPipeline(t *testing.T) {
 	if len(reply) == 0 {
 		t.Error("Location facet returned empty placement")
 	}
+
+	// Live reconfiguration against the running daemons: swap J_J_J → J_T_N
+	// through the two-phase transaction, rewriting the plan file in place.
+	recCmd := exec.Command(filepath.Join(dir, "rtmw-config"), "reconfigure",
+		"-plan", planPath, "-config", "J_T_N", "-out", planPath)
+	recOut, err := recCmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("rtmw-config reconfigure: %v\n%s", err, recOut)
+	}
+	if !strings.Contains(string(recOut), "entered epoch 1") {
+		t.Errorf("reconfigure output missing epoch:\n%s", recOut)
+	}
+	// The manager's coordination facet reports the new combination.
+	cfgReply, err := client.Invoke(ctx, managerAddr, "reconfig", "Config", nil)
+	if err != nil {
+		t.Fatalf("Config facet: %v", err)
+	}
+	var liveCfg string
+	if err := gob.NewDecoder(bytes.NewReader(cfgReply)).Decode(&liveCfg); err != nil {
+		t.Fatal(err)
+	}
+	if liveCfg != "J_T_N" {
+		t.Errorf("running config = %s, want J_T_N", liveCfg)
+	}
+	// The rewritten plan reads back the new combination too.
+	updated, err := os.ReadFile(planPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(updated), "IR_Strategy") {
+		t.Error("rewritten plan lost strategy properties")
+	}
+
+	// A contradictory target is refused and leaves the running config.
+	badCmd := exec.Command(filepath.Join(dir, "rtmw-config"), "reconfigure",
+		"-plan", planPath, "-config", "T_J_N")
+	if out, err := badCmd.CombinedOutput(); err == nil {
+		t.Errorf("contradictory reconfigure succeeded:\n%s", out)
+	}
+	cfgReply, err = client.Invoke(ctx, managerAddr, "reconfig", "Config", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gob.NewDecoder(bytes.NewReader(cfgReply)).Decode(&liveCfg); err != nil {
+		t.Fatal(err)
+	}
+	if liveCfg != "J_T_N" {
+		t.Errorf("config disturbed by rejected target: %s", liveCfg)
+	}
 }
 
 // encodeGobString gob-encodes a string the way the live components do.

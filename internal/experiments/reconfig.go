@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// ReconfigOptions parameterizes the reconfiguration experiment: random
+// Figure 5 workloads run under the From combination, swap to To at SwitchAt
+// through the epoch-versioned quiesce protocol, and finish under the new
+// configuration. The experiment measures the cost of reconfiguring a loaded
+// system: quiesce latency, arrivals deferred across the swap, in-flight
+// jobs preserved, and — the hard guarantee — that no admitted job is lost.
+type ReconfigOptions struct {
+	// From and To are the combinations before and after the swap. Defaults:
+	// T_N_N → J_J_J, the minimal static configuration to the fully dynamic
+	// one.
+	From, To core.Config
+	// Sets is the number of random task sets (default 5).
+	Sets int
+	// Horizon is the workload duration (default 2 minutes).
+	Horizon time.Duration
+	// SwitchAt is the virtual reconfiguration instant (default Horizon/2).
+	SwitchAt time.Duration
+	// LinkDelay and ACDelay configure the simulated delays; zero uses the
+	// calibrated defaults.
+	LinkDelay time.Duration
+	ACDelay   time.Duration
+	// Workers bounds concurrent trials, as in FigureOptions.
+	Workers int
+}
+
+// withDefaults fills unset options.
+func (o ReconfigOptions) withDefaults() ReconfigOptions {
+	if (o.From == core.Config{}) {
+		o.From = core.Config{AC: core.StrategyPerTask, IR: core.StrategyNone, LB: core.StrategyNone}
+	}
+	if (o.To == core.Config{}) {
+		o.To = core.Config{AC: core.StrategyPerJob, IR: core.StrategyPerJob, LB: core.StrategyPerJob}
+	}
+	if o.Sets == 0 {
+		o.Sets = 5
+	}
+	if o.Horizon == 0 {
+		o.Horizon = 2 * time.Minute
+	}
+	if o.SwitchAt == 0 {
+		o.SwitchAt = o.Horizon / 2
+	}
+	return o
+}
+
+// ReconfigResult is one task set's outcome.
+type ReconfigResult struct {
+	// Set is the task-set number.
+	Set int
+	// Report is the swap's protocol report (quiesce latency, deferred
+	// arrivals, in-flight jobs preserved, reservations rebased).
+	Report core.ReconfigReport
+	// Arrived, Released, Skipped and Completed are the run totals across
+	// both configurations.
+	Arrived, Released, Skipped, Completed int64
+	// Lost is Released − Completed after the drain: admitted jobs that
+	// never finished. The protocol guarantees zero.
+	Lost int64
+	// Ratio is the run's overall accepted utilization ratio.
+	Ratio float64
+}
+
+// RunReconfig executes the reconfiguration experiment.
+func RunReconfig(opts ReconfigOptions) ([]ReconfigResult, error) {
+	opts = opts.withDefaults()
+	if err := opts.From.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opts.To.Validate(); err != nil {
+		return nil, err
+	}
+	workers := opts.Workers
+	if workers < 0 {
+		workers = ResolveWorkers(workers)
+	}
+	results := make([]ReconfigResult, opts.Sets)
+	err := runTrials(opts.Sets, workers, func(set int) error {
+		p := workload.Figure5Params(set)
+		tasks, err := workload.Generate(p)
+		if err != nil {
+			return fmt.Errorf("experiments: reconfig set %d: %w", set, err)
+		}
+		sim, err := core.NewSimSystem(core.SimConfig{
+			Strategies: opts.From,
+			NumProcs:   workload.MaxProc(tasks) + 1,
+			LinkDelay:  opts.LinkDelay,
+			ACDelay:    opts.ACDelay,
+			Horizon:    opts.Horizon,
+			Seed:       p.Seed ^ 0x5DEECE66D,
+		}, tasks)
+		if err != nil {
+			return fmt.Errorf("experiments: reconfig set %d: %w", set, err)
+		}
+		rep, err := sim.ScheduleReconfig(opts.SwitchAt, opts.To)
+		if err != nil {
+			return fmt.Errorf("experiments: reconfig set %d: %w", set, err)
+		}
+		m := sim.Run()
+		results[set] = ReconfigResult{
+			Set:       set,
+			Report:    *rep,
+			Arrived:   m.Total.Arrived,
+			Released:  m.Total.Released,
+			Skipped:   m.Total.Skipped,
+			Completed: m.Total.Completed,
+			Lost:      m.Total.Released - m.Total.Completed,
+			Ratio:     m.AcceptedUtilizationRatio(),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// RenderReconfig formats the experiment as a table.
+func RenderReconfig(title string, results []ReconfigResult) string {
+	var b strings.Builder
+	b.WriteString(title)
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-4s %-8s %-8s %10s %9s %9s %9s %6s %7s\n",
+		"set", "from", "to", "quiesce", "deferred", "inflight", "released", "lost", "ratio")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%-4d %-8s %-8s %10s %9d %9d %9d %6d %7.3f\n",
+			r.Set, r.Report.From, r.Report.To, r.Report.Quiesce,
+			r.Report.Deferred, r.Report.InFlightBefore, r.Released, r.Lost, r.Ratio)
+	}
+	return b.String()
+}
+
+// reconfigJSON is the machine-readable form of one result.
+type reconfigJSON struct {
+	Set            int     `json:"set"`
+	From           string  `json:"from"`
+	To             string  `json:"to"`
+	Epoch          int64   `json:"epoch"`
+	QuiesceNanos   int64   `json:"quiesce_nanos"`
+	Deferred       int64   `json:"deferred"`
+	InFlightBefore int64   `json:"inflight_before"`
+	InFlightAfter  int64   `json:"inflight_after"`
+	Released       int64   `json:"released"`
+	Completed      int64   `json:"completed"`
+	Lost           int64   `json:"lost"`
+	Ratio          float64 `json:"ratio"`
+}
+
+// RenderReconfigJSON emits the experiment as an indented JSON document.
+func RenderReconfigJSON(results []ReconfigResult) (string, error) {
+	doc := struct {
+		Experiment string         `json:"experiment"`
+		Results    []reconfigJSON `json:"results"`
+	}{Experiment: "reconfig"}
+	for _, r := range results {
+		doc.Results = append(doc.Results, reconfigJSON{
+			Set:            r.Set,
+			From:           r.Report.From.String(),
+			To:             r.Report.To.String(),
+			Epoch:          r.Report.Epoch,
+			QuiesceNanos:   int64(r.Report.Quiesce),
+			Deferred:       r.Report.Deferred,
+			InFlightBefore: r.Report.InFlightBefore,
+			InFlightAfter:  r.Report.InFlightAfter,
+			Released:       r.Released,
+			Completed:      r.Completed,
+			Lost:           r.Lost,
+			Ratio:          r.Ratio,
+		})
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("experiments: encode reconfig: %w", err)
+	}
+	return string(out), nil
+}

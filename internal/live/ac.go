@@ -22,7 +22,15 @@ const (
 	AttrProcessors = "Processors"
 	AttrWorkload   = "Workload"
 	AttrProcessor  = "Processor"
+	// AttrEpoch carries the reconfiguration epoch stamped by the
+	// coordinator into every Reconfigure attribute set: components adopt it
+	// so stale cross-epoch decisions are recognizable.
+	AttrEpoch = "Epoch"
 )
+
+// ReconfigServantKey is the ORB object key of the admission controller's
+// reconfiguration coordination facet (Quiesce / Resume / Epoch / Config).
+const ReconfigServantKey = "reconfig"
 
 // AdmissionController is the live AC component (paper Section 5): it
 // consumes "Task Arrive" events from task effectors and "Idle Resetting"
@@ -37,7 +45,16 @@ type AdmissionController struct {
 	tasks  map[string]*sched.Task
 	ch     *eventchan.Channel
 	timers map[sched.JobRef]*time.Timer
+	active bool
 	closed bool
+
+	// Reconfiguration state: while quiesced, TaskArrive events buffer in
+	// deferred instead of being decided; Resume replays them under the
+	// then-current (new) configuration. epoch stamps every Accept so task
+	// effectors can drop stale cross-epoch per-task decisions.
+	epoch    int64
+	quiesced bool
+	deferred []TaskArrive
 
 	// DecisionDelay measures operation time from TaskArrive receipt to
 	// Accept push (manager-side total).
@@ -47,16 +64,31 @@ type AdmissionController struct {
 	ResetApply core.OpStats
 }
 
-// Compile-time interface check.
-var _ ccm.Component = (*AdmissionController)(nil)
+// Compile-time interface checks: the strategy-bearing components are both
+// installable units and live-reconfigurable ones.
+var (
+	_ ccm.Component      = (*AdmissionController)(nil)
+	_ ccm.Reconfigurable = (*AdmissionController)(nil)
+	_ ccm.Reconfigurable = (*TaskEffector)(nil)
+	_ ccm.Reconfigurable = (*IdleResetter)(nil)
+	_ ccm.Reconfigurable = (*LoadBalancer)(nil)
+)
 
 // NewAdmissionController returns an unconfigured AC component.
 func NewAdmissionController() *AdmissionController {
 	return &AdmissionController{timers: make(map[sched.JobRef]*time.Timer)}
 }
 
-// Configure parses the strategy tuple, processor count, and workload.
+// Configure parses the strategy tuple, processor count, and workload. It is
+// the one-shot pre-activation stage; live strategy changes go through
+// Reconfigure.
 func (ac *AdmissionController) Configure(attrs map[string]string) error {
+	ac.mu.Lock()
+	if ac.active {
+		ac.mu.Unlock()
+		return fmt.Errorf("%w: AC is activated; use Reconfigure", ErrAlreadyActive)
+	}
+	ac.mu.Unlock()
 	var cfg core.Config
 	var err error
 	if cfg.AC, err = parseStrategyAttr(attrs, AttrACStrategy); err != nil {
@@ -67,6 +99,9 @@ func (ac *AdmissionController) Configure(attrs map[string]string) error {
 	}
 	if cfg.LB, err = parseStrategyAttr(attrs, AttrLBStrategy); err != nil {
 		return err
+	}
+	if err := cfg.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalidStrategy, err)
 	}
 	procs, err := attrInt(attrs, AttrProcessors)
 	if err != nil {
@@ -110,19 +145,22 @@ func (ac *AdmissionController) Controller() *core.Controller {
 	return ac.ctrl
 }
 
-// Activate subscribes the component's event sinks.
+// Activate subscribes the component's event sinks and registers the
+// reconfiguration coordination facet.
 func (ac *AdmissionController) Activate(ctx *ccm.Context) error {
 	ac.mu.Lock()
 	if ac.ctrl == nil {
 		ac.mu.Unlock()
-		return errors.New("live: AC activated before configuration")
+		return fmt.Errorf("%w: AC activated before configuration", ErrNotConfigured)
 	}
 	ac.ch = ctx.Events
+	ac.active = true
 	ac.mu.Unlock()
 	// Subscribe outside the lock (delivery holds the shard lock, then
 	// handlers take ac.mu).
 	ctx.Events.Subscribe(EvTaskArrive, ac.onTaskArrive)
 	ctx.Events.Subscribe(EvIdleReset, ac.onIdleReset)
+	ctx.ORB.RegisterServant(ReconfigServantKey, ac.reconfigServant)
 	return nil
 }
 
@@ -138,15 +176,32 @@ func (ac *AdmissionController) Passivate() error {
 	return nil
 }
 
-// onTaskArrive handles one "Task Arrive" event end to end: decision,
-// expiry scheduling, and the Accept push.
+// onTaskArrive handles one "Task Arrive" event: while the controller is
+// quiesced for a reconfiguration the arrival is buffered (and decided under
+// the new configuration at Resume); otherwise it is decided immediately.
 func (ac *AdmissionController) onTaskArrive(ev eventchan.Event) {
-	start := time.Now()
 	var arr TaskArrive
 	if err := decode(ev.Payload, &arr); err != nil {
 		return
 	}
+	ac.mu.Lock()
+	if ac.closed {
+		ac.mu.Unlock()
+		return
+	}
+	if ac.quiesced {
+		ac.deferred = append(ac.deferred, arr)
+		ac.mu.Unlock()
+		return
+	}
+	ac.mu.Unlock()
+	ac.decide(arr)
+}
 
+// decide runs one arrival end to end: decision, expiry scheduling, and the
+// epoch-stamped Accept push.
+func (ac *AdmissionController) decide(arr TaskArrive) {
+	start := time.Now()
 	ac.mu.Lock()
 	if ac.closed {
 		ac.mu.Unlock()
@@ -168,6 +223,7 @@ func (ac *AdmissionController) onTaskArrive(ev eventchan.Event) {
 		ac.cfg.AC == core.StrategyPerTask &&
 		ac.cfg.LB != core.StrategyPerJob
 	ch := ac.ch
+	epoch := ac.epoch
 	ac.mu.Unlock()
 
 	out := Accept{
@@ -178,11 +234,145 @@ func (ac *AdmissionController) onTaskArrive(ev eventchan.Event) {
 		Relocated:       d.Relocated,
 		PerTaskDecision: perTask,
 		ArrivalNanos:    arr.ArrivalNanos,
+		Epoch:           epoch,
 	}
 	ac.DecisionDelay.Add(time.Since(start))
 	if ch != nil {
 		// Best effort: a dead effector node surfaces in its own metrics.
 		_ = ch.Push(eventchan.Event{Type: EvAccept, Payload: encode(out)})
+	}
+}
+
+// Epoch returns the current reconfiguration epoch.
+func (ac *AdmissionController) Epoch() int64 {
+	ac.mu.Lock()
+	defer ac.mu.Unlock()
+	return ac.epoch
+}
+
+// Quiesced reports whether admission is currently quiesced.
+func (ac *AdmissionController) Quiesced() bool {
+	ac.mu.Lock()
+	defer ac.mu.Unlock()
+	return ac.quiesced
+}
+
+// Quiesce is phase one of the reconfiguration protocol: new TaskArrive
+// events buffer instead of being decided, so the strategy objects can swap
+// without a decision ever observing mixed state. Accept events already
+// pushed stay valid — they were decided wholly under the old configuration.
+// It returns the epoch the upcoming swap will enter.
+func (ac *AdmissionController) Quiesce() (int64, error) {
+	ac.mu.Lock()
+	defer ac.mu.Unlock()
+	if ac.ctrl == nil {
+		return 0, fmt.Errorf("%w: AC quiesced before configuration", ErrNotConfigured)
+	}
+	if ac.quiesced {
+		return 0, ErrQuiesced
+	}
+	ac.quiesced = true
+	return ac.epoch + 1, nil
+}
+
+// Reconfigure is the component lifecycle's hot-swap stage: it installs a
+// new strategy combination on the running controller. The controller must
+// be quiesced; the embedded policy object rebases its ledger and decision
+// memory in place, so every in-flight job's contributions survive. Missing
+// strategy attributes keep their current values; an Epoch attribute adopts
+// the coordinator's epoch (otherwise the epoch increments locally).
+func (ac *AdmissionController) Reconfigure(attrs map[string]string) error {
+	ac.mu.Lock()
+	defer ac.mu.Unlock()
+	if ac.ctrl == nil {
+		return fmt.Errorf("%w: AC reconfigured before configuration", ErrNotConfigured)
+	}
+	if !ac.quiesced {
+		return ErrNotQuiesced
+	}
+	cfg := ac.cfg
+	var err error
+	if _, ok := attrs[AttrACStrategy]; ok {
+		if cfg.AC, err = parseStrategyAttr(attrs, AttrACStrategy); err != nil {
+			return err
+		}
+	}
+	if _, ok := attrs[AttrIRStrategy]; ok {
+		if cfg.IR, err = parseStrategyAttr(attrs, AttrIRStrategy); err != nil {
+			return err
+		}
+	}
+	if _, ok := attrs[AttrLBStrategy]; ok {
+		if cfg.LB, err = parseStrategyAttr(attrs, AttrLBStrategy); err != nil {
+			return err
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalidStrategy, err)
+	}
+	// Parse everything — including the epoch — before mutating: the
+	// controller rebase below is irreversible, so an error return must
+	// mean nothing changed.
+	epoch := ac.epoch + 1
+	if _, ok := attrs[AttrEpoch]; ok {
+		var err error
+		if epoch, err = attrInt64(attrs, AttrEpoch); err != nil {
+			return err
+		}
+	}
+	if _, err := ac.ctrl.Reconfigure(cfg); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalidStrategy, err)
+	}
+	ac.cfg = cfg
+	ac.epoch = epoch
+	return nil
+}
+
+// Resume is phase two's tail: admission reopens and every arrival buffered
+// during the quiesce is decided — in arrival order — under the new
+// configuration. It returns the number of replayed arrivals.
+func (ac *AdmissionController) Resume() (int, error) {
+	ac.mu.Lock()
+	if !ac.quiesced {
+		ac.mu.Unlock()
+		return 0, ErrNotQuiesced
+	}
+	ac.quiesced = false
+	deferred := ac.deferred
+	ac.deferred = nil
+	ac.mu.Unlock()
+	for _, arr := range deferred {
+		ac.decide(arr)
+	}
+	return len(deferred), nil
+}
+
+// reconfigServant exposes the coordination half of the protocol over the
+// ORB, so deployment tools (the plan launcher's ExecuteReconfig, the
+// rtmw-config reconfigure subcommand) can drive a swap on a running node.
+func (ac *AdmissionController) reconfigServant(op string, arg []byte) ([]byte, error) {
+	switch op {
+	case "Quiesce":
+		epoch, err := ac.Quiesce()
+		if err != nil {
+			return nil, err
+		}
+		return encode(epoch), nil
+	case "Resume":
+		n, err := ac.Resume()
+		if err != nil {
+			return nil, err
+		}
+		return encode(int64(n)), nil
+	case "Epoch":
+		return encode(ac.Epoch()), nil
+	case "Config":
+		ac.mu.Lock()
+		cfg := ac.cfg.String()
+		ac.mu.Unlock()
+		return encode(cfg), nil
+	default:
+		return nil, fmt.Errorf("live: reconfig: unknown operation %q", op)
 	}
 }
 
@@ -243,7 +433,8 @@ func (ac *AdmissionController) CompletedOn(proc int, includePeriodic bool) []sch
 	return ac.ctrl.Ledger().CompletedOn(proc, includePeriodic)
 }
 
-// parseStrategyAttr reads one N/T/J attribute.
+// parseStrategyAttr reads one N/T/J attribute; unparseable values wrap
+// ErrInvalidStrategy.
 func parseStrategyAttr(attrs map[string]string, key string) (core.Strategy, error) {
 	s, err := attrString(attrs, key)
 	if err != nil {
@@ -251,7 +442,7 @@ func parseStrategyAttr(attrs map[string]string, key string) (core.Strategy, erro
 	}
 	st, err := core.ParseStrategy(s)
 	if err != nil {
-		return 0, fmt.Errorf("live: attribute %q: %w", key, err)
+		return 0, fmt.Errorf("%w: attribute %q: %v", ErrInvalidStrategy, key, err)
 	}
 	return st, nil
 }
@@ -342,6 +533,24 @@ func (lb *LoadBalancer) Activate(ctx *ccm.Context) error {
 
 // Passivate is a no-op; the ORB teardown retires the servant.
 func (lb *LoadBalancer) Passivate() error { return nil }
+
+// Reconfigure adopts a new LB strategy attribute. The placement heuristic
+// itself lives in the admission controller's policy object (swapped by the
+// AC's Reconfigure); this keeps the component's advertised strategy in sync
+// for the Location facet and diagnostics.
+func (lb *LoadBalancer) Reconfigure(attrs map[string]string) error {
+	if _, ok := attrs[AttrLBStrategy]; !ok {
+		return nil
+	}
+	strategy, err := parseStrategyAttr(attrs, AttrLBStrategy)
+	if err != nil {
+		return err
+	}
+	lb.mu.Lock()
+	lb.strategy = strategy
+	lb.mu.Unlock()
+	return nil
+}
 
 // Strategy returns the configured LB strategy.
 func (lb *LoadBalancer) Strategy() core.Strategy {

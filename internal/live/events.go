@@ -74,6 +74,11 @@ type Accept struct {
 	PerTaskDecision bool
 	// ArrivalNanos echoes the arrival time.
 	ArrivalNanos int64
+	// Epoch is the reconfiguration epoch the decision was made under. Task
+	// effectors only cache per-task decisions stamped with their current
+	// epoch, so a decision from before a strategy swap releases its own job
+	// but never survives as cached policy.
+	Epoch int64
 }
 
 // Trigger releases the next subtask in a chain.

@@ -2,6 +2,7 @@ package live
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 
@@ -21,6 +22,7 @@ type IdleResetter struct {
 	rec      *core.IdleResetter
 	ch       *eventchan.Channel
 	executor *Executor
+	active   bool
 	closed   bool
 
 	// ReportPush measures the paper's operation 7 (report completed
@@ -35,6 +37,12 @@ func NewIdleResetter() *IdleResetter { return &IdleResetter{} }
 
 // Configure parses the processor ID and IR strategy.
 func (ir *IdleResetter) Configure(attrs map[string]string) error {
+	ir.mu.Lock()
+	if ir.active {
+		ir.mu.Unlock()
+		return fmt.Errorf("%w: IR is activated; use Reconfigure", ErrAlreadyActive)
+	}
+	ir.mu.Unlock()
 	proc, err := attrInt(attrs, AttrProcessor)
 	if err != nil {
 		return err
@@ -54,21 +62,25 @@ func (ir *IdleResetter) Configure(attrs map[string]string) error {
 }
 
 // Activate subscribes to local Complete reports and installs the idle
-// detector on the node executor. With the None strategy the component stays
-// inert, avoiding all resetting overhead.
+// detector on the node executor. The ports are wired whenever an executor
+// service exists — even under the None strategy, whose handlers stay inert
+// — so a later Reconfigure can enable resetting without re-activation.
+// Without an executor service the None strategy stays legal (and fully
+// inert); any other strategy needs the idle detector and fails.
 func (ir *IdleResetter) Activate(ctx *ccm.Context) error {
 	exec, _ := ctx.Service(SvcExecutor).(*Executor)
 	ir.mu.Lock()
 	if ir.rec == nil {
 		ir.mu.Unlock()
-		return errors.New("live: IR activated before configuration")
+		return fmt.Errorf("%w: IR activated before configuration", ErrNotConfigured)
 	}
-	if ir.strategy == core.StrategyNone {
-		ir.mu.Unlock()
-		return nil
-	}
+	ir.active = true
 	if exec == nil {
+		inert := ir.strategy == core.StrategyNone
 		ir.mu.Unlock()
+		if inert {
+			return nil
+		}
 		return errors.New("live: IR requires an executor service")
 	}
 	ir.ch = ctx.Events
@@ -78,6 +90,35 @@ func (ir *IdleResetter) Activate(ctx *ccm.Context) error {
 	// holds the shard lock, then handlers take ir.mu).
 	ctx.Events.Subscribe(EvComplete, ir.onComplete)
 	exec.SetIdleCallback(ir.onIdle)
+	return nil
+}
+
+// Reconfigure hot-swaps the resetting strategy: the embedded recorder
+// refilters its pending completions under the new rule, so the next idle
+// report never leaks a completion the new strategy would not record.
+// Enabling resetting on a component activated without an executor service
+// is refused — the idle detector has nowhere to hang.
+func (ir *IdleResetter) Reconfigure(attrs map[string]string) error {
+	strategy := core.Strategy(0)
+	if _, ok := attrs[AttrIRStrategy]; ok {
+		var err error
+		if strategy, err = parseStrategyAttr(attrs, AttrIRStrategy); err != nil {
+			return err
+		}
+	}
+	ir.mu.Lock()
+	defer ir.mu.Unlock()
+	if ir.rec == nil {
+		return fmt.Errorf("%w: IR reconfigured before configuration", ErrNotConfigured)
+	}
+	if strategy == 0 {
+		return nil
+	}
+	if strategy != core.StrategyNone && ir.executor == nil {
+		return errors.New("live: IR cannot enable resetting without an executor service")
+	}
+	ir.strategy = strategy
+	ir.rec.SetStrategy(strategy)
 	return nil
 }
 

@@ -160,6 +160,19 @@ func attrInt(attrs map[string]string, key string) (int, error) {
 	return n, nil
 }
 
+// attrInt64 fetches a required 64-bit integer attribute.
+func attrInt64(attrs map[string]string, key string) (int64, error) {
+	s, err := attrString(attrs, key)
+	if err != nil {
+		return 0, err
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("live: attribute %q: %w", key, err)
+	}
+	return n, nil
+}
+
 // attrDuration fetches a required duration attribute ("250ms").
 func attrDuration(attrs map[string]string, key string) (time.Duration, error) {
 	s, err := attrString(attrs, key)

@@ -2,6 +2,7 @@ package live
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 
@@ -42,8 +43,13 @@ type TaskEffector struct {
 	maxDeadline time.Duration
 	// sweepAt is the waiting size that triggers the next amortized sweep.
 	sweepAt int
-	ch      *eventchan.Channel
-	closed  bool
+	// epoch is the reconfiguration epoch this effector trusts: Accept
+	// events stamped with an older epoch release their job but are not
+	// cached as per-task decisions.
+	epoch  int64
+	ch     *eventchan.Channel
+	active bool
+	closed bool
 
 	// Stats counts the effector's view of the workload.
 	Stats TEStats
@@ -80,6 +86,12 @@ func NewTaskEffector() *TaskEffector {
 
 // Configure parses the processor ID and workload.
 func (te *TaskEffector) Configure(attrs map[string]string) error {
+	te.mu.Lock()
+	if te.active {
+		te.mu.Unlock()
+		return fmt.Errorf("%w: TE is activated; use Reconfigure", ErrAlreadyActive)
+	}
+	te.mu.Unlock()
 	proc, err := attrInt(attrs, AttrProcessor)
 	if err != nil {
 		return err
@@ -119,11 +131,37 @@ func (te *TaskEffector) Configure(attrs map[string]string) error {
 func (te *TaskEffector) Activate(ctx *ccm.Context) error {
 	te.mu.Lock()
 	te.ch = ctx.Events
+	te.active = true
 	te.mu.Unlock()
 	// Subscribe outside the lock: delivery fan-out holds the channel's
 	// shard lock while handlers take te.mu, so the reverse order here
 	// could deadlock.
 	ctx.Events.Subscribe(EvAccept, te.onAccept)
+	return nil
+}
+
+// Reconfigure is the effector's hot-swap stage: it drops the cached
+// per-task decisions (they were decided under the previous strategy
+// combination) and adopts the coordinator's epoch so in-flight Accept
+// events from the old epoch release their jobs without being re-cached.
+// Jobs holding in the waiting queue stay held; the admission controller
+// replays their buffered arrivals under the new configuration.
+func (te *TaskEffector) Reconfigure(attrs map[string]string) error {
+	te.mu.Lock()
+	defer te.mu.Unlock()
+	if te.tasks == nil {
+		return fmt.Errorf("%w: TE reconfigured before configuration", ErrNotConfigured)
+	}
+	if _, ok := attrs[AttrEpoch]; ok {
+		epoch, err := attrInt64(attrs, AttrEpoch)
+		if err != nil {
+			return err
+		}
+		te.epoch = epoch
+	} else {
+		te.epoch++
+	}
+	clear(te.decided)
 	return nil
 }
 
@@ -271,7 +309,10 @@ func (te *TaskEffector) onAccept(ev eventchan.Event) {
 	}
 	delete(te.waiting, ref)
 
-	if dec.PerTaskDecision {
+	if dec.PerTaskDecision && dec.Epoch == te.epoch {
+		// Same-epoch decisions become cached per-task policy; a stale
+		// decision from before a reconfiguration still settles its own job
+		// below but must not survive the swap as policy.
 		if _, ok := te.decided[dec.Task]; !ok {
 			cached := dec
 			te.decided[dec.Task] = &cached

@@ -713,6 +713,37 @@ func (l *Ledger) ExpireJob(ref JobRef) int {
 	return n
 }
 
+// WithdrawJob removes every remaining contribution of one job — including
+// permanent per-task reservation entries, which ExpireJob deliberately skips
+// — and forgets the job. It is the reconfiguration rebase primitive: when
+// the admission strategy moves away from per-task control, each task's
+// permanent reservation is withdrawn so the ledger reflects only per-job
+// contributions under the new strategy. It returns the number of
+// contributions removed.
+func (l *Ledger) WithdrawJob(ref JobRef) int {
+	rec, k, ok := l.lookupJob(ref)
+	if !ok {
+		return 0
+	}
+	n := 0
+	var touchedBuf [8]int
+	touched := touchedBuf[:0]
+	for _, e := range rec.entries {
+		if e.removed == 0 {
+			e.removed = RemovedWithdrawal
+			l.procEntryRemove(e)
+			l.util[e.proc] -= e.amount
+			touched = touchProc(touched, e.proc)
+			n++
+		}
+	}
+	for _, p := range touched {
+		l.settleProc(p)
+	}
+	l.forgetJob(k, rec)
+	return n
+}
+
 // RemoveTask withdraws a permanent per-task reservation entirely (the task
 // left the system). It returns the number of contributions removed.
 func (l *Ledger) RemoveTask(task string) int {

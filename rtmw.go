@@ -88,6 +88,41 @@ func AllCombinations() []Config { return core.AllCombinations() }
 // AssignEDMSPriorities assigns End-to-end Deadline Monotonic priorities.
 func AssignEDMSPriorities(tasks []*Task) { sched.AssignEDMSPriorities(tasks) }
 
+// Binding is the unified surface both middleware bindings implement: the
+// deterministic simulation (*SimSystem) and the live cluster (*Cluster).
+// Submit injects a job arrival, Snapshot reads the active configuration and
+// aggregate accounting, Reconfigure runs the epoch-versioned two-phase
+// strategy swap — quiesce admission, drain in-flight decisions, swap the
+// AC/IR/LB strategy objects, rebase the admission ledger, resume — without
+// dropping a single admitted job, and Stop retires the binding.
+//
+// Reconfigure rejects invalid target combinations (the configengine
+// feasibility rules, e.g. AC-per-task with IR-per-job) without disturbing
+// the running configuration. On the simulation binding a mid-run
+// Reconfigure completes when virtual time passes the quiesce window; use
+// (*SimSystem).ScheduleReconfig to build strategy schedules at exact
+// virtual times.
+type Binding interface {
+	Submit(taskID string) (int64, error)
+	Snapshot() BindingSnapshot
+	Reconfigure(cfg Config) (*ReconfigReport, error)
+	Stop() error
+}
+
+// Binding surface re-exports.
+type (
+	// BindingSnapshot is a point-in-time view of a running binding.
+	BindingSnapshot = core.BindingSnapshot
+	// ReconfigReport describes one completed reconfiguration transaction.
+	ReconfigReport = core.ReconfigReport
+)
+
+// Compile-time proof that both bindings expose the unified surface.
+var (
+	_ Binding = (*SimSystem)(nil)
+	_ Binding = (*Cluster)(nil)
+)
+
 // Simulation re-exports: the deterministic virtual-time binding.
 type (
 	// SimConfig parameterizes a simulation run.
@@ -99,12 +134,25 @@ type (
 	Metrics = core.Metrics
 )
 
+// NewSimBinding builds the simulation binding of the middleware over the
+// tasks. Run executes the workload; ScheduleReconfig swaps strategies at a
+// virtual time mid-run.
+func NewSimBinding(cfg SimConfig, tasks []*Task) (*SimSystem, error) {
+	return core.NewSimSystem(cfg, tasks)
+}
+
 // NewSimulation builds a simulation of the middleware over the tasks.
+//
+// Deprecated: use NewSimBinding, which returns the same *SimSystem through
+// the unified Binding surface.
 func NewSimulation(cfg SimConfig, tasks []*Task) (*SimSystem, error) {
 	return core.NewSimSystem(cfg, tasks)
 }
 
 // Simulate is the one-call form: build, run, return metrics.
+//
+// Deprecated: use NewSimBinding and (*SimSystem).Run, which also expose
+// mid-run reconfiguration and the Binding surface.
 func Simulate(cfg SimConfig, tasks []*Task) (*Metrics, error) {
 	sim, err := core.NewSimSystem(cfg, tasks)
 	if err != nil {
@@ -195,8 +243,34 @@ type (
 	Cluster = cluster.Cluster
 )
 
+// StartLiveBinding deploys and activates the live cluster binding: manager
+// plus application nodes on TCP loopback, deployed through the
+// configuration engine, XML plan and plan launcher. The returned Cluster
+// implements the unified Binding surface, including live Reconfigure.
+func StartLiveBinding(opts ClusterOptions) (*Cluster, error) { return cluster.Start(opts) }
+
 // StartCluster deploys and activates a live cluster.
+//
+// Deprecated: use StartLiveBinding, which returns the same *Cluster through
+// the unified Binding surface.
 func StartCluster(opts ClusterOptions) (*Cluster, error) { return cluster.Start(opts) }
+
+// Reconfiguration-delta re-exports: the configuration engine emits minimal
+// deltas against a running deployment's plan, and the plan launcher
+// executes them (rtmw-config's reconfigure subcommand is the CLI form).
+type (
+	// ReconfigDeltaPlan is a reconfiguration transaction for a running
+	// deployment.
+	ReconfigDeltaPlan = deploy.Delta
+	// ReconfigOutcome reports an executed reconfiguration transaction.
+	ReconfigOutcome = deploy.ReconfigOutcome
+)
+
+// ReconfigDelta computes the minimal reconfiguration transaction that moves
+// the running deployment described by plan to the target combination.
+func ReconfigDelta(plan *DeploymentPlan, to Config) (*ReconfigDeltaPlan, error) {
+	return configengine.ReconfigDelta(plan, to)
+}
 
 // Experiment re-exports: regenerate the paper's tables and figures. The
 // figure and ablation runners fan their independent (combo, set) / seed
@@ -223,6 +297,10 @@ type (
 	// ScaleResult is one scale point's virtual workload and wall-clock
 	// throughput.
 	ScaleResult = experiments.ScaleResult
+	// ReconfigOptions parameterizes the mid-run reconfiguration experiment.
+	ReconfigOptions = experiments.ReconfigOptions
+	// ReconfigResult is one task set's reconfiguration outcome.
+	ReconfigResult = experiments.ReconfigResult
 )
 
 // Experiment runners and renderers.
@@ -232,6 +310,9 @@ var (
 	RunOverhead        = experiments.RunOverhead
 	RunAblationAUBvsDS = experiments.RunAblationAUBvsDS
 	RunScale           = experiments.RunScale
+	RunReconfig        = experiments.RunReconfig
+	RenderReconfig     = experiments.RenderReconfig
+	RenderReconfigJSON = experiments.RenderReconfigJSON
 	RenderScale        = experiments.RenderScale
 	RenderScaleJSON    = experiments.RenderScaleJSON
 	ParseScalePoints   = experiments.ParseScalePoints

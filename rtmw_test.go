@@ -31,7 +31,7 @@ func TestFacadeSimulationQuickstart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := rtmw.Simulate(rtmw.SimConfig{
+	sim, err := rtmw.NewSimBinding(rtmw.SimConfig{
 		Strategies: cfg,
 		NumProcs:   2,
 		Horizon:    time.Minute,
@@ -40,11 +40,74 @@ func TestFacadeSimulationQuickstart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	m := sim.Run()
 	if m.Total.Arrived == 0 || m.Total.Released == 0 {
 		t.Fatalf("metrics = %+v", m.Total)
 	}
 	if r := m.AcceptedUtilizationRatio(); r <= 0 || r > 1 {
 		t.Errorf("accepted utilization ratio = %g", r)
+	}
+}
+
+// TestFacadeUnifiedBinding drives the simulation binding through the
+// Binding interface: reconfigure mid-run, then pin the snapshot and the
+// zero-job-loss guarantee.
+func TestFacadeUnifiedBinding(t *testing.T) {
+	tasks := []*rtmw.Task{
+		{
+			ID: "sensor", Kind: rtmw.Periodic,
+			Period: 100 * time.Millisecond, Deadline: 100 * time.Millisecond,
+			Subtasks: []rtmw.Subtask{
+				{Index: 0, Exec: 10 * time.Millisecond, Processor: 0, Replicas: []int{1}},
+			},
+		},
+		{
+			ID: "alert", Kind: rtmw.Aperiodic,
+			Deadline: 150 * time.Millisecond, MeanInterarrival: 200 * time.Millisecond,
+			Subtasks: []rtmw.Subtask{
+				{Index: 0, Exec: 15 * time.Millisecond, Processor: 1},
+			},
+		},
+	}
+	from, _ := rtmw.ParseConfig("T_N_N")
+	to, _ := rtmw.ParseConfig("J_J_J")
+	sim, err := rtmw.NewSimBinding(rtmw.SimConfig{
+		Strategies: from, NumProcs: 2, Horizon: 30 * time.Second, Seed: 3,
+	}, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b rtmw.Binding = sim
+
+	// Invalid target rejected through the interface, config untouched.
+	bad, err := rtmw.ParseConfig("T_N_N")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.IR = rtmw.StrategyPerJob
+	if _, err := b.Reconfigure(bad); err == nil {
+		t.Error("contradictory target accepted through Binding")
+	}
+	if snap := b.Snapshot(); snap.Config != from || snap.Epoch != 0 {
+		t.Errorf("snapshot disturbed: %+v", snap)
+	}
+
+	if _, err := b.Submit("alert"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.ScheduleReconfig(15*time.Second, to); err != nil {
+		t.Fatal(err)
+	}
+	m := sim.Run()
+	if m.Total.Released != m.Total.Completed {
+		t.Errorf("admitted jobs lost: %+v", m.Total)
+	}
+	snap := b.Snapshot()
+	if snap.Config != to || snap.Epoch != 1 || snap.InFlight != 0 {
+		t.Errorf("snapshot after reconfigured run = %+v", snap)
+	}
+	if err := b.Stop(); err != nil {
+		t.Fatal(err)
 	}
 }
 
