@@ -646,6 +646,45 @@ func BenchmarkReconfigure(b *testing.B) {
 	})
 }
 
+// BenchmarkChurn measures the open-world lifecycle machinery: one churn
+// trial per iteration — a Figure 5 workload under the fully dynamic J_J_J
+// combination with tenants joining (AddTasks + SubmitBatch bursts) and
+// leaving (RemoveTasks) on fixed virtual-time schedules, observed by an
+// always-on watch stream, finished by the ledger invariant audit. Its
+// allocations are deterministic per workload and guarded by benchguard;
+// jobs/sec rides along for the cross-machine perf trajectory.
+func BenchmarkChurn(b *testing.B) {
+	opts := rtmw.ChurnOptions{
+		Combos:  []rtmw.Config{{AC: rtmw.StrategyPerJob, IR: rtmw.StrategyPerJob, LB: rtmw.StrategyPerJob}},
+		Sets:    1,
+		Horizon: 30 * time.Second,
+		Workers: 1,
+	}
+	var jobs int64
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := rtmw.RunChurn(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := results[0]
+		if r.Lost != 0 || !r.OrderOK || r.TasksAdded == 0 || r.TasksRemoved == 0 {
+			b.Fatalf("bad churn trial: %+v", r)
+		}
+		jobs += r.Arrived
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&ms1)
+	if jobs > 0 {
+		b.ReportMetric(float64(jobs)/b.Elapsed().Seconds(), "jobs/sec")
+		b.ReportMetric(float64(ms1.Mallocs-ms0.Mallocs)/float64(jobs), "allocs/job")
+	}
+}
+
 // BenchmarkSimHotPath measures the pooled simulation core end to end at the
 // scale sweep's platform sizes: one virtual second of the fully dynamic
 // J_J_J middleware per iteration, reporting events/sec, jobs/sec and

@@ -7,6 +7,7 @@
 //	rtmw-bench ablation          AUB vs deferrable-server admission (Section 2)
 //	rtmw-bench scale             large-scenario throughput sweep (pooled DES core)
 //	rtmw-bench reconfig          mid-run strategy swap: quiesce latency + zero job loss
+//	rtmw-bench churn             open-world task churn: AddTasks/RemoveTasks under load (sim sweep + live smoke)
 //	rtmw-bench all               everything above
 //
 // Figure runs accept -sets and -horizon; overhead accepts -duration and
@@ -49,6 +50,7 @@ func run() error {
 		points   = flag.String("points", "5x100,50x10000,200x50000", "scale sweep points as PROCSxTASKS pairs")
 		fromCfg  = flag.String("from", "T_N_N", "reconfig experiment: starting AC_IR_LB combination")
 		toCfg    = flag.String("to", "J_J_J", "reconfig experiment: target AC_IR_LB combination")
+		noLive   = flag.Bool("nolive", false, "churn experiment: skip the live-cluster smoke")
 		csv      = flag.Bool("csv", false, "also print CSV series for figures")
 		jsonOut  = flag.Bool("json", false, "also print JSON documents for figures, the ablation, and the scale sweep")
 	)
@@ -56,7 +58,7 @@ func run() error {
 	cmd := flag.Arg(0)
 	if cmd == "" {
 		flag.Usage()
-		return fmt.Errorf("missing subcommand: table1 | figure5 | figure6 | overhead | ablation | scale | reconfig | all")
+		return fmt.Errorf("missing subcommand: table1 | figure5 | figure6 | overhead | ablation | scale | reconfig | churn | all")
 	}
 	horizonSet := false
 	flag.Visit(func(f *flag.Flag) {
@@ -175,6 +177,37 @@ func run() error {
 		}
 		return nil
 	}
+	runChurn := func() error {
+		opts := experiments.ChurnOptions{Sets: *sets, Workers: workers}
+		if horizonSet {
+			opts.Horizon = *horizon
+		} else {
+			opts.Horizon = 2 * time.Minute
+		}
+		results, err := experiments.RunChurn(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(tableW, experiments.RenderChurn(
+			fmt.Sprintf("Open-world churn: tenants joining/leaving over %v (%d sets, %d workers)", opts.Horizon, *sets, workers), results))
+		var liveSmoke *experiments.ChurnLiveResult
+		if !*noLive {
+			fmt.Fprintln(os.Stderr, "running live churn smoke...")
+			liveSmoke, err = experiments.RunChurnLive(experiments.ChurnLiveOptions{})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(tableW, experiments.RenderChurnLive(liveSmoke))
+		}
+		if *jsonOut {
+			doc, err := experiments.RenderChurnJSON(results, liveSmoke)
+			if err != nil {
+				return err
+			}
+			fmt.Println(doc)
+		}
+		return nil
+	}
 	runAblation := func() error {
 		results, err := experiments.RunAblationAUBvsDS(experiments.AblationOptions{Seeds: 10, Workers: workers})
 		if err != nil {
@@ -206,8 +239,10 @@ func run() error {
 		return runScale()
 	case "reconfig":
 		return runReconfig()
+	case "churn":
+		return runChurn()
 	case "all":
-		for _, f := range []func() error{runTable1, runFigure5, runFigure6, runOverhead, runAblation, runScale, runReconfig} {
+		for _, f := range []func() error{runTable1, runFigure5, runFigure6, runOverhead, runAblation, runScale, runReconfig, runChurn} {
 			if err := f(); err != nil {
 				return err
 			}

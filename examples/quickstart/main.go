@@ -1,7 +1,8 @@
 // Quickstart: define a small mixed periodic/aperiodic workload, pick a
 // strategy combination through the configuration engine, and simulate five
-// minutes of middleware operation through the unified Binding surface —
-// including a live strategy swap halfway through the run.
+// minutes of middleware operation through the open-world Binding surface —
+// a watch stream observing typed lifecycle events, a tenant task joining
+// and leaving mid-run, and a live strategy swap halfway through.
 //
 //	go run ./examples/quickstart
 package main
@@ -66,6 +67,58 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Watch the run as an ordered stream of typed lifecycle events (the
+	// open-world replacement for snapshot polling). Here: only structural
+	// and configuration changes plus deadline misses.
+	watch, err := sim.Watch(rtmw.WatchOptions{Kinds: []rtmw.WatchKind{
+		rtmw.WatchTaskAdded, rtmw.WatchTaskRemoved, rtmw.WatchReconfigured, rtmw.WatchDeadlineMiss,
+	}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	watchDone := make(chan struct{})
+	go func() {
+		defer close(watchDone)
+		for ev := range watch.Events() {
+			fmt.Printf("  watch #%d at %v: %v %s\n", ev.Seq, ev.At, ev.Kind, ev.Task)
+		}
+	}()
+
+	// Open the world mid-run: a diagnostics tenant joins at one minute
+	// (EDMS priorities re-assign over the union and its arrivals are
+	// admitted against the AUB ledger), bursts a batch of typed-outcome
+	// submissions, and leaves at four minutes — withdrawing its remaining
+	// ledger contributions while its in-flight jobs still complete.
+	tenant := []*rtmw.Task{{
+		ID:               "diagnostics",
+		Kind:             rtmw.Aperiodic,
+		Deadline:         120 * time.Millisecond,
+		MeanInterarrival: 500 * time.Millisecond,
+		Subtasks: []rtmw.Subtask{
+			{Index: 0, Exec: 10 * time.Millisecond, Processor: 0},
+		},
+	}}
+	if err := sim.At(60*time.Second, func() {
+		if err := sim.AddTasks(tenant); err != nil {
+			log.Fatal(err)
+		}
+		adms, err := sim.SubmitBatch([]string{"diagnostics", "diagnostics"})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  tenant joined; burst admissions: job %d %s, job %d %s\n",
+			adms[0].Job, adms[0].Outcome, adms[1].Job, adms[1].Outcome)
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if err := sim.At(240*time.Second, func() {
+		if err := sim.RemoveTasks([]string{"diagnostics"}); err != nil {
+			log.Fatal(err)
+		}
+	}); err != nil {
+		log.Fatal(err)
+	}
+
 	// Hot-reconfigure mid-run: at 2.5 simulated minutes the system swaps to
 	// the minimal static configuration without dropping a single admitted
 	// job — the paper's reconfigurability claim as a first-class API.
@@ -78,9 +131,15 @@ func main() {
 		log.Fatal(err)
 	}
 
+	fmt.Println("\nrunning 5 simulated minutes with churn:")
 	metrics := sim.Run()
+	if err := sim.Stop(); err != nil {
+		log.Fatal(err)
+	}
+	<-watchDone
 	fmt.Printf("\nreconfigured %s -> %s at %v: quiesced %v, %d arrivals deferred, %d jobs in flight preserved\n",
 		swap.From, swap.To, swap.At, swap.Quiesce, swap.Deferred, swap.InFlightBefore)
+	fmt.Printf("tenant accounting: %+v\n", metrics.Task("diagnostics"))
 
 	fmt.Printf("\n5 simulated minutes:\n")
 	fmt.Printf("  jobs arrived:    %d (periodic %d, aperiodic %d)\n",

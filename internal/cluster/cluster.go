@@ -9,15 +9,19 @@
 package cluster
 
 import (
+	"bytes"
 	"context"
+	"encoding/gob"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/ccm"
 	"repro/internal/configengine"
 	"repro/internal/core"
 	"repro/internal/deploy"
+	"repro/internal/eventchan"
 	"repro/internal/live"
 	"repro/internal/orb"
 	"repro/internal/sched"
@@ -55,16 +59,32 @@ type Cluster struct {
 	// back in, so the plan always describes the running configuration.
 	Plan *deploy.Plan
 
-	tasks     []*sched.Task
 	collector *live.Collector
 	drivers   []*live.Driver
 	launcher  *orb.ORB
 	seed      int64
 
-	// cfgMu guards the active configuration and serializes Reconfigure
-	// transactions (the AC additionally refuses overlapping quiesces).
-	cfgMu sync.Mutex
-	cfg   core.Config
+	// cfgMu guards the active configuration, the stopped flag and
+	// serializes Reconfigure / AddTasks / RemoveTasks transactions (the AC
+	// additionally refuses overlapping quiesces).
+	cfgMu   sync.Mutex
+	cfg     core.Config
+	stopped bool
+
+	// taskMu guards the deployed task set, which the open-world lifecycle
+	// calls swap while submissions read it.
+	taskMu    sync.RWMutex
+	tasks     []*sched.Task
+	deadlines map[string]time.Duration
+
+	// hub fans lifecycle events out to Watch streams; epoch and cfgVal
+	// mirror the reconfiguration epoch and active combination for event
+	// stamping — the watch taps run synchronously in event-plane pusher
+	// goroutines, so they must never wait on cfgMu (which lifecycle
+	// transactions hold across their network phase).
+	hub    core.WatchHub
+	epoch  atomic.Int64
+	cfgVal atomic.Value // core.Config
 }
 
 // Start builds, deploys and activates a cluster. Callers must Close it.
@@ -88,7 +108,9 @@ func Start(opts Options) (*Cluster, error) {
 		return nil, err
 	}
 
-	c := &Cluster{tasks: tasks, seed: opts.Seed, cfg: opts.Config}
+	c := &Cluster{seed: opts.Seed, cfg: opts.Config}
+	c.cfgVal.Store(opts.Config)
+	c.setTasks(tasks)
 	fail := func(err error) (*Cluster, error) {
 		c.Close()
 		return nil, err
@@ -129,11 +151,41 @@ func Start(opts Options) (*Cluster, error) {
 	for _, app := range c.Apps {
 		c.collector.Attach(app.Channel)
 	}
+
+	// Watch taps: the hub observes releases on every application node's
+	// channel (local pushes only — a federated re-delivery of a relocated
+	// release would double-count), rejections on the manager's channel, and
+	// completions on the last-stage nodes. The handlers are inert until the
+	// first Watch subscribes.
+	for _, app := range c.Apps {
+		app.Channel.Subscribe(live.EvRelease, c.tapRelease(app.Name))
+		app.Channel.Subscribe(live.EvDone, c.tapDone(app.Name))
+	}
+	c.Manager.Channel.Subscribe(live.EvAccept, c.tapAccept(c.Manager.Name))
 	return c, nil
 }
 
 // Tasks returns the deployed scheduling-model tasks.
-func (c *Cluster) Tasks() []*sched.Task { return c.tasks }
+func (c *Cluster) Tasks() []*sched.Task {
+	c.taskMu.RLock()
+	defer c.taskMu.RUnlock()
+	return c.tasks
+}
+
+// setTasks swaps the deployed task set and refreshes the deadline index
+// (departed tasks keep their deadline entries so draining completions still
+// account deadline misses).
+func (c *Cluster) setTasks(tasks []*sched.Task) {
+	c.taskMu.Lock()
+	defer c.taskMu.Unlock()
+	c.tasks = tasks
+	if c.deadlines == nil {
+		c.deadlines = make(map[string]time.Duration, len(tasks))
+	}
+	for _, t := range tasks {
+		c.deadlines[t.ID] = t.Deadline
+	}
+}
 
 // Config returns the currently active strategy combination.
 func (c *Cluster) Config() core.Config {
@@ -144,19 +196,312 @@ func (c *Cluster) Config() core.Config {
 
 // Submit injects one job arrival for the named task at its home (first
 // stage) processor's task effector — the live half of the unified Binding
-// surface — and returns the assigned job number.
-func (c *Cluster) Submit(taskID string) (int64, error) {
-	for _, t := range c.tasks {
-		if t.ID != taskID {
+// surface. The returned Admission resolves synchronously for per-task
+// cached decisions and is Pending otherwise; the terminal outcome surfaces
+// on the binding's watch stream.
+func (c *Cluster) Submit(taskID string) (core.Admission, error) {
+	te, err := c.homeTE(taskID)
+	if err != nil {
+		return core.Admission{Task: taskID, Job: -1}, err
+	}
+	return te.SubmitJob(taskID)
+}
+
+// SubmitBatch injects one arrival per named task, grouping the arrivals by
+// home task effector so each group takes the effector lock once and its
+// "Task Arrive" events push back to back — the gateway's group-commit
+// forwarder coalesces them into a few ORB frames instead of one invocation
+// each. IDs are validated up front; an unknown task fails the whole batch
+// before any arrival is injected. If a group nevertheless fails mid-flight
+// (e.g. its task was removed concurrently), the returned slice is still
+// complete and faithful: injected arrivals keep their admissions, the
+// failed group's entries resolve as Rejected with the error in Reason, and
+// the first error is returned alongside.
+func (c *Cluster) SubmitBatch(taskIDs []string) ([]core.Admission, error) {
+	type group struct {
+		ids  []string
+		idxs []int
+	}
+	groups := make(map[int]*group)
+	order := make([]int, 0, 4)
+	for i, id := range taskIDs {
+		proc, err := c.homeProc(id)
+		if err != nil {
+			return nil, err
+		}
+		g, ok := groups[proc]
+		if !ok {
+			g = &group{}
+			groups[proc] = g
+			order = append(order, proc)
+		}
+		g.ids = append(g.ids, id)
+		g.idxs = append(g.idxs, i)
+	}
+	out := make([]core.Admission, len(taskIDs))
+	for i, id := range taskIDs {
+		out[i] = core.Admission{Task: id, Job: -1}
+	}
+	var firstErr error
+	failGroup := func(g *group, err error) {
+		for _, idx := range g.idxs {
+			out[idx].Outcome = core.AdmissionRejected
+			out[idx].Reason = err.Error()
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, proc := range order {
+		g := groups[proc]
+		te, err := c.TE(proc)
+		if err != nil {
+			failGroup(g, err)
 			continue
 		}
-		te, err := c.TE(t.Subtasks[0].Processor)
-		if err != nil {
-			return 0, err
+		adms, err := te.SubmitBatch(g.ids)
+		if err != nil && adms == nil {
+			failGroup(g, err)
+			continue
 		}
-		return te.Arrive(taskID)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		for i, adm := range adms {
+			out[g.idxs[i]] = adm
+		}
 	}
-	return 0, fmt.Errorf("cluster: unknown task %q", taskID)
+	return out, firstErr
+}
+
+// homeProc resolves a task's home (first stage) processor.
+func (c *Cluster) homeProc(taskID string) (int, error) {
+	c.taskMu.RLock()
+	defer c.taskMu.RUnlock()
+	for _, t := range c.tasks {
+		if t.ID == taskID {
+			return t.Subtasks[0].Processor, nil
+		}
+	}
+	return 0, fmt.Errorf("cluster: %w: %q", core.ErrUnknownTask, taskID)
+}
+
+// homeTE resolves a task's home task effector.
+func (c *Cluster) homeTE(taskID string) (*live.TaskEffector, error) {
+	proc, err := c.homeProc(taskID)
+	if err != nil {
+		return nil, err
+	}
+	return c.TE(proc)
+}
+
+// AddTasks registers new tasks on the running deployment through the
+// configuration engine's task-set delta: the plan launcher quiesces
+// admission, installs the added tasks' subtask components on the running
+// nodes, wires the new federation routes, pushes the union workload — with
+// EDMS priorities re-assigned over it — to the admission controller, load
+// balancer and every task effector, and resumes. Arrivals buffered during
+// the quiesce replay against the enlarged task set.
+func (c *Cluster) AddTasks(tasks []*sched.Task) error {
+	c.cfgMu.Lock()
+	defer c.cfgMu.Unlock()
+	if c.stopped {
+		return fmt.Errorf("cluster: add tasks: %w", core.ErrStopped)
+	}
+	delta, err := configengine.AddTasksDelta(c.Plan, tasks)
+	if err != nil {
+		return err
+	}
+	outcome, err := c.executeDelta(delta)
+	if err != nil {
+		return err
+	}
+	c.epoch.Store(outcome.Epoch)
+	if err := c.refreshTasks(); err != nil {
+		return err
+	}
+	if c.hub.Active() {
+		for _, t := range tasks {
+			c.emit(core.WatchEvent{Kind: core.WatchTaskAdded, Task: t.ID, Job: -1, Config: c.cfg})
+		}
+	}
+	return nil
+}
+
+// RemoveTasks withdraws tasks from the running deployment: under the same
+// quiesce protocol, the admission controller releases the departed tasks'
+// remaining ledger contributions (including per-task reservations) and every
+// task effector drops their holds and cached decisions. Jobs already
+// released keep executing on the still-installed subtask components — no
+// admitted job is lost — and those instances go inert once drained.
+func (c *Cluster) RemoveTasks(ids []string) error {
+	c.cfgMu.Lock()
+	defer c.cfgMu.Unlock()
+	if c.stopped {
+		return fmt.Errorf("cluster: remove tasks: %w", core.ErrStopped)
+	}
+	delta, err := configengine.RemoveTasksDelta(c.Plan, ids)
+	if err != nil {
+		return err
+	}
+	outcome, err := c.executeDelta(delta)
+	if err != nil {
+		return err
+	}
+	c.epoch.Store(outcome.Epoch)
+	if err := c.refreshTasks(); err != nil {
+		return err
+	}
+	if c.hub.Active() {
+		for _, id := range ids {
+			c.emit(core.WatchEvent{Kind: core.WatchTaskRemoved, Task: id, Job: -1, Config: c.cfg})
+		}
+	}
+	return nil
+}
+
+// executeDelta runs one reconfiguration transaction against the live nodes
+// and folds it into the plan. Callers hold cfgMu.
+func (c *Cluster) executeDelta(delta *deploy.Delta) (*deploy.ReconfigOutcome, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	outcome, err := deploy.NewLauncher(c.launcher).ExecuteReconfig(ctx, delta)
+	if err != nil {
+		return nil, err
+	}
+	delta.Apply(c.Plan)
+	return outcome, nil
+}
+
+// refreshTasks re-reads the deployed task set (with its re-assigned EDMS
+// priorities) from the plan's admission controller instance. Callers hold
+// cfgMu.
+func (c *Cluster) refreshTasks() error {
+	for _, inst := range c.Plan.Instances {
+		if inst.Implementation != live.ImplAdmissionController {
+			continue
+		}
+		wl, ok := inst.Attrs()[live.AttrWorkload]
+		if !ok {
+			return fmt.Errorf("cluster: plan admission controller has no workload attribute")
+		}
+		w, err := spec.Parse([]byte(wl))
+		if err != nil {
+			return err
+		}
+		tasks, err := w.SchedTasks()
+		if err != nil {
+			return err
+		}
+		c.setTasks(tasks)
+		return nil
+	}
+	return fmt.Errorf("cluster: plan has no admission controller instance")
+}
+
+// Watch opens an ordered stream of lifecycle events observed at the binding:
+// admissions (job releases on the application nodes), rejections (admission
+// controller decisions), completions and deadline misses, task-set changes
+// and reconfigurations. Per-stream delivery is in strictly increasing Seq
+// order; a consumer that falls behind loses newest events (counted) rather
+// than backpressuring the event plane.
+func (c *Cluster) Watch(opts core.WatchOptions) (*core.WatchStream, error) {
+	c.cfgMu.Lock()
+	stopped := c.stopped
+	c.cfgMu.Unlock()
+	if stopped {
+		return nil, fmt.Errorf("cluster: watch: %w", core.ErrStopped)
+	}
+	return c.hub.Subscribe(opts), nil
+}
+
+// emit stamps and publishes one watch event. Callers fill Config themselves
+// (lifecycle paths hold cfgMu and use c.cfg; taps use the lock-free
+// configSnapshot mirror), so emit never takes the configuration lock.
+func (c *Cluster) emit(ev core.WatchEvent) {
+	ev.At = time.Duration(time.Now().UnixNano())
+	if ev.Epoch == 0 {
+		ev.Epoch = c.epoch.Load()
+	}
+	c.hub.Emit(ev)
+}
+
+// configSnapshot reads the active combination without cfgMu: the watch taps
+// run synchronously in event-plane pusher goroutines and must not block on
+// a lifecycle transaction holding the lock across its network phase.
+func (c *Cluster) configSnapshot() core.Config {
+	if v, ok := c.cfgVal.Load().(core.Config); ok {
+		return v
+	}
+	return core.Config{}
+}
+
+// decodeEvent gob-decodes a live event payload.
+func decodeEvent(payload []byte, out any) error {
+	return gob.NewDecoder(bytes.NewReader(payload)).Decode(out)
+}
+
+// tapRelease observes job releases on one application node's channel. Only
+// locally pushed events count: a federated re-delivery of a relocated
+// release carries the home node's source name and is skipped.
+func (c *Cluster) tapRelease(node string) eventchan.Handler {
+	return func(ev eventchan.Event) {
+		if !c.hub.Active() || ev.Source != node {
+			return
+		}
+		var trg live.Trigger
+		if err := decodeEvent(ev.Payload, &trg); err != nil {
+			return
+		}
+		c.emit(core.WatchEvent{
+			Kind: core.WatchAdmitted, Task: trg.Task, Job: trg.Job,
+			Placement: trg.Placement, Config: c.configSnapshot(),
+		})
+	}
+}
+
+// tapAccept observes rejection decisions on the manager's channel (accepted
+// decisions surface as releases on the application nodes).
+func (c *Cluster) tapAccept(node string) eventchan.Handler {
+	return func(ev eventchan.Event) {
+		if !c.hub.Active() || ev.Source != node {
+			return
+		}
+		var dec live.Accept
+		if err := decodeEvent(ev.Payload, &dec); err != nil || dec.Ok {
+			return
+		}
+		c.emit(core.WatchEvent{
+			Kind: core.WatchRejected, Task: dec.Task, Job: dec.Job,
+			Epoch: dec.Epoch, Config: c.configSnapshot(),
+		})
+	}
+}
+
+// tapDone observes job completions on one application node's channel.
+func (c *Cluster) tapDone(node string) eventchan.Handler {
+	return func(ev eventchan.Event) {
+		if !c.hub.Active() || ev.Source != node {
+			return
+		}
+		var done live.Done
+		if err := decodeEvent(ev.Payload, &done); err != nil {
+			return
+		}
+		resp := time.Duration(done.DoneNanos - done.ArrivalNanos)
+		out := core.WatchEvent{
+			Kind: core.WatchCompleted, Task: done.Task, Job: done.Job,
+			Response: resp, Config: c.configSnapshot(),
+		}
+		c.emit(out)
+		c.taskMu.RLock()
+		dl, ok := c.deadlines[done.Task]
+		c.taskMu.RUnlock()
+		if ok && resp > dl {
+			out.Kind = core.WatchDeadlineMiss
+			c.emit(out)
+		}
+	}
 }
 
 // Snapshot aggregates the effectors' and collector's counters with the
@@ -203,20 +548,28 @@ func (c *Cluster) counters() (arrived, released, skipped, completed int64) {
 func (c *Cluster) Reconfigure(to core.Config) (*core.ReconfigReport, error) {
 	c.cfgMu.Lock()
 	defer c.cfgMu.Unlock()
+	if c.stopped {
+		return nil, fmt.Errorf("cluster: reconfigure: %w", core.ErrStopped)
+	}
 	delta, err := configengine.ReconfigDelta(c.Plan, to)
 	if err != nil {
 		return nil, err
 	}
 	before := c.inFlight()
-	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-	defer cancel()
-	outcome, err := deploy.NewLauncher(c.launcher).ExecuteReconfig(ctx, delta)
+	outcome, err := c.executeDelta(delta)
 	if err != nil {
 		return nil, err
 	}
 	from := c.cfg
-	delta.Apply(c.Plan)
 	c.cfg = to
+	c.cfgVal.Store(to)
+	c.epoch.Store(outcome.Epoch)
+	if c.hub.Active() {
+		c.emit(core.WatchEvent{
+			Kind: core.WatchReconfigured, Task: "", Job: -1,
+			Config: to, Epoch: outcome.Epoch,
+		})
+	}
 	return &core.ReconfigReport{
 		From:           from,
 		To:             to,
@@ -236,7 +589,8 @@ func (c *Cluster) inFlight() int64 {
 	return released - completed
 }
 
-// Stop is the Binding teardown: drivers halt and every node shuts down.
+// Stop is the Binding teardown: watch streams close, drivers halt and every
+// node shuts down.
 func (c *Cluster) Stop() error {
 	c.Close()
 	return nil
@@ -301,17 +655,19 @@ func (c *Cluster) Subtasks() map[string]*live.Subtask {
 }
 
 // StartDrivers launches the arrival generators (one per application node)
-// with the given time compression.
+// with the given time compression. Drivers generate the task set deployed
+// at the time of the call; tasks added later are driven through Submit.
 func (c *Cluster) StartDrivers(timeScale float64) error {
 	if len(c.drivers) > 0 {
 		return fmt.Errorf("cluster: drivers already started")
 	}
+	tasks := c.Tasks()
 	for i := range c.Apps {
 		te, err := c.TE(i)
 		if err != nil {
 			return err
 		}
-		d := live.NewDriver(te, c.tasks, timeScale, c.seed+int64(i))
+		d := live.NewDriver(te, tasks, timeScale, c.seed+int64(i))
 		c.drivers = append(c.drivers, d)
 		d.Start()
 	}
@@ -360,8 +716,12 @@ func (c *Cluster) Drain(timeout time.Duration) bool {
 	return false
 }
 
-// Close stops drivers and tears every node down.
+// Close stops drivers, closes watch streams and tears every node down.
 func (c *Cluster) Close() {
+	c.cfgMu.Lock()
+	c.stopped = true
+	c.cfgMu.Unlock()
+	c.hub.CloseAll()
 	c.StopDrivers()
 	if c.launcher != nil {
 		c.launcher.Shutdown()

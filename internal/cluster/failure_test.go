@@ -90,7 +90,7 @@ func TestClusterSurvivesAppNodeLoss(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := ac.Controller().Ledger().CheckInvariants(); err != nil {
+	if err := ac.AuditLedger(); err != nil {
 		t.Error(err)
 	}
 }

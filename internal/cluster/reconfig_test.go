@@ -90,7 +90,7 @@ func TestClusterReconfigureLiveNoJobLoss(t *testing.T) {
 	if got := ac.Controller().Config(); got != to {
 		t.Errorf("AC controller config = %s, want %s", got, to)
 	}
-	if err := ac.Controller().Ledger().CheckInvariants(); err != nil {
+	if err := ac.AuditLedger(); err != nil {
 		t.Error(err)
 	}
 	// The plan was folded forward: a second delta reads the new config.
@@ -160,15 +160,18 @@ func TestClusterReconfigureEnablesIdleResetting(t *testing.T) {
 // live cluster.
 func TestClusterSubmitAndSnapshot(t *testing.T) {
 	c := startCluster(t, core.Config{AC: core.StrategyPerJob, IR: core.StrategyNone, LB: core.StrategyNone})
-	job, err := c.Submit("alert")
+	adm, err := c.Submit("alert")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if job != 0 {
-		t.Errorf("first job number = %d", job)
+	if adm.Job != 0 || adm.Task != "alert" {
+		t.Errorf("first admission = %+v", adm)
 	}
-	if _, err := c.Submit("ghost"); err == nil {
-		t.Error("unknown task accepted")
+	if adm.Outcome != core.AdmissionPending {
+		t.Errorf("per-job AC submission outcome = %v, want pending", adm.Outcome)
+	}
+	if _, err := c.Submit("ghost"); !errors.Is(err, core.ErrUnknownTask) {
+		t.Errorf("unknown task error = %v, want ErrUnknownTask", err)
 	}
 	if !settle(t, 2*time.Second, func() bool {
 		s := c.Snapshot()

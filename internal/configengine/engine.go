@@ -263,11 +263,25 @@ func GeneratePlan(name string, w *spec.Workload, cfg core.Config, manager deploy
 	// Subtask component instances: home plus duplicates. EDMS priorities
 	// come from the deadline ordering (the engine "assigns priorities in
 	// order of tasks' end-to-end deadlines").
+	p.Instances = append(p.Instances, subtaskInstances(tasks, nodeOf)...)
+
+	p.Connections = planConnections(tasks, cfg, manager.Name, nodeOf)
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// subtaskInstances builds the Sub-* component instance declarations for the
+// given tasks: one per (task, stage, candidate processor), home plus
+// duplicates, carrying the task's current EDMS priority.
+func subtaskInstances(tasks []*sched.Task, nodeOf map[int]string) []deploy.Instance {
+	var out []deploy.Instance
 	for _, t := range tasks {
 		for s, st := range t.Subtasks {
 			last := s == len(t.Subtasks)-1
 			for _, proc := range st.Candidates() {
-				p.Instances = append(p.Instances, deploy.Instance{
+				out = append(out, deploy.Instance{
 					ID:             fmt.Sprintf("Sub-%s-%d@P%d", t.ID, s, proc),
 					Node:           nodeOf[proc],
 					Implementation: live.ImplSubtask,
@@ -285,12 +299,7 @@ func GeneratePlan(name string, w *spec.Workload, cfg core.Config, manager deploy
 			}
 		}
 	}
-
-	p.Connections = planConnections(tasks, cfg, manager.Name, nodeOf)
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	return p, nil
+	return out
 }
 
 // ReconfigDelta computes the minimal reconfiguration transaction that moves
@@ -307,47 +316,11 @@ func ReconfigDelta(p *deploy.Plan, to core.Config) (*deploy.Delta, error) {
 	if err := to.Validate(); err != nil {
 		return nil, err
 	}
-	var acInst *deploy.Instance
-	for i := range p.Instances {
-		if p.Instances[i].Implementation == live.ImplAdmissionController {
-			acInst = &p.Instances[i]
-			break
-		}
-	}
-	if acInst == nil {
-		return nil, fmt.Errorf("configengine: plan %q has no admission controller instance", p.Name)
-	}
-	acAttrs := acInst.Attrs()
-	var from core.Config
-	var err error
-	if from.AC, err = planStrategy(acAttrs, live.AttrACStrategy); err != nil {
-		return nil, err
-	}
-	if from.IR, err = planStrategy(acAttrs, live.AttrIRStrategy); err != nil {
-		return nil, err
-	}
-	if from.LB, err = planStrategy(acAttrs, live.AttrLBStrategy); err != nil {
-		return nil, err
-	}
-	wlJSON, ok := acAttrs[live.AttrWorkload]
-	if !ok {
-		return nil, fmt.Errorf("configengine: plan %q: admission controller has no workload attribute", p.Name)
-	}
-	w, err := spec.Parse([]byte(wlJSON))
+	st, err := readPlanState(p)
 	if err != nil {
 		return nil, err
 	}
-	tasks, err := w.SchedTasks()
-	if err != nil {
-		return nil, err
-	}
-
-	nodeOf := make(map[int]string, len(p.Nodes))
-	for _, n := range p.Nodes {
-		if n.Processor >= 0 {
-			nodeOf[n.Processor] = n.Name
-		}
-	}
+	acInst, from, tasks, nodeOf := st.ac, st.config, st.tasks, st.nodeOf
 
 	d := &deploy.Delta{
 		Plan:        p,
@@ -402,6 +375,231 @@ func ReconfigDelta(p *deploy.Plan, to core.Config) (*deploy.Delta, error) {
 		}
 	}
 	return d, nil
+}
+
+// planState is the running deployment's configuration and task set, read
+// back from its plan: the admission controller instance, the active strategy
+// combination, the parsed workload, the scheduling-model tasks, and the
+// processor → node map.
+type planState struct {
+	ac       *deploy.Instance
+	config   core.Config
+	workload *spec.Workload
+	tasks    []*sched.Task
+	nodeOf   map[int]string
+}
+
+// readPlanState reads the running configuration and task set from the plan's
+// admission controller instance.
+func readPlanState(p *deploy.Plan) (*planState, error) {
+	var acInst *deploy.Instance
+	for i := range p.Instances {
+		if p.Instances[i].Implementation == live.ImplAdmissionController {
+			acInst = &p.Instances[i]
+			break
+		}
+	}
+	if acInst == nil {
+		return nil, fmt.Errorf("configengine: plan %q has no admission controller instance", p.Name)
+	}
+	acAttrs := acInst.Attrs()
+	var from core.Config
+	var err error
+	if from.AC, err = planStrategy(acAttrs, live.AttrACStrategy); err != nil {
+		return nil, err
+	}
+	if from.IR, err = planStrategy(acAttrs, live.AttrIRStrategy); err != nil {
+		return nil, err
+	}
+	if from.LB, err = planStrategy(acAttrs, live.AttrLBStrategy); err != nil {
+		return nil, err
+	}
+	wlJSON, ok := acAttrs[live.AttrWorkload]
+	if !ok {
+		return nil, fmt.Errorf("configengine: plan %q: admission controller has no workload attribute", p.Name)
+	}
+	w, err := spec.Parse([]byte(wlJSON))
+	if err != nil {
+		return nil, err
+	}
+	tasks, err := w.SchedTasks()
+	if err != nil {
+		return nil, err
+	}
+	nodeOf := make(map[int]string, len(p.Nodes))
+	for _, n := range p.Nodes {
+		if n.Processor >= 0 {
+			nodeOf[n.Processor] = n.Name
+		}
+	}
+	return &planState{ac: acInst, config: from, workload: w, tasks: tasks, nodeOf: nodeOf}, nil
+}
+
+// taskSetDelta builds the shared shape of an open-world task-set
+// reconfiguration: the strategy combination is untouched; the AC, LB and
+// every TE adopt the new workload, and surviving subtask instances whose
+// EDMS priority changed under the re-assignment get priority updates.
+func taskSetDelta(p *deploy.Plan, st *planState, next []*sched.Task) (*deploy.Delta, error) {
+	nextSpec := spec.FromTasks(st.workload.Name, st.workload.Processors, next)
+	wlJSON, err := nextSpec.Encode()
+	if err != nil {
+		return nil, err
+	}
+	workload := string(wlJSON)
+
+	d := &deploy.Delta{
+		Plan:        p,
+		FromConfig:  st.config.String(),
+		ToConfig:    st.config.String(),
+		ManagerNode: st.ac.Node,
+		ManagerKey:  live.ReconfigServantKey,
+		EpochAttr:   live.AttrEpoch,
+	}
+	// Manager-hosted instances first (the AC must learn the new task set —
+	// and withdraw departed tasks' ledger contributions — before effector
+	// caches reset and refill).
+	d.Updates = append(d.Updates, deploy.InstanceUpdate{
+		ID: st.ac.ID, Node: st.ac.Node,
+		Attrs: map[string]string{live.AttrWorkload: workload},
+	})
+	prio := make(map[string]int, len(next))
+	for _, t := range next {
+		prio[t.ID] = t.Priority
+	}
+	for _, inst := range p.Instances {
+		switch inst.Implementation {
+		case live.ImplLoadBalancer:
+			d.Updates = append(d.Updates, deploy.InstanceUpdate{
+				ID: inst.ID, Node: inst.Node,
+				Attrs: map[string]string{live.AttrWorkload: workload},
+			})
+		case live.ImplTaskEffector:
+			d.Updates = append(d.Updates, deploy.InstanceUpdate{
+				ID: inst.ID, Node: inst.Node,
+				Attrs: map[string]string{live.AttrWorkload: workload},
+			})
+		case live.ImplSubtask:
+			attrs := inst.Attrs()
+			newPrio, ok := prio[attrs[live.AttrTask]]
+			if !ok {
+				// A departed task's instance: it stays installed to drain its
+				// in-flight jobs and goes inert once they finish.
+				continue
+			}
+			if attrs[live.AttrPriority] == strconv.Itoa(newPrio) {
+				continue
+			}
+			d.Updates = append(d.Updates, deploy.InstanceUpdate{
+				ID: inst.ID, Node: inst.Node,
+				Attrs: map[string]string{live.AttrPriority: strconv.Itoa(newPrio)},
+			})
+		}
+	}
+	return d, nil
+}
+
+// AddTasksDelta computes the reconfiguration transaction that registers new
+// tasks on a running deployment: the union workload (with EDMS priorities
+// re-assigned over it) is pushed to the admission controller, the load
+// balancer and every task effector; the added tasks' subtask component
+// instances install onto the running nodes; surviving instances whose
+// priority changed under the re-assignment are updated in place; and the
+// federation routes the enlarged task set needs beyond the running plan's
+// are wired. The launcher executes it under the same quiesce protocol as a
+// strategy swap, so no in-flight decision ever observes a half-updated task
+// set.
+func AddTasksDelta(p *deploy.Plan, add []*sched.Task) (*deploy.Delta, error) {
+	if len(add) == 0 {
+		return nil, fmt.Errorf("configengine: add tasks: empty task list")
+	}
+	st, err := readPlanState(p)
+	if err != nil {
+		return nil, err
+	}
+	existing := make(map[string]bool, len(st.tasks))
+	for _, t := range st.tasks {
+		existing[t.ID] = true
+	}
+	union := append([]*sched.Task{}, st.tasks...)
+	for _, t := range add {
+		if err := t.Validate(); err != nil {
+			return nil, err
+		}
+		if existing[t.ID] {
+			return nil, fmt.Errorf("configengine: add tasks: %w: %q", core.ErrTaskExists, t.ID)
+		}
+		existing[t.ID] = true
+		for _, sub := range t.Subtasks {
+			for _, proc := range sub.Candidates() {
+				if proc >= st.workload.Processors {
+					return nil, fmt.Errorf("configengine: add tasks: task %s references processor %d but deployment has %d",
+						t.ID, proc, st.workload.Processors)
+				}
+			}
+		}
+		union = append(union, t.Clone())
+	}
+	sched.AssignEDMSPriorities(union)
+
+	d, err := taskSetDelta(p, st, union)
+	if err != nil {
+		return nil, err
+	}
+	added := union[len(st.tasks):]
+	d.Installs = subtaskInstances(added, st.nodeOf)
+
+	// Federation routes the enlarged task set needs that the plan lacks.
+	have := make(map[deploy.Connection]bool, len(p.Connections))
+	for _, c := range p.Connections {
+		have[c] = true
+	}
+	for _, c := range planConnections(union, st.config, d.ManagerNode, st.nodeOf) {
+		if !have[c] {
+			d.Connections = append(d.Connections, c)
+		}
+	}
+	return d, nil
+}
+
+// RemoveTasksDelta computes the reconfiguration transaction that withdraws
+// tasks from a running deployment: the shrunken workload (EDMS priorities
+// re-assigned over the survivors) is pushed to the admission controller —
+// which releases the departed tasks' remaining ledger contributions — the
+// load balancer and every task effector. The departed tasks' subtask
+// instances stay installed so their in-flight jobs drain; they go inert once
+// no effector can release jobs for them. Routes are never removed (a stale
+// route only forwards events nobody publishes).
+func RemoveTasksDelta(p *deploy.Plan, ids []string) (*deploy.Delta, error) {
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("configengine: remove tasks: empty ID list")
+	}
+	st, err := readPlanState(p)
+	if err != nil {
+		return nil, err
+	}
+	drop := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		if drop[id] {
+			return nil, fmt.Errorf("configengine: remove tasks: duplicate ID %q", id)
+		}
+		drop[id] = true
+	}
+	remaining := make([]*sched.Task, 0, len(st.tasks))
+	for _, t := range st.tasks {
+		if drop[t.ID] {
+			delete(drop, t.ID)
+			continue
+		}
+		remaining = append(remaining, t)
+	}
+	for id := range drop {
+		return nil, fmt.Errorf("configengine: remove tasks: %w: %q", core.ErrUnknownTask, id)
+	}
+	if len(remaining) == 0 {
+		return nil, fmt.Errorf("configengine: remove tasks: cannot remove every task from the deployment")
+	}
+	sched.AssignEDMSPriorities(remaining)
+	return taskSetDelta(p, st, remaining)
 }
 
 // planStrategy reads one strategy attribute from a plan instance.

@@ -1,6 +1,10 @@
 package core
 
-import "time"
+import (
+	"time"
+
+	"repro/internal/sched"
+)
 
 // This file holds the types shared by the unified Binding API: both the
 // deterministic simulation (SimSystem) and the live cluster binding
@@ -23,6 +27,55 @@ type BindingSnapshot struct {
 	Completed int64
 	// InFlight is the number of released jobs not yet completed.
 	InFlight int64
+}
+
+// AdmissionOutcome is the resolution state of one submitted arrival.
+type AdmissionOutcome int32
+
+// Admission outcomes. The middleware decides admission through an
+// asynchronous "Task Arrive" → "Accept" event round trip, so most
+// submissions are Pending at return; per-task cached decisions resolve
+// synchronously. The terminal outcome for a pending submission arrives on
+// the binding's watch stream (WatchAdmitted / WatchRejected).
+const (
+	// AdmissionPending means the decision round trip is in flight (or the
+	// arrival was deferred by a reconfiguration quiesce).
+	AdmissionPending AdmissionOutcome = iota + 1
+	// AdmissionAccepted means the job was released, with Placement assigned.
+	AdmissionAccepted
+	// AdmissionRejected means the job was skipped.
+	AdmissionRejected
+)
+
+// String returns the lowercase outcome name.
+func (o AdmissionOutcome) String() string {
+	switch o {
+	case AdmissionPending:
+		return "pending"
+	case AdmissionAccepted:
+		return "accepted"
+	case AdmissionRejected:
+		return "rejected"
+	default:
+		return "unknown"
+	}
+}
+
+// Admission is the typed outcome of one Submit: which job number the arrival
+// was assigned and how far its admission has resolved. It replaces the bare
+// job index the closed-world API returned, making the admission verdict a
+// first-class result instead of something recovered from polled snapshots.
+type Admission struct {
+	// Task and Job identify the arrival.
+	Task string
+	Job  int64
+	// Outcome is the resolution state at return time.
+	Outcome AdmissionOutcome
+	// Reason explains a rejection or why the outcome is still pending.
+	Reason string
+	// Placement is the stage assignment of a synchronously accepted job
+	// (per-task cached decisions). Callers must treat it as read-only.
+	Placement []sched.PlacedStage
 }
 
 // ReconfigReport describes one completed reconfiguration transaction: the

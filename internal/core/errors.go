@@ -1,0 +1,20 @@
+package core
+
+import "errors"
+
+// Sentinel errors shared by the unified Binding API: both bindings wrap these
+// with contextual detail (binding, task ID), so callers discriminate failures
+// with errors.Is instead of matching message strings — the same style as the
+// live binding's reconfiguration sentinels (internal/live.ErrNotConfigured and
+// friends).
+var (
+	// ErrStopped marks an operation on a binding after Stop: the binding no
+	// longer accepts arrivals, lifecycle changes or watch subscriptions.
+	ErrStopped = errors.New("binding stopped")
+	// ErrUnknownTask marks a submission or lifecycle operation naming a task
+	// the binding does not currently serve (never registered, or removed).
+	ErrUnknownTask = errors.New("unknown task")
+	// ErrTaskExists marks an AddTasks call re-registering an ID the binding
+	// already serves; remove the old task first if the intent is replacement.
+	ErrTaskExists = errors.New("task already registered")
+)

@@ -163,6 +163,14 @@ type SimSystem struct {
 	metrics Metrics
 	trace   []TraceEvent
 
+	// Open-world state: removed marks dense task slots withdrawn by
+	// RemoveTasks (slots are never reused — in-flight events address tasks by
+	// index), started records that Run has scheduled the workload arrivals,
+	// and hub fans lifecycle events out to Watch streams.
+	removed []bool
+	started bool
+	hub     WatchHub
+
 	// Reconfiguration state: while quiescing, new arrivals defer instead of
 	// entering the decision path; the swap event replays them under the new
 	// configuration. inFlight tracks released-but-uncompleted jobs for the
@@ -232,6 +240,7 @@ func NewSimSystem(cfg SimConfig, tasks []*sched.Task) (*SimSystem, error) {
 		te:      make([]teState, len(cloned)),
 		nextJob: make([]int64, len(cloned)),
 		accs:    make([]*MetricAcc, len(cloned)),
+		removed: make([]bool, len(cloned)),
 	}
 	for i, t := range cloned {
 		s.taskIdx[t.ID] = int32(i)
@@ -278,12 +287,19 @@ func (s *SimSystem) Run() *Metrics {
 	if s.stopped {
 		return &s.metrics
 	}
+	if !s.started {
+		s.started = true
+		for i := range s.tasks {
+			if !s.removed[i] {
+				s.scheduleFirstArrival(int32(i), 0)
+			}
+		}
+	}
 	var maxDeadline time.Duration
-	for i, t := range s.tasks {
+	for _, t := range s.tasks {
 		if t.Deadline > maxDeadline {
 			maxDeadline = t.Deadline
 		}
-		s.scheduleFirstArrival(int32(i))
 	}
 	s.eng.RunUntil(s.cfg.Horizon + 2*maxDeadline + time.Second)
 	if err := s.ctrl.Ledger().CheckInvariants(); err != nil {
@@ -297,15 +313,19 @@ func (s *SimSystem) Run() *Metrics {
 // Submit injects one extra job arrival for the named task at the current
 // virtual time, beyond the workload's own arrival process. It is the
 // simulation half of the unified Binding surface: before Run it queues an
-// arrival at time zero; called from inside an engine callback it arrives
-// "now". The assigned job number is returned.
-func (s *SimSystem) Submit(taskID string) (int64, error) {
+// arrival at time zero; called from inside an engine callback (see At) it
+// arrives "now". The returned Admission carries the assigned job number and
+// the decision state: per-task cached decisions resolve synchronously, every
+// other arrival is Pending and resolves on the watch stream once the
+// decision round trip completes in virtual time.
+func (s *SimSystem) Submit(taskID string) (Admission, error) {
+	adm := Admission{Task: taskID, Job: -1}
 	if s.stopped {
-		return 0, fmt.Errorf("core: sim: submit after Stop")
+		return adm, fmt.Errorf("core: sim: submit: %w", ErrStopped)
 	}
 	ti, ok := s.taskIdx[taskID]
 	if !ok {
-		return 0, fmt.Errorf("core: sim: unknown task %q", taskID)
+		return adm, fmt.Errorf("core: sim: submit: %w: %q", ErrUnknownTask, taskID)
 	}
 	t := s.tasks[ti]
 	job := s.nextJob[ti]
@@ -313,8 +333,182 @@ func (s *SimSystem) Submit(taskID string) (int64, error) {
 	now := s.eng.Now()
 	s.acc(ti).Arrived()
 	s.record(TraceArrived, sched.JobRef{Task: t.ID, Job: job}, -1, t.Subtasks[0].Processor)
-	s.routeArrival(ti, job, now)
-	return job, nil
+
+	adm.Job = job
+	adm.Outcome, adm.Reason, adm.Placement = s.routeArrival(ti, job, now)
+	return adm, nil
+}
+
+// SubmitBatch injects one arrival per named task at the current virtual
+// time. The IDs are validated up front, so either every arrival is injected
+// or none is. On the simulation binding the batch is a convenience; on the
+// live binding it amortizes transport round trips.
+func (s *SimSystem) SubmitBatch(taskIDs []string) ([]Admission, error) {
+	if s.stopped {
+		return nil, fmt.Errorf("core: sim: submit batch: %w", ErrStopped)
+	}
+	for _, id := range taskIDs {
+		if _, ok := s.taskIdx[id]; !ok {
+			return nil, fmt.Errorf("core: sim: submit batch: %w: %q", ErrUnknownTask, id)
+		}
+	}
+	out := make([]Admission, 0, len(taskIDs))
+	for _, id := range taskIDs {
+		adm, err := s.Submit(id)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, adm)
+	}
+	return out, nil
+}
+
+// AddTasks registers new tasks on the running binding: each task joins the
+// dense index (TE memory, job numbering, metric accumulators grow in place),
+// EDMS priorities are re-assigned over the whole active set — jobs already
+// queued keep the priority they were submitted with; subsequent releases use
+// the new assignment — and, when the run has started, the tasks' own arrival
+// processes are scheduled from the current virtual time. IDs are validated
+// against the active set before anything is registered, so the call is
+// all-or-nothing. A removed ID may be re-registered; it gets a fresh slot
+// and restarts job numbering at zero.
+func (s *SimSystem) AddTasks(tasks []*sched.Task) error {
+	if s.stopped {
+		return fmt.Errorf("core: sim: add tasks: %w", ErrStopped)
+	}
+	seen := make(map[string]bool, len(tasks))
+	for _, t := range tasks {
+		if err := t.Validate(); err != nil {
+			return err
+		}
+		if _, ok := s.taskIdx[t.ID]; ok || seen[t.ID] {
+			return fmt.Errorf("core: sim: add tasks: %w: %q", ErrTaskExists, t.ID)
+		}
+		seen[t.ID] = true
+		for _, st := range t.Subtasks {
+			for _, p := range st.Candidates() {
+				if p >= s.cfg.NumProcs {
+					return fmt.Errorf("core: task %s references processor %d but sim has %d", t.ID, p, s.cfg.NumProcs)
+				}
+			}
+		}
+		if t.Kind == sched.Aperiodic && t.MeanInterarrival <= 0 {
+			return fmt.Errorf("core: aperiodic task %s has no mean interarrival time", t.ID)
+		}
+	}
+	base := int32(len(s.tasks))
+	now := s.eng.Now()
+	for _, t := range tasks {
+		c := t.Clone()
+		s.tasks = append(s.tasks, c)
+		s.taskIdx[c.ID] = int32(len(s.tasks) - 1)
+		s.te = append(s.te, teState{})
+		s.nextJob = append(s.nextJob, 0)
+		s.accs = append(s.accs, nil)
+		s.removed = append(s.removed, false)
+	}
+	s.reassignPriorities()
+	for i := base; i < int32(len(s.tasks)); i++ {
+		if s.started {
+			s.scheduleFirstArrival(i, now)
+		}
+		if s.hub.Active() {
+			s.hub.Emit(WatchEvent{
+				Kind: WatchTaskAdded, Task: s.tasks[i].ID, Job: -1,
+				At: now, Config: s.cfg.Strategies, Epoch: s.epoch,
+			})
+		}
+	}
+	return nil
+}
+
+// RemoveTasks withdraws tasks from the running binding: their remaining
+// ledger contributions (including permanent per-task reservations) are
+// released through the controller's task index, their arrival processes
+// stop, and EDMS priorities are re-assigned over the survivors. Jobs already
+// released keep executing to completion — removal never loses an admitted
+// job — while arrivals still awaiting a decision resolve as rejected once
+// their in-flight round trip drains. IDs are validated first, so the call is
+// all-or-nothing.
+func (s *SimSystem) RemoveTasks(ids []string) error {
+	if s.stopped {
+		return fmt.Errorf("core: sim: remove tasks: %w", ErrStopped)
+	}
+	tis := make([]int32, len(ids))
+	seen := make(map[string]bool, len(ids))
+	for i, id := range ids {
+		ti, ok := s.taskIdx[id]
+		if !ok || seen[id] {
+			return fmt.Errorf("core: sim: remove tasks: %w: %q", ErrUnknownTask, id)
+		}
+		seen[id] = true
+		tis[i] = ti
+	}
+	now := s.eng.Now()
+	for _, ti := range tis {
+		t := s.tasks[ti]
+		s.removed[ti] = true
+		delete(s.taskIdx, t.ID)
+		s.ctrl.RemoveTask(t.ID)
+		if s.hub.Active() {
+			s.hub.Emit(WatchEvent{
+				Kind: WatchTaskRemoved, Task: t.ID, Job: -1,
+				At: now, Config: s.cfg.Strategies, Epoch: s.epoch,
+			})
+		}
+	}
+	s.reassignPriorities()
+	return nil
+}
+
+// Watch opens an ordered stream of lifecycle events (see WatchKind). Events
+// are emitted in virtual-time order and delivered in strictly increasing Seq
+// order; a consumer that falls behind the stream's buffer loses newest
+// events (counted by Dropped) rather than stalling the simulation. Streams
+// close when cancelled or when the binding stops.
+func (s *SimSystem) Watch(opts WatchOptions) (*WatchStream, error) {
+	if s.stopped {
+		return nil, fmt.Errorf("core: sim: watch: %w", ErrStopped)
+	}
+	return s.hub.Subscribe(opts), nil
+}
+
+// At schedules fn at an absolute virtual time. It is the hook open-world
+// callers use to drive Submit / AddTasks / RemoveTasks mid-run: the callback
+// executes inside the engine between events, so binding calls made from it
+// are ordinary same-thread operations.
+func (s *SimSystem) At(at time.Duration, fn func()) error {
+	if s.stopped {
+		return fmt.Errorf("core: sim: at: %w", ErrStopped)
+	}
+	if now := s.eng.Now(); at < now {
+		return fmt.Errorf("core: sim: at %v is in the past (now %v)", at, now)
+	}
+	s.eng.At(at, fn)
+	return nil
+}
+
+// TaskIDs lists the binding's active (non-removed) task IDs in registration
+// order.
+func (s *SimSystem) TaskIDs() []string {
+	out := make([]string, 0, len(s.tasks))
+	for i, t := range s.tasks {
+		if !s.removed[i] {
+			out = append(out, t.ID)
+		}
+	}
+	return out
+}
+
+// reassignPriorities re-runs the EDMS assignment over the active task set.
+func (s *SimSystem) reassignPriorities() {
+	active := make([]*sched.Task, 0, len(s.tasks))
+	for i, t := range s.tasks {
+		if !s.removed[i] {
+			active = append(active, t)
+		}
+	}
+	sched.AssignEDMSPriorities(active)
 }
 
 // Snapshot returns the binding's current configuration, epoch and aggregate
@@ -332,10 +526,12 @@ func (s *SimSystem) Snapshot() BindingSnapshot {
 }
 
 // Stop retires the binding: subsequent Run calls return the metrics
-// accumulated so far and Submit refuses new arrivals. The simulation holds
-// no external resources, so Stop never fails.
+// accumulated so far, Submit and the lifecycle calls refuse new work, and
+// every watch stream closes. The simulation holds no external resources, so
+// Stop never fails.
 func (s *SimSystem) Stop() error {
 	s.stopped = true
+	s.hub.CloseAll()
 	return nil
 }
 
@@ -467,15 +663,23 @@ func (s *SimSystem) swapConfig(idx int32) {
 		ReservationsReleased: released,
 	}
 	s.reports = append(s.reports, *op.report)
+	if s.hub.Active() {
+		s.hub.Emit(WatchEvent{
+			Kind: WatchReconfigured, Task: "", Job: -1,
+			At: s.eng.Now(), Config: op.to, Epoch: s.epoch,
+		})
+	}
 	for _, d := range deferred {
 		s.routeArrival(d.task, d.job, d.arrival)
 	}
 }
 
-// scheduleFirstArrival schedules the first job arrival for a task.
-func (s *SimSystem) scheduleFirstArrival(ti int32) {
+// scheduleFirstArrival schedules the first job arrival for a task. base is
+// zero for the workload's construction-time tasks and the current virtual
+// time for tasks added mid-run.
+func (s *SimSystem) scheduleFirstArrival(ti int32, base time.Duration) {
 	t := s.tasks[ti]
-	at := t.Phase
+	at := base + t.Phase
 	if t.Kind == sched.Aperiodic {
 		at += s.exp(t.MeanInterarrival)
 	}
@@ -533,6 +737,11 @@ func (s *SimSystem) HandleEvent(ev des.Event) {
 // arrive processes one job arrival at the task's home (first-stage)
 // processor and schedules the next arrival.
 func (s *SimSystem) arrive(ti int32) {
+	if s.removed[ti] {
+		// The task left the system after this arrival event was scheduled;
+		// its arrival process ends here.
+		return
+	}
 	t := s.tasks[ti]
 	now := s.eng.Now()
 	if now > s.cfg.Horizon {
@@ -562,10 +771,15 @@ func (s *SimSystem) arrive(ti int32) {
 // per-task fast path applies or a "Task Arrive" round trip starts. Deferred
 // arrivals replay through this same path — with their original arrival
 // times — once the reconfiguration swap installs the new configuration.
-func (s *SimSystem) routeArrival(ti int32, job int64, arrival time.Duration) {
+//
+// It returns the arrival's immediate resolution — Accepted/Rejected when
+// the per-task cache decided synchronously, Pending otherwise — which is
+// exactly what Submit reports as the typed Admission, so the fast-path
+// predicate lives in one place. The workload's own arrivals ignore it.
+func (s *SimSystem) routeArrival(ti int32, job int64, arrival time.Duration) (AdmissionOutcome, string, []sched.PlacedStage) {
 	if s.quiescing {
 		s.deferred = append(s.deferred, deferredArrival{task: ti, job: job, arrival: arrival})
-		return
+		return AdmissionPending, "reconfiguration quiesce: arrival deferred", nil
 	}
 	t := s.tasks[ti]
 
@@ -577,11 +791,10 @@ func (s *SimSystem) routeArrival(ti int32, job int64, arrival time.Duration) {
 		if st.decided && s.cfg.Strategies.LB != StrategyPerJob {
 			if st.accept {
 				s.release(ti, job, st.placement, arrival)
-			} else {
-				s.acc(ti).Skipped()
-				s.record(TraceSkipped, sched.JobRef{Task: t.ID, Job: job}, -1, -1)
+				return AdmissionAccepted, "", st.placement
 			}
-			return
+			s.skipJob(ti, job)
+			return AdmissionRejected, "per-task admission decision cached as rejected", nil
 		}
 		if !st.decided {
 			// Hold the job until the first decision returns; only one "Task
@@ -591,12 +804,13 @@ func (s *SimSystem) routeArrival(ti int32, job int64, arrival time.Duration) {
 				st.requested = true
 				s.requestDecision(ti, job, arrival)
 			}
-			return
+			return AdmissionPending, "admission decision round trip in flight", nil
 		}
 		// Decided + LB-per-job: round trip for the new placement.
 	}
 
 	s.requestDecision(ti, job, arrival)
+	return AdmissionPending, "admission decision round trip in flight", nil
 }
 
 // requestDecision models the TE pushing a "Task Arrive" event to the AC; the
@@ -610,6 +824,14 @@ func (s *SimSystem) requestDecision(ti int32, job int64, arrival time.Duration) 
 // (or reject) event back to the releasing task effector.
 func (s *SimSystem) decide(ti int32, job int64, arrival time.Duration) {
 	t := s.tasks[ti]
+	if s.removed[ti] {
+		// The task was withdrawn while this round trip was in flight: deliver
+		// a rejection through the normal path, so waiting queues drain and
+		// the arrival is accounted exactly once.
+		di := s.allocDec(Decision{})
+		s.links.SendEvent(s, des.Event{Kind: evDeliver, A: ti, B: di, N: job, D: arrival})
+		return
+	}
 	d := s.ctrl.Arrive(t, job, arrival)
 	if d.Accept && !d.Reserved {
 		// One expiry event per accepted job: with the indexed ledger the
@@ -646,8 +868,7 @@ func (s *SimSystem) deliverDecision(ti int32, job int64, arrival time.Duration, 
 				if d.Accept {
 					s.release(ti, w.job, d.Placement, w.arrival)
 				} else {
-					s.acc(ti).Skipped()
-					s.record(TraceSkipped, sched.JobRef{Task: t.ID, Job: w.job}, -1, -1)
+					s.skipJob(ti, w.job)
 				}
 			}
 			// Keep the drained queue's capacity for any later use.
@@ -660,8 +881,19 @@ func (s *SimSystem) deliverDecision(ti int32, job int64, arrival time.Duration, 
 	if d.Accept {
 		s.release(ti, job, d.Placement, arrival)
 	} else {
-		s.acc(ti).Skipped()
-		s.record(TraceSkipped, sched.JobRef{Task: t.ID, Job: job}, -1, -1)
+		s.skipJob(ti, job)
+	}
+}
+
+// skipJob accounts one not-released job and notifies watchers.
+func (s *SimSystem) skipJob(ti int32, job int64) {
+	s.acc(ti).Skipped()
+	s.record(TraceSkipped, sched.JobRef{Task: s.tasks[ti].ID, Job: job}, -1, -1)
+	if s.hub.Active() {
+		s.hub.Emit(WatchEvent{
+			Kind: WatchRejected, Task: s.tasks[ti].ID, Job: job,
+			At: s.eng.Now(), Config: s.cfg.Strategies, Epoch: s.epoch,
+		})
 	}
 }
 
@@ -670,6 +902,13 @@ func (s *SimSystem) release(ti int32, job int64, placement []sched.PlacedStage, 
 	s.acc(ti).Released()
 	s.inFlight++
 	s.record(TraceReleased, sched.JobRef{Task: s.tasks[ti].ID, Job: job}, -1, placement[0].Proc)
+	if s.hub.Active() {
+		s.hub.Emit(WatchEvent{
+			Kind: WatchAdmitted, Task: s.tasks[ti].ID, Job: job,
+			At: s.eng.Now(), Placement: placement,
+			Config: s.cfg.Strategies, Epoch: s.epoch,
+		})
+	}
 	ji := s.allocJob(ti, job, arrival, placement)
 	s.startStage(ji, 0)
 }
@@ -698,9 +937,22 @@ func (s *SimSystem) stageDone(ji, stage int32) {
 	s.irs[proc].Complete(ref, int(stage), t.Kind, j.arrival+t.Deadline)
 	s.record(TraceStageDone, ref, int(stage), proc)
 	if int(stage) == len(j.placement)-1 {
-		s.acc(ti).Completed(now - j.arrival)
+		resp := now - j.arrival
+		s.acc(ti).Completed(resp)
 		s.inFlight--
 		s.record(TraceCompleted, ref, -1, proc)
+		if s.hub.Active() {
+			ev := WatchEvent{
+				Kind: WatchCompleted, Task: t.ID, Job: j.job,
+				At: now, Response: resp,
+				Config: s.cfg.Strategies, Epoch: s.epoch,
+			}
+			s.hub.Emit(ev)
+			if resp > t.Deadline {
+				ev.Kind = WatchDeadlineMiss
+				s.hub.Emit(ev)
+			}
+		}
 		s.freeJob(ji)
 		return
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -184,18 +185,22 @@ func TestSimReconfigureReservationRebase(t *testing.T) {
 }
 
 // TestSimSubmitInjectsArrival pins the Binding Submit path: extra arrivals
-// join the workload and are decided like generated ones.
+// join the workload, return a typed Admission, and are decided like
+// generated ones. Failures are typed sentinels, not message strings.
 func TestSimSubmitInjectsArrival(t *testing.T) {
 	sim := mustSim(t, simCfg(Config{AC: StrategyPerJob, IR: StrategyNone, LB: StrategyNone}, 2), reconfigWorkload())
-	job, err := sim.Submit("a0")
+	adm, err := sim.Submit("a0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if job != 0 {
-		t.Errorf("first submitted job = %d", job)
+	if adm.Job != 0 || adm.Task != "a0" {
+		t.Errorf("first submitted admission = %+v", adm)
 	}
-	if _, err := sim.Submit("ghost"); err == nil {
-		t.Error("unknown task accepted")
+	if adm.Outcome != AdmissionPending {
+		t.Errorf("per-job AC submission outcome = %v, want pending", adm.Outcome)
+	}
+	if _, err := sim.Submit("ghost"); !errors.Is(err, ErrUnknownTask) {
+		t.Errorf("unknown task error = %v, want ErrUnknownTask", err)
 	}
 	m := sim.Run()
 	if m.Total.Released != m.Total.Completed {
@@ -204,7 +209,7 @@ func TestSimSubmitInjectsArrival(t *testing.T) {
 	if err := sim.Stop(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sim.Submit("a0"); err == nil {
-		t.Error("Submit after Stop accepted")
+	if _, err := sim.Submit("a0"); !errors.Is(err, ErrStopped) {
+		t.Errorf("Submit after Stop error = %v, want ErrStopped", err)
 	}
 }

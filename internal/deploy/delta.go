@@ -31,16 +31,24 @@ type Delta struct {
 	// Plan is the running deployment the delta applies to; it supplies the
 	// node addresses.
 	Plan *Plan
-	// FromConfig and ToConfig are the AC_IR_LB tuples before and after.
+	// FromConfig and ToConfig are the AC_IR_LB tuples before and after. A
+	// task-set delta (AddTasks/RemoveTasks) leaves them equal.
 	FromConfig, ToConfig string
+	// Installs are new component instances the delta deploys onto running
+	// nodes (the open-world AddTasks path installs the added tasks' subtask
+	// components). They install — and activate, the containers being live —
+	// under the quiesce, before any attribute update, so by the time the
+	// task effectors learn the new tasks their subtask components exist.
+	Installs []Instance
 	// Updates are the per-instance attribute changes, applied in order. The
 	// manager-hosted instances (Central-AC) come first so the policy object
 	// swaps before the effector caches reset.
 	Updates []InstanceUpdate
 	// Connections are federation routes the new configuration needs that
 	// the running plan does not have (e.g. IdleReset routes when idle
-	// resetting turns on). Existing routes are never removed: a stale route
-	// only forwards events nobody publishes.
+	// resetting turns on, or Trigger routes for an added task's stage
+	// chain). Existing routes are never removed: a stale route only forwards
+	// events nobody publishes.
 	Connections []Connection
 	// ManagerNode names the node hosting the admission controller's
 	// reconfiguration facet, and ManagerKey its ORB object key.
@@ -53,10 +61,11 @@ type Delta struct {
 
 // Apply folds the delta into the plan in memory, so a plan kept alongside a
 // running deployment continues to describe it after the reconfiguration:
-// matching configProperty values are replaced and the added connections are
-// appended. The epoch attribute is not persisted — it is coordination
-// state, not configuration.
+// installed instances and added connections are appended and matching
+// configProperty values are replaced. The epoch attribute is not persisted —
+// it is coordination state, not configuration.
 func (d *Delta) Apply(p *Plan) {
+	p.Instances = append(p.Instances, d.Installs...)
 	for _, up := range d.Updates {
 		for i := range p.Instances {
 			if p.Instances[i].ID != up.ID {
@@ -151,7 +160,23 @@ func (l *Launcher) ExecuteReconfig(ctx context.Context, d *Delta) (*ReconfigOutc
 		return nil, stepErr
 	}
 
-	// Phase two: wire the added federation routes BEFORE enabling the new
+	// Phase two: install any new component instances first. They activate
+	// immediately (the containers are live) but stay inert — no effector or
+	// admission controller knows their tasks until the attribute updates
+	// land, so nothing routes events to them yet.
+	for _, inst := range d.Installs {
+		req := InstallRequest{ID: inst.ID, Implementation: inst.Implementation, Attrs: inst.Attrs()}
+		body, err := gobEncode(req)
+		if err != nil {
+			return fail(err)
+		}
+		t0 := time.Now()
+		if err := l.invoke(ctx, addr[inst.Node], opInstall, body); err != nil {
+			return fail(fmt.Errorf("deploy: reconfig: install %s on %s: %w", inst.ID, inst.Node, err))
+		}
+		out.NodeTimings[inst.Node] += time.Since(t0)
+	}
+	// Then wire the added federation routes BEFORE enabling the new
 	// strategies. The reverse order has a loss window — a component whose
 	// new strategy starts emitting (an idle resetter's first report, say)
 	// before its route lands pushes into a gateway with no sink and the

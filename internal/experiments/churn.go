@@ -1,0 +1,555 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/spec"
+	"repro/internal/workload"
+)
+
+// ChurnOptions parameterizes the open-world churn sweep: random Figure 5
+// workloads run under each strategy combination while tenants — small groups
+// of tasks — join and leave the running binding on fixed schedules, the
+// tenant-churn / rolling-fleet shape open CPS deployments actually see. Each
+// join goes through AddTasks (EDMS re-assignment + ledger registration) and
+// a SubmitBatch burst; each departure goes through RemoveTasks (ledger
+// withdrawal). Every run finishes with the ledger invariant audit, and the
+// sweep pins the open-world guarantee: zero admitted jobs lost across any
+// number of task arrivals and departures.
+type ChurnOptions struct {
+	// Combos are the strategy combinations under churn. Default: T_N_N (the
+	// minimal static configuration), T_T_T (the engine's default), and J_J_J
+	// (fully dynamic).
+	Combos []core.Config
+	// Sets is the number of random task sets per combo (default 3).
+	Sets int
+	// Horizon is the workload duration (default 2 minutes).
+	Horizon time.Duration
+	// AddEvery is the interval between tenant joins (default Horizon/12).
+	AddEvery time.Duration
+	// RemoveEvery is the interval between tenant departures (default
+	// Horizon/8): departures lag joins, so the task set grows and shrinks.
+	RemoveEvery time.Duration
+	// TenantTasks is the number of tasks per joining tenant (default 3).
+	TenantTasks int
+	// LinkDelay and ACDelay configure the simulated delays; zero uses the
+	// calibrated defaults.
+	LinkDelay time.Duration
+	ACDelay   time.Duration
+	// Workers bounds concurrent trials, as in FigureOptions.
+	Workers int
+}
+
+// withDefaults fills unset options.
+func (o ChurnOptions) withDefaults() ChurnOptions {
+	if len(o.Combos) == 0 {
+		o.Combos = []core.Config{
+			{AC: core.StrategyPerTask, IR: core.StrategyNone, LB: core.StrategyNone},
+			{AC: core.StrategyPerTask, IR: core.StrategyPerTask, LB: core.StrategyPerTask},
+			{AC: core.StrategyPerJob, IR: core.StrategyPerJob, LB: core.StrategyPerJob},
+		}
+	}
+	if o.Sets == 0 {
+		o.Sets = 3
+	}
+	if o.Horizon == 0 {
+		o.Horizon = 2 * time.Minute
+	}
+	if o.AddEvery == 0 {
+		o.AddEvery = o.Horizon / 12
+	}
+	if o.RemoveEvery == 0 {
+		o.RemoveEvery = o.Horizon / 8
+	}
+	if o.TenantTasks == 0 {
+		o.TenantTasks = 3
+	}
+	return o
+}
+
+// ChurnResult is one (combo, set) trial's outcome.
+type ChurnResult struct {
+	// Combo and Set identify the trial.
+	Combo core.Config
+	Set   int
+	// TasksAdded and TasksRemoved count the tasks that joined and left
+	// mid-run; BatchSubmitted counts the arrivals injected through
+	// SubmitBatch bursts at each join.
+	TasksAdded     int
+	TasksRemoved   int
+	BatchSubmitted int
+	// Arrived, Released, Skipped and Completed are the run totals across the
+	// churning task set.
+	Arrived, Released, Skipped, Completed int64
+	// Lost is Released − Completed after the drain: admitted jobs that never
+	// finished. The open-world protocol guarantees zero.
+	Lost int64
+	// Ratio is the run's accepted utilization ratio.
+	Ratio float64
+	// WatchEvents and WatchDropped are the lifecycle events observed (and
+	// shed) by the trial's watch stream; OrderOK reports that the stream's
+	// sequence numbers were strictly increasing.
+	WatchEvents  int64
+	WatchDropped int64
+	OrderOK      bool
+	// Wall is the wall-clock run time; JobsPerSec the throughput.
+	Wall       time.Duration
+	JobsPerSec float64
+}
+
+// tenantTasks synthesizes one joining tenant's task group: small one- or
+// two-stage tasks (mostly aperiodic, the paper's open-environment shape)
+// pinned to random processors, with deadlines in the Figure 5 range.
+func tenantTasks(trial, tenant, count, numProcs int, rng *rand.Rand) ([]*sched.Task, []string) {
+	tasks := make([]*sched.Task, 0, count)
+	ids := make([]string, 0, count)
+	for k := 0; k < count; k++ {
+		id := fmt.Sprintf("tenant%d-%d-t%d", trial, tenant, k)
+		deadline := time.Duration(100+rng.Intn(300)) * time.Millisecond
+		stages := 1 + rng.Intn(2)
+		t := &sched.Task{ID: id, Deadline: deadline}
+		if rng.Intn(4) == 0 {
+			t.Kind = sched.Periodic
+			t.Period = deadline
+		} else {
+			t.Kind = sched.Aperiodic
+			t.MeanInterarrival = 2 * deadline
+		}
+		util := 0.01 + 0.04*rng.Float64()
+		for s := 0; s < stages; s++ {
+			t.Subtasks = append(t.Subtasks, sched.Subtask{
+				Index:     s,
+				Exec:      time.Duration(util / float64(stages) * float64(deadline)),
+				Processor: rng.Intn(numProcs),
+			})
+		}
+		tasks = append(tasks, t)
+		ids = append(ids, id)
+	}
+	return tasks, ids
+}
+
+// RunChurn executes the churn sweep: every (combo, set) trial fans over the
+// worker pool, and each trial drives adds, removes and batch submissions at
+// exact virtual times through the binding's At hook. A trial fails if any
+// lifecycle call errors; ledger inconsistencies panic inside Run's audit.
+func RunChurn(opts ChurnOptions) ([]ChurnResult, error) {
+	opts = opts.withDefaults()
+	for _, combo := range opts.Combos {
+		if err := combo.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	workers := opts.Workers
+	if workers < 0 {
+		workers = ResolveWorkers(workers)
+	}
+	total := len(opts.Combos) * opts.Sets
+	results := make([]ChurnResult, total)
+	err := runTrials(total, workers, func(trial int) error {
+		combo := opts.Combos[trial/opts.Sets]
+		set := trial % opts.Sets
+		r, err := runChurnTrial(trial, combo, set, opts)
+		if err != nil {
+			return fmt.Errorf("experiments: churn %s set %d: %w", combo, set, err)
+		}
+		results[trial] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// runChurnTrial executes one churning simulation.
+func runChurnTrial(trial int, combo core.Config, set int, opts ChurnOptions) (ChurnResult, error) {
+	p := workload.Figure5Params(set)
+	tasks, err := workload.Generate(p)
+	if err != nil {
+		return ChurnResult{}, err
+	}
+	numProcs := workload.MaxProc(tasks) + 1
+	sim, err := core.NewSimSystem(core.SimConfig{
+		Strategies: combo,
+		NumProcs:   numProcs,
+		LinkDelay:  opts.LinkDelay,
+		ACDelay:    opts.ACDelay,
+		Horizon:    opts.Horizon,
+		Seed:       p.Seed ^ 0x5DEECE66D,
+	}, tasks)
+	if err != nil {
+		return ChurnResult{}, err
+	}
+
+	// An always-on watch stream: the trial doubles as an ordering check on
+	// the observation plane under churn.
+	watch, err := sim.Watch(core.WatchOptions{Buffer: 1 << 16})
+	if err != nil {
+		return ChurnResult{}, err
+	}
+	var watchEvents atomic.Int64
+	orderOK := atomic.Bool{}
+	orderOK.Store(true)
+	watchDone := make(chan struct{})
+	go func() {
+		defer close(watchDone)
+		var lastSeq int64
+		for ev := range watch.Events() {
+			if ev.Seq <= lastSeq {
+				orderOK.Store(false)
+			}
+			lastSeq = ev.Seq
+			watchEvents.Add(1)
+		}
+	}()
+
+	res := ChurnResult{Combo: combo, Set: set}
+	rng := rand.New(rand.NewSource(p.Seed ^ 0x9E3779B9))
+	var tenants [][]string
+	var cbErr error
+	fail := func(err error) {
+		if err != nil && cbErr == nil {
+			cbErr = err
+		}
+	}
+	tenant := 0
+	for at := opts.AddEvery; at < opts.Horizon; at += opts.AddEvery {
+		if err := sim.At(at, func() {
+			ts, ids := tenantTasks(trial, tenant, opts.TenantTasks, numProcs, rng)
+			tenant++
+			if err := sim.AddTasks(ts); err != nil {
+				fail(err)
+				return
+			}
+			adms, err := sim.SubmitBatch(ids)
+			if err != nil {
+				fail(err)
+				return
+			}
+			res.TasksAdded += len(ids)
+			res.BatchSubmitted += len(adms)
+			tenants = append(tenants, ids)
+		}); err != nil {
+			return res, err
+		}
+	}
+	for at := opts.RemoveEvery; at < opts.Horizon; at += opts.RemoveEvery {
+		if err := sim.At(at, func() {
+			if len(tenants) == 0 {
+				return
+			}
+			ids := tenants[0]
+			tenants = tenants[1:]
+			if err := sim.RemoveTasks(ids); err != nil {
+				fail(err)
+				return
+			}
+			res.TasksRemoved += len(ids)
+		}); err != nil {
+			return res, err
+		}
+	}
+
+	start := time.Now()
+	m := sim.Run() // the post-run ledger audit panics on inconsistency
+	res.Wall = time.Since(start)
+	if err := sim.Stop(); err != nil {
+		return res, err
+	}
+	<-watchDone
+	if cbErr != nil {
+		return res, cbErr
+	}
+
+	res.Arrived = m.Total.Arrived
+	res.Released = m.Total.Released
+	res.Skipped = m.Total.Skipped
+	res.Completed = m.Total.Completed
+	res.Lost = m.Total.Released - m.Total.Completed
+	res.Ratio = m.AcceptedUtilizationRatio()
+	res.WatchEvents = watchEvents.Load()
+	res.WatchDropped = watch.Dropped()
+	res.OrderOK = orderOK.Load()
+	if res.Wall > 0 {
+		res.JobsPerSec = float64(res.Arrived) / res.Wall.Seconds()
+	}
+	return res, nil
+}
+
+// RenderChurn formats the sweep as a table.
+func RenderChurn(title string, results []ChurnResult) string {
+	var b strings.Builder
+	b.WriteString(title)
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-8s %-4s %6s %6s %8s %9s %9s %6s %7s %9s %8s\n",
+		"combo", "set", "added", "gone", "arrived", "released", "completed", "lost", "ratio", "watch-ev", "order")
+	for _, r := range results {
+		order := "ok"
+		if !r.OrderOK {
+			order = "BROKEN"
+		}
+		fmt.Fprintf(&b, "%-8s %-4d %6d %6d %8d %9d %9d %6d %7.3f %9d %8s\n",
+			r.Combo, r.Set, r.TasksAdded, r.TasksRemoved, r.Arrived, r.Released,
+			r.Completed, r.Lost, r.Ratio, r.WatchEvents, order)
+	}
+	return b.String()
+}
+
+// ChurnLiveOptions parameterizes the live churn smoke: a small real cluster
+// (TCP loopback) that adds tenants, bursts arrivals at them, removes them
+// again, and audits the admission ledger afterwards.
+type ChurnLiveOptions struct {
+	// Config is the strategy combination (default T_T_T).
+	Config core.Config
+	// Tenants is the number of joining tenants (default 2); TenantTasks the
+	// tasks per tenant (default 2).
+	Tenants     int
+	TenantTasks int
+	// Settle is the pause after each lifecycle phase, letting arrivals and
+	// completions flow (default 150ms).
+	Settle time.Duration
+}
+
+func (o ChurnLiveOptions) withDefaults() ChurnLiveOptions {
+	if (o.Config == core.Config{}) {
+		o.Config = core.Config{AC: core.StrategyPerTask, IR: core.StrategyPerTask, LB: core.StrategyPerTask}
+	}
+	if o.Tenants == 0 {
+		o.Tenants = 2
+	}
+	if o.TenantTasks == 0 {
+		o.TenantTasks = 2
+	}
+	if o.Settle == 0 {
+		o.Settle = 150 * time.Millisecond
+	}
+	return o
+}
+
+// ChurnLiveResult is the live smoke's outcome.
+type ChurnLiveResult struct {
+	// Config is the combination under test.
+	Config core.Config
+	// TasksAdded and TasksRemoved count the tenant tasks cycled through the
+	// running deployment; Epoch is the final reconfiguration epoch (one per
+	// lifecycle delta).
+	TasksAdded   int
+	TasksRemoved int
+	Epoch        int64
+	// Arrived, Released, Skipped and Completed are the final counters.
+	Arrived, Released, Skipped, Completed int64
+	// Lost is Released − Completed after the drain (zero on success).
+	Lost int64
+	// LedgerClean reports the post-run ledger invariant audit.
+	LedgerClean bool
+	// WatchEvents counts lifecycle events observed on the live watch stream.
+	WatchEvents int64
+	// Wall is the smoke's wall-clock duration.
+	Wall time.Duration
+}
+
+// RunChurnLive executes the live churn smoke on an in-process cluster.
+func RunChurnLive(opts ChurnLiveOptions) (*ChurnLiveResult, error) {
+	opts = opts.withDefaults()
+	if err := opts.Config.Validate(); err != nil {
+		return nil, err
+	}
+	base := []*sched.Task{
+		{
+			ID: "flow", Kind: sched.Periodic,
+			Period: 60 * time.Millisecond, Deadline: 60 * time.Millisecond,
+			Subtasks: []sched.Subtask{
+				{Index: 0, Exec: 2 * time.Millisecond, Processor: 0, Replicas: []int{1}},
+				{Index: 1, Exec: time.Millisecond, Processor: 1},
+			},
+		},
+		{
+			ID: "alert", Kind: sched.Aperiodic,
+			Deadline: 50 * time.Millisecond, MeanInterarrival: 40 * time.Millisecond,
+			Subtasks: []sched.Subtask{
+				{Index: 0, Exec: time.Millisecond, Processor: 1},
+			},
+		},
+	}
+	w := spec.FromTasks("churn-live", 2, base)
+	start := time.Now()
+	c, err := cluster.Start(cluster.Options{Workload: w, Config: opts.Config, Seed: 11})
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+
+	watch, err := c.Watch(core.WatchOptions{Buffer: 1 << 14})
+	if err != nil {
+		return nil, err
+	}
+	var watchEvents atomic.Int64
+	watchDone := make(chan struct{})
+	go func() {
+		defer close(watchDone)
+		for range watch.Events() {
+			watchEvents.Add(1)
+		}
+	}()
+
+	res := &ChurnLiveResult{Config: opts.Config}
+	if _, err := c.SubmitBatch([]string{"flow", "alert", "alert"}); err != nil {
+		return nil, err
+	}
+	time.Sleep(opts.Settle)
+
+	var tenantIDs [][]string
+	rng := rand.New(rand.NewSource(17))
+	for n := 0; n < opts.Tenants; n++ {
+		ts, ids := tenantTasks(0, n, opts.TenantTasks, 2, rng)
+		if err := c.AddTasks(ts); err != nil {
+			return nil, err
+		}
+		if _, err := c.SubmitBatch(ids); err != nil {
+			return nil, err
+		}
+		res.TasksAdded += len(ids)
+		tenantIDs = append(tenantIDs, ids)
+		time.Sleep(opts.Settle)
+	}
+	for _, ids := range tenantIDs {
+		if err := c.RemoveTasks(ids); err != nil {
+			return nil, err
+		}
+		res.TasksRemoved += len(ids)
+	}
+	time.Sleep(opts.Settle)
+	c.Drain(5 * time.Second)
+
+	// Completions propagate through local Done events; settle until the
+	// counters agree or the deadline passes.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		snap := c.Snapshot()
+		if snap.Released == snap.Completed {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	snap := c.Snapshot()
+	res.Arrived, res.Released, res.Skipped, res.Completed = snap.Arrived, snap.Released, snap.Skipped, snap.Completed
+	res.Lost = snap.Released - snap.Completed
+	res.Epoch = snap.Epoch
+	ac, err := c.AC()
+	if err != nil {
+		return nil, err
+	}
+	res.LedgerClean = ac.AuditLedger() == nil
+	watch.Cancel()
+	<-watchDone
+	res.WatchEvents = watchEvents.Load()
+	res.Wall = time.Since(start)
+	return res, nil
+}
+
+// RenderChurnLive formats the live smoke's outcome.
+func RenderChurnLive(r *ChurnLiveResult) string {
+	ledger := "clean"
+	if !r.LedgerClean {
+		ledger = "INCONSISTENT"
+	}
+	return fmt.Sprintf(
+		"Live churn smoke (%s): %d tasks joined, %d left, epoch %d; arrived %d, released %d, completed %d, lost %d; ledger %s; %d watch events in %v\n",
+		r.Config, r.TasksAdded, r.TasksRemoved, r.Epoch,
+		r.Arrived, r.Released, r.Completed, r.Lost, ledger, r.WatchEvents, r.Wall.Round(time.Millisecond))
+}
+
+// churnJSON is the machine-readable form of one churn trial.
+type churnJSON struct {
+	Combo          string  `json:"combo"`
+	Set            int     `json:"set"`
+	TasksAdded     int     `json:"tasks_added"`
+	TasksRemoved   int     `json:"tasks_removed"`
+	BatchSubmitted int     `json:"batch_submitted"`
+	Arrived        int64   `json:"arrived"`
+	Released       int64   `json:"released"`
+	Skipped        int64   `json:"skipped"`
+	Completed      int64   `json:"completed"`
+	Lost           int64   `json:"lost"`
+	Ratio          float64 `json:"accepted_ratio"`
+	WatchEvents    int64   `json:"watch_events"`
+	WatchDropped   int64   `json:"watch_dropped"`
+	OrderOK        bool    `json:"watch_order_ok"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	JobsPerSec     float64 `json:"jobs_per_sec"`
+}
+
+// churnLiveJSON is the machine-readable form of the live smoke.
+type churnLiveJSON struct {
+	Config       string  `json:"config"`
+	TasksAdded   int     `json:"tasks_added"`
+	TasksRemoved int     `json:"tasks_removed"`
+	Epoch        int64   `json:"epoch"`
+	Arrived      int64   `json:"arrived"`
+	Released     int64   `json:"released"`
+	Completed    int64   `json:"completed"`
+	Lost         int64   `json:"lost"`
+	LedgerClean  bool    `json:"ledger_clean"`
+	WatchEvents  int64   `json:"watch_events"`
+	WallSeconds  float64 `json:"wall_seconds"`
+}
+
+// RenderChurnJSON emits the sweep (and, when non-nil, the live smoke) as an
+// indented JSON document for the CI perf-trajectory artifact.
+func RenderChurnJSON(results []ChurnResult, liveSmoke *ChurnLiveResult) (string, error) {
+	doc := struct {
+		Experiment string         `json:"experiment"`
+		Results    []churnJSON    `json:"results"`
+		Live       *churnLiveJSON `json:"live,omitempty"`
+	}{Experiment: "churn"}
+	for _, r := range results {
+		doc.Results = append(doc.Results, churnJSON{
+			Combo:          r.Combo.String(),
+			Set:            r.Set,
+			TasksAdded:     r.TasksAdded,
+			TasksRemoved:   r.TasksRemoved,
+			BatchSubmitted: r.BatchSubmitted,
+			Arrived:        r.Arrived,
+			Released:       r.Released,
+			Skipped:        r.Skipped,
+			Completed:      r.Completed,
+			Lost:           r.Lost,
+			Ratio:          r.Ratio,
+			WatchEvents:    r.WatchEvents,
+			WatchDropped:   r.WatchDropped,
+			OrderOK:        r.OrderOK,
+			WallSeconds:    r.Wall.Seconds(),
+			JobsPerSec:     r.JobsPerSec,
+		})
+	}
+	if liveSmoke != nil {
+		doc.Live = &churnLiveJSON{
+			Config:       liveSmoke.Config.String(),
+			TasksAdded:   liveSmoke.TasksAdded,
+			TasksRemoved: liveSmoke.TasksRemoved,
+			Epoch:        liveSmoke.Epoch,
+			Arrived:      liveSmoke.Arrived,
+			Released:     liveSmoke.Released,
+			Completed:    liveSmoke.Completed,
+			Lost:         liveSmoke.Lost,
+			LedgerClean:  liveSmoke.LedgerClean,
+			WatchEvents:  liveSmoke.WatchEvents,
+			WallSeconds:  liveSmoke.Wall.Seconds(),
+		}
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("experiments: encode churn: %w", err)
+	}
+	return string(out), nil
+}

@@ -276,12 +276,38 @@ func (ac *AdmissionController) Quiesce() (int64, error) {
 }
 
 // Reconfigure is the component lifecycle's hot-swap stage: it installs a
-// new strategy combination on the running controller. The controller must
-// be quiesced; the embedded policy object rebases its ledger and decision
-// memory in place, so every in-flight job's contributions survive. Missing
-// strategy attributes keep their current values; an Epoch attribute adopts
-// the coordinator's epoch (otherwise the epoch increments locally).
+// new strategy combination and/or task set on the running controller. The
+// controller must be quiesced; the embedded policy object rebases its ledger
+// and decision memory in place, so every in-flight job's contributions
+// survive. Missing strategy attributes keep their current values; an Epoch
+// attribute adopts the coordinator's epoch (otherwise the epoch increments
+// locally).
+//
+// A Workload attribute swaps the admission task set (the open-world
+// AddTasks/RemoveTasks delta): tasks joining the workload become admissible
+// at their next arrival, and tasks leaving it have their remaining ledger
+// contributions — including permanent per-task reservations — withdrawn
+// through the controller's task index and their pending expiry timers
+// cancelled. Jobs of departed tasks that were already released keep
+// executing; withdrawal only frees the synthetic utilization backing future
+// admission decisions.
 func (ac *AdmissionController) Reconfigure(attrs map[string]string) error {
+	// Parse the new task set outside the lock; nothing mutates on error.
+	var newTasks map[string]*sched.Task
+	if wl, ok := attrs[AttrWorkload]; ok && wl != "" {
+		w, err := spec.Parse([]byte(wl))
+		if err != nil {
+			return err
+		}
+		tasks, err := w.SchedTasks()
+		if err != nil {
+			return err
+		}
+		newTasks = make(map[string]*sched.Task, len(tasks))
+		for _, t := range tasks {
+			newTasks[t.ID] = t
+		}
+	}
 	ac.mu.Lock()
 	defer ac.mu.Unlock()
 	if ac.ctrl == nil {
@@ -310,6 +336,18 @@ func (ac *AdmissionController) Reconfigure(attrs map[string]string) error {
 	if err := cfg.Validate(); err != nil {
 		return fmt.Errorf("%w: %v", ErrInvalidStrategy, err)
 	}
+	if newTasks != nil {
+		procs := ac.ctrl.Ledger().NumProcs()
+		for _, t := range newTasks {
+			for _, st := range t.Subtasks {
+				for _, p := range st.Candidates() {
+					if p >= procs {
+						return fmt.Errorf("live: ac: task %s references processor %d but deployment has %d", t.ID, p, procs)
+					}
+				}
+			}
+		}
+	}
 	// Parse everything — including the epoch — before mutating: the
 	// controller rebase below is irreversible, so an error return must
 	// mean nothing changed.
@@ -322,6 +360,21 @@ func (ac *AdmissionController) Reconfigure(attrs map[string]string) error {
 	}
 	if _, err := ac.ctrl.Reconfigure(cfg); err != nil {
 		return fmt.Errorf("%w: %v", ErrInvalidStrategy, err)
+	}
+	if newTasks != nil {
+		for id := range ac.tasks {
+			if _, ok := newTasks[id]; ok {
+				continue
+			}
+			ac.ctrl.RemoveTask(id)
+			for ref, tm := range ac.timers {
+				if ref.Task == id {
+					tm.Stop()
+					delete(ac.timers, ref)
+				}
+			}
+		}
+		ac.tasks = newTasks
 	}
 	ac.cfg = cfg
 	ac.epoch = epoch
@@ -418,6 +471,30 @@ func (ac *AdmissionController) ResetsApplied() int64 {
 		return 0
 	}
 	return ac.ctrl.Stats.IdleResets
+}
+
+// AuditLedger runs the admission ledger's invariant audit under the
+// component lock, so callers can audit while decisions and expiry timers
+// are still live (reading the ledger through Controller() directly races
+// with them).
+func (ac *AdmissionController) AuditLedger() error {
+	ac.mu.Lock()
+	defer ac.mu.Unlock()
+	if ac.ctrl == nil {
+		return nil
+	}
+	return ac.ctrl.Ledger().CheckInvariants()
+}
+
+// ActiveLedgerJobs snapshots the ledger's active job references under the
+// component lock.
+func (ac *AdmissionController) ActiveLedgerJobs() []sched.JobRef {
+	ac.mu.Lock()
+	defer ac.mu.Unlock()
+	if ac.ctrl == nil {
+		return nil
+	}
+	return ac.ctrl.Ledger().ActiveJobs()
 }
 
 // CompletedOn exposes the ledger's per-processor view of completed,
@@ -534,21 +611,41 @@ func (lb *LoadBalancer) Activate(ctx *ccm.Context) error {
 // Passivate is a no-op; the ORB teardown retires the servant.
 func (lb *LoadBalancer) Passivate() error { return nil }
 
-// Reconfigure adopts a new LB strategy attribute. The placement heuristic
-// itself lives in the admission controller's policy object (swapped by the
-// AC's Reconfigure); this keeps the component's advertised strategy in sync
-// for the Location facet and diagnostics.
+// Reconfigure adopts a new LB strategy and/or workload attribute. The
+// placement heuristic itself lives in the admission controller's policy
+// object (swapped by the AC's Reconfigure); this keeps the component's
+// advertised strategy and task index in sync for the Location facet and
+// diagnostics.
 func (lb *LoadBalancer) Reconfigure(attrs map[string]string) error {
-	if _, ok := attrs[AttrLBStrategy]; !ok {
-		return nil
+	var newTasks map[string]*sched.Task
+	if wl, ok := attrs[AttrWorkload]; ok && wl != "" {
+		w, err := spec.Parse([]byte(wl))
+		if err != nil {
+			return err
+		}
+		tasks, err := w.SchedTasks()
+		if err != nil {
+			return err
+		}
+		newTasks = make(map[string]*sched.Task, len(tasks))
+		for _, t := range tasks {
+			newTasks[t.ID] = t
+		}
 	}
-	strategy, err := parseStrategyAttr(attrs, AttrLBStrategy)
-	if err != nil {
-		return err
+	if _, ok := attrs[AttrLBStrategy]; ok {
+		strategy, err := parseStrategyAttr(attrs, AttrLBStrategy)
+		if err != nil {
+			return err
+		}
+		lb.mu.Lock()
+		lb.strategy = strategy
+		lb.mu.Unlock()
 	}
-	lb.mu.Lock()
-	lb.strategy = strategy
-	lb.mu.Unlock()
+	if newTasks != nil {
+		lb.mu.Lock()
+		lb.tasks = newTasks
+		lb.mu.Unlock()
+	}
 	return nil
 }
 

@@ -3,6 +3,7 @@ package live
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/ccm"
@@ -36,11 +37,15 @@ type Subtask struct {
 	task     string
 	stage    int
 	exec     time.Duration
-	priority int
 	deadline time.Duration
 	kind     sched.TaskKind
 	last     bool
 	proc     int
+
+	// priority is the EDMS dispatch priority. It is atomic because the
+	// open-world AddTasks delta re-assigns priorities over the union task set
+	// while delivery goroutines keep submitting subjobs.
+	priority atomic.Int32
 
 	ch       *eventchan.Channel
 	executor *Executor
@@ -72,9 +77,11 @@ func (s *Subtask) Configure(attrs map[string]string) error {
 	if s.exec, err = attrDuration(attrs, AttrExec); err != nil {
 		return err
 	}
-	if s.priority, err = attrInt(attrs, AttrPriority); err != nil {
+	prio, err := attrInt(attrs, AttrPriority)
+	if err != nil {
 		return err
 	}
+	s.priority.Store(int32(prio))
 	if s.deadline, err = attrDuration(attrs, AttrDeadline); err != nil {
 		return err
 	}
@@ -122,6 +129,25 @@ func (s *Subtask) Activate(ctx *ccm.Context) error {
 // Passivate is a no-op: the executor drains at node shutdown.
 func (s *Subtask) Passivate() error { return nil }
 
+// Reconfigure adopts a re-assigned EDMS priority (the open-world AddTasks
+// delta renumbers priorities over the union task set). Subjobs already in
+// the dispatch queue keep the priority they were submitted with; subsequent
+// releases use the new value. Other attributes are coordination state and
+// ignored.
+func (s *Subtask) Reconfigure(attrs map[string]string) error {
+	if _, ok := attrs[AttrPriority]; !ok {
+		return nil
+	}
+	prio, err := attrInt(attrs, AttrPriority)
+	if err != nil {
+		return err
+	}
+	s.priority.Store(int32(prio))
+	return nil
+}
+
+var _ ccm.Reconfigurable = (*Subtask)(nil)
+
 // onTrigger filters events for this instance and submits the subjob.
 func (s *Subtask) onTrigger(ev eventchan.Event) {
 	start := time.Now()
@@ -135,7 +161,7 @@ func (s *Subtask) onTrigger(ev eventchan.Event) {
 	if trg.Stage >= len(trg.Placement) || trg.Placement[trg.Stage].Proc != s.proc {
 		return
 	}
-	s.executor.Submit(s.priority, func() { s.run(trg) })
+	s.executor.Submit(int(s.priority.Load()), func() { s.run(trg) })
 	if s.stage == 0 {
 		s.ReleaseHandle.Add(time.Since(start))
 	}

@@ -142,11 +142,36 @@ func (te *TaskEffector) Activate(ctx *ccm.Context) error {
 
 // Reconfigure is the effector's hot-swap stage: it drops the cached
 // per-task decisions (they were decided under the previous strategy
-// combination) and adopts the coordinator's epoch so in-flight Accept
-// events from the old epoch release their jobs without being re-cached.
-// Jobs holding in the waiting queue stay held; the admission controller
-// replays their buffered arrivals under the new configuration.
+// combination or task set) and adopts the coordinator's epoch so in-flight
+// Accept events from the old epoch release their jobs without being
+// re-cached. Jobs holding in the waiting queue stay held; the admission
+// controller replays their buffered arrivals under the new configuration.
+//
+// A Workload attribute swaps the effector's task set in place (the
+// open-world AddTasks/RemoveTasks delta): new tasks start their job
+// numbering at zero, and holds, decisions and numbering of tasks no longer
+// in the workload are dropped — their in-flight jobs keep executing on the
+// subtask components, which drain independently.
 func (te *TaskEffector) Reconfigure(attrs map[string]string) error {
+	var newTasks map[string]*sched.Task
+	var newMaxDL time.Duration
+	if wl, ok := attrs[AttrWorkload]; ok && wl != "" {
+		w, err := spec.Parse([]byte(wl))
+		if err != nil {
+			return err
+		}
+		tasks, err := w.SchedTasks()
+		if err != nil {
+			return err
+		}
+		newTasks = make(map[string]*sched.Task, len(tasks))
+		for _, t := range tasks {
+			newTasks[t.ID] = t
+			if t.Deadline > newMaxDL {
+				newMaxDL = t.Deadline
+			}
+		}
+	}
 	te.mu.Lock()
 	defer te.mu.Unlock()
 	if te.tasks == nil {
@@ -160,6 +185,20 @@ func (te *TaskEffector) Reconfigure(attrs map[string]string) error {
 		te.epoch = epoch
 	} else {
 		te.epoch++
+	}
+	if newTasks != nil {
+		for id := range te.nextJob {
+			if _, ok := newTasks[id]; !ok {
+				delete(te.nextJob, id)
+			}
+		}
+		for ref := range te.waiting {
+			if _, ok := newTasks[ref.Task]; !ok {
+				delete(te.waiting, ref)
+			}
+		}
+		te.tasks = newTasks
+		te.maxDeadline = newMaxDL
 	}
 	clear(te.decided)
 	return nil
@@ -189,23 +228,35 @@ func (te *TaskEffector) StatsSnapshot() TEStats {
 
 // Arrive is the application-facing entry point: one job of the named task
 // arrives at this processor (the task's home processor). It returns the
-// assigned job number.
+// assigned job number. SubmitJob is the typed-outcome form.
 func (te *TaskEffector) Arrive(taskID string) (int64, error) {
+	adm, err := te.SubmitJob(taskID)
+	return adm.Job, err
+}
+
+// SubmitJob injects one job arrival and returns its typed Admission: cached
+// per-task decisions resolve synchronously (Accepted or Rejected), every
+// other arrival pushes a "Task Arrive" event and returns Pending — the
+// terminal outcome travels back as an Accept event and surfaces on the
+// binding's watch stream.
+func (te *TaskEffector) SubmitJob(taskID string) (core.Admission, error) {
 	start := time.Now()
+	adm := core.Admission{Task: taskID, Job: -1}
 	te.mu.Lock()
 	if te.closed {
 		te.mu.Unlock()
-		return 0, errors.New("live: task effector passivated")
+		return adm, fmt.Errorf("live: task effector passivated: %w", core.ErrStopped)
 	}
 	t, ok := te.tasks[taskID]
 	if !ok {
 		te.mu.Unlock()
-		return 0, errors.New("live: unknown task " + taskID)
+		return adm, fmt.Errorf("live: te: %w: %q", core.ErrUnknownTask, taskID)
 	}
 	job := te.nextJob[taskID]
 	te.nextJob[taskID] = job + 1
 	te.Stats.Arrived++
 	arrival := nowNanos()
+	adm.Job = job
 
 	// Per-task fast path: a cached decision releases or skips immediately.
 	if dec, ok := te.decided[taskID]; ok {
@@ -216,12 +267,16 @@ func (te *TaskEffector) Arrive(taskID string) (int64, error) {
 				te.Stats.Relocated++
 			}
 			te.mu.Unlock()
+			adm.Outcome = core.AdmissionAccepted
+			adm.Placement = dec.Placement
 			te.release(ch, t.ID, job, dec.Placement, arrival)
 		} else {
 			te.Stats.Skipped++
 			te.mu.Unlock()
+			adm.Outcome = core.AdmissionRejected
+			adm.Reason = "per-task admission decision cached as rejected"
 		}
-		return job, nil
+		return adm, nil
 	}
 
 	ref := sched.JobRef{Task: taskID, Job: job}
@@ -231,6 +286,8 @@ func (te *TaskEffector) Arrive(taskID string) (int64, error) {
 	proc := te.proc
 	te.mu.Unlock()
 
+	adm.Outcome = core.AdmissionPending
+	adm.Reason = "admission decision round trip in flight"
 	err := ch.Push(eventchan.Event{Type: EvTaskArrive, Payload: encode(TaskArrive{
 		Task:         taskID,
 		Job:          job,
@@ -240,16 +297,114 @@ func (te *TaskEffector) Arrive(taskID string) (int64, error) {
 	if err != nil {
 		// The arrival failed (shed or transport loss): no Accept will
 		// answer this hold, so release it — a late decision for the ref is
-		// dropped as stale by onAccept.
+		// dropped as stale by onAccept. The outcome is terminal: no watch
+		// event will ever resolve this admission, so it must not read as
+		// pending.
 		te.mu.Lock()
 		delete(te.waiting, ref)
 		if TransportOverloaded(err) {
 			te.Stats.Overloaded++
 		}
 		te.mu.Unlock()
+		adm.Outcome = core.AdmissionRejected
+		adm.Reason = "arrival shed: " + err.Error()
 	}
 	te.HoldPush.Add(time.Since(start))
-	return job, err
+	return adm, err
+}
+
+// SubmitBatch injects one arrival per named task in order, amortizing the
+// transport: the lock is taken once to assign job numbers and snapshot
+// cached decisions, then the "Task Arrive" events push back to back so the
+// gateway's group-commit forwarder coalesces them into a few ORB frames
+// instead of one invocation each. IDs are validated up front: an unknown
+// task fails the whole batch before any arrival is injected. A transport
+// error on an individual push resolves that entry's Admission as Rejected
+// (no watch event will ever answer it) with the error in Reason; the first
+// such error is also returned.
+func (te *TaskEffector) SubmitBatch(taskIDs []string) ([]core.Admission, error) {
+	start := time.Now()
+	te.mu.Lock()
+	if te.closed {
+		te.mu.Unlock()
+		return nil, fmt.Errorf("live: task effector passivated: %w", core.ErrStopped)
+	}
+	for _, id := range taskIDs {
+		if _, ok := te.tasks[id]; !ok {
+			te.mu.Unlock()
+			return nil, fmt.Errorf("live: te: %w: %q", core.ErrUnknownTask, id)
+		}
+	}
+	type pendingPush struct {
+		idx int
+		ev  TaskArrive
+		ref sched.JobRef
+	}
+	type pendingRelease struct {
+		idx       int
+		placement []sched.PlacedStage
+		arrival   int64
+	}
+	out := make([]core.Admission, len(taskIDs))
+	var pushes []pendingPush
+	var releases []pendingRelease
+	arrival := nowNanos()
+	for i, id := range taskIDs {
+		job := te.nextJob[id]
+		te.nextJob[id] = job + 1
+		te.Stats.Arrived++
+		out[i] = core.Admission{Task: id, Job: job}
+		if dec, ok := te.decided[id]; ok {
+			if dec.Ok {
+				te.Stats.Released++
+				if dec.Relocated {
+					te.Stats.Relocated++
+				}
+				out[i].Outcome = core.AdmissionAccepted
+				out[i].Placement = dec.Placement
+				releases = append(releases, pendingRelease{idx: i, placement: dec.Placement, arrival: arrival})
+			} else {
+				te.Stats.Skipped++
+				out[i].Outcome = core.AdmissionRejected
+				out[i].Reason = "per-task admission decision cached as rejected"
+			}
+			continue
+		}
+		ref := sched.JobRef{Task: id, Job: job}
+		te.waiting[ref] = arrival
+		out[i].Outcome = core.AdmissionPending
+		out[i].Reason = "admission decision round trip in flight"
+		pushes = append(pushes, pendingPush{idx: i, ref: ref, ev: TaskArrive{
+			Task: id, Job: job, Proc: te.proc, ArrivalNanos: arrival,
+		}})
+	}
+	te.sweepWaitingLocked(arrival)
+	ch := te.ch
+	te.mu.Unlock()
+
+	for _, r := range releases {
+		te.release(ch, out[r.idx].Task, out[r.idx].Job, r.placement, r.arrival)
+	}
+	var firstErr error
+	for _, p := range pushes {
+		err := ch.Push(eventchan.Event{Type: EvTaskArrive, Payload: encode(p.ev)})
+		if err == nil {
+			continue
+		}
+		te.mu.Lock()
+		delete(te.waiting, p.ref)
+		if TransportOverloaded(err) {
+			te.Stats.Overloaded++
+		}
+		te.mu.Unlock()
+		out[p.idx].Outcome = core.AdmissionRejected
+		out[p.idx].Reason = "arrival shed: " + err.Error()
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	te.HoldPush.Add(time.Since(start))
+	return out, firstErr
 }
 
 // minWaitingSweep is the smallest waiting-map size that triggers a sweep.

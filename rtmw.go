@@ -88,22 +88,47 @@ func AllCombinations() []Config { return core.AllCombinations() }
 // AssignEDMSPriorities assigns End-to-end Deadline Monotonic priorities.
 func AssignEDMSPriorities(tasks []*Task) { sched.AssignEDMSPriorities(tasks) }
 
-// Binding is the unified surface both middleware bindings implement: the
+// Binding is the open-world surface both middleware bindings implement: the
 // deterministic simulation (*SimSystem) and the live cluster (*Cluster).
-// Submit injects a job arrival, Snapshot reads the active configuration and
-// aggregate accounting, Reconfigure runs the epoch-versioned two-phase
-// strategy swap — quiesce admission, drain in-flight decisions, swap the
-// AC/IR/LB strategy objects, rebase the admission ledger, resume — without
-// dropping a single admitted job, and Stop retires the binding.
 //
-// Reconfigure rejects invalid target combinations (the configengine
-// feasibility rules, e.g. AC-per-task with IR-per-job) without disturbing
-// the running configuration. On the simulation binding a mid-run
-// Reconfigure completes when virtual time passes the quiesce window; use
+// Ingestion is admission-aware: Submit injects one job arrival and returns a
+// typed Admission (job number plus the decision state — per-task cached
+// decisions resolve synchronously, everything else is Pending until the
+// decision round trip completes), and SubmitBatch injects bulk arrivals,
+// amortizing transport round trips on the live binding.
+//
+// The task set is dynamic: AddTasks registers tasks on the running binding
+// (EDMS priorities re-assigned over the union, AUB-ledger admission from the
+// next arrival; the live binding installs the new subtask components and
+// federation routes through a configuration-engine delta under the quiesce
+// protocol) and RemoveTasks withdraws tasks, releasing their remaining
+// ledger contributions without losing a single already-admitted job.
+//
+// Watch opens an ordered stream of typed lifecycle events (admissions,
+// rejections, completions, deadline misses, task-set changes,
+// reconfigurations) — the push-based replacement for Snapshot polling.
+// Snapshot remains the aggregate point-in-time view.
+//
+// Reconfigure runs the epoch-versioned two-phase strategy swap — quiesce
+// admission, drain in-flight decisions, swap the AC/IR/LB strategy objects,
+// rebase the admission ledger, resume — without dropping a single admitted
+// job; invalid target combinations (the configengine feasibility rules,
+// e.g. AC-per-task with IR-per-job) are rejected without disturbing the
+// running configuration. On the simulation binding a mid-run Reconfigure
+// completes when virtual time passes the quiesce window; use
 // (*SimSystem).ScheduleReconfig to build strategy schedules at exact
-// virtual times.
+// virtual times, and (*SimSystem).At to drive Submit/AddTasks/RemoveTasks
+// at exact virtual times. Stop retires the binding and closes every watch
+// stream.
+//
+// Failures are typed: ErrStopped, ErrUnknownTask and ErrTaskExists are
+// discriminated with errors.Is.
 type Binding interface {
-	Submit(taskID string) (int64, error)
+	Submit(taskID string) (Admission, error)
+	SubmitBatch(taskIDs []string) ([]Admission, error)
+	AddTasks(tasks []*Task) error
+	RemoveTasks(ids []string) error
+	Watch(opts WatchOptions) (*Watch, error)
 	Snapshot() BindingSnapshot
 	Reconfigure(cfg Config) (*ReconfigReport, error)
 	Stop() error
@@ -115,6 +140,47 @@ type (
 	BindingSnapshot = core.BindingSnapshot
 	// ReconfigReport describes one completed reconfiguration transaction.
 	ReconfigReport = core.ReconfigReport
+	// Admission is the typed outcome of one submitted arrival.
+	Admission = core.Admission
+	// AdmissionOutcome is the resolution state of an Admission.
+	AdmissionOutcome = core.AdmissionOutcome
+	// Watch is an ordered subscription of lifecycle events.
+	Watch = core.WatchStream
+	// WatchOptions filters and sizes a watch subscription.
+	WatchOptions = core.WatchOptions
+	// WatchEvent is one typed lifecycle event.
+	WatchEvent = core.WatchEvent
+	// WatchKind labels a lifecycle event.
+	WatchKind = core.WatchKind
+)
+
+// Admission outcomes.
+const (
+	AdmissionPending  = core.AdmissionPending
+	AdmissionAccepted = core.AdmissionAccepted
+	AdmissionRejected = core.AdmissionRejected
+)
+
+// Watch event kinds.
+const (
+	WatchAdmitted     = core.WatchAdmitted
+	WatchRejected     = core.WatchRejected
+	WatchCompleted    = core.WatchCompleted
+	WatchDeadlineMiss = core.WatchDeadlineMiss
+	WatchTaskAdded    = core.WatchTaskAdded
+	WatchTaskRemoved  = core.WatchTaskRemoved
+	WatchReconfigured = core.WatchReconfigured
+)
+
+// Typed Binding failures, discriminated with errors.Is.
+var (
+	// ErrStopped marks an operation on a stopped binding.
+	ErrStopped = core.ErrStopped
+	// ErrUnknownTask marks an operation naming a task the binding does not
+	// currently serve.
+	ErrUnknownTask = core.ErrUnknownTask
+	// ErrTaskExists marks an AddTasks call re-registering a served task ID.
+	ErrTaskExists = core.ErrTaskExists
 )
 
 // Compile-time proof that both bindings expose the unified surface.
@@ -136,29 +202,10 @@ type (
 
 // NewSimBinding builds the simulation binding of the middleware over the
 // tasks. Run executes the workload; ScheduleReconfig swaps strategies at a
-// virtual time mid-run.
+// virtual time mid-run; At drives open-world operations (Submit, AddTasks,
+// RemoveTasks) at exact virtual times.
 func NewSimBinding(cfg SimConfig, tasks []*Task) (*SimSystem, error) {
 	return core.NewSimSystem(cfg, tasks)
-}
-
-// NewSimulation builds a simulation of the middleware over the tasks.
-//
-// Deprecated: use NewSimBinding, which returns the same *SimSystem through
-// the unified Binding surface.
-func NewSimulation(cfg SimConfig, tasks []*Task) (*SimSystem, error) {
-	return core.NewSimSystem(cfg, tasks)
-}
-
-// Simulate is the one-call form: build, run, return metrics.
-//
-// Deprecated: use NewSimBinding and (*SimSystem).Run, which also expose
-// mid-run reconfiguration and the Binding surface.
-func Simulate(cfg SimConfig, tasks []*Task) (*Metrics, error) {
-	sim, err := core.NewSimSystem(cfg, tasks)
-	if err != nil {
-		return nil, err
-	}
-	return sim.Run(), nil
 }
 
 // Workload specification re-exports.
@@ -246,14 +293,9 @@ type (
 // StartLiveBinding deploys and activates the live cluster binding: manager
 // plus application nodes on TCP loopback, deployed through the
 // configuration engine, XML plan and plan launcher. The returned Cluster
-// implements the unified Binding surface, including live Reconfigure.
+// implements the unified Binding surface, including live Reconfigure and
+// the open-world AddTasks/RemoveTasks deltas.
 func StartLiveBinding(opts ClusterOptions) (*Cluster, error) { return cluster.Start(opts) }
-
-// StartCluster deploys and activates a live cluster.
-//
-// Deprecated: use StartLiveBinding, which returns the same *Cluster through
-// the unified Binding surface.
-func StartCluster(opts ClusterOptions) (*Cluster, error) { return cluster.Start(opts) }
 
 // Reconfiguration-delta re-exports: the configuration engine emits minimal
 // deltas against a running deployment's plan, and the plan launcher
@@ -270,6 +312,20 @@ type (
 // the running deployment described by plan to the target combination.
 func ReconfigDelta(plan *DeploymentPlan, to Config) (*ReconfigDeltaPlan, error) {
 	return configengine.ReconfigDelta(plan, to)
+}
+
+// AddTasksDelta computes the reconfiguration transaction that registers new
+// tasks on the running deployment described by plan: the union workload with
+// re-assigned EDMS priorities, the added tasks' subtask component installs,
+// and the new federation routes, executed under the quiesce protocol.
+func AddTasksDelta(plan *DeploymentPlan, add []*Task) (*ReconfigDeltaPlan, error) {
+	return configengine.AddTasksDelta(plan, add)
+}
+
+// RemoveTasksDelta computes the reconfiguration transaction that withdraws
+// tasks from the running deployment described by plan.
+func RemoveTasksDelta(plan *DeploymentPlan, ids []string) (*ReconfigDeltaPlan, error) {
+	return configengine.RemoveTasksDelta(plan, ids)
 }
 
 // Experiment re-exports: regenerate the paper's tables and figures. The
@@ -301,6 +357,15 @@ type (
 	ReconfigOptions = experiments.ReconfigOptions
 	// ReconfigResult is one task set's reconfiguration outcome.
 	ReconfigResult = experiments.ReconfigResult
+	// ChurnOptions parameterizes the open-world churn sweep (tasks joining
+	// and leaving a running binding under every strategy combination).
+	ChurnOptions = experiments.ChurnOptions
+	// ChurnResult is one churn trial's outcome.
+	ChurnResult = experiments.ChurnResult
+	// ChurnLiveOptions parameterizes the live churn smoke.
+	ChurnLiveOptions = experiments.ChurnLiveOptions
+	// ChurnLiveResult is the live churn smoke's outcome.
+	ChurnLiveResult = experiments.ChurnLiveResult
 )
 
 // Experiment runners and renderers.
@@ -311,6 +376,11 @@ var (
 	RunAblationAUBvsDS = experiments.RunAblationAUBvsDS
 	RunScale           = experiments.RunScale
 	RunReconfig        = experiments.RunReconfig
+	RunChurn           = experiments.RunChurn
+	RunChurnLive       = experiments.RunChurnLive
+	RenderChurn        = experiments.RenderChurn
+	RenderChurnLive    = experiments.RenderChurnLive
+	RenderChurnJSON    = experiments.RenderChurnJSON
 	RenderReconfig     = experiments.RenderReconfig
 	RenderReconfigJSON = experiments.RenderReconfigJSON
 	RenderScale        = experiments.RenderScale

@@ -1,6 +1,7 @@
 package rtmw_test
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -92,9 +93,55 @@ func TestFacadeUnifiedBinding(t *testing.T) {
 		t.Errorf("snapshot disturbed: %+v", snap)
 	}
 
-	if _, err := b.Submit("alert"); err != nil {
+	adm, err := b.Submit("alert")
+	if err != nil {
 		t.Fatal(err)
 	}
+	if adm.Job != 0 || adm.Outcome != rtmw.AdmissionPending {
+		t.Errorf("submit admission = %+v", adm)
+	}
+	if _, err := b.Submit("ghost"); !errors.Is(err, rtmw.ErrUnknownTask) {
+		t.Errorf("unknown task error = %v, want ErrUnknownTask", err)
+	}
+
+	// Open-world surface through the interface: a watch stream, a mid-run
+	// task join and a departure.
+	watch, err := b.Watch(rtmw.WatchOptions{Buffer: 1 << 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []rtmw.WatchKind
+	watchDone := make(chan struct{})
+	go func() {
+		defer close(watchDone)
+		for ev := range watch.Events() {
+			kinds = append(kinds, ev.Kind)
+		}
+	}()
+	if err := sim.At(5*time.Second, func() {
+		err := b.AddTasks([]*rtmw.Task{{
+			ID: "burst", Kind: rtmw.Aperiodic,
+			Deadline: 100 * time.Millisecond, MeanInterarrival: 200 * time.Millisecond,
+			Subtasks: []rtmw.Subtask{{Index: 0, Exec: 5 * time.Millisecond, Processor: 0}},
+		}})
+		if err != nil {
+			t.Errorf("AddTasks through Binding: %v", err)
+			return
+		}
+		if _, err := b.SubmitBatch([]string{"burst", "burst"}); err != nil {
+			t.Errorf("SubmitBatch through Binding: %v", err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.At(20*time.Second, func() {
+		if err := b.RemoveTasks([]string{"burst"}); err != nil {
+			t.Errorf("RemoveTasks through Binding: %v", err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+
 	if _, err := sim.ScheduleReconfig(15*time.Second, to); err != nil {
 		t.Fatal(err)
 	}
@@ -108,6 +155,22 @@ func TestFacadeUnifiedBinding(t *testing.T) {
 	}
 	if err := b.Stop(); err != nil {
 		t.Fatal(err)
+	}
+	<-watchDone
+	seen := make(map[rtmw.WatchKind]bool, len(kinds))
+	for _, k := range kinds {
+		seen[k] = true
+	}
+	for _, want := range []rtmw.WatchKind{
+		rtmw.WatchAdmitted, rtmw.WatchCompleted, rtmw.WatchTaskAdded,
+		rtmw.WatchTaskRemoved, rtmw.WatchReconfigured,
+	} {
+		if !seen[want] {
+			t.Errorf("watch stream missing %v events (saw %v)", want, kinds)
+		}
+	}
+	if _, err := b.Submit("alert"); !errors.Is(err, rtmw.ErrStopped) {
+		t.Errorf("submit after Stop error = %v, want ErrStopped", err)
 	}
 }
 
