@@ -2,6 +2,9 @@ package core
 
 import (
 	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/sched"
@@ -34,14 +37,22 @@ type Decision struct {
 // the AUB synthetic-utilization ledger and the per-task decision memory, and
 // is driven by "Task Arrive" and "Idle Resetting" events.
 //
-// Controller is not safe for concurrent use: the paper's architecture is a
-// single centralized AC component, and both bindings serialize access (the
-// DES engine is single-threaded; the live binding runs the controller in one
-// service goroutine).
+// Concurrency: Arrive, ArriveBatch, ExpireJob, IdleReset, and Location are
+// safe to call from multiple goroutines. Aperiodic arrivals under LB-none
+// run lock-free in the controller (the sharded ledger provides the admission
+// atomicity); periodic-task flows serialize on an internal mutex protecting
+// the per-task decision memory. Reconfigure and RemoveTask mutate the
+// strategy configuration and decision memory and must not run concurrently
+// with arrivals — callers quiesce first (the live binding holds its
+// reconfiguration write lock; the DES engine is single-threaded).
 type Controller struct {
 	cfg    Config
-	ledger *sched.Ledger
+	ledger *sched.ShardedLedger
 
+	// taskMu guards the per-task decision memory below. Every periodic-task
+	// flow (per-task AC decisions, LB-per-task placement memoization) holds
+	// it; aperiodic arrivals never touch these maps.
+	taskMu sync.Mutex
 	// admitted and rejected record the per-task AC decision for periodic
 	// tasks: once admitted, jobs release without re-testing; once rejected,
 	// the task is not re-tested (the test runs only "when a task first
@@ -55,20 +66,22 @@ type Controller struct {
 	// reference holding its permanent ledger contribution.
 	reservations map[string]sched.JobRef
 	// homePlace caches each task's home placement (a pure function of the
-	// task's subtasks), so LB-none decisions do not allocate per arrival.
-	// Cached slices are handed out read-only; RemoveTask invalidates.
-	homePlace map[string][]sched.PlacedStage
+	// task's subtasks) keyed by task ID, so LB-none decisions do not allocate
+	// per arrival and need no lock. Cached slices are handed out read-only;
+	// RemoveTask invalidates.
+	homePlace sync.Map
 
-	// deltaScratch is the balanced-placement accumulator, one slot per
-	// processor, zeroed after each use — the dense replacement for the old
-	// per-call map[int]float64.
-	deltaScratch []float64
+	// scratch pools balanced-placement accumulators (*[]float64, one slot per
+	// processor), so concurrent balanced placements neither allocate nor
+	// contend on a shared buffer.
+	scratch sync.Pool
 
-	// Stats accumulate controller-side counters for the experiments.
+	// Stats accumulate controller-side counters for the experiments. Fields
+	// are updated atomically; read them only after arrivals quiesce.
 	Stats ControllerStats
 
 	// timing, when non-nil, measures operation durations with the real
-	// clock (EnableTiming).
+	// clock (EnableTiming). OpStats adds are internally synchronized.
 	timing *Timing
 }
 
@@ -99,23 +112,37 @@ type ControllerStats struct {
 
 // NewController returns a controller for the given strategy configuration
 // over numProcs application processors. The configuration must be valid.
+// The admission plane runs unsharded (a single-shard ledger), which keeps
+// every ledger mutation bit-identical to the historical serial controller.
 func NewController(cfg Config, numProcs int) (*Controller, error) {
+	return NewControllerSharded(cfg, numProcs, 1)
+}
+
+// NewControllerSharded returns a controller whose admission plane is split
+// into the given number of shards (clamped to [1, min(numProcs, 64)]).
+// Concurrent submissions whose placements stay inside one shard's processor
+// block admit in parallel without a global lock; shards == 1 behaves exactly
+// like NewController.
+func NewControllerSharded(cfg Config, numProcs, shards int) (*Controller, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if numProcs <= 0 {
 		return nil, fmt.Errorf("core: controller needs at least one processor, got %d", numProcs)
 	}
-	return &Controller{
+	c := &Controller{
 		cfg:          cfg,
-		ledger:       sched.NewLedger(numProcs),
+		ledger:       sched.NewShardedLedger(numProcs, shards),
 		admitted:     make(map[string]bool),
 		rejected:     make(map[string]bool),
 		placements:   make(map[string][]sched.PlacedStage),
 		reservations: make(map[string]sched.JobRef),
-		homePlace:    make(map[string][]sched.PlacedStage),
-		deltaScratch: make([]float64, numProcs),
-	}, nil
+	}
+	c.scratch.New = func() any {
+		buf := make([]float64, numProcs)
+		return &buf
+	}
+	return c, nil
 }
 
 // Config returns the controller's strategy configuration.
@@ -139,15 +166,25 @@ func (c *Controller) Config() Config { return c.cfg }
 //     the next job's relocation as usual.
 //
 // Invalid target combinations are rejected without touching any state. It
-// returns the number of ledger contributions released by the rebase.
+// returns the number of ledger contributions released by the rebase. The
+// caller must quiesce arrivals first (see the Controller comment).
 func (c *Controller) Reconfigure(cfg Config) (int, error) {
 	if err := cfg.Validate(); err != nil {
 		return 0, err
 	}
+	c.taskMu.Lock()
+	defer c.taskMu.Unlock()
 	released := 0
 	if c.cfg.AC == StrategyPerTask && cfg.AC != StrategyPerTask {
-		for task, ref := range c.reservations {
-			released += c.ledger.WithdrawJob(ref)
+		// Withdraw in sorted task order so the ledger's floating-point
+		// subtraction sequence is reproducible run to run.
+		tasks := make([]string, 0, len(c.reservations))
+		for task := range c.reservations {
+			tasks = append(tasks, task)
+		}
+		sort.Strings(tasks)
+		for _, task := range tasks {
+			released += c.ledger.WithdrawJob(c.reservations[task])
 			delete(c.reservations, task)
 		}
 		clear(c.admitted)
@@ -157,14 +194,14 @@ func (c *Controller) Reconfigure(cfg Config) (int, error) {
 		clear(c.placements)
 	}
 	c.cfg = cfg
-	c.Stats.Reconfigs++
-	c.Stats.ReconfigReleased += int64(released)
+	atomic.AddInt64(&c.Stats.Reconfigs, 1)
+	atomic.AddInt64(&c.Stats.ReconfigReleased, int64(released))
 	return released, nil
 }
 
-// Ledger exposes the synthetic-utilization ledger for instrumentation and
-// the idle-resetting path.
-func (c *Controller) Ledger() *sched.Ledger { return c.ledger }
+// Ledger exposes the sharded synthetic-utilization ledger for
+// instrumentation and the idle-resetting path.
+func (c *Controller) Ledger() *sched.ShardedLedger { return c.ledger }
 
 // homePlacement places every stage on its home processor.
 func homePlacement(t *sched.Task) []sched.PlacedStage {
@@ -178,12 +215,11 @@ func homePlacement(t *sched.Task) []sched.PlacedStage {
 // cachedHome returns the task's home placement from the per-task cache,
 // computing it on first use. The returned slice is shared and read-only.
 func (c *Controller) cachedHome(t *sched.Task) []sched.PlacedStage {
-	if p, ok := c.homePlace[t.ID]; ok {
-		return p
+	if p, ok := c.homePlace.Load(t.ID); ok {
+		return p.([]sched.PlacedStage)
 	}
-	p := homePlacement(t)
-	c.homePlace[t.ID] = p
-	return p
+	p, _ := c.homePlace.LoadOrStore(t.ID, homePlacement(t))
+	return p.([]sched.PlacedStage)
 }
 
 // balancedPlacement implements the paper's load balancing heuristic: each
@@ -191,10 +227,11 @@ func (c *Controller) cachedHome(t *sched.Task) []sched.PlacedStage {
 // synthetic utilization, accounting for the contributions already placed for
 // earlier stages of the same job. Ties go to the candidate listed first, so
 // the home processor wins ties deterministically. The per-job accumulator is
-// the controller's reusable dense scratch, zeroed on exit.
+// a pooled dense scratch slice, zeroed before it is returned to the pool.
 func (c *Controller) balancedPlacement(t *sched.Task) []sched.PlacedStage {
 	out := make([]sched.PlacedStage, len(t.Subtasks))
-	delta := c.deltaScratch
+	sp := c.scratch.Get().(*[]float64)
+	delta := *sp
 	for i, st := range t.Subtasks {
 		u := t.StageUtil(i)
 		best := st.Processor
@@ -210,10 +247,12 @@ func (c *Controller) balancedPlacement(t *sched.Task) []sched.PlacedStage {
 	for _, p := range out {
 		delta[p.Proc] = 0
 	}
+	c.scratch.Put(sp)
 	return out
 }
 
 // placeFor computes the placement for an arriving job per the LB strategy.
+// Callers hold taskMu when t is periodic (the per-task memo paths).
 func (c *Controller) placeFor(t *sched.Task, job int64) []sched.PlacedStage {
 	switch c.cfg.LB {
 	case StrategyNone:
@@ -250,10 +289,13 @@ func clonePlacement(p []sched.PlacedStage) []sched.PlacedStage {
 func (c *Controller) Arrive(t *sched.Task, job int64, now time.Duration) Decision {
 	if t.Kind == sched.Aperiodic {
 		// Every aperiodic arrival is an independent task with one release:
-		// it is tested regardless of the AC strategy.
+		// it is tested regardless of the AC strategy, and it touches no
+		// per-task decision memory, so it proceeds without taskMu.
 		return c.testAndAdmit(t, sched.JobRef{Task: t.ID, Job: job}, now, false)
 	}
 
+	c.taskMu.Lock()
+	defer c.taskMu.Unlock()
 	switch c.cfg.AC {
 	case StrategyPerJob:
 		return c.testAndAdmit(t, sched.JobRef{Task: t.ID, Job: job}, now, false)
@@ -264,10 +306,76 @@ func (c *Controller) Arrive(t *sched.Task, job int64, now time.Duration) Decisio
 	}
 }
 
+// BatchArrival is one "Task Arrive" event of an ArriveBatch call.
+type BatchArrival struct {
+	Task *sched.Task
+	Job  int64
+	Now  time.Duration
+}
+
+// ArriveBatch processes a batch of arrivals and returns one decision per
+// arrival, in order. When every arrival is aperiodic and load balancing is
+// off, the batch is admitted through the ledger's grouped batch path — each
+// admission shard's lock is taken at most once for the whole batch — with
+// decisions identical to submitting the arrivals sequentially. Any other
+// strategy mix falls back to per-arrival Arrive calls.
+func (c *Controller) ArriveBatch(arrivals []BatchArrival) []Decision {
+	out := make([]Decision, len(arrivals))
+	grouped := c.cfg.LB == StrategyNone
+	if grouped {
+		for i := range arrivals {
+			if arrivals[i].Task.Kind != sched.Aperiodic {
+				grouped = false
+				break
+			}
+		}
+	}
+	if !grouped {
+		for i := range arrivals {
+			out[i] = c.Arrive(arrivals[i].Task, arrivals[i].Job, arrivals[i].Now)
+		}
+		return out
+	}
+	cands := make([]sched.BatchCandidate, len(arrivals))
+	for i := range arrivals {
+		t := arrivals[i].Task
+		cands[i] = sched.BatchCandidate{
+			Ref:       sched.JobRef{Task: t.ID, Job: arrivals[i].Job},
+			Kind:      t.Kind,
+			Placement: c.cachedHome(t),
+			Expiry:    arrivals[i].Now + t.Deadline,
+		}
+	}
+	var t0 time.Time
+	if c.timing != nil {
+		t0 = time.Now()
+	}
+	decisions := c.ledger.TestAndAddBatch(cands)
+	if c.timing != nil {
+		c.timing.Test.Add(time.Since(t0))
+	}
+	atomic.AddInt64(&c.Stats.Tests, int64(len(arrivals)))
+	accepts := int64(0)
+	for i, ok := range decisions {
+		if !ok {
+			out[i] = Decision{Tested: true}
+			continue
+		}
+		accepts++
+		// Under LB-none the placement is the home placement, so the first
+		// stage never moves off the arrival processor.
+		out[i] = Decision{Accept: true, Placement: cands[i].Placement, Tested: true}
+	}
+	atomic.AddInt64(&c.Stats.Accepts, accepts)
+	atomic.AddInt64(&c.Stats.Rejects, int64(len(arrivals))-accepts)
+	return out
+}
+
 // arrivePerTask handles periodic arrivals under per-task admission control.
+// Caller holds taskMu.
 func (c *Controller) arrivePerTask(t *sched.Task, job int64, now time.Duration) Decision {
 	if c.rejected[t.ID] {
-		c.Stats.Rejects++
+		atomic.AddInt64(&c.Stats.Rejects, 1)
 		return Decision{}
 	}
 	if !c.admitted[t.ID] {
@@ -298,20 +406,23 @@ func (c *Controller) arrivePerTask(t *sched.Task, job int64, now time.Duration) 
 	} else if p, ok := c.placements[t.ID]; ok {
 		placement = clonePlacement(p)
 	}
-	c.Stats.Accepts++
+	atomic.AddInt64(&c.Stats.Accepts, 1)
 	d := Decision{
 		Accept:    true,
 		Placement: placement,
 		Relocated: placement[0].Proc != t.Subtasks[0].Processor,
 	}
 	if d.Relocated {
-		c.Stats.Relocations++
+		atomic.AddInt64(&c.Stats.Relocations, 1)
 	}
 	return d
 }
 
 // testAndAdmit runs the load balancer's Location call and the AUB admission
-// test, recording contributions when the job is accepted.
+// test, recording contributions when the job is accepted. The test and the
+// commit are one atomic ledger operation (TestAndAdd), so two concurrent
+// candidates can never both pass a test that only has room for one. Callers
+// hold taskMu when t is periodic.
 func (c *Controller) testAndAdmit(t *sched.Task, ref sched.JobRef, now time.Duration, permanent bool) Decision {
 	var t0 time.Time
 	if c.timing != nil {
@@ -323,28 +434,24 @@ func (c *Controller) testAndAdmit(t *sched.Task, ref sched.JobRef, now time.Dura
 		t1 = time.Now()
 		c.timing.Location.Add(t1.Sub(t0))
 	}
-	c.Stats.Tests++
-	admissible := c.ledger.Admissible(placement)
-	if c.timing != nil {
-		c.timing.Test.Add(time.Since(t1))
-	}
-	if !admissible {
-		c.Stats.Rejects++
-		return Decision{Tested: true}
-	}
 	expiry := now + t.Deadline
 	if permanent {
 		expiry = 0
 	}
-	if err := c.ledger.AddJob(ref, t.Kind, placement, permanent, expiry); err != nil {
-		c.Stats.Rejects++
+	atomic.AddInt64(&c.Stats.Tests, 1)
+	admitted, _ := c.ledger.TestAndAdd(ref, t.Kind, placement, permanent, expiry)
+	if c.timing != nil {
+		c.timing.Test.Add(time.Since(t1))
+	}
+	if !admitted {
+		atomic.AddInt64(&c.Stats.Rejects, 1)
 		return Decision{Tested: true}
 	}
 	// Remember the placement for LB-per-task reuse by later jobs.
 	if c.cfg.LB == StrategyPerTask && t.Kind == sched.Periodic {
 		c.placements[t.ID] = clonePlacement(placement)
 	}
-	c.Stats.Accepts++
+	atomic.AddInt64(&c.Stats.Accepts, 1)
 	d := Decision{
 		Accept:    true,
 		Placement: placement,
@@ -353,7 +460,7 @@ func (c *Controller) testAndAdmit(t *sched.Task, ref sched.JobRef, now time.Dura
 		Reserved:  permanent,
 	}
 	if d.Relocated {
-		c.Stats.Relocations++
+		atomic.AddInt64(&c.Stats.Relocations, 1)
 	}
 	return d
 }
@@ -368,8 +475,14 @@ func (c *Controller) Location(t *sched.Task, job int64) []sched.PlacedStage {
 		return homePlacement(t)
 	case StrategyPerTask:
 		if t.Kind == sched.Periodic {
-			if p, ok := c.placements[t.ID]; ok {
-				return clonePlacement(p)
+			c.taskMu.Lock()
+			p, ok := c.placements[t.ID]
+			if ok {
+				p = clonePlacement(p)
+			}
+			c.taskMu.Unlock()
+			if ok {
+				return p
 			}
 		}
 		return c.balancedPlacement(t)
@@ -386,7 +499,7 @@ func (c *Controller) Location(t *sched.Task, job int64) []sched.PlacedStage {
 // unknown), so callers can account expiry work without rescanning.
 func (c *Controller) ExpireJob(ref sched.JobRef) int {
 	n := c.ledger.ExpireJob(ref)
-	c.Stats.Expiries += int64(n)
+	atomic.AddInt64(&c.Stats.Expiries, int64(n))
 	return n
 }
 
@@ -394,15 +507,18 @@ func (c *Controller) ExpireJob(ref sched.JobRef) int {
 // contributions (including a permanent per-task reservation) are released
 // through the ledger's task index, and the controller's per-task decision
 // memory is cleared so a task re-registered under the same name is treated
-// as new. It returns the number of contributions removed.
+// as new. It returns the number of contributions removed. The caller must
+// quiesce arrivals first (see the Controller comment).
 func (c *Controller) RemoveTask(task string) int {
 	n := c.ledger.RemoveTask(task)
-	c.Stats.TaskRemovals += int64(n)
+	atomic.AddInt64(&c.Stats.TaskRemovals, int64(n))
+	c.taskMu.Lock()
 	delete(c.admitted, task)
 	delete(c.rejected, task)
 	delete(c.placements, task)
 	delete(c.reservations, task)
-	delete(c.homePlace, task)
+	c.taskMu.Unlock()
+	c.homePlace.Delete(task)
 	return n
 }
 
@@ -423,6 +539,6 @@ func (c *Controller) IdleReset(reports []sched.EntryRef) int {
 	if c.timing != nil {
 		c.timing.Reset.Add(time.Since(t0))
 	}
-	c.Stats.IdleResets += int64(n)
+	atomic.AddInt64(&c.Stats.IdleResets, int64(n))
 	return n
 }

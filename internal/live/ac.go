@@ -3,6 +3,7 @@ package live
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"sync"
 	"time"
 
@@ -22,6 +23,11 @@ const (
 	AttrProcessors = "Processors"
 	AttrWorkload   = "Workload"
 	AttrProcessor  = "Processor"
+	// AttrACShards sets the number of admission-plane shards the controller's
+	// ledger is split into (clamped to [1, min(Processors, 64)]). When absent
+	// it defaults to min(Processors, 8). Shard count 1 reproduces the
+	// historical serial admission plane bit for bit.
+	AttrACShards = "AC_Shards"
 	// AttrEpoch carries the reconfiguration epoch stamped by the
 	// coordinator into every Reconfigure attribute set: components adopt it
 	// so stale cross-epoch decisions are recognizable.
@@ -32,28 +38,50 @@ const (
 // reconfiguration coordination facet (Quiesce / Resume / Epoch / Config).
 const ReconfigServantKey = "reconfig"
 
+// acTimerStripes is the number of independently locked expiry-timer maps.
+const acTimerStripes = 16
+
+// acTimerStripe is one lock-striped slice of the pending expiry timers, so
+// concurrent decisions scheduling and firing expiries do not serialize on a
+// single map lock.
+type acTimerStripe struct {
+	mu sync.Mutex
+	m  map[sched.JobRef]*time.Timer
+}
+
 // AdmissionController is the live AC component (paper Section 5): it
 // consumes "Task Arrive" events from task effectors and "Idle Resetting"
 // events from idle resetters, runs the load balancer's Location computation
 // and the AUB admission test through the embedded policy controller, and
 // publishes "Accept" events. One instance is deployed on the central task
 // manager node.
+//
+// Concurrency: decisions no longer serialize on a component-wide mutex. The
+// admission test and ledger commit are synchronized inside the sharded
+// ledger (concurrent single-shard candidates admit in parallel), so mu is a
+// read-write reconfiguration lock: decision, expiry, and idle-reset paths
+// hold it shared, while Configure / Quiesce / Reconfigure / Resume /
+// Passivate hold it exclusively — a swap begins only after every in-flight
+// decision drains, and no decision ever observes mixed strategy state.
 type AdmissionController struct {
-	mu     sync.Mutex
+	mu     sync.RWMutex
 	cfg    core.Config
 	ctrl   *core.Controller
 	tasks  map[string]*sched.Task
 	ch     *eventchan.Channel
-	timers map[sched.JobRef]*time.Timer
+	timers [acTimerStripes]acTimerStripe
 	active bool
 	closed bool
 
 	// Reconfiguration state: while quiesced, TaskArrive events buffer in
 	// deferred instead of being decided; Resume replays them under the
 	// then-current (new) configuration. epoch stamps every Accept so task
-	// effectors can drop stale cross-epoch per-task decisions.
+	// effectors can drop stale cross-epoch per-task decisions. deferMu
+	// orders concurrent appends from event-dispatch goroutines, which hold
+	// mu only shared.
 	epoch    int64
 	quiesced bool
+	deferMu  sync.Mutex
 	deferred []TaskArrive
 
 	// DecisionDelay measures operation time from TaskArrive receipt to
@@ -76,19 +104,35 @@ var (
 
 // NewAdmissionController returns an unconfigured AC component.
 func NewAdmissionController() *AdmissionController {
-	return &AdmissionController{timers: make(map[sched.JobRef]*time.Timer)}
+	ac := &AdmissionController{}
+	for i := range ac.timers {
+		ac.timers[i].m = make(map[sched.JobRef]*time.Timer)
+	}
+	return ac
 }
 
-// Configure parses the strategy tuple, processor count, and workload. It is
-// the one-shot pre-activation stage; live strategy changes go through
-// Reconfigure.
+// timerStripe returns the expiry-timer stripe owning ref.
+func (ac *AdmissionController) timerStripe(ref sched.JobRef) *acTimerStripe {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(ref.Task))
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(ref.Job >> (8 * i))
+	}
+	_, _ = h.Write(b[:])
+	return &ac.timers[h.Sum32()%acTimerStripes]
+}
+
+// Configure parses the strategy tuple, processor count, shard count, and
+// workload. It is the one-shot pre-activation stage; live strategy changes
+// go through Reconfigure.
 func (ac *AdmissionController) Configure(attrs map[string]string) error {
-	ac.mu.Lock()
-	if ac.active {
-		ac.mu.Unlock()
+	ac.mu.RLock()
+	active := ac.active
+	ac.mu.RUnlock()
+	if active {
 		return fmt.Errorf("%w: AC is activated; use Reconfigure", ErrAlreadyActive)
 	}
-	ac.mu.Unlock()
 	var cfg core.Config
 	var err error
 	if cfg.AC, err = parseStrategyAttr(attrs, AttrACStrategy); err != nil {
@@ -107,6 +151,21 @@ func (ac *AdmissionController) Configure(attrs map[string]string) error {
 	if err != nil {
 		return err
 	}
+	shards := 0
+	if _, ok := attrs[AttrACShards]; ok {
+		if shards, err = attrInt(attrs, AttrACShards); err != nil {
+			return err
+		}
+		if shards < 1 {
+			return fmt.Errorf("live: ac: attribute %q must be at least 1, got %d", AttrACShards, shards)
+		}
+	}
+	if shards == 0 {
+		shards = procs
+		if shards > 8 {
+			shards = 8
+		}
+	}
 	wl, err := attrString(attrs, AttrWorkload)
 	if err != nil {
 		return err
@@ -119,7 +178,7 @@ func (ac *AdmissionController) Configure(attrs map[string]string) error {
 	if err != nil {
 		return err
 	}
-	ctrl, err := core.NewController(cfg, procs)
+	ctrl, err := core.NewControllerSharded(cfg, procs, shards)
 	if err != nil {
 		return err
 	}
@@ -140,8 +199,8 @@ func (ac *AdmissionController) Configure(attrs map[string]string) error {
 
 // Controller exposes the embedded policy object (overhead harness and tests).
 func (ac *AdmissionController) Controller() *core.Controller {
-	ac.mu.Lock()
-	defer ac.mu.Unlock()
+	ac.mu.RLock()
+	defer ac.mu.RUnlock()
 	return ac.ctrl
 }
 
@@ -167,11 +226,16 @@ func (ac *AdmissionController) Activate(ctx *ccm.Context) error {
 // Passivate stops the pending expiry timers.
 func (ac *AdmissionController) Passivate() error {
 	ac.mu.Lock()
-	defer ac.mu.Unlock()
 	ac.closed = true
-	for ref, tm := range ac.timers {
-		tm.Stop()
-		delete(ac.timers, ref)
+	ac.mu.Unlock()
+	for i := range ac.timers {
+		st := &ac.timers[i]
+		st.mu.Lock()
+		for ref, tm := range st.m {
+			tm.Stop()
+			delete(st.m, ref)
+		}
+		st.mu.Unlock()
 	}
 	return nil
 }
@@ -184,47 +248,42 @@ func (ac *AdmissionController) onTaskArrive(ev eventchan.Event) {
 	if err := decode(ev.Payload, &arr); err != nil {
 		return
 	}
-	ac.mu.Lock()
+	ac.mu.RLock()
 	if ac.closed {
-		ac.mu.Unlock()
+		ac.mu.RUnlock()
 		return
 	}
 	if ac.quiesced {
+		// Append while still holding the read lock: Resume drains the buffer
+		// under the write lock, so an arrival that saw quiesced==true cannot
+		// slip in after the drain.
+		ac.deferMu.Lock()
 		ac.deferred = append(ac.deferred, arr)
-		ac.mu.Unlock()
+		ac.deferMu.Unlock()
+		ac.mu.RUnlock()
 		return
 	}
-	ac.mu.Unlock()
-	ac.decide(arr)
+	defer ac.mu.RUnlock()
+	ac.decideRLocked(arr)
 }
 
-// decide runs one arrival end to end: decision, expiry scheduling, and the
-// epoch-stamped Accept push.
-func (ac *AdmissionController) decide(arr TaskArrive) {
+// decideRLocked runs one arrival end to end: decision, expiry scheduling,
+// and the epoch-stamped Accept push. Caller holds mu shared; concurrent
+// decisions synchronize inside the sharded ledger and the timer stripes.
+func (ac *AdmissionController) decideRLocked(arr TaskArrive) {
 	start := time.Now()
-	ac.mu.Lock()
-	if ac.closed {
-		ac.mu.Unlock()
-		return
-	}
 	t, ok := ac.tasks[arr.Task]
 	if !ok {
-		ac.mu.Unlock()
 		return
 	}
 	d := ac.ctrl.Arrive(t, arr.Job, time.Duration(arr.ArrivalNanos))
 	ref := sched.JobRef{Task: arr.Task, Job: arr.Job}
 	if d.Accept && !d.Reserved {
-		expireAt := time.Unix(0, arr.ArrivalNanos).Add(t.Deadline)
-		tm := time.AfterFunc(time.Until(expireAt), func() { ac.expire(ref) })
-		ac.timers[ref] = tm
+		ac.scheduleExpiry(ref, time.Unix(0, arr.ArrivalNanos).Add(t.Deadline))
 	}
 	perTask := t.Kind == sched.Periodic &&
 		ac.cfg.AC == core.StrategyPerTask &&
 		ac.cfg.LB != core.StrategyPerJob
-	ch := ac.ch
-	epoch := ac.epoch
-	ac.mu.Unlock()
 
 	out := Accept{
 		Task:            arr.Task,
@@ -234,34 +293,43 @@ func (ac *AdmissionController) decide(arr TaskArrive) {
 		Relocated:       d.Relocated,
 		PerTaskDecision: perTask,
 		ArrivalNanos:    arr.ArrivalNanos,
-		Epoch:           epoch,
+		Epoch:           ac.epoch,
 	}
 	ac.DecisionDelay.Add(time.Since(start))
-	if ch != nil {
+	if ac.ch != nil {
 		// Best effort: a dead effector node surfaces in its own metrics.
-		_ = ch.Push(eventchan.Event{Type: EvAccept, Payload: encode(out)})
+		_ = ac.ch.Push(eventchan.Event{Type: EvAccept, Payload: encode(out)})
 	}
+}
+
+// scheduleExpiry registers the deadline-expiry timer for an accepted job.
+func (ac *AdmissionController) scheduleExpiry(ref sched.JobRef, at time.Time) {
+	st := ac.timerStripe(ref)
+	st.mu.Lock()
+	st.m[ref] = time.AfterFunc(time.Until(at), func() { ac.expire(ref) })
+	st.mu.Unlock()
 }
 
 // Epoch returns the current reconfiguration epoch.
 func (ac *AdmissionController) Epoch() int64 {
-	ac.mu.Lock()
-	defer ac.mu.Unlock()
+	ac.mu.RLock()
+	defer ac.mu.RUnlock()
 	return ac.epoch
 }
 
 // Quiesced reports whether admission is currently quiesced.
 func (ac *AdmissionController) Quiesced() bool {
-	ac.mu.Lock()
-	defer ac.mu.Unlock()
+	ac.mu.RLock()
+	defer ac.mu.RUnlock()
 	return ac.quiesced
 }
 
 // Quiesce is phase one of the reconfiguration protocol: new TaskArrive
 // events buffer instead of being decided, so the strategy objects can swap
-// without a decision ever observing mixed state. Accept events already
-// pushed stay valid — they were decided wholly under the old configuration.
-// It returns the epoch the upcoming swap will enter.
+// without a decision ever observing mixed state. Acquiring the write lock
+// waits out every in-flight decision first. Accept events already pushed
+// stay valid — they were decided wholly under the old configuration. It
+// returns the epoch the upcoming swap will enter.
 func (ac *AdmissionController) Quiesce() (int64, error) {
 	ac.mu.Lock()
 	defer ac.mu.Unlock()
@@ -367,11 +435,16 @@ func (ac *AdmissionController) Reconfigure(attrs map[string]string) error {
 				continue
 			}
 			ac.ctrl.RemoveTask(id)
-			for ref, tm := range ac.timers {
-				if ref.Task == id {
-					tm.Stop()
-					delete(ac.timers, ref)
+			for i := range ac.timers {
+				st := &ac.timers[i]
+				st.mu.Lock()
+				for ref, tm := range st.m {
+					if ref.Task == id {
+						tm.Stop()
+						delete(st.m, ref)
+					}
 				}
+				st.mu.Unlock()
 			}
 		}
 		ac.tasks = newTasks
@@ -383,7 +456,10 @@ func (ac *AdmissionController) Reconfigure(attrs map[string]string) error {
 
 // Resume is phase two's tail: admission reopens and every arrival buffered
 // during the quiesce is decided — in arrival order — under the new
-// configuration. It returns the number of replayed arrivals.
+// configuration. The replay goes through the controller's batch admission
+// path, so a burst of buffered aperiodic arrivals under LB-none takes each
+// admission shard's lock once instead of once per arrival. It returns the
+// number of replayed arrivals.
 func (ac *AdmissionController) Resume() (int, error) {
 	ac.mu.Lock()
 	if !ac.quiesced {
@@ -391,13 +467,64 @@ func (ac *AdmissionController) Resume() (int, error) {
 		return 0, ErrNotQuiesced
 	}
 	ac.quiesced = false
+	ac.deferMu.Lock()
 	deferred := ac.deferred
 	ac.deferred = nil
+	ac.deferMu.Unlock()
 	ac.mu.Unlock()
-	for _, arr := range deferred {
-		ac.decide(arr)
+	ac.mu.RLock()
+	defer ac.mu.RUnlock()
+	if ac.closed {
+		return 0, nil
 	}
+	ac.replayRLocked(deferred)
 	return len(deferred), nil
+}
+
+// replayRLocked decides a buffered arrival batch under the current
+// configuration. Caller holds mu shared.
+func (ac *AdmissionController) replayRLocked(arrs []TaskArrive) {
+	if len(arrs) == 0 {
+		return
+	}
+	start := time.Now()
+	batch := make([]core.BatchArrival, 0, len(arrs))
+	kept := make([]TaskArrive, 0, len(arrs))
+	for _, arr := range arrs {
+		t, ok := ac.tasks[arr.Task]
+		if !ok {
+			continue
+		}
+		batch = append(batch, core.BatchArrival{Task: t, Job: arr.Job, Now: time.Duration(arr.ArrivalNanos)})
+		kept = append(kept, arr)
+	}
+	decisions := ac.ctrl.ArriveBatch(batch)
+	elapsed := time.Since(start)
+	for i, d := range decisions {
+		arr := kept[i]
+		t := batch[i].Task
+		ref := sched.JobRef{Task: arr.Task, Job: arr.Job}
+		if d.Accept && !d.Reserved {
+			ac.scheduleExpiry(ref, time.Unix(0, arr.ArrivalNanos).Add(t.Deadline))
+		}
+		perTask := t.Kind == sched.Periodic &&
+			ac.cfg.AC == core.StrategyPerTask &&
+			ac.cfg.LB != core.StrategyPerJob
+		out := Accept{
+			Task:            arr.Task,
+			Job:             arr.Job,
+			Ok:              d.Accept,
+			Placement:       d.Placement,
+			Relocated:       d.Relocated,
+			PerTaskDecision: perTask,
+			ArrivalNanos:    arr.ArrivalNanos,
+			Epoch:           ac.epoch,
+		}
+		ac.DecisionDelay.Add(elapsed / time.Duration(len(decisions)))
+		if ac.ch != nil {
+			_ = ac.ch.Push(eventchan.Event{Type: EvAccept, Payload: encode(out)})
+		}
+	}
 }
 
 // reconfigServant exposes the coordination half of the protocol over the
@@ -420,9 +547,9 @@ func (ac *AdmissionController) reconfigServant(op string, arg []byte) ([]byte, e
 	case "Epoch":
 		return encode(ac.Epoch()), nil
 	case "Config":
-		ac.mu.Lock()
+		ac.mu.RLock()
 		cfg := ac.cfg.String()
-		ac.mu.Unlock()
+		ac.mu.RUnlock()
 		return encode(cfg), nil
 	default:
 		return nil, fmt.Errorf("live: reconfig: unknown operation %q", op)
@@ -431,12 +558,15 @@ func (ac *AdmissionController) reconfigServant(op string, arg []byte) ([]byte, e
 
 // expire removes a job's contributions at its absolute deadline.
 func (ac *AdmissionController) expire(ref sched.JobRef) {
-	ac.mu.Lock()
-	defer ac.mu.Unlock()
+	ac.mu.RLock()
+	defer ac.mu.RUnlock()
 	if ac.closed {
 		return
 	}
-	delete(ac.timers, ref)
+	st := ac.timerStripe(ref)
+	st.mu.Lock()
+	delete(st.m, ref)
+	st.mu.Unlock()
 	ac.ctrl.ExpireJob(ref)
 }
 
@@ -449,48 +579,47 @@ func (ac *AdmissionController) onIdleReset(ev eventchan.Event) {
 	if err := decode(ev.Payload, &rep); err != nil {
 		return
 	}
-	ac.mu.Lock()
+	ac.mu.RLock()
 	if ac.closed {
-		ac.mu.Unlock()
+		ac.mu.RUnlock()
 		return
 	}
-	// Time only the ledger apply, not decode or lock contention.
+	// Time only the ledger apply, not decode or lock acquisition.
 	start := time.Now()
 	ac.ctrl.IdleReset(rep.Entries)
 	elapsed := time.Since(start)
-	ac.mu.Unlock()
+	ac.mu.RUnlock()
 	ac.ResetApply.Add(elapsed)
 }
 
 // ResetsApplied returns the number of ledger contributions removed through
 // idle-resetting reports so far (the controller's IdleResets counter).
 func (ac *AdmissionController) ResetsApplied() int64 {
-	ac.mu.Lock()
-	defer ac.mu.Unlock()
+	ac.mu.RLock()
+	defer ac.mu.RUnlock()
 	if ac.ctrl == nil {
 		return 0
 	}
 	return ac.ctrl.Stats.IdleResets
 }
 
-// AuditLedger runs the admission ledger's invariant audit under the
-// component lock, so callers can audit while decisions and expiry timers
-// are still live (reading the ledger through Controller() directly races
-// with them).
+// AuditLedger runs the admission ledger's invariant audit. The audit itself
+// takes every admission shard's lock in the global lock order, so it is safe
+// to run while decisions and expiry timers are still live; the shared
+// component lock only pins the controller against reconfiguration.
 func (ac *AdmissionController) AuditLedger() error {
-	ac.mu.Lock()
-	defer ac.mu.Unlock()
+	ac.mu.RLock()
+	defer ac.mu.RUnlock()
 	if ac.ctrl == nil {
 		return nil
 	}
 	return ac.ctrl.Ledger().CheckInvariants()
 }
 
-// ActiveLedgerJobs snapshots the ledger's active job references under the
-// component lock.
+// ActiveLedgerJobs snapshots the ledger's active job references.
 func (ac *AdmissionController) ActiveLedgerJobs() []sched.JobRef {
-	ac.mu.Lock()
-	defer ac.mu.Unlock()
+	ac.mu.RLock()
+	defer ac.mu.RUnlock()
 	if ac.ctrl == nil {
 		return nil
 	}
@@ -502,8 +631,8 @@ func (ac *AdmissionController) ActiveLedgerJobs() []sched.JobRef {
 // remote idle resetters and diagnostic tools can reconcile their local
 // pending sets against the manager's ledger.
 func (ac *AdmissionController) CompletedOn(proc int, includePeriodic bool) []sched.EntryRef {
-	ac.mu.Lock()
-	defer ac.mu.Unlock()
+	ac.mu.RLock()
+	defer ac.mu.RUnlock()
 	if ac.ctrl == nil {
 		return nil
 	}

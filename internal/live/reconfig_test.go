@@ -165,9 +165,7 @@ func TestTEReconfigureDropsStaleDecisions(t *testing.T) {
 		})})
 	}
 	accept(0, 0)
-	te.mu.Lock()
-	cached := len(te.decided)
-	te.mu.Unlock()
+	cached := len(*te.decided.Load())
 	if cached != 1 {
 		t.Fatalf("decision not cached: %d", cached)
 	}
@@ -176,9 +174,7 @@ func TestTEReconfigureDropsStaleDecisions(t *testing.T) {
 	if err := te.Reconfigure(map[string]string{AttrEpoch: "1"}); err != nil {
 		t.Fatal(err)
 	}
-	te.mu.Lock()
-	cached = len(te.decided)
-	te.mu.Unlock()
+	cached = len(*te.decided.Load())
 	if cached != 0 {
 		t.Fatalf("cache survived reconfigure: %d", cached)
 	}
@@ -188,10 +184,8 @@ func TestTEReconfigureDropsStaleDecisions(t *testing.T) {
 		t.Fatal(err)
 	}
 	accept(1, 0)
-	te.mu.Lock()
-	cached = len(te.decided)
-	released := te.Stats.Released
-	te.mu.Unlock()
+	cached = len(*te.decided.Load())
+	released := te.StatsSnapshot().Released
 	if cached != 0 {
 		t.Error("stale-epoch decision was cached")
 	}
@@ -203,9 +197,7 @@ func TestTEReconfigureDropsStaleDecisions(t *testing.T) {
 		t.Fatal(err)
 	}
 	accept(2, 1)
-	te.mu.Lock()
-	cached = len(te.decided)
-	te.mu.Unlock()
+	cached = len(*te.decided.Load())
 	if cached != 1 {
 		t.Error("current-epoch decision not cached")
 	}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/ccm"
@@ -13,6 +14,15 @@ import (
 	"repro/internal/sched"
 	"repro/internal/spec"
 )
+
+// teTask is the effector's per-task record: the (swappable) task definition
+// and the job-number allocator. The record survives reconfigurations as long
+// as its task ID stays in the workload, so job numbering never restarts or
+// races across a swap.
+type teTask struct {
+	task    atomic.Pointer[sched.Task]
+	nextJob atomic.Int64
+}
 
 // TaskEffector is the live TE component (paper Section 5): it holds arriving
 // tasks in a waiting queue, pushes "Task Arrive" events to the admission
@@ -26,13 +36,23 @@ import (
 // the decision and publishes the Release event, which the federation routes
 // to the node hosting the assigned first stage — when the first stage was
 // re-allocated, that is the duplicate's node (the paper's operation 6).
+//
+// Concurrency: the cached per-task fast path is lock-free — the task index
+// and the decision cache are copy-on-write maps behind atomic pointers, job
+// numbers come from per-task atomic counters, and the stats are atomic — so
+// a flood of cached releases never contends with first-admission arrivals
+// holding te.mu for the waiting queue. A cached submission racing a
+// reconfiguration may settle under the decision cached just before the swap;
+// that matches the decision-event semantics (a stale Accept still settles
+// its own job, it just is not re-cached as policy).
 type TaskEffector struct {
-	mu      sync.Mutex
-	proc    int
-	tasks   map[string]*sched.Task
-	nextJob map[string]int64
-	// decided caches per-task decisions (Accept.PerTaskDecision).
-	decided map[string]*Accept
+	mu   sync.Mutex
+	proc int
+	// tasks is the COW task index (task ID -> record); decided is the COW
+	// per-task decision cache (Accept.PerTaskDecision). Writers clone under
+	// te.mu; readers only Load.
+	tasks   atomic.Pointer[map[string]*teTask]
+	decided atomic.Pointer[map[string]*Accept]
 	// waiting holds arrivals awaiting a decision, by arrival time
 	// (UnixNano). Holds whose TaskArrive was lost in a batched gateway
 	// flush (the failure surfaces on the flusher, not on piggybacked
@@ -47,11 +67,12 @@ type TaskEffector struct {
 	// events stamped with an older epoch release their job but are not
 	// cached as per-task decisions.
 	epoch  int64
-	ch     *eventchan.Channel
+	ch     atomic.Pointer[eventchan.Channel]
 	active bool
-	closed bool
+	closed atomic.Bool
 
-	// Stats counts the effector's view of the workload.
+	// Stats counts the effector's view of the workload. Fields are updated
+	// atomically; use StatsSnapshot for a consistent copy.
 	Stats TEStats
 	// HoldPush measures the paper's operation 1 (hold task + push event).
 	HoldPush core.OpStats
@@ -76,12 +97,47 @@ var _ ccm.Component = (*TaskEffector)(nil)
 
 // NewTaskEffector returns an unconfigured TE component.
 func NewTaskEffector() *TaskEffector {
-	return &TaskEffector{
-		nextJob: make(map[string]int64),
-		decided: make(map[string]*Accept),
+	te := &TaskEffector{
 		waiting: make(map[sched.JobRef]int64),
 		sweepAt: minWaitingSweep,
 	}
+	empty := make(map[string]*Accept)
+	te.decided.Store(&empty)
+	return te
+}
+
+// lookupTask resolves a task record from the COW index without locking.
+func (te *TaskEffector) lookupTask(taskID string) (*teTask, bool) {
+	tp := te.tasks.Load()
+	if tp == nil {
+		return nil, false
+	}
+	tt, ok := (*tp)[taskID]
+	return tt, ok
+}
+
+// cachedDecision returns the per-task cached decision, lock-free.
+func (te *TaskEffector) cachedDecision(taskID string) (*Accept, bool) {
+	dec, ok := (*te.decided.Load())[taskID]
+	return dec, ok
+}
+
+// storeDecision publishes a cached decision copy-on-write. Caller holds
+// te.mu (writers serialize; readers stay lock-free).
+func (te *TaskEffector) storeDecision(taskID string, dec *Accept) {
+	old := *te.decided.Load()
+	next := make(map[string]*Accept, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[taskID] = dec
+	te.decided.Store(&next)
+}
+
+// clearDecisions drops the whole decision cache. Caller holds te.mu.
+func (te *TaskEffector) clearDecisions() {
+	empty := make(map[string]*Accept)
+	te.decided.Store(&empty)
 }
 
 // Configure parses the processor ID and workload.
@@ -108,20 +164,22 @@ func (te *TaskEffector) Configure(attrs map[string]string) error {
 	if err != nil {
 		return err
 	}
-	index := make(map[string]*sched.Task, len(tasks))
+	index := make(map[string]*teTask, len(tasks))
 	var maxDL time.Duration
 	for _, t := range tasks {
-		index[t.ID] = t
+		tt := &teTask{}
+		tt.task.Store(t)
+		index[t.ID] = tt
 		if t.Deadline > maxDL {
 			maxDL = t.Deadline
 		}
 	}
 	// Configuration and activation arrive over the ORB in dispatch
-	// goroutines; publish the fields under the same lock Arrive reads them
-	// under.
+	// goroutines; publish the fields under the lock (the index itself is
+	// an atomic pointer for the lock-free readers).
 	te.mu.Lock()
 	te.proc = proc
-	te.tasks = index
+	te.tasks.Store(&index)
 	te.maxDeadline = maxDL
 	te.mu.Unlock()
 	return nil
@@ -130,7 +188,7 @@ func (te *TaskEffector) Configure(attrs map[string]string) error {
 // Activate subscribes to Accept events.
 func (te *TaskEffector) Activate(ctx *ccm.Context) error {
 	te.mu.Lock()
-	te.ch = ctx.Events
+	te.ch.Store(ctx.Events)
 	te.active = true
 	te.mu.Unlock()
 	// Subscribe outside the lock: delivery fan-out holds the channel's
@@ -149,12 +207,14 @@ func (te *TaskEffector) Activate(ctx *ccm.Context) error {
 //
 // A Workload attribute swaps the effector's task set in place (the
 // open-world AddTasks/RemoveTasks delta): new tasks start their job
-// numbering at zero, and holds, decisions and numbering of tasks no longer
-// in the workload are dropped — their in-flight jobs keep executing on the
-// subtask components, which drain independently.
+// numbering at zero, tasks surviving the swap keep their job-number
+// allocator (their record is carried over, so numbering never restarts),
+// and holds, decisions and numbering of tasks no longer in the workload are
+// dropped — their in-flight jobs keep executing on the subtask components,
+// which drain independently.
 func (te *TaskEffector) Reconfigure(attrs map[string]string) error {
-	var newTasks map[string]*sched.Task
-	var newMaxDL time.Duration
+	var newTasks []*sched.Task
+	haveWorkload := false
 	if wl, ok := attrs[AttrWorkload]; ok && wl != "" {
 		w, err := spec.Parse([]byte(wl))
 		if err != nil {
@@ -164,17 +224,12 @@ func (te *TaskEffector) Reconfigure(attrs map[string]string) error {
 		if err != nil {
 			return err
 		}
-		newTasks = make(map[string]*sched.Task, len(tasks))
-		for _, t := range tasks {
-			newTasks[t.ID] = t
-			if t.Deadline > newMaxDL {
-				newMaxDL = t.Deadline
-			}
-		}
+		newTasks = tasks
+		haveWorkload = true
 	}
 	te.mu.Lock()
 	defer te.mu.Unlock()
-	if te.tasks == nil {
+	if te.tasks.Load() == nil {
 		return fmt.Errorf("%w: TE reconfigured before configuration", ErrNotConfigured)
 	}
 	if _, ok := attrs[AttrEpoch]; ok {
@@ -186,29 +241,36 @@ func (te *TaskEffector) Reconfigure(attrs map[string]string) error {
 	} else {
 		te.epoch++
 	}
-	if newTasks != nil {
-		for id := range te.nextJob {
-			if _, ok := newTasks[id]; !ok {
-				delete(te.nextJob, id)
+	if haveWorkload {
+		old := *te.tasks.Load()
+		index := make(map[string]*teTask, len(newTasks))
+		var maxDL time.Duration
+		for _, t := range newTasks {
+			tt, ok := old[t.ID]
+			if !ok {
+				tt = &teTask{}
+			}
+			tt.task.Store(t)
+			index[t.ID] = tt
+			if t.Deadline > maxDL {
+				maxDL = t.Deadline
 			}
 		}
 		for ref := range te.waiting {
-			if _, ok := newTasks[ref.Task]; !ok {
+			if _, ok := index[ref.Task]; !ok {
 				delete(te.waiting, ref)
 			}
 		}
-		te.tasks = newTasks
-		te.maxDeadline = newMaxDL
+		te.tasks.Store(&index)
+		te.maxDeadline = maxDL
 	}
-	clear(te.decided)
+	te.clearDecisions()
 	return nil
 }
 
 // Passivate stops accepting arrivals.
 func (te *TaskEffector) Passivate() error {
-	te.mu.Lock()
-	defer te.mu.Unlock()
-	te.closed = true
+	te.closed.Store(true)
 	return nil
 }
 
@@ -221,9 +283,13 @@ func (te *TaskEffector) Proc() int {
 
 // StatsSnapshot returns a copy of the counters.
 func (te *TaskEffector) StatsSnapshot() TEStats {
-	te.mu.Lock()
-	defer te.mu.Unlock()
-	return te.Stats
+	return TEStats{
+		Arrived:    atomic.LoadInt64(&te.Stats.Arrived),
+		Released:   atomic.LoadInt64(&te.Stats.Released),
+		Skipped:    atomic.LoadInt64(&te.Stats.Skipped),
+		Relocated:  atomic.LoadInt64(&te.Stats.Relocated),
+		Overloaded: atomic.LoadInt64(&te.Stats.Overloaded),
+	}
 }
 
 // Arrive is the application-facing entry point: one job of the named task
@@ -234,57 +300,62 @@ func (te *TaskEffector) Arrive(taskID string) (int64, error) {
 	return adm.Job, err
 }
 
+// settleCached resolves one arrival against a cached per-task decision
+// without taking te.mu: job number from the task's atomic allocator, stats
+// atomically, and the release (if accepted) pushed directly.
+func (te *TaskEffector) settleCached(taskID string, tt *teTask, dec *Accept) core.Admission {
+	job := tt.nextJob.Add(1) - 1
+	atomic.AddInt64(&te.Stats.Arrived, 1)
+	adm := core.Admission{Task: taskID, Job: job}
+	if dec.Ok {
+		atomic.AddInt64(&te.Stats.Released, 1)
+		if dec.Relocated {
+			atomic.AddInt64(&te.Stats.Relocated, 1)
+		}
+		adm.Outcome = core.AdmissionAccepted
+		adm.Placement = dec.Placement
+		te.release(te.ch.Load(), taskID, job, dec.Placement, nowNanos())
+	} else {
+		atomic.AddInt64(&te.Stats.Skipped, 1)
+		adm.Outcome = core.AdmissionRejected
+		adm.Reason = "per-task admission decision cached as rejected"
+	}
+	return adm
+}
+
 // SubmitJob injects one job arrival and returns its typed Admission: cached
-// per-task decisions resolve synchronously (Accepted or Rejected), every
-// other arrival pushes a "Task Arrive" event and returns Pending — the
-// terminal outcome travels back as an Accept event and surfaces on the
-// binding's watch stream.
+// per-task decisions resolve synchronously (Accepted or Rejected) on the
+// lock-free fast path, every other arrival pushes a "Task Arrive" event and
+// returns Pending — the terminal outcome travels back as an Accept event and
+// surfaces on the binding's watch stream.
 func (te *TaskEffector) SubmitJob(taskID string) (core.Admission, error) {
 	start := time.Now()
 	adm := core.Admission{Task: taskID, Job: -1}
-	te.mu.Lock()
-	if te.closed {
-		te.mu.Unlock()
+	if te.closed.Load() {
 		return adm, fmt.Errorf("live: task effector passivated: %w", core.ErrStopped)
 	}
-	t, ok := te.tasks[taskID]
+	tt, ok := te.lookupTask(taskID)
 	if !ok {
-		te.mu.Unlock()
 		return adm, fmt.Errorf("live: te: %w: %q", core.ErrUnknownTask, taskID)
 	}
-	job := te.nextJob[taskID]
-	te.nextJob[taskID] = job + 1
-	te.Stats.Arrived++
-	arrival := nowNanos()
-	adm.Job = job
 
-	// Per-task fast path: a cached decision releases or skips immediately.
-	if dec, ok := te.decided[taskID]; ok {
-		ch := te.ch
-		if dec.Ok {
-			te.Stats.Released++
-			if dec.Relocated {
-				te.Stats.Relocated++
-			}
-			te.mu.Unlock()
-			adm.Outcome = core.AdmissionAccepted
-			adm.Placement = dec.Placement
-			te.release(ch, t.ID, job, dec.Placement, arrival)
-		} else {
-			te.Stats.Skipped++
-			te.mu.Unlock()
-			adm.Outcome = core.AdmissionRejected
-			adm.Reason = "per-task admission decision cached as rejected"
-		}
-		return adm, nil
+	// Per-task fast path: a cached decision releases or skips immediately,
+	// never touching te.mu.
+	if dec, ok := te.cachedDecision(taskID); ok {
+		return te.settleCached(taskID, tt, dec), nil
 	}
 
+	te.mu.Lock()
+	job := tt.nextJob.Add(1) - 1
+	atomic.AddInt64(&te.Stats.Arrived, 1)
+	arrival := nowNanos()
+	adm.Job = job
 	ref := sched.JobRef{Task: taskID, Job: job}
 	te.waiting[ref] = arrival
 	te.sweepWaitingLocked(arrival)
-	ch := te.ch
 	proc := te.proc
 	te.mu.Unlock()
+	ch := te.ch.Load()
 
 	adm.Outcome = core.AdmissionPending
 	adm.Reason = "admission decision round trip in flight"
@@ -302,10 +373,10 @@ func (te *TaskEffector) SubmitJob(taskID string) (core.Admission, error) {
 		// pending.
 		te.mu.Lock()
 		delete(te.waiting, ref)
-		if TransportOverloaded(err) {
-			te.Stats.Overloaded++
-		}
 		te.mu.Unlock()
+		if TransportOverloaded(err) {
+			atomic.AddInt64(&te.Stats.Overloaded, 1)
+		}
 		adm.Outcome = core.AdmissionRejected
 		adm.Reason = "arrival shed: " + err.Error()
 	}
@@ -314,62 +385,54 @@ func (te *TaskEffector) SubmitJob(taskID string) (core.Admission, error) {
 }
 
 // SubmitBatch injects one arrival per named task in order, amortizing the
-// transport: the lock is taken once to assign job numbers and snapshot
-// cached decisions, then the "Task Arrive" events push back to back so the
-// gateway's group-commit forwarder coalesces them into a few ORB frames
-// instead of one invocation each. IDs are validated up front: an unknown
-// task fails the whole batch before any arrival is injected. A transport
-// error on an individual push resolves that entry's Admission as Rejected
-// (no watch event will ever answer it) with the error in Reason; the first
-// such error is also returned.
+// transport: cached decisions settle on the lock-free fast path, then the
+// lock is taken once to hold the undecided arrivals, and their "Task
+// Arrive" events push back to back so the gateway's group-commit forwarder
+// coalesces them into a few ORB frames instead of one invocation each. IDs
+// are validated up front: an unknown task fails the whole batch before any
+// arrival is injected. A transport error on an individual push resolves
+// that entry's Admission as Rejected (no watch event will ever answer it)
+// with the error in Reason; the first such error is also returned.
 func (te *TaskEffector) SubmitBatch(taskIDs []string) ([]core.Admission, error) {
 	start := time.Now()
-	te.mu.Lock()
-	if te.closed {
-		te.mu.Unlock()
+	if te.closed.Load() {
 		return nil, fmt.Errorf("live: task effector passivated: %w", core.ErrStopped)
 	}
-	for _, id := range taskIDs {
-		if _, ok := te.tasks[id]; !ok {
-			te.mu.Unlock()
+	records := make([]*teTask, len(taskIDs))
+	for i, id := range taskIDs {
+		tt, ok := te.lookupTask(id)
+		if !ok {
 			return nil, fmt.Errorf("live: te: %w: %q", core.ErrUnknownTask, id)
 		}
+		records[i] = tt
 	}
 	type pendingPush struct {
 		idx int
 		ev  TaskArrive
 		ref sched.JobRef
 	}
-	type pendingRelease struct {
-		idx       int
-		placement []sched.PlacedStage
-		arrival   int64
-	}
 	out := make([]core.Admission, len(taskIDs))
-	var pushes []pendingPush
-	var releases []pendingRelease
-	arrival := nowNanos()
+	var pending []int
+	decided := *te.decided.Load()
 	for i, id := range taskIDs {
-		job := te.nextJob[id]
-		te.nextJob[id] = job + 1
-		te.Stats.Arrived++
-		out[i] = core.Admission{Task: id, Job: job}
-		if dec, ok := te.decided[id]; ok {
-			if dec.Ok {
-				te.Stats.Released++
-				if dec.Relocated {
-					te.Stats.Relocated++
-				}
-				out[i].Outcome = core.AdmissionAccepted
-				out[i].Placement = dec.Placement
-				releases = append(releases, pendingRelease{idx: i, placement: dec.Placement, arrival: arrival})
-			} else {
-				te.Stats.Skipped++
-				out[i].Outcome = core.AdmissionRejected
-				out[i].Reason = "per-task admission decision cached as rejected"
-			}
+		if dec, ok := decided[id]; ok {
+			out[i] = te.settleCached(id, records[i], dec)
 			continue
 		}
+		pending = append(pending, i)
+	}
+	if len(pending) == 0 {
+		return out, nil
+	}
+
+	var pushes []pendingPush
+	arrival := nowNanos()
+	te.mu.Lock()
+	for _, i := range pending {
+		id := taskIDs[i]
+		job := records[i].nextJob.Add(1) - 1
+		atomic.AddInt64(&te.Stats.Arrived, 1)
+		out[i] = core.Admission{Task: id, Job: job}
 		ref := sched.JobRef{Task: id, Job: job}
 		te.waiting[ref] = arrival
 		out[i].Outcome = core.AdmissionPending
@@ -379,12 +442,9 @@ func (te *TaskEffector) SubmitBatch(taskIDs []string) ([]core.Admission, error) 
 		}})
 	}
 	te.sweepWaitingLocked(arrival)
-	ch := te.ch
 	te.mu.Unlock()
+	ch := te.ch.Load()
 
-	for _, r := range releases {
-		te.release(ch, out[r.idx].Task, out[r.idx].Job, r.placement, r.arrival)
-	}
 	var firstErr error
 	for _, p := range pushes {
 		err := ch.Push(eventchan.Event{Type: EvTaskArrive, Payload: encode(p.ev)})
@@ -393,10 +453,10 @@ func (te *TaskEffector) SubmitBatch(taskIDs []string) ([]core.Admission, error) 
 		}
 		te.mu.Lock()
 		delete(te.waiting, p.ref)
-		if TransportOverloaded(err) {
-			te.Stats.Overloaded++
-		}
 		te.mu.Unlock()
+		if TransportOverloaded(err) {
+			atomic.AddInt64(&te.Stats.Overloaded, 1)
+		}
 		out[p.idx].Outcome = core.AdmissionRejected
 		out[p.idx].Reason = "arrival shed: " + err.Error()
 		if firstErr == nil {
@@ -445,13 +505,16 @@ func (te *TaskEffector) onAccept(ev eventchan.Event) {
 	if err := decode(ev.Payload, &dec); err != nil {
 		return
 	}
-	te.mu.Lock()
-	if te.closed {
-		te.mu.Unlock()
+	if te.closed.Load() {
 		return
 	}
-	t, known := te.tasks[dec.Task]
-	if !known || t.Subtasks[0].Processor != te.proc {
+	tt, known := te.lookupTask(dec.Task)
+	if !known {
+		return
+	}
+	t := tt.task.Load()
+	te.mu.Lock()
+	if t.Subtasks[0].Processor != te.proc {
 		// Not the home effector for this task.
 		te.mu.Unlock()
 		return
@@ -468,25 +531,22 @@ func (te *TaskEffector) onAccept(ev eventchan.Event) {
 		// Same-epoch decisions become cached per-task policy; a stale
 		// decision from before a reconfiguration still settles its own job
 		// below but must not survive the swap as policy.
-		if _, ok := te.decided[dec.Task]; !ok {
+		if _, ok := te.cachedDecision(dec.Task); !ok {
 			cached := dec
-			te.decided[dec.Task] = &cached
+			te.storeDecision(dec.Task, &cached)
 		}
 	}
-
-	if !dec.Ok {
-		te.Stats.Skipped++
-		te.mu.Unlock()
-		return
-	}
-	te.Stats.Released++
-	if dec.Relocated {
-		te.Stats.Relocated++
-	}
-	ch := te.ch
 	te.mu.Unlock()
 
-	te.release(ch, dec.Task, dec.Job, dec.Placement, dec.ArrivalNanos)
+	if !dec.Ok {
+		atomic.AddInt64(&te.Stats.Skipped, 1)
+		return
+	}
+	atomic.AddInt64(&te.Stats.Released, 1)
+	if dec.Relocated {
+		atomic.AddInt64(&te.Stats.Relocated, 1)
+	}
+	te.release(te.ch.Load(), dec.Task, dec.Job, dec.Placement, dec.ArrivalNanos)
 }
 
 // release publishes the Release event that starts the first subtask. The

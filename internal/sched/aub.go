@@ -752,7 +752,17 @@ func (l *Ledger) RemoveTask(task string) int {
 		return 0
 	}
 	n := 0
-	for job, rec := range l.taskJobs[tid] {
+	// Withdraw in job order, not map order: the per-processor subtraction
+	// sequence determines the exact floating-point residue, and a
+	// deterministic order keeps independently driven ledgers (shards, replay
+	// harnesses, golden runs) bit-identical.
+	jobIDs := make([]int64, 0, len(l.taskJobs[tid]))
+	for job := range l.taskJobs[tid] {
+		jobIDs = append(jobIDs, job)
+	}
+	sort.Slice(jobIDs, func(i, j int) bool { return jobIDs[i] < jobIDs[j] })
+	for _, job := range jobIDs {
+		rec := l.taskJobs[tid][job]
 		var touchedBuf [8]int
 		touched := touchedBuf[:0]
 		for _, e := range rec.entries {

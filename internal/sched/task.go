@@ -14,6 +14,17 @@
 // All virtual timestamps in this package are time.Duration offsets from the
 // start of an experiment; real-time bindings convert wall-clock instants to
 // the same representation.
+//
+// # Concurrency
+//
+// The plain Ledger is not safe for concurrent use; callers serialize access
+// (the simulation core is single-goroutine by construction). ShardedLedger
+// is the concurrent admission plane: it partitions processors into shards,
+// each with its own lock, and is safe for concurrent use by any number of
+// goroutines. Its internal lock-ordering invariant — shard mutexes in
+// ascending shard index, then crossMu, then route-stripe/journal leaf
+// mutexes — is documented at the top of sharded.go; any new whole-ledger
+// operation must follow it.
 package sched
 
 import (
