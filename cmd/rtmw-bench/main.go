@@ -8,7 +8,8 @@
 //	rtmw-bench scale             large-scenario throughput sweep (pooled DES core)
 //	rtmw-bench reconfig          mid-run strategy swap: quiesce latency + zero job loss
 //	rtmw-bench churn             open-world task churn: AddTasks/RemoveTasks under load (sim sweep + live smoke)
-//	rtmw-bench all               everything above
+//	rtmw-bench scenario          declarative scenario spec against sim and/or live bindings
+//	rtmw-bench all               everything above (except scenario, which needs a spec)
 //
 // Figure runs accept -sets and -horizon; overhead accepts -duration and
 // -pings; the scale sweep accepts -points (PROCSxTASKS pairs) and -horizon
@@ -19,9 +20,20 @@
 // structured documents. With -json, the JSON documents are the only stdout
 // output (the human-readable tables move to stderr), so stdout redirects to
 // a valid .json file.
+//
+// The scenario subcommand takes its own flags after the subcommand name:
+//
+//	rtmw-bench scenario -spec scenarios/flashcrowd.json -binding both
+//	rtmw-bench scenario -spec scenarios/tenant-churn.json -binding sim -record run.jsonl
+//	rtmw-bench scenario -replay run.jsonl -json
+//
+// It exits non-zero when any binding violates the spec's invariant block. A
+// missing or unknown subcommand prints usage and exits 2, so a misspelled
+// CI invocation fails instead of silently no-opping.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -32,10 +44,20 @@ import (
 	"repro/internal/configengine"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/scenario"
 )
+
+// errUsage marks invocation errors (bad subcommand, bad flags): main prints
+// usage and exits 2, distinguishing caller mistakes from run failures.
+var errUsage = errors.New("usage")
 
 func main() {
 	if err := run(); err != nil {
+		if errors.Is(err, errUsage) {
+			fmt.Fprintln(os.Stderr, err)
+			flag.Usage()
+			os.Exit(2)
+		}
 		log.Fatal(err)
 	}
 }
@@ -57,8 +79,7 @@ func run() error {
 	flag.Parse()
 	cmd := flag.Arg(0)
 	if cmd == "" {
-		flag.Usage()
-		return fmt.Errorf("missing subcommand: table1 | figure5 | figure6 | overhead | ablation | scale | reconfig | churn | all")
+		return fmt.Errorf("%w: missing subcommand: table1 | figure5 | figure6 | overhead | ablation | scale | reconfig | churn | scenario | all", errUsage)
 	}
 	horizonSet := false
 	flag.Visit(func(f *flag.Flag) {
@@ -224,6 +245,78 @@ func run() error {
 		return nil
 	}
 
+	runScenario := func() error {
+		fs := flag.NewFlagSet("scenario", flag.ContinueOnError)
+		specPath := fs.String("spec", "", "scenario spec file (JSON)")
+		bindingF := fs.String("binding", "both", "binding(s) to run: sim | live | both")
+		record := fs.String("record", "", "record the run to a journal file (single binding only)")
+		replay := fs.String("replay", "", "replay a journal file in the sim instead of running a spec")
+		timescale := fs.Float64("timescale", 0, "live wall-clock compression factor (0 = the spec's)")
+		if err := fs.Parse(flag.Args()[1:]); err != nil {
+			return fmt.Errorf("%w: scenario: %v", errUsage, err)
+		}
+		if *replay != "" {
+			data, err := os.ReadFile(*replay)
+			if err != nil {
+				return err
+			}
+			j, err := scenario.DecodeJournal(data)
+			if err != nil {
+				return err
+			}
+			rr, err := scenario.Replay(j)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(tableW, "Replayed %q (%s journal): arrived %d, released %d, completed %d, missed %d, lost %d, ratio %.3f\n",
+				rr.Scenario, j.Header.Binding, rr.Arrived, rr.Released, rr.Completed, rr.Missed, rr.Lost, rr.Ratio)
+			if *jsonOut {
+				fmt.Println(string(rr.MetricsJSON))
+			}
+			return nil
+		}
+		if *specPath == "" {
+			return fmt.Errorf("%w: scenario: -spec or -replay is required", errUsage)
+		}
+		data, err := os.ReadFile(*specPath)
+		if err != nil {
+			return err
+		}
+		s, err := scenario.Parse(data)
+		if err != nil {
+			return err
+		}
+		var bindings []string
+		switch *bindingF {
+		case "sim":
+			bindings = []string{scenario.BindingSim}
+		case "live":
+			bindings = []string{scenario.BindingLive}
+		case "both":
+			bindings = []string{scenario.BindingSim, scenario.BindingLive}
+		default:
+			return fmt.Errorf("%w: scenario: -binding must be sim, live or both, got %q", errUsage, *bindingF)
+		}
+		rep, err := experiments.RunScenario(experiments.ScenarioOptions{
+			Spec: s, Bindings: bindings, TimeScale: *timescale, RecordPath: *record,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(tableW, experiments.RenderScenario(rep))
+		if *jsonOut {
+			doc, err := experiments.RenderScenarioJSON(rep)
+			if err != nil {
+				return err
+			}
+			fmt.Println(doc)
+		}
+		if !rep.Passed() {
+			return fmt.Errorf("scenario %q violated its invariant block", s.Name)
+		}
+		return nil
+	}
+
 	switch cmd {
 	case "table1":
 		return runTable1()
@@ -241,6 +334,8 @@ func run() error {
 		return runReconfig()
 	case "churn":
 		return runChurn()
+	case "scenario":
+		return runScenario()
 	case "all":
 		for _, f := range []func() error{runTable1, runFigure5, runFigure6, runOverhead, runAblation, runScale, runReconfig, runChurn} {
 			if err := f(); err != nil {
@@ -249,6 +344,6 @@ func run() error {
 		}
 		return nil
 	default:
-		return fmt.Errorf("unknown subcommand %q", cmd)
+		return fmt.Errorf("%w: unknown subcommand %q", errUsage, cmd)
 	}
 }

@@ -35,6 +35,13 @@ type SimConfig struct {
 	Seed int64
 	// Trace records per-job lifecycle events (see Trace); off by default.
 	Trace bool
+	// ExternalArrivals disables the workload's own arrival processes: Run
+	// schedules no periodic releases or Poisson arrivals, and AddTasks
+	// registers tasks without starting theirs, so every job enters through
+	// Submit/SubmitBatch (typically from At callbacks). This is the scenario
+	// engine's open-loop mode: the arrival timeline is fully caller-supplied,
+	// which is what makes a recorded timeline replayable bit-for-bit.
+	ExternalArrivals bool
 }
 
 // withDefaults fills unset fields.
@@ -289,9 +296,11 @@ func (s *SimSystem) Run() *Metrics {
 	}
 	if !s.started {
 		s.started = true
-		for i := range s.tasks {
-			if !s.removed[i] {
-				s.scheduleFirstArrival(int32(i), 0)
+		if !s.cfg.ExternalArrivals {
+			for i := range s.tasks {
+				if !s.removed[i] {
+					s.scheduleFirstArrival(int32(i), 0)
+				}
 			}
 		}
 	}
@@ -409,7 +418,7 @@ func (s *SimSystem) AddTasks(tasks []*sched.Task) error {
 	}
 	s.reassignPriorities()
 	for i := base; i < int32(len(s.tasks)); i++ {
-		if s.started {
+		if s.started && !s.cfg.ExternalArrivals {
 			s.scheduleFirstArrival(i, now)
 		}
 		if s.hub.Active() {

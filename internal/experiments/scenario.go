@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+// ScenarioOptions parameterizes one declarative scenario execution: which
+// bindings run the spec, the live time compression, and an optional journal
+// recording.
+type ScenarioOptions struct {
+	// Spec is the parsed scenario.
+	Spec *scenario.Spec
+	// Bindings lists the bindings to run, in order: scenario.BindingSim
+	// and/or scenario.BindingLive. Default: both, sim first.
+	Bindings []string
+	// TimeScale overrides the live compression factor (zero uses the
+	// spec's).
+	TimeScale float64
+	// RecordPath, when set, records the run to a journal file. Recording
+	// requires exactly one binding — a journal captures one run.
+	RecordPath string
+}
+
+// ScenarioReport is the execution's outcome across bindings.
+type ScenarioReport struct {
+	// Spec is the executed scenario.
+	Spec *scenario.Spec
+	// Results holds one entry per binding, in execution order.
+	Results []*scenario.Result
+	// RecordPath echoes the written journal, when recording.
+	RecordPath string
+}
+
+// Passed reports whether every binding satisfied the invariant block.
+func (r *ScenarioReport) Passed() bool {
+	for _, res := range r.Results {
+		if !res.Passed {
+			return false
+		}
+	}
+	return len(r.Results) > 0
+}
+
+// RunScenario executes a scenario spec against the requested bindings,
+// recording a journal when asked. Execution errors abort; invariant
+// violations do not — they are reported per binding so callers (the CLI,
+// CI) decide the exit status from Passed.
+func RunScenario(opts ScenarioOptions) (*ScenarioReport, error) {
+	if opts.Spec == nil {
+		return nil, fmt.Errorf("experiments: scenario: nil spec")
+	}
+	bindings := opts.Bindings
+	if len(bindings) == 0 {
+		bindings = []string{scenario.BindingSim, scenario.BindingLive}
+	}
+	for _, b := range bindings {
+		if b != scenario.BindingSim && b != scenario.BindingLive {
+			return nil, fmt.Errorf("experiments: scenario: unknown binding %q", b)
+		}
+	}
+	if opts.RecordPath != "" && len(bindings) != 1 {
+		return nil, fmt.Errorf("experiments: scenario: recording requires exactly one binding, got %d", len(bindings))
+	}
+
+	rep := &ScenarioReport{Spec: opts.Spec, RecordPath: opts.RecordPath}
+	for _, b := range bindings {
+		var rec *scenario.Recorder
+		var recFile *os.File
+		if opts.RecordPath != "" {
+			h, err := scenario.RecordHeader(opts.Spec, b, opts.TimeScale)
+			if err != nil {
+				return nil, err
+			}
+			recFile, err = os.Create(opts.RecordPath)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: scenario: %w", err)
+			}
+			rec = scenario.NewRecorder(recFile, h)
+		}
+		var res *scenario.Result
+		var err error
+		switch b {
+		case scenario.BindingSim:
+			res, err = scenario.RunSim(opts.Spec, rec)
+		case scenario.BindingLive:
+			res, err = scenario.RunLive(opts.Spec, opts.TimeScale, rec)
+		}
+		if recFile != nil {
+			if cerr := recFile.Close(); err == nil && cerr != nil {
+				err = cerr
+			}
+			if rerr := rec.Err(); err == nil && rerr != nil {
+				err = rerr
+			}
+		}
+		if err != nil {
+			return nil, fmt.Errorf("experiments: scenario %q on %s: %w", opts.Spec.Name, b, err)
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	return rep, nil
+}
+
+// RenderScenario formats the report as a table plus per-binding verdicts.
+func RenderScenario(rep *ScenarioReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Scenario %q (%s, horizon %v, seed %d)\n",
+		rep.Spec.Name, rep.Spec.Config, time.Duration(rep.Spec.Horizon), rep.Spec.Seed)
+	if rep.Spec.Description != "" {
+		fmt.Fprintf(&b, "  %s\n", rep.Spec.Description)
+	}
+	fmt.Fprintf(&b, "%-6s %8s %9s %9s %6s %7s %9s %6s %8s %7s %8s\n",
+		"bind", "arrived", "released", "completed", "lost", "ratio", "missrate", "epoch", "watch-ev", "ledger", "verdict")
+	for _, r := range rep.Results {
+		ledger := "clean"
+		if !r.LedgerClean {
+			ledger = "BAD"
+		}
+		verdict := "PASS"
+		if !r.Passed {
+			verdict = "FAIL"
+		}
+		fmt.Fprintf(&b, "%-6s %8d %9d %9d %6d %7.3f %9.4f %6d %8d %7s %8s\n",
+			r.Binding, r.Arrived, r.Released, r.Completed, r.Lost, r.Ratio,
+			r.MissRate, r.Epoch, r.WatchEvents, ledger, verdict)
+		for _, v := range r.Violations {
+			fmt.Fprintf(&b, "       violation: %s\n", v)
+		}
+	}
+	if rep.RecordPath != "" {
+		fmt.Fprintf(&b, "journal recorded to %s\n", rep.RecordPath)
+	}
+	return b.String()
+}
+
+// RenderScenarioJSON emits the report as an indented JSON document.
+func RenderScenarioJSON(rep *ScenarioReport) (string, error) {
+	doc := struct {
+		Experiment string             `json:"experiment"`
+		Scenario   string             `json:"scenario"`
+		Config     string             `json:"config"`
+		Seed       int64              `json:"seed"`
+		Passed     bool               `json:"passed"`
+		Journal    string             `json:"journal,omitempty"`
+		Results    []*scenario.Result `json:"results"`
+	}{
+		Experiment: "scenario",
+		Scenario:   rep.Spec.Name,
+		Config:     rep.Spec.Config,
+		Seed:       rep.Spec.Seed,
+		Passed:     rep.Passed(),
+		Journal:    rep.RecordPath,
+		Results:    rep.Results,
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("experiments: encode scenario: %w", err)
+	}
+	return string(out), nil
+}

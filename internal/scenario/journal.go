@@ -1,0 +1,383 @@
+package scenario
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	wspec "repro/internal/spec"
+)
+
+// JournalFormat and JournalVersion identify the journal file format: JSON
+// lines, one object per line — a header line, then the applied ops and
+// observed watch events in recording order.
+const (
+	JournalFormat  = "rtmw-scenario-journal"
+	JournalVersion = 1
+)
+
+// JournalHeader describes the recorded run. Workload is the full initial
+// task set in the scenario's unscaled virtual timebase (live runs scale
+// tasks at apply time, not here), so a journal is self-contained: replay
+// needs no access to the original spec.
+type JournalHeader struct {
+	Format   string         `json:"format"`
+	Version  int            `json:"version"`
+	Scenario string         `json:"scenario"`
+	Binding  string         `json:"binding"`
+	Config   string         `json:"config"`
+	Horizon  wspec.Duration `json:"horizon"`
+	Seed     int64          `json:"seed"`
+	// TimeScale is the live run's compression (zero for sim recordings).
+	TimeScale float64         `json:"timeScale,omitempty"`
+	Workload  *wspec.Workload `json:"workload"`
+}
+
+// JournalOp is one applied (post-filter) timeline operation, in the
+// scenario's virtual timebase.
+type JournalOp struct {
+	At    wspec.Duration   `json:"at"`
+	Op    string           `json:"op"`
+	Tasks []string         `json:"tasks,omitempty"`
+	Add   []wspec.TaskSpec `json:"add,omitempty"`
+	IDs   []string         `json:"ids,omitempty"`
+	To    string           `json:"to,omitempty"`
+}
+
+// JournalEvent is one observed watch event. Events are observational —
+// replay reconstructs the run from the ops alone — but they make the
+// journal a complete incident record.
+type JournalEvent struct {
+	Seq   int64          `json:"seq"`
+	Kind  string         `json:"kind"`
+	Task  string         `json:"task,omitempty"`
+	Job   int64          `json:"job"`
+	At    wspec.Duration `json:"at"`
+	Epoch int64          `json:"epoch"`
+}
+
+// journalLine is the on-disk line envelope.
+type journalLine struct {
+	Type   string         `json:"type"`
+	Header *JournalHeader `json:"header,omitempty"`
+	Op     *JournalOp     `json:"op,omitempty"`
+	Event  *JournalEvent  `json:"event,omitempty"`
+}
+
+// Journal is a decoded recording.
+type Journal struct {
+	Header JournalHeader
+	Ops    []JournalOp
+	Events []JournalEvent
+}
+
+// Recorder captures a run to a journal stream. The executor writes ops and
+// the watch consumer writes events concurrently, so writes are serialized
+// by a mutex; encoding errors stick and surface through Err.
+type Recorder struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	err error
+}
+
+// NewRecorder starts a recording by writing the header line.
+func NewRecorder(w io.Writer, h JournalHeader) *Recorder {
+	h.Format = JournalFormat
+	h.Version = JournalVersion
+	r := &Recorder{enc: json.NewEncoder(w)}
+	r.write(journalLine{Type: "header", Header: &h})
+	return r
+}
+
+func (r *Recorder) write(line journalLine) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.err != nil {
+		return
+	}
+	r.err = r.enc.Encode(line)
+}
+
+// Op records one applied timeline operation.
+func (r *Recorder) Op(op JournalOp) { r.write(journalLine{Type: "op", Op: &op}) }
+
+// Event records one observed watch event.
+func (r *Recorder) Event(ev core.WatchEvent) {
+	r.write(journalLine{Type: "event", Event: &JournalEvent{
+		Seq: ev.Seq, Kind: ev.Kind.String(), Task: ev.Task, Job: ev.Job,
+		At: wspec.Duration(ev.At), Epoch: ev.Epoch,
+	}})
+}
+
+// Err returns the first write error, if any.
+func (r *Recorder) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+// DecodeJournal parses a journal from bytes.
+func DecodeJournal(data []byte) (*Journal, error) {
+	return ReadJournal(bytes.NewReader(data))
+}
+
+// ReadJournal parses a journal stream: the header line, then ops and events
+// in recording order.
+func ReadJournal(r io.Reader) (*Journal, error) {
+	j := &Journal{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	n := 0
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		n++
+		var line journalLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			return nil, fmt.Errorf("scenario: journal line %d: %w", n, err)
+		}
+		switch line.Type {
+		case "header":
+			if line.Header == nil {
+				return nil, fmt.Errorf("scenario: journal line %d: empty header", n)
+			}
+			j.Header = *line.Header
+		case "op":
+			if line.Op == nil {
+				return nil, fmt.Errorf("scenario: journal line %d: empty op", n)
+			}
+			j.Ops = append(j.Ops, *line.Op)
+		case "event":
+			if line.Event == nil {
+				return nil, fmt.Errorf("scenario: journal line %d: empty event", n)
+			}
+			j.Events = append(j.Events, *line.Event)
+		default:
+			return nil, fmt.Errorf("scenario: journal line %d: unknown type %q", n, line.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("scenario: read journal: %w", err)
+	}
+	if j.Header.Format != JournalFormat {
+		return nil, fmt.Errorf("scenario: not a scenario journal (format %q)", j.Header.Format)
+	}
+	if j.Header.Version != JournalVersion {
+		return nil, fmt.Errorf("scenario: unsupported journal version %d", j.Header.Version)
+	}
+	if j.Header.Workload == nil {
+		return nil, fmt.Errorf("scenario: journal has no workload")
+	}
+	return j, nil
+}
+
+// ReplayResult is a deterministic re-execution's outcome: the run counters
+// plus the canonical metrics document. Because the simulation is a
+// deterministic function of (workload, config, seed, op timeline), replays
+// of the same journal yield byte-identical MetricsJSON — the property the
+// offline incident-reproduction path rests on.
+type ReplayResult struct {
+	Scenario  string
+	Arrived   int64
+	Released  int64
+	Skipped   int64
+	Completed int64
+	Missed    int64
+	Lost      int64
+	Ratio     float64
+	// MetricsJSON is the canonical (indented, key-sorted, per-task sorted)
+	// metrics document; byte-compare it across replays.
+	MetricsJSON []byte
+}
+
+// Replay re-executes a journal's op timeline in the simulation binding:
+// the header's workload, configuration and seed rebuild the sim in
+// open-loop mode, and the recorded ops are scheduled verbatim at their
+// virtual times. A journal recorded from a sim run reproduces that run
+// exactly; one recorded from a live run reproduces the live arrival
+// timeline under the simulator's deterministic execution model.
+func Replay(j *Journal) (*ReplayResult, error) {
+	cfg, err := core.ParseConfig(j.Header.Config)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: replay: %w", err)
+	}
+	tasks, err := j.Header.Workload.SchedTasks()
+	if err != nil {
+		return nil, fmt.Errorf("scenario: replay: %w", err)
+	}
+	sim, err := core.NewSimSystem(core.SimConfig{
+		Strategies:       cfg,
+		NumProcs:         j.Header.Workload.Processors,
+		Horizon:          time.Duration(j.Header.Horizon),
+		Seed:             j.Header.Seed,
+		ExternalArrivals: true,
+	}, tasks)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: replay: %w", err)
+	}
+	var cbErr error
+	fail := func(err error) {
+		if err != nil && cbErr == nil {
+			cbErr = err
+		}
+	}
+	for i, op := range j.Ops {
+		op := op
+		i := i
+		var fn func()
+		switch op.Op {
+		case OpSubmit:
+			fn = func() { _, err := sim.SubmitBatch(op.Tasks); fail(err) }
+		case InjectAddTasks:
+			fn = func() {
+				added, err := injectionTasks(Injection{Kind: InjectAddTasks, Tasks: op.Add}, j.Header.Workload.Processors)
+				if err != nil {
+					fail(err)
+					return
+				}
+				fail(sim.AddTasks(added))
+			}
+		case InjectRemoveTasks:
+			fn = func() { fail(sim.RemoveTasks(op.IDs)) }
+		case InjectReconfigure:
+			fn = func() {
+				to, err := core.ParseConfig(op.To)
+				if err != nil {
+					fail(err)
+					return
+				}
+				_, err = sim.Reconfigure(to)
+				fail(err)
+			}
+		default:
+			return nil, fmt.Errorf("scenario: replay: op %d: unknown kind %q", i, op.Op)
+		}
+		if err := sim.At(time.Duration(op.At), fn); err != nil {
+			return nil, fmt.Errorf("scenario: replay: op %d: %w", i, err)
+		}
+	}
+	m := sim.Run()
+	if err := sim.Stop(); err != nil {
+		return nil, err
+	}
+	if cbErr != nil {
+		return nil, fmt.Errorf("scenario: replay: %w", cbErr)
+	}
+	doc, err := CanonicalMetricsJSON(j.Header.Scenario, m)
+	if err != nil {
+		return nil, err
+	}
+	return &ReplayResult{
+		Scenario:    j.Header.Scenario,
+		Arrived:     m.Total.Arrived,
+		Released:    m.Total.Released,
+		Skipped:     m.Total.Skipped,
+		Completed:   m.Total.Completed,
+		Missed:      m.Total.Missed,
+		Lost:        m.Total.Released - m.Total.Completed,
+		Ratio:       m.AcceptedUtilizationRatio(),
+		MetricsJSON: doc,
+	}, nil
+}
+
+// metricsKindJSON is the canonical serialization of one accounting bucket.
+type metricsKindJSON struct {
+	Arrived       int64   `json:"arrived"`
+	Released      int64   `json:"released"`
+	Skipped       int64   `json:"skipped"`
+	Completed     int64   `json:"completed"`
+	Missed        int64   `json:"missed"`
+	ArrivedUtil   float64 `json:"arrived_util"`
+	ReleasedUtil  float64 `json:"released_util"`
+	TotalResponse int64   `json:"total_response_ns"`
+	MaxResponse   int64   `json:"max_response_ns"`
+}
+
+func kindJSON(k core.KindMetrics) metricsKindJSON {
+	return metricsKindJSON{
+		Arrived: k.Arrived, Released: k.Released, Skipped: k.Skipped,
+		Completed: k.Completed, Missed: k.Missed,
+		ArrivedUtil: k.ArrivedUtil, ReleasedUtil: k.ReleasedUtil,
+		TotalResponse: int64(k.TotalResponse), MaxResponse: int64(k.MaxResponse),
+	}
+}
+
+// CanonicalMetricsJSON renders a metrics value as a canonical document:
+// fixed field order, per-task entries sorted by ID, indented. Two identical
+// runs produce byte-identical documents, so replay determinism reduces to
+// bytes.Equal.
+func CanonicalMetricsJSON(scenario string, m *core.Metrics) ([]byte, error) {
+	type taskEntry struct {
+		ID string `json:"id"`
+		metricsKindJSON
+	}
+	doc := struct {
+		Scenario  string          `json:"scenario"`
+		Total     metricsKindJSON `json:"total"`
+		Periodic  metricsKindJSON `json:"periodic"`
+		Aperiodic metricsKindJSON `json:"aperiodic"`
+		Tasks     []taskEntry     `json:"tasks"`
+	}{
+		Scenario:  scenario,
+		Total:     kindJSON(m.Total),
+		Periodic:  kindJSON(m.Periodic),
+		Aperiodic: kindJSON(m.Aperiodic),
+	}
+	for _, id := range m.TaskIDs() {
+		doc.Tasks = append(doc.Tasks, taskEntry{ID: id, metricsKindJSON: kindJSON(m.Task(id))})
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("scenario: encode metrics: %w", err)
+	}
+	return out, nil
+}
+
+// jsonUnmarshalStrict decodes JSON rejecting unknown fields and trailing
+// data, so spec typos fail loudly instead of silently validating a
+// different scenario.
+func jsonUnmarshalStrict(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	var trailing json.RawMessage
+	if err := dec.Decode(&trailing); err != io.EOF {
+		return fmt.Errorf("trailing data after spec document")
+	}
+	return nil
+}
+
+// RecordHeader builds the journal header for a spec about to run on a
+// binding. The workload snapshot is taken from the compiled initial task
+// set, unscaled.
+func RecordHeader(s *Spec, bindingName string, timeScale float64) (JournalHeader, error) {
+	c, err := compile(s)
+	if err != nil {
+		return JournalHeader{}, err
+	}
+	return JournalHeader{
+		Scenario: s.Name,
+		Binding:  bindingName,
+		Config:   s.Config,
+		Horizon:  s.Horizon,
+		Seed:     s.Seed,
+		TimeScale: func() float64 {
+			if bindingName == BindingLive {
+				if timeScale > 0 {
+					return timeScale
+				}
+				return s.timeScale()
+			}
+			return 0
+		}(),
+		Workload: wspec.FromTasks(s.Name, c.procs, c.tasks),
+	}, nil
+}

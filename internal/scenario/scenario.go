@@ -1,0 +1,394 @@
+// Package scenario is the declarative scenario engine: workload scenarios —
+// arrival shapes, mid-run injections and expected-invariant blocks — are
+// specified as JSON files and executed against either middleware binding
+// (the deterministic simulation or the live loopback cluster) from the same
+// spec, replacing the bespoke Go harness each experiment used to need.
+//
+// A spec composes four layers:
+//
+//   - a workload (one of the paper's random task sets, or inline tasks);
+//   - arrival shapes per task group (flash crowd, diurnal tide, MMPP
+//     bursts, correlated multi-task spikes, steady Poisson, or the task's
+//     natural process), compiled to one deterministic arrival timeline;
+//   - mid-run injections (AddTasks/RemoveTasks churn, Reconfigure swaps,
+//     submit storms) at exact scenario times;
+//   - an invariant block the run must satisfy (zero admitted-job loss,
+//     deadline-miss-rate ceilings, a clean ledger audit, watch-stream
+//     ordering), evaluated after the drain.
+//
+// Because the compiled timeline is deterministic given the spec's seed, a
+// simulation run of a scenario is bit-reproducible, and any run — sim or
+// live — can be recorded to a journal (the input timeline plus the observed
+// watch stream) and replayed into the simulation offline; see journal.go.
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	wspec "repro/internal/spec"
+	"repro/internal/workload"
+)
+
+// Typed spec-rejection errors, discriminated with errors.Is. Every
+// validation failure wraps ErrSpec; the specific sentinels mark the failure
+// classes tools branch on.
+var (
+	// ErrSpec marks any invalid scenario specification.
+	ErrSpec = errors.New("invalid scenario spec")
+	// ErrUnknownShape marks an arrival block whose shape kind is not one of
+	// the workload package's generators.
+	ErrUnknownShape = fmt.Errorf("%w: unknown arrival shape", ErrSpec)
+	// ErrUnknownInjection marks an injection whose kind is not add_tasks,
+	// remove_tasks, reconfigure or submit_storm.
+	ErrUnknownInjection = fmt.Errorf("%w: unknown injection kind", ErrSpec)
+	// ErrMissingInvariants marks a spec with no invariant block (or an empty
+	// one): a scenario that asserts nothing is a workload generator, not a
+	// test, so the engine refuses it.
+	ErrMissingInvariants = fmt.Errorf("%w: missing invariant block", ErrSpec)
+)
+
+// Injection kinds.
+const (
+	InjectAddTasks    = "add_tasks"
+	InjectRemoveTasks = "remove_tasks"
+	InjectReconfigure = "reconfigure"
+	InjectSubmitStorm = "submit_storm"
+)
+
+// Spec is one declarative scenario. Durations use the workload
+// specification's human-readable encoding ("250ms", "30s").
+type Spec struct {
+	// Name labels the scenario in results and journals.
+	Name string `json:"name"`
+	// Description documents intent; the engine ignores it.
+	Description string `json:"description,omitempty"`
+	// Config is the starting AC_IR_LB strategy combination (e.g. "T_T_T").
+	Config string `json:"config"`
+	// Horizon is the scenario length in scenario (virtual) time; arrivals
+	// and injections all land within it, and the run drains afterwards.
+	Horizon wspec.Duration `json:"horizon"`
+	// Seed makes timeline generation deterministic.
+	Seed int64 `json:"seed"`
+	// Workload selects the task set.
+	Workload WorkloadRef `json:"workload"`
+	// Arrivals maps task groups to arrival shapes. Tasks no block claims
+	// follow their natural arrival process.
+	Arrivals []ArrivalBlock `json:"arrivals,omitempty"`
+	// Injections are the mid-run operations.
+	Injections []Injection `json:"injections,omitempty"`
+	// Invariants is the expected-invariant block; required.
+	Invariants *Invariants `json:"invariants"`
+	// Live tunes the live-binding execution.
+	Live LiveSettings `json:"live,omitempty"`
+}
+
+// WorkloadRef selects the scenario's task set: exactly one field must be
+// set.
+type WorkloadRef struct {
+	// Figure5 and Figure6 pick one of the paper's random task sets by set
+	// index (Sections 7.1 and 7.2).
+	Figure5 *int `json:"figure5,omitempty"`
+	Figure6 *int `json:"figure6,omitempty"`
+	// Inline embeds an explicit workload specification.
+	Inline *wspec.Workload `json:"inline,omitempty"`
+}
+
+// ArrivalBlock assigns one arrival shape to a group of tasks.
+type ArrivalBlock struct {
+	// Tasks names the group. Empty means "every task not named by another
+	// block" (at most one such default block is allowed). Names may also
+	// reference tasks an add_tasks injection introduces; their arrivals
+	// before the join are filtered out (and counted) at execution.
+	Tasks []string `json:"tasks,omitempty"`
+	// Shape is the arrival-shape parameterization.
+	Shape ShapeSpec `json:"shape"`
+}
+
+// ShapeSpec is the JSON form of workload.Shape; rates are arrivals per
+// second of scenario time.
+type ShapeSpec struct {
+	Kind       string         `json:"kind"`
+	Rate       float64        `json:"rate,omitempty"`
+	Peak       float64        `json:"peak,omitempty"`
+	At         wspec.Duration `json:"at,omitempty"`
+	Ramp       wspec.Duration `json:"ramp,omitempty"`
+	Hold       wspec.Duration `json:"hold,omitempty"`
+	Period     wspec.Duration `json:"period,omitempty"`
+	DwellBase  wspec.Duration `json:"dwellBase,omitempty"`
+	DwellBurst wspec.Duration `json:"dwellBurst,omitempty"`
+	Every      wspec.Duration `json:"every,omitempty"`
+	Burst      int            `json:"burst,omitempty"`
+}
+
+// shape converts to the workload package's generator parameterization.
+func (s ShapeSpec) shape() workload.Shape {
+	return workload.Shape{
+		Kind:       workload.ShapeKind(s.Kind),
+		Rate:       s.Rate,
+		Peak:       s.Peak,
+		At:         time.Duration(s.At),
+		Ramp:       time.Duration(s.Ramp),
+		Hold:       time.Duration(s.Hold),
+		Period:     time.Duration(s.Period),
+		DwellBase:  time.Duration(s.DwellBase),
+		DwellBurst: time.Duration(s.DwellBurst),
+		Every:      time.Duration(s.Every),
+		Burst:      s.Burst,
+	}
+}
+
+// Injection is one mid-run operation at an exact scenario time.
+type Injection struct {
+	// At is the scenario time of the operation (within the horizon).
+	At wspec.Duration `json:"at"`
+	// Kind is add_tasks, remove_tasks, reconfigure or submit_storm.
+	Kind string `json:"kind"`
+	// Tasks are the joining tasks (add_tasks).
+	Tasks []wspec.TaskSpec `json:"tasks,omitempty"`
+	// IDs name the departing tasks (remove_tasks) or the storm's targets
+	// (submit_storm).
+	IDs []string `json:"ids,omitempty"`
+	// To is the target combination (reconfigure).
+	To string `json:"to,omitempty"`
+	// Count is the storm's arrivals per named task (default 1).
+	Count int `json:"count,omitempty"`
+}
+
+// Invariants is the expected-invariant block: only the set fields are
+// enforced, and at least one must be.
+type Invariants struct {
+	// ZeroAdmittedLoss asserts every released job completed after the drain
+	// (the open-world protocol's headline guarantee).
+	ZeroAdmittedLoss bool `json:"zeroAdmittedLoss,omitempty"`
+	// LedgerAudit asserts the admission ledger's index invariants hold after
+	// the run.
+	LedgerAudit bool `json:"ledgerAudit,omitempty"`
+	// WatchOrdering asserts the scenario's watch stream delivered strictly
+	// increasing sequence numbers.
+	WatchOrdering bool `json:"watchOrdering,omitempty"`
+	// MaxMissRate caps the deadline-miss rate over completed jobs.
+	MaxMissRate *float64 `json:"maxMissRate,omitempty"`
+	// MinArrived floors the arrival count, guarding against a scenario that
+	// silently exercised nothing.
+	MinArrived int64 `json:"minArrived,omitempty"`
+	// MaxWatchDropped caps the events the scenario's watch stream shed.
+	MaxWatchDropped *int64 `json:"maxWatchDropped,omitempty"`
+	// Live overrides ceilings for the live binding, whose wall-clock jitter
+	// makes the simulation's deterministic bounds too tight.
+	Live *InvariantOverrides `json:"live,omitempty"`
+}
+
+// InvariantOverrides relaxes per-binding ceilings.
+type InvariantOverrides struct {
+	MaxMissRate *float64 `json:"maxMissRate,omitempty"`
+	MinArrived  *int64   `json:"minArrived,omitempty"`
+}
+
+// empty reports whether no invariant is set.
+func (inv *Invariants) empty() bool {
+	return !inv.ZeroAdmittedLoss && !inv.LedgerAudit && !inv.WatchOrdering &&
+		inv.MaxMissRate == nil && inv.MinArrived == 0 && inv.MaxWatchDropped == nil
+}
+
+// LiveSettings tunes live-binding execution.
+type LiveSettings struct {
+	// TimeScale is the wall-clock compression factor: every workload
+	// duration shrinks by it and the timeline plays back that much faster,
+	// so a 30s scenario at TimeScale 10 takes ~3s of wall clock. Synthetic
+	// utilizations are invariant under the scaling. Default 10.
+	TimeScale float64 `json:"timeScale,omitempty"`
+}
+
+// DefaultTimeScale is the live compression when the spec sets none.
+const DefaultTimeScale = 10
+
+// Parse decodes and validates a scenario specification.
+func Parse(data []byte) (*Spec, error) {
+	var s Spec
+	if err := jsonUnmarshalStrict(data, &s); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSpec, err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Validate checks the spec end to end: the workload resolves, the
+// configuration and every injection target parse, every arrival shape is a
+// known generator with sane parameters, every task reference names a task
+// that exists at some point of the scenario, and the invariant block is
+// present and non-empty.
+func (s *Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("%w: missing name", ErrSpec)
+	}
+	if s.Horizon <= 0 {
+		return fmt.Errorf("%w: horizon must be positive, got %v", ErrSpec, time.Duration(s.Horizon))
+	}
+	if _, err := core.ParseConfig(s.Config); err != nil {
+		return fmt.Errorf("%w: config: %v", ErrSpec, err)
+	}
+	tasks, procs, err := s.Workload.resolve()
+	if err != nil {
+		return err
+	}
+	if s.Live.TimeScale < 0 {
+		return fmt.Errorf("%w: live.timeScale must be non-negative", ErrSpec)
+	}
+
+	// The task-ID universe: initial workload tasks plus every add_tasks
+	// injection's tasks.
+	universe := make(map[string]bool, len(tasks))
+	for _, t := range tasks {
+		universe[t.ID] = true
+	}
+	for i, inj := range s.Injections {
+		if inj.Kind != InjectAddTasks {
+			continue
+		}
+		added, err := injectionTasks(inj, procs)
+		if err != nil {
+			return fmt.Errorf("%w: injection %d: %v", ErrSpec, i, err)
+		}
+		for _, t := range added {
+			if universe[t.ID] {
+				return fmt.Errorf("%w: injection %d re-adds task %q", ErrSpec, i, t.ID)
+			}
+			universe[t.ID] = true
+		}
+	}
+
+	claimed := make(map[string]int, len(universe))
+	defaultBlocks := 0
+	for i, b := range s.Arrivals {
+		sh := b.Shape.shape()
+		switch sh.Kind {
+		case workload.ShapeConstant, workload.ShapeFlashCrowd, workload.ShapeDiurnal,
+			workload.ShapeMMPP, workload.ShapeSpike, workload.ShapeNatural:
+			if err := sh.Validate(); err != nil {
+				return fmt.Errorf("%w: arrivals[%d]: %v", ErrSpec, i, err)
+			}
+		default:
+			return fmt.Errorf("%w: arrivals[%d]: %q", ErrUnknownShape, i, b.Shape.Kind)
+		}
+		if len(b.Tasks) == 0 {
+			defaultBlocks++
+			if defaultBlocks > 1 {
+				return fmt.Errorf("%w: more than one default (all-tasks) arrival block", ErrSpec)
+			}
+			continue
+		}
+		for _, id := range b.Tasks {
+			if !universe[id] {
+				return fmt.Errorf("%w: arrivals[%d] references unknown task %q", ErrSpec, i, id)
+			}
+			if prev, dup := claimed[id]; dup {
+				return fmt.Errorf("%w: task %q claimed by arrival blocks %d and %d", ErrSpec, id, prev, i)
+			}
+			claimed[id] = i
+		}
+	}
+
+	for i, inj := range s.Injections {
+		if inj.At < 0 || inj.At > s.Horizon {
+			return fmt.Errorf("%w: injection %d at %v outside [0, %v]", ErrSpec, i, time.Duration(inj.At), time.Duration(s.Horizon))
+		}
+		switch inj.Kind {
+		case InjectAddTasks:
+			// Validated above while building the universe.
+		case InjectRemoveTasks, InjectSubmitStorm:
+			if len(inj.IDs) == 0 {
+				return fmt.Errorf("%w: injection %d (%s) names no ids", ErrSpec, i, inj.Kind)
+			}
+			for _, id := range inj.IDs {
+				if !universe[id] {
+					return fmt.Errorf("%w: injection %d (%s) references unknown task %q", ErrSpec, i, inj.Kind, id)
+				}
+			}
+			if inj.Count < 0 {
+				return fmt.Errorf("%w: injection %d: negative count", ErrSpec, i)
+			}
+		case InjectReconfigure:
+			to, err := core.ParseConfig(inj.To)
+			if err != nil {
+				return fmt.Errorf("%w: injection %d: to: %v", ErrSpec, i, err)
+			}
+			if err := to.Validate(); err != nil {
+				return fmt.Errorf("%w: injection %d: %v", ErrSpec, i, err)
+			}
+		default:
+			return fmt.Errorf("%w: injection %d: %q", ErrUnknownInjection, i, inj.Kind)
+		}
+	}
+
+	if s.Invariants == nil || s.Invariants.empty() {
+		return fmt.Errorf("%w (scenario %q)", ErrMissingInvariants, s.Name)
+	}
+	if s.Invariants.MaxMissRate != nil && (*s.Invariants.MaxMissRate < 0 || *s.Invariants.MaxMissRate > 1) {
+		return fmt.Errorf("%w: maxMissRate %g outside [0, 1]", ErrSpec, *s.Invariants.MaxMissRate)
+	}
+	return nil
+}
+
+// resolve materializes the referenced task set and its processor count.
+func (w WorkloadRef) resolve() ([]*sched.Task, int, error) {
+	set := 0
+	count := 0
+	if w.Figure5 != nil {
+		count++
+	}
+	if w.Figure6 != nil {
+		count++
+	}
+	if w.Inline != nil {
+		count++
+	}
+	if count != 1 {
+		return nil, 0, fmt.Errorf("%w: workload must set exactly one of figure5, figure6, inline", ErrSpec)
+	}
+	switch {
+	case w.Figure5 != nil:
+		set = *w.Figure5
+		tasks, err := workload.Generate(workload.Figure5Params(set))
+		if err != nil {
+			return nil, 0, fmt.Errorf("%w: workload figure5 set %d: %v", ErrSpec, set, err)
+		}
+		return tasks, workload.MaxProc(tasks) + 1, nil
+	case w.Figure6 != nil:
+		set = *w.Figure6
+		tasks, err := workload.Generate(workload.Figure6Params(set))
+		if err != nil {
+			return nil, 0, fmt.Errorf("%w: workload figure6 set %d: %v", ErrSpec, set, err)
+		}
+		return tasks, workload.MaxProc(tasks) + 1, nil
+	default:
+		tasks, err := w.Inline.SchedTasks()
+		if err != nil {
+			return nil, 0, fmt.Errorf("%w: inline workload: %v", ErrSpec, err)
+		}
+		return tasks, w.Inline.Processors, nil
+	}
+}
+
+// injectionTasks converts an add_tasks injection's task specs to validated
+// scheduling-model tasks, bounded by the scenario's processor count.
+func injectionTasks(inj Injection, procs int) ([]*sched.Task, error) {
+	if len(inj.Tasks) == 0 {
+		return nil, fmt.Errorf("add_tasks injection has no tasks")
+	}
+	w := &wspec.Workload{Name: "injection", Processors: procs, Tasks: inj.Tasks}
+	return w.SchedTasks()
+}
+
+// timeScale resolves the live compression factor.
+func (s *Spec) timeScale() float64 {
+	if s.Live.TimeScale > 0 {
+		return s.Live.TimeScale
+	}
+	return DefaultTimeScale
+}

@@ -1,0 +1,197 @@
+package scenario
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/sched"
+	wspec "repro/internal/spec"
+	"repro/internal/workload"
+)
+
+// OpSubmit is the compiled arrival operation; the injection kinds reuse
+// their spec names.
+const OpSubmit = "submit"
+
+// Op is one compiled timeline operation, in the scenario's virtual
+// timebase. The op list is the scenario's entire input: executing it
+// against a binding needs no further randomness, which is what makes the
+// timeline recordable and replayable.
+type Op struct {
+	// At is the operation's scenario time.
+	At time.Duration
+	// Kind is OpSubmit or an injection kind.
+	Kind string
+	// Tasks are the arriving task IDs (OpSubmit; repeats mean multiple
+	// arrivals at the same instant).
+	Tasks []string
+	// Add carries the joining task specs (add_tasks), in the scenario's
+	// unscaled timebase — the live executor scales them at apply time.
+	Add []wspec.TaskSpec
+	// IDs name the departing tasks (remove_tasks).
+	IDs []string
+	// To is the target combination (reconfigure).
+	To string
+}
+
+// compiled is a spec lowered to an executable form.
+type compiled struct {
+	tasks []*sched.Task // initial workload
+	procs int
+	ops   []Op
+	// arrivals is the total compiled arrival count (before the executor's
+	// liveness filtering).
+	arrivals int
+}
+
+// taskSeed derives a per-(block, task) rng seed from the scenario seed, so
+// every task's timeline is independent but fully determined by the spec.
+func taskSeed(seed int64, blockIdx int, taskID string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(taskID))
+	return seed ^ int64(h.Sum64()) ^ (int64(blockIdx+1) * int64(0x9E3779B97F4A7C15&0x7FFFFFFFFFFFFFFF))
+}
+
+// compile lowers a validated spec to its deterministic op timeline:
+// per-task arrival instants from the assigned shapes (tasks no block claims
+// follow their natural process), submit storms expanded to arrival bursts,
+// and the structural injections interleaved. Ops are sorted by time;
+// injections order before arrivals at the same instant, so a task added at
+// t receives its t arrivals and a task removed at t does not.
+func compile(s *Spec) (*compiled, error) {
+	tasks, procs, err := s.Workload.resolve()
+	if err != nil {
+		return nil, err
+	}
+	horizon := time.Duration(s.Horizon)
+
+	// The task universe in deterministic order: initial tasks, then each
+	// add_tasks injection's tasks in injection order.
+	type member struct {
+		task *sched.Task
+		idx  int
+	}
+	universe := make(map[string]member, len(tasks))
+	order := 0
+	for _, t := range tasks {
+		universe[t.ID] = member{task: t, idx: order}
+		order++
+	}
+	allIDs := make([]string, 0, len(tasks))
+	for _, t := range tasks {
+		allIDs = append(allIDs, t.ID)
+	}
+	for _, inj := range s.Injections {
+		if inj.Kind != InjectAddTasks {
+			continue
+		}
+		added, err := injectionTasks(inj, procs)
+		if err != nil {
+			return nil, err
+		}
+		for _, t := range added {
+			universe[t.ID] = member{task: t, idx: order}
+			order++
+			allIDs = append(allIDs, t.ID)
+		}
+	}
+
+	// Shape assignment: explicit block > default block > natural.
+	claimed := make(map[string]int, len(universe))
+	defaultBlock := -1
+	for i, b := range s.Arrivals {
+		if len(b.Tasks) == 0 {
+			defaultBlock = i
+			continue
+		}
+		for _, id := range b.Tasks {
+			claimed[id] = i
+		}
+	}
+
+	// Per-task arrival instants.
+	type arrival struct {
+		at  time.Duration
+		idx int
+		id  string
+	}
+	var events []arrival
+	for _, id := range allIDs {
+		m := universe[id]
+		blockIdx := -1
+		sh := workload.Shape{Kind: workload.ShapeNatural}
+		if bi, ok := claimed[id]; ok {
+			blockIdx = bi
+			sh = s.Arrivals[bi].Shape.shape()
+		} else if defaultBlock >= 0 {
+			blockIdx = defaultBlock
+			sh = s.Arrivals[defaultBlock].Shape.shape()
+		}
+		rng := rand.New(rand.NewSource(taskSeed(s.Seed, blockIdx, id)))
+		var times []time.Duration
+		if sh.Kind == workload.ShapeNatural {
+			times = workload.NaturalTimes(m.task, horizon, rng)
+		} else {
+			times = sh.Times(horizon, rng)
+		}
+		for _, at := range times {
+			events = append(events, arrival{at: at, idx: m.idx, id: id})
+		}
+	}
+
+	// Submit storms are correlated arrival bursts at exact instants.
+	for _, inj := range s.Injections {
+		if inj.Kind != InjectSubmitStorm {
+			continue
+		}
+		count := inj.Count
+		if count <= 0 {
+			count = 1
+		}
+		for _, id := range inj.IDs {
+			m := universe[id]
+			for k := 0; k < count; k++ {
+				events = append(events, arrival{at: time.Duration(inj.At), idx: m.idx, id: id})
+			}
+		}
+	}
+
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].at != events[j].at {
+			return events[i].at < events[j].at
+		}
+		return events[i].idx < events[j].idx
+	})
+
+	// Structural injections first (in spec order), then the grouped arrival
+	// ops; the stable sort keeps injections ahead of arrivals at equal
+	// times.
+	var ops []Op
+	for _, inj := range s.Injections {
+		switch inj.Kind {
+		case InjectAddTasks:
+			ops = append(ops, Op{At: time.Duration(inj.At), Kind: InjectAddTasks, Add: inj.Tasks})
+		case InjectRemoveTasks:
+			ops = append(ops, Op{At: time.Duration(inj.At), Kind: InjectRemoveTasks, IDs: inj.IDs})
+		case InjectReconfigure:
+			ops = append(ops, Op{At: time.Duration(inj.At), Kind: InjectReconfigure, To: inj.To})
+		}
+	}
+	for i := 0; i < len(events); {
+		j := i
+		for j < len(events) && events[j].at == events[i].at {
+			j++
+		}
+		ids := make([]string, 0, j-i)
+		for _, e := range events[i:j] {
+			ids = append(ids, e.id)
+		}
+		ops = append(ops, Op{At: events[i].at, Kind: OpSubmit, Tasks: ids})
+		i = j
+	}
+	sort.SliceStable(ops, func(i, j int) bool { return ops[i].At < ops[j].At })
+
+	return &compiled{tasks: tasks, procs: procs, ops: ops, arrivals: len(events)}, nil
+}

@@ -1,0 +1,238 @@
+package workload
+
+// Arrival-shape generators for the declarative scenario engine
+// (internal/scenario): each Shape turns into a deterministic timeline of
+// arrival instants for one task, given the scenario seed. The shapes model
+// the traffic regimes an open CPS deployment actually sees — steady Poisson
+// background load, flash crowds, diurnal tides, Markov-modulated bursts and
+// correlated multi-task spikes — so scenarios exercise admission control far
+// from the paper's stationary Section 7 workloads.
+//
+// Generation is pure: the same (shape, horizon, rng state) always yields the
+// same instants, which is what lets the scenario engine feed an identical
+// timeline to the simulation and the live cluster, and lets record/replay
+// reproduce a run bit-for-bit.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/sched"
+)
+
+// ShapeKind names one arrival-shape generator.
+type ShapeKind string
+
+// Arrival shapes.
+const (
+	// ShapeConstant is a homogeneous Poisson process at Rate arrivals/sec.
+	ShapeConstant ShapeKind = "constant"
+	// ShapeFlashCrowd is a baseline Poisson process at Rate that ramps to
+	// Peak over Ramp starting at At, holds the plateau for Hold, and ramps
+	// back down over Ramp — the viral-event / alarm-flood regime.
+	ShapeFlashCrowd ShapeKind = "flashcrowd"
+	// ShapeDiurnal is a sinusoidal tide between Rate (trough) and Peak
+	// (crest) with the given Period, starting at the trough.
+	ShapeDiurnal ShapeKind = "diurnal"
+	// ShapeMMPP is a two-state Markov-modulated Poisson process: a base
+	// state at Rate with mean dwell DwellBase and a burst state at Peak with
+	// mean dwell DwellBurst.
+	ShapeMMPP ShapeKind = "mmpp"
+	// ShapeSpike fires Burst back-to-back arrivals at At and then every
+	// Every thereafter (Every zero means a single spike). A spike block
+	// naming several tasks hits all of them at the same instants — the
+	// correlated multi-task spike regime.
+	ShapeSpike ShapeKind = "spike"
+	// ShapeNatural reproduces the task's own arrival process (periodic
+	// releases from its phase, or Poisson arrivals at its mean
+	// interarrival), as the closed-loop simulation would schedule it.
+	ShapeNatural ShapeKind = "natural"
+)
+
+// Shape parameterizes one arrival-shape generator. Rates are in arrivals per
+// second of scenario (virtual) time.
+type Shape struct {
+	Kind ShapeKind
+	// Rate is the baseline rate (trough/base state); Peak the elevated rate
+	// where the shape has one.
+	Rate float64
+	Peak float64
+	// At, Ramp and Hold describe the flash crowd envelope; At is also the
+	// first spike instant.
+	At   time.Duration
+	Ramp time.Duration
+	Hold time.Duration
+	// Period is the diurnal cycle length.
+	Period time.Duration
+	// DwellBase and DwellBurst are the MMPP mean state-dwell times.
+	DwellBase  time.Duration
+	DwellBurst time.Duration
+	// Every and Burst describe the spike train.
+	Every time.Duration
+	Burst int
+}
+
+// Validate checks the shape's parameters for its kind. ShapeNatural needs no
+// parameters (the task supplies them).
+func (s Shape) Validate() error {
+	switch s.Kind {
+	case ShapeConstant:
+		if s.Rate <= 0 {
+			return fmt.Errorf("workload: constant shape needs rate > 0, got %g", s.Rate)
+		}
+	case ShapeFlashCrowd:
+		if s.Rate < 0 || s.Peak <= 0 || s.Peak < s.Rate {
+			return fmt.Errorf("workload: flashcrowd shape needs 0 <= rate <= peak with peak > 0, got rate=%g peak=%g", s.Rate, s.Peak)
+		}
+		if s.Ramp <= 0 || s.Hold < 0 || s.At < 0 {
+			return fmt.Errorf("workload: flashcrowd shape needs ramp > 0 and non-negative at/hold")
+		}
+	case ShapeDiurnal:
+		if s.Rate < 0 || s.Peak <= 0 || s.Peak < s.Rate {
+			return fmt.Errorf("workload: diurnal shape needs 0 <= rate <= peak with peak > 0, got rate=%g peak=%g", s.Rate, s.Peak)
+		}
+		if s.Period <= 0 {
+			return fmt.Errorf("workload: diurnal shape needs period > 0")
+		}
+	case ShapeMMPP:
+		if s.Rate < 0 || s.Peak <= 0 {
+			return fmt.Errorf("workload: mmpp shape needs rate >= 0 and peak > 0, got rate=%g peak=%g", s.Rate, s.Peak)
+		}
+		if s.DwellBase <= 0 || s.DwellBurst <= 0 {
+			return fmt.Errorf("workload: mmpp shape needs positive dwellBase and dwellBurst")
+		}
+	case ShapeSpike:
+		if s.Burst <= 0 {
+			return fmt.Errorf("workload: spike shape needs burst > 0, got %d", s.Burst)
+		}
+		if s.At <= 0 && s.Every <= 0 {
+			return fmt.Errorf("workload: spike shape needs at or every")
+		}
+	case ShapeNatural:
+		// Parameterized by the task itself.
+	default:
+		return fmt.Errorf("workload: unknown arrival shape %q", s.Kind)
+	}
+	return nil
+}
+
+// rateAt evaluates the shape's instantaneous rate for the time-varying
+// shapes (flashcrowd, diurnal).
+func (s Shape) rateAt(t time.Duration) float64 {
+	switch s.Kind {
+	case ShapeFlashCrowd:
+		rampUpEnd := s.At + s.Ramp
+		holdEnd := rampUpEnd + s.Hold
+		rampDownEnd := holdEnd + s.Ramp
+		switch {
+		case t < s.At || t >= rampDownEnd:
+			return s.Rate
+		case t < rampUpEnd:
+			f := float64(t-s.At) / float64(s.Ramp)
+			return s.Rate + (s.Peak-s.Rate)*f
+		case t < holdEnd:
+			return s.Peak
+		default:
+			f := float64(t-holdEnd) / float64(s.Ramp)
+			return s.Peak - (s.Peak-s.Rate)*f
+		}
+	case ShapeDiurnal:
+		// Starts at the trough: rate(0) = Rate, rate(Period/2) = Peak.
+		phase := 2*math.Pi*float64(t)/float64(s.Period) - math.Pi/2
+		return s.Rate + (s.Peak-s.Rate)*(1+math.Sin(phase))/2
+	default:
+		return s.Rate
+	}
+}
+
+// expDur samples an exponential duration with the given mean.
+func expDur(rng *rand.Rand, mean time.Duration) time.Duration {
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	return time.Duration(-float64(mean) * math.Log(u))
+}
+
+// expInterarrival samples an exponential interarrival for a rate in
+// arrivals/sec.
+func expInterarrival(rng *rand.Rand, rate float64) time.Duration {
+	return expDur(rng, time.Duration(float64(time.Second)/rate))
+}
+
+// Times generates the shape's arrival instants over [0, horizon], sorted
+// ascending. The same rng state always produces the same instants.
+func (s Shape) Times(horizon time.Duration, rng *rand.Rand) []time.Duration {
+	var out []time.Duration
+	switch s.Kind {
+	case ShapeConstant:
+		for t := expInterarrival(rng, s.Rate); t <= horizon; t += expInterarrival(rng, s.Rate) {
+			out = append(out, t)
+		}
+	case ShapeFlashCrowd, ShapeDiurnal:
+		// Thinning (non-homogeneous Poisson): candidates at the peak rate,
+		// accepted with probability rate(t)/peak. Both rng draws happen for
+		// every candidate, so the sequence is deterministic.
+		rmax := math.Max(s.Rate, s.Peak)
+		for t := expInterarrival(rng, rmax); t <= horizon; t += expInterarrival(rng, rmax) {
+			if rng.Float64()*rmax <= s.rateAt(t) {
+				out = append(out, t)
+			}
+		}
+	case ShapeMMPP:
+		t := time.Duration(0)
+		burst := false
+		for t < horizon {
+			dwellMean, rate := s.DwellBase, s.Rate
+			if burst {
+				dwellMean, rate = s.DwellBurst, s.Peak
+			}
+			end := t + expDur(rng, dwellMean)
+			if end > horizon {
+				end = horizon
+			}
+			if rate > 0 {
+				for at := t + expInterarrival(rng, rate); at <= end; at += expInterarrival(rng, rate) {
+					out = append(out, at)
+				}
+			}
+			t = end
+			burst = !burst
+		}
+	case ShapeSpike:
+		first := s.At
+		if first <= 0 {
+			first = s.Every
+		}
+		for t := first; t <= horizon; t += s.Every {
+			for b := 0; b < s.Burst; b++ {
+				out = append(out, t)
+			}
+			if s.Every <= 0 {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// NaturalTimes generates the arrival instants a task's own arrival process
+// would produce over [0, horizon]: periodic releases at phase + k·period, or
+// Poisson arrivals at the task's mean interarrival offset by the phase —
+// mirroring the closed-loop simulation's scheduling so an open-loop scenario
+// drives the same long-run load for tasks no shape claims.
+func NaturalTimes(t *sched.Task, horizon time.Duration, rng *rand.Rand) []time.Duration {
+	var out []time.Duration
+	if t.Kind == sched.Periodic {
+		for at := t.Phase; at <= horizon; at += t.Period {
+			out = append(out, at)
+		}
+		return out
+	}
+	for at := t.Phase + expDur(rng, t.MeanInterarrival); at <= horizon; at += expDur(rng, t.MeanInterarrival) {
+		out = append(out, at)
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/sched"
+)
+
+func shapeTimes(t *testing.T, s Shape, horizon time.Duration, seed int64) []time.Duration {
+	t.Helper()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate(%+v): %v", s, err)
+	}
+	return s.Times(horizon, rand.New(rand.NewSource(seed)))
+}
+
+func assertSortedWithin(t *testing.T, times []time.Duration, horizon time.Duration) {
+	t.Helper()
+	for i, at := range times {
+		if at < 0 || at > horizon {
+			t.Fatalf("arrival %d at %v outside [0, %v]", i, at, horizon)
+		}
+		if i > 0 && at < times[i-1] {
+			t.Fatalf("arrival %d at %v before predecessor %v", i, at, times[i-1])
+		}
+	}
+}
+
+// Same shape + same seed must always produce the same instants: the whole
+// scenario engine rests on this.
+func TestShapeTimesDeterministic(t *testing.T) {
+	shapes := []Shape{
+		{Kind: ShapeConstant, Rate: 5},
+		{Kind: ShapeFlashCrowd, Rate: 1, Peak: 20, At: 5 * time.Second, Ramp: 2 * time.Second, Hold: 3 * time.Second},
+		{Kind: ShapeDiurnal, Rate: 0.5, Peak: 8, Period: 10 * time.Second},
+		{Kind: ShapeMMPP, Rate: 1, Peak: 15, DwellBase: 3 * time.Second, DwellBurst: time.Second},
+		{Kind: ShapeSpike, At: 2 * time.Second, Every: 4 * time.Second, Burst: 3},
+	}
+	const horizon = 30 * time.Second
+	for _, s := range shapes {
+		a := shapeTimes(t, s, horizon, 42)
+		b := shapeTimes(t, s, horizon, 42)
+		if len(a) != len(b) {
+			t.Fatalf("%s: runs differ in length: %d vs %d", s.Kind, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: arrival %d differs: %v vs %v", s.Kind, i, a[i], b[i])
+			}
+		}
+		assertSortedWithin(t, a, horizon)
+		if len(a) == 0 {
+			t.Fatalf("%s: produced no arrivals over %v", s.Kind, horizon)
+		}
+	}
+}
+
+// The spike train is fully deterministic: burst arrivals at exact instants.
+func TestShapeSpikeTrain(t *testing.T) {
+	s := Shape{Kind: ShapeSpike, At: 5 * time.Second, Every: 5 * time.Second, Burst: 4}
+	times := shapeTimes(t, s, 20*time.Second, 1)
+	if want := 4 * 4; len(times) != want { // spikes at 5, 10, 15, 20s
+		t.Fatalf("got %d arrivals, want %d", len(times), want)
+	}
+	for i, at := range times {
+		want := time.Duration(5+5*(i/4)) * time.Second
+		if at != want {
+			t.Fatalf("arrival %d at %v, want %v", i, at, want)
+		}
+	}
+
+	single := Shape{Kind: ShapeSpike, At: 3 * time.Second, Burst: 2}
+	times = shapeTimes(t, single, 20*time.Second, 1)
+	if len(times) != 2 || times[0] != 3*time.Second || times[1] != 3*time.Second {
+		t.Fatalf("single spike: got %v", times)
+	}
+}
+
+// The flash crowd's plateau must be denser than its baseline.
+func TestShapeFlashCrowdDensity(t *testing.T) {
+	s := Shape{Kind: ShapeFlashCrowd, Rate: 1, Peak: 30, At: 10 * time.Second, Ramp: 2 * time.Second, Hold: 6 * time.Second}
+	times := shapeTimes(t, s, 30*time.Second, 7)
+	var base, plateau int
+	for _, at := range times {
+		switch {
+		case at < 10*time.Second:
+			base++
+		case at >= 12*time.Second && at < 18*time.Second:
+			plateau++
+		}
+	}
+	// 10s of baseline at ~1/s vs 6s of plateau at ~30/s.
+	if plateau <= 3*base {
+		t.Fatalf("plateau not denser than baseline: %d plateau arrivals vs %d baseline", plateau, base)
+	}
+}
+
+// Invalid parameterizations must be rejected.
+func TestShapeValidate(t *testing.T) {
+	bad := []Shape{
+		{Kind: ShapeConstant},
+		{Kind: ShapeConstant, Rate: -1},
+		{Kind: ShapeFlashCrowd, Rate: 5, Peak: 1, Ramp: time.Second},
+		{Kind: ShapeFlashCrowd, Rate: 1, Peak: 5},
+		{Kind: ShapeDiurnal, Rate: 1, Peak: 5},
+		{Kind: ShapeMMPP, Rate: 1, Peak: 5},
+		{Kind: ShapeSpike},
+		{Kind: ShapeKind("wavelet")},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted an invalid shape", s)
+		}
+	}
+}
+
+// NaturalTimes mirrors the task's own process: exact periodic releases,
+// Poisson for aperiodic — both deterministic under a fixed seed.
+func TestNaturalTimes(t *testing.T) {
+	p := &sched.Task{ID: "p", Kind: sched.Periodic, Period: 4 * time.Second, Phase: time.Second, Deadline: 4 * time.Second}
+	times := NaturalTimes(p, 13*time.Second, rand.New(rand.NewSource(1)))
+	want := []time.Duration{time.Second, 5 * time.Second, 9 * time.Second, 13 * time.Second}
+	if len(times) != len(want) {
+		t.Fatalf("periodic: got %v, want %v", times, want)
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("periodic: got %v, want %v", times, want)
+		}
+	}
+
+	a := &sched.Task{ID: "a", Kind: sched.Aperiodic, MeanInterarrival: time.Second, Deadline: time.Second}
+	x := NaturalTimes(a, 30*time.Second, rand.New(rand.NewSource(9)))
+	y := NaturalTimes(a, 30*time.Second, rand.New(rand.NewSource(9)))
+	if len(x) == 0 || len(x) != len(y) {
+		t.Fatalf("aperiodic: nondeterministic or empty: %d vs %d arrivals", len(x), len(y))
+	}
+	assertSortedWithin(t, x, 30*time.Second)
+}

@@ -40,6 +40,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/deploy"
 	"repro/internal/experiments"
+	"repro/internal/scenario"
 	"repro/internal/sched"
 	"repro/internal/spec"
 	"repro/internal/workload"
@@ -400,6 +401,70 @@ var (
 	// worker per CPU).
 	ResolveWorkers = experiments.ResolveWorkers
 )
+
+// Scenario engine re-exports: declarative JSON specs composing arrival
+// shapes, mid-run injections and expected-invariant blocks, executed
+// against either binding from one file, with deterministic record/replay.
+type (
+	// Scenario is a parsed declarative scenario specification.
+	Scenario = scenario.Spec
+	// ScenarioWorkloadRef selects the scenario's initial workload (a
+	// Figure 5/6 generated set or an inline specification).
+	ScenarioWorkloadRef = scenario.WorkloadRef
+	// ScenarioArrivalBlock binds an arrival shape to a set of tasks.
+	ScenarioArrivalBlock = scenario.ArrivalBlock
+	// ScenarioShape is the JSON form of an arrival shape.
+	ScenarioShape = scenario.ShapeSpec
+	// ScenarioInjection is one mid-run structural operation.
+	ScenarioInjection = scenario.Injection
+	// ScenarioInvariants is a spec's expected-invariant block.
+	ScenarioInvariants = scenario.Invariants
+	// ScenarioResult is one binding's execution outcome and verdict.
+	ScenarioResult = scenario.Result
+	// ScenarioJournal is a decoded record/replay journal.
+	ScenarioJournal = scenario.Journal
+	// ScenarioReplayResult is a journal replay's outcome with its
+	// canonical metrics document.
+	ScenarioReplayResult = scenario.ReplayResult
+	// ArrivalShape is a time-varying arrival process (flash crowd,
+	// diurnal tide, MMPP burst, correlated spike, constant Poisson).
+	ArrivalShape = workload.Shape
+	// ScenarioOptions parameterizes a scenario run across bindings.
+	ScenarioOptions = experiments.ScenarioOptions
+	// ScenarioReport is a scenario run's per-binding results.
+	ScenarioReport = experiments.ScenarioReport
+)
+
+// Typed scenario-spec failures, discriminated with errors.Is. Every
+// rejection wraps ErrScenarioSpec.
+var (
+	ErrScenarioSpec      = scenario.ErrSpec
+	ErrUnknownShape      = scenario.ErrUnknownShape
+	ErrUnknownInjection  = scenario.ErrUnknownInjection
+	ErrMissingInvariants = scenario.ErrMissingInvariants
+)
+
+// ParseScenario decodes and validates a JSON scenario specification,
+// rejecting unknown fields.
+func ParseScenario(data []byte) (*Scenario, error) { return scenario.Parse(data) }
+
+// RunScenario executes a scenario spec against the selected bindings
+// (simulation and/or live cluster), optionally recording a journal.
+func RunScenario(opts ScenarioOptions) (*ScenarioReport, error) {
+	return experiments.RunScenario(opts)
+}
+
+// ReadScenarioJournal decodes a recorded scenario journal.
+func ReadScenarioJournal(data []byte) (*ScenarioJournal, error) {
+	return scenario.DecodeJournal(data)
+}
+
+// ReplayScenarioJournal re-executes a journal's op timeline in the
+// deterministic simulation binding; replays of the same journal yield
+// byte-identical canonical metrics documents.
+func ReplayScenarioJournal(j *ScenarioJournal) (*ScenarioReplayResult, error) {
+	return scenario.Replay(j)
+}
 
 // DefaultLinkDelay is the simulated one-way communication delay, calibrated
 // to the paper's measured 322 µs mean on its 100 Mbps testbed.
