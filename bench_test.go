@@ -783,3 +783,80 @@ func BenchmarkSimHotPath(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkFailover measures the node-loss survival cycle on a live
+// three-processor cluster with full replica coverage: per iteration a burst
+// of submissions is followed by a hard node kill, the zero-loss failover
+// transaction (quiesce → processor-removal delta → standby fence →
+// dead-letter redelivery), and the node's recovery via plan redeploy. The
+// first iteration pays the workload surgery that evacuates the victim
+// processor; later iterations measure the bare transaction plus recovery on
+// an already-evacuated processor. failover-ns isolates the Failover call
+// from the recovery cost; quiesce-ns is the admission-quiesce span within
+// it. Allocations are transport-heavy (a fresh node per recovery), so the
+// baseline tolerance is generous.
+func BenchmarkFailover(b *testing.B) {
+	w, err := rtmw.ParseWorkload([]byte(`{
+	  "name": "bench-failover",
+	  "processors": 3,
+	  "tasks": [
+	    {"id": "cam", "kind": "aperiodic", "deadline": "500ms", "meanInterarrival": "250ms",
+	     "subtasks": [
+	       {"exec": "3ms", "processor": 0, "replicas": [2]},
+	       {"exec": "2ms", "processor": 1, "replicas": [2]}
+	     ]},
+	    {"id": "lidar", "kind": "aperiodic", "deadline": "400ms", "meanInterarrival": "250ms",
+	     "subtasks": [{"exec": "4ms", "processor": 1, "replicas": [0]}]},
+	    {"id": "fuse", "kind": "aperiodic", "deadline": "600ms", "meanInterarrival": "250ms",
+	     "subtasks": [
+	       {"exec": "3ms", "processor": 2, "replicas": [0]},
+	       {"exec": "2ms", "processor": 0, "replicas": [2]}
+	     ]}
+	  ]
+	}`))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg, _ := rtmw.ParseConfig("T_T_T")
+	c, err := rtmw.StartLiveBinding(rtmw.ClusterOptions{Workload: w, Config: cfg, Seed: 23})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	var failover, quiesce time.Duration
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ids := make([]string, 0, 9)
+		for _, task := range c.Tasks() {
+			ids = append(ids, task.ID, task.ID, task.ID)
+		}
+		if _, err := c.SubmitBatch(ids); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.KillNode(1); err != nil {
+			b.Fatal(err)
+		}
+		rep, err := c.Failover(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Lost != 0 || len(rep.Withdrawn) != 0 {
+			b.Fatalf("failover lost jobs: %+v", rep)
+		}
+		failover += rep.Duration
+		quiesce += rep.Quiesce
+		if err := c.RecoverNode(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(failover.Nanoseconds())/float64(b.N), "failover-ns")
+	b.ReportMetric(float64(quiesce.Nanoseconds())/float64(b.N), "quiesce-ns")
+	if err := c.AuditAdmissionState(); err != nil {
+		b.Fatal(err)
+	}
+	if _, lost := c.RedeliveryStats(); lost != 0 {
+		b.Fatalf("redelivery lost %d jobs", lost)
+	}
+}

@@ -8,6 +8,7 @@
 //	rtmw-bench scale             large-scenario throughput sweep (pooled DES core)
 //	rtmw-bench reconfig          mid-run strategy swap: quiesce latency + zero job loss
 //	rtmw-bench churn             open-world task churn: AddTasks/RemoveTasks under load (sim sweep + live smoke)
+//	rtmw-bench failover          kill-a-node chaos sweep: heartbeat detection, zero-loss failover, recovery (live)
 //	rtmw-bench scenario          declarative scenario spec against sim and/or live bindings
 //	rtmw-bench all               everything above (except scenario, which needs a spec)
 //
@@ -79,7 +80,7 @@ func run() error {
 	flag.Parse()
 	cmd := flag.Arg(0)
 	if cmd == "" {
-		return fmt.Errorf("%w: missing subcommand: table1 | figure5 | figure6 | overhead | ablation | scale | reconfig | churn | scenario | all", errUsage)
+		return fmt.Errorf("%w: missing subcommand: table1 | figure5 | figure6 | overhead | ablation | scale | reconfig | churn | failover | scenario | all", errUsage)
 	}
 	horizonSet := false
 	flag.Visit(func(f *flag.Flag) {
@@ -229,6 +230,26 @@ func run() error {
 		}
 		return nil
 	}
+	runFailover := func() error {
+		fmt.Fprintln(os.Stderr, "running kill-a-node failover sweep (live clusters)...")
+		results, err := experiments.RunFailover(experiments.FailoverOptions{})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(tableW, experiments.RenderFailover(
+			"Failover: heartbeat detection, zero-loss node failover and recovery (one live cluster per victim)", results))
+		if *jsonOut {
+			doc, err := experiments.RenderFailoverJSON(results)
+			if err != nil {
+				return err
+			}
+			fmt.Println(doc)
+		}
+		if !experiments.FailoverPassed(results) {
+			return fmt.Errorf("failover sweep failed its zero-loss obligations (lost jobs, dirty audit, or missing failure-plane events)")
+		}
+		return nil
+	}
 	runAblation := func() error {
 		results, err := experiments.RunAblationAUBvsDS(experiments.AblationOptions{Seeds: 10, Workers: workers})
 		if err != nil {
@@ -334,10 +355,12 @@ func run() error {
 		return runReconfig()
 	case "churn":
 		return runChurn()
+	case "failover":
+		return runFailover()
 	case "scenario":
 		return runScenario()
 	case "all":
-		for _, f := range []func() error{runTable1, runFigure5, runFigure6, runOverhead, runAblation, runScale, runReconfig, runChurn} {
+		for _, f := range []func() error{runTable1, runFigure5, runFigure6, runOverhead, runAblation, runScale, runReconfig, runChurn, runFailover} {
 			if err := f(); err != nil {
 				return err
 			}

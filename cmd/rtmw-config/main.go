@@ -23,10 +23,20 @@
 // configuration.
 //
 //	rtmw-config reconfigure -plan plan.xml -config J_J_J [-out plan.xml]
+//
+// The health subcommand probes a RUNNING cluster: it pings every node's
+// NodeManager over the ORB (the liveness view an operator gets before the
+// in-cluster heartbeat detector would act) and reads the admission
+// controller's current epoch and strategy combination off its
+// reconfiguration facet. It exits non-zero when any node is down.
+//
+//	rtmw-config health -plan plan.xml
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/gob"
 	"flag"
 	"fmt"
 	"log"
@@ -37,6 +47,7 @@ import (
 	"repro/internal/configengine"
 	"repro/internal/core"
 	"repro/internal/deploy"
+	"repro/internal/live"
 	"repro/internal/orb"
 	"repro/internal/spec"
 )
@@ -48,9 +59,98 @@ func main() {
 		}
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "health" {
+		if err := runHealth(os.Args[2:]); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if err := run(); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// runHealth probes every node of an executed plan and reports the admission
+// controller's epoch and configuration.
+func runHealth(args []string) error {
+	fs := flag.NewFlagSet("rtmw-config health", flag.ExitOnError)
+	var (
+		planPath = fs.String("plan", "", "executed deployment plan of the running cluster (XML)")
+		timeout  = fs.Duration("timeout", 5*time.Second, "per-probe timeout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *planPath == "" {
+		return fmt.Errorf("missing -plan (the XML plan the running cluster was deployed from)")
+	}
+	data, err := os.ReadFile(*planPath)
+	if err != nil {
+		return err
+	}
+	plan, err := deploy.Parse(data)
+	if err != nil {
+		return err
+	}
+
+	o := orb.New("rtmw-health")
+	defer o.Shutdown()
+	l := deploy.NewLauncher(o)
+	down := 0
+	fmt.Printf("%-12s %-6s %-22s %s\n", "node", "proc", "address", "status")
+	for _, n := range plan.Nodes {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		err := l.Ping(ctx, n.Address)
+		cancel()
+		status := "up"
+		if err != nil {
+			status = "DOWN"
+			down++
+		}
+		proc := fmt.Sprintf("%d", n.Processor)
+		if n.Processor < 0 {
+			proc = "mgr"
+		}
+		fmt.Printf("%-12s %-6s %-22s %s\n", n.Name, proc, n.Address, status)
+	}
+
+	// The AC's reconfiguration facet answers Epoch and Config on the node
+	// hosting Central-AC.
+	managerAddr := ""
+	for _, inst := range plan.Instances {
+		if inst.Implementation == live.ImplAdmissionController {
+			for _, n := range plan.Nodes {
+				if n.Name == inst.Node {
+					managerAddr = n.Address
+				}
+			}
+		}
+	}
+	if managerAddr == "" {
+		return fmt.Errorf("plan has no admission controller instance")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	var epoch int64
+	if reply, err := o.Invoke(ctx, managerAddr, live.ReconfigServantKey, "Epoch", nil); err != nil {
+		fmt.Printf("admission controller: UNREACHABLE (%v)\n", err)
+		down++
+	} else if err := gob.NewDecoder(bytes.NewReader(reply)).Decode(&epoch); err != nil {
+		return fmt.Errorf("decode epoch: %w", err)
+	} else {
+		cfg := "unknown"
+		if reply, err := o.Invoke(ctx, managerAddr, live.ReconfigServantKey, "Config", nil); err == nil {
+			var s string
+			if gob.NewDecoder(bytes.NewReader(reply)).Decode(&s) == nil {
+				cfg = s
+			}
+		}
+		fmt.Printf("admission controller: epoch %d, configuration %s\n", epoch, cfg)
+	}
+	if down > 0 {
+		return fmt.Errorf("%d probe(s) failed", down)
+	}
+	return nil
 }
 
 // runReconfigure executes the reconfigure subcommand against a running

@@ -44,6 +44,14 @@ type Options struct {
 	// NodeOptions tune every node's transport plane (ORB send queue and
 	// write batch, gateway sink queue and batch).
 	NodeOptions []live.NodeOption
+	// HeartbeatTimeout is the heartbeat silence span after which the failure
+	// detector declares an application node dead (default
+	// DefaultHeartbeatTimeout).
+	HeartbeatTimeout time.Duration
+	// AutoFailover makes the detector run the failover transaction itself
+	// when it declares a node dead; without it the declaration only surfaces
+	// as a WatchNodeDown event and Failover is the caller's move.
+	AutoFailover bool
 }
 
 // Cluster is a running live deployment. It implements the unified Binding
@@ -63,6 +71,28 @@ type Cluster struct {
 	drivers   []*live.Driver
 	launcher  *orb.ORB
 	seed      int64
+
+	// registry, execScale and nodeOpts are retained from Start so
+	// RecoverNode can assemble a replacement node identically.
+	registry  *ccm.Registry
+	execScale float64
+	nodeOpts  []live.NodeOption
+
+	// detector and tracker are the failure plane (failover.go).
+	detector *detector
+	tracker  *tracker
+
+	// failMu guards the node-liveness and failover-deferral state. It is a
+	// leaf lock: Submit consults it without cfgMu, so a failover holding
+	// cfgMu across its network phase never blocks the submission path.
+	failMu          sync.Mutex
+	deadProcs       map[int]bool
+	failedOver      map[int]bool
+	failoverActive  bool
+	deferredSubmits []string
+	// lostStats banks dead effectors' counters when RecoverNode replaces
+	// their node, keeping the binding counters monotonic across the swap.
+	lostStats map[int]live.TEStats
 
 	// cfgMu guards the active configuration, the stopped flag and
 	// serializes Reconfigure / AddTasks / RemoveTasks transactions (the AC
@@ -108,7 +138,13 @@ func Start(opts Options) (*Cluster, error) {
 		return nil, err
 	}
 
-	c := &Cluster{seed: opts.Seed, cfg: opts.Config}
+	c := &Cluster{
+		seed:      opts.Seed,
+		cfg:       opts.Config,
+		registry:  registry,
+		execScale: opts.ExecScale,
+		nodeOpts:  opts.NodeOptions,
+	}
 	c.cfgVal.Store(opts.Config)
 	c.setTasks(tasks)
 	fail := func(err error) (*Cluster, error) {
@@ -162,6 +198,20 @@ func Start(opts Options) (*Cluster, error) {
 		app.Channel.Subscribe(live.EvDone, c.tapDone(app.Name))
 	}
 	c.Manager.Channel.Subscribe(live.EvAccept, c.tapAccept(c.Manager.Name))
+
+	// Failure plane: the dead-letter tracker tails every application node's
+	// local job hops, and the detector tails the heartbeat stream on the
+	// manager.
+	c.tracker = newTracker(c)
+	for _, app := range c.Apps {
+		c.tracker.attach(app)
+	}
+	timeout := opts.HeartbeatTimeout
+	if timeout <= 0 {
+		timeout = DefaultHeartbeatTimeout
+	}
+	c.detector = newDetector(c, timeout, opts.AutoFailover)
+	c.detector.start()
 	return c, nil
 }
 
@@ -198,9 +248,32 @@ func (c *Cluster) Config() core.Config {
 // stage) processor's task effector — the live half of the unified Binding
 // surface. The returned Admission resolves synchronously for per-task
 // cached decisions and is Pending otherwise; the terminal outcome surfaces
-// on the binding's watch stream.
+// on the binding's watch stream. During a failover the arrival is deferred
+// (Pending) and replayed against the re-homed task set when the transaction
+// completes; a submission homed on a dead processor that has not failed over
+// fails with ErrNodeDown.
 func (c *Cluster) Submit(taskID string) (core.Admission, error) {
-	te, err := c.homeTE(taskID)
+	proc, err := c.homeProc(taskID)
+	if err != nil {
+		return core.Admission{Task: taskID, Job: -1}, err
+	}
+	c.failMu.Lock()
+	if c.failoverActive {
+		c.deferredSubmits = append(c.deferredSubmits, taskID)
+		c.failMu.Unlock()
+		return core.Admission{
+			Task: taskID, Job: -1,
+			Outcome: core.AdmissionPending,
+			Reason:  "failover in progress: arrival deferred",
+		}, nil
+	}
+	if c.deadProcs[proc] {
+		c.failMu.Unlock()
+		return core.Admission{Task: taskID, Job: -1},
+			fmt.Errorf("cluster: submit %q: processor %d: %w", taskID, proc, live.ErrNodeDown)
+	}
+	c.failMu.Unlock()
+	te, err := c.TE(proc)
 	if err != nil {
 		return core.Admission{Task: taskID, Job: -1}, err
 	}
@@ -242,6 +315,23 @@ func (c *Cluster) SubmitBatch(taskIDs []string) ([]core.Admission, error) {
 	for i, id := range taskIDs {
 		out[i] = core.Admission{Task: id, Job: -1}
 	}
+	c.failMu.Lock()
+	if c.failoverActive {
+		// Defer the whole batch, as a quiesce defers arrivals; the replay
+		// after the failover re-injects them one by one.
+		c.deferredSubmits = append(c.deferredSubmits, taskIDs...)
+		c.failMu.Unlock()
+		for i := range out {
+			out[i].Outcome = core.AdmissionPending
+			out[i].Reason = "failover in progress: arrival deferred"
+		}
+		return out, nil
+	}
+	dead := make(map[int]bool, len(c.deadProcs))
+	for p := range c.deadProcs {
+		dead[p] = true
+	}
+	c.failMu.Unlock()
 	var firstErr error
 	failGroup := func(g *group, err error) {
 		for _, idx := range g.idxs {
@@ -254,6 +344,10 @@ func (c *Cluster) SubmitBatch(taskIDs []string) ([]core.Admission, error) {
 	}
 	for _, proc := range order {
 		g := groups[proc]
+		if dead[proc] {
+			failGroup(g, fmt.Errorf("cluster: submit batch: processor %d: %w", proc, live.ErrNodeDown))
+			continue
+		}
 		te, err := c.TE(proc)
 		if err != nil {
 			failGroup(g, err)
@@ -286,13 +380,20 @@ func (c *Cluster) homeProc(taskID string) (int, error) {
 	return 0, fmt.Errorf("cluster: %w: %q", core.ErrUnknownTask, taskID)
 }
 
-// homeTE resolves a task's home task effector.
-func (c *Cluster) homeTE(taskID string) (*live.TaskEffector, error) {
-	proc, err := c.homeProc(taskID)
-	if err != nil {
-		return nil, err
+// lifecycleGate rejects lifecycle transactions that cannot run: a failover
+// in flight (ErrFailoverInProgress — the transaction would queue behind it
+// on cfgMu and then act on a stale view), or a dead node that has not been
+// recovered (ErrNodeDown — the delta would RPC it). Callers hold cfgMu.
+func (c *Cluster) lifecycleGate(op string) error {
+	c.failMu.Lock()
+	defer c.failMu.Unlock()
+	if c.failoverActive {
+		return fmt.Errorf("cluster: %s: %w", op, live.ErrFailoverInProgress)
 	}
-	return c.TE(proc)
+	for proc := range c.deadProcs {
+		return fmt.Errorf("cluster: %s: processor %d: %w", op, proc, live.ErrNodeDown)
+	}
+	return nil
 }
 
 // AddTasks registers new tasks on the running deployment through the
@@ -307,6 +408,9 @@ func (c *Cluster) AddTasks(tasks []*sched.Task) error {
 	defer c.cfgMu.Unlock()
 	if c.stopped {
 		return fmt.Errorf("cluster: add tasks: %w", core.ErrStopped)
+	}
+	if err := c.lifecycleGate("add tasks"); err != nil {
+		return err
 	}
 	delta, err := configengine.AddTasksDelta(c.Plan, tasks)
 	if err != nil {
@@ -339,6 +443,9 @@ func (c *Cluster) RemoveTasks(ids []string) error {
 	defer c.cfgMu.Unlock()
 	if c.stopped {
 		return fmt.Errorf("cluster: remove tasks: %w", core.ErrStopped)
+	}
+	if err := c.lifecycleGate("remove tasks"); err != nil {
+		return err
 	}
 	delta, err := configengine.RemoveTasksDelta(c.Plan, ids)
 	if err != nil {
@@ -517,7 +624,10 @@ func (c *Cluster) Snapshot() core.BindingSnapshot {
 }
 
 // counters sums the effector-side job counters and the collector's
-// completions.
+// completions. A killed node's effector keeps answering from memory (its
+// container retains instances past shutdown), and RecoverNode banks the dead
+// effector's totals into lostStats before the replacement zeroes them, so
+// the sums stay monotonic across node loss and recovery.
 func (c *Cluster) counters() (arrived, released, skipped, completed int64) {
 	for i := range c.Apps {
 		te, err := c.TE(i)
@@ -529,6 +639,13 @@ func (c *Cluster) counters() (arrived, released, skipped, completed int64) {
 		released += s.Released
 		skipped += s.Skipped
 	}
+	c.failMu.Lock()
+	for _, s := range c.lostStats {
+		arrived += s.Arrived
+		released += s.Released
+		skipped += s.Skipped
+	}
+	c.failMu.Unlock()
 	if c.collector != nil {
 		completed = c.collector.Completed()
 	}
@@ -550,6 +667,9 @@ func (c *Cluster) Reconfigure(to core.Config) (*core.ReconfigReport, error) {
 	defer c.cfgMu.Unlock()
 	if c.stopped {
 		return nil, fmt.Errorf("cluster: reconfigure: %w", core.ErrStopped)
+	}
+	if err := c.lifecycleGate("reconfigure"); err != nil {
+		return nil, err
 	}
 	delta, err := configengine.ReconfigDelta(c.Plan, to)
 	if err != nil {
@@ -717,16 +837,23 @@ func (c *Cluster) Drain(timeout time.Duration) bool {
 }
 
 // Close stops drivers, closes watch streams and tears every node down.
+// Nodes already killed by the chaos hooks are skipped.
 func (c *Cluster) Close() {
 	c.cfgMu.Lock()
 	c.stopped = true
 	c.cfgMu.Unlock()
+	if c.detector != nil {
+		c.detector.halt()
+	}
 	c.hub.CloseAll()
 	c.StopDrivers()
 	if c.launcher != nil {
 		c.launcher.Shutdown()
 	}
-	for _, app := range c.Apps {
+	for i, app := range c.Apps {
+		if c.isDead(i) {
+			continue
+		}
 		_ = app.Close()
 	}
 	if c.Manager != nil {

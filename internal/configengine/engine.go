@@ -223,7 +223,9 @@ func GeneratePlan(name string, w *spec.Workload, cfg core.Config, manager deploy
 	p.Nodes = append(p.Nodes, manager)
 	p.Nodes = append(p.Nodes, apps...)
 
-	// Central services on the task manager.
+	// Central services on the task manager. The admission controller
+	// publishes its replication stream so the co-deployed warm standby can
+	// mirror admission state for failover.
 	p.Instances = append(p.Instances, deploy.Instance{
 		ID: "Central-AC", Node: manager.Name, Implementation: live.ImplAdmissionController,
 		ConfigProperties: []deploy.ConfigProperty{
@@ -232,6 +234,7 @@ func GeneratePlan(name string, w *spec.Workload, cfg core.Config, manager deploy
 			deploy.StringProperty(live.AttrLBStrategy, cfg.LB.String()),
 			deploy.StringProperty(live.AttrProcessors, strconv.Itoa(w.Processors)),
 			deploy.StringProperty(live.AttrWorkload, workload),
+			deploy.StringProperty(live.AttrReplicate, "true"),
 		},
 	})
 	p.Instances = append(p.Instances, deploy.Instance{
@@ -241,8 +244,14 @@ func GeneratePlan(name string, w *spec.Workload, cfg core.Config, manager deploy
 			deploy.StringProperty(live.AttrWorkload, workload),
 		},
 	})
+	p.Instances = append(p.Instances, deploy.Instance{
+		ID: "Standby-AC", Node: manager.Name, Implementation: live.ImplStandbyAC,
+		ConfigProperties: []deploy.ConfigProperty{
+			deploy.StringProperty(live.AttrProcessors, strconv.Itoa(w.Processors)),
+		},
+	})
 
-	// Per-processor task effectors and idle resetters.
+	// Per-processor task effectors, idle resetters, and heartbeat beacons.
 	for i := range apps {
 		p.Instances = append(p.Instances, deploy.Instance{
 			ID: fmt.Sprintf("TE-%d", i), Node: nodeOf[i], Implementation: live.ImplTaskEffector,
@@ -256,6 +265,12 @@ func GeneratePlan(name string, w *spec.Workload, cfg core.Config, manager deploy
 			ConfigProperties: []deploy.ConfigProperty{
 				deploy.StringProperty(live.AttrProcessor, strconv.Itoa(i)),
 				deploy.StringProperty(live.AttrIRStrategy, cfg.IR.String()),
+			},
+		})
+		p.Instances = append(p.Instances, deploy.Instance{
+			ID: fmt.Sprintf("HB-%d", i), Node: nodeOf[i], Implementation: live.ImplHeartbeatBeacon,
+			ConfigProperties: []deploy.ConfigProperty{
+				deploy.StringProperty(live.AttrProcessor, strconv.Itoa(i)),
 			},
 		})
 	}
@@ -602,6 +617,120 @@ func RemoveTasksDelta(p *deploy.Plan, ids []string) (*deploy.Delta, error) {
 	return taskSetDelta(p, st, remaining)
 }
 
+// FailoverOutcome describes the workload surgery a failover delta performs.
+type FailoverOutcome struct {
+	// Rehomed maps task IDs to the stages that moved off the dead processor
+	// (stage index → surviving processor).
+	Rehomed map[string]map[int]int
+	// Withdrawn lists tasks that could not survive the loss: some stage had
+	// neither a surviving home nor a surviving replica. Their admission
+	// state is withdrawn by the delta.
+	Withdrawn []string
+}
+
+// FailoverDelta computes the reconfiguration transaction that removes a dead
+// processor from a running deployment: every task stage homed on the dead
+// processor is re-homed onto its lowest-numbered surviving replica, the dead
+// processor disappears from every replica list, tasks with an unreplicated
+// stage on the dead processor are withdrawn (their admission state is
+// released; in-flight jobs of such tasks are lost with the node — that is
+// what replication is for), EDMS priorities are re-assigned over the
+// survivors, and the dead node is listed in SkipNodes so the executor never
+// RPCs it while Apply still folds the full update set into the plan (a later
+// node recovery reinstalls from that plan state).
+//
+// The delta deliberately does not shrink the processor count: the dead
+// processor keeps its slot in the ledger (its residual contributions age out
+// by deadline expiry) and a recovered node can reclaim it.
+func FailoverDelta(p *deploy.Plan, deadProc int) (*deploy.Delta, *FailoverOutcome, error) {
+	st, err := readPlanState(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	deadNode, ok := st.nodeOf[deadProc]
+	if !ok {
+		return nil, nil, fmt.Errorf("configengine: failover: no node hosts processor %d", deadProc)
+	}
+
+	out := &FailoverOutcome{Rehomed: make(map[string]map[int]int)}
+	var next []*sched.Task
+	for _, t := range st.tasks {
+		nt := t.Clone()
+		lost := false
+		for s := range nt.Subtasks {
+			sub := &nt.Subtasks[s]
+			survivors := make([]int, 0, len(sub.Replicas))
+			for _, r := range sub.Replicas {
+				if r != deadProc {
+					survivors = append(survivors, r)
+				}
+			}
+			if sub.Processor == deadProc {
+				if len(survivors) == 0 {
+					lost = true
+					break
+				}
+				// Lowest-numbered surviving replica becomes the home:
+				// deterministic, and its subtask instance is already
+				// installed (duplicates deploy with the plan).
+				best := survivors[0]
+				for _, r := range survivors[1:] {
+					if r < best {
+						best = r
+					}
+				}
+				rest := make([]int, 0, len(survivors)-1)
+				for _, r := range survivors {
+					if r != best {
+						rest = append(rest, r)
+					}
+				}
+				sub.Processor = best
+				sub.Replicas = rest
+				if out.Rehomed[nt.ID] == nil {
+					out.Rehomed[nt.ID] = make(map[int]int)
+				}
+				out.Rehomed[nt.ID][s] = best
+			} else {
+				sub.Replicas = survivors
+			}
+		}
+		if lost {
+			out.Withdrawn = append(out.Withdrawn, t.ID)
+			continue
+		}
+		next = append(next, nt)
+	}
+	if len(next) == 0 {
+		return nil, nil, fmt.Errorf("configengine: failover: no task survives the loss of processor %d", deadProc)
+	}
+	sched.AssignEDMSPriorities(next)
+
+	d, err := taskSetDelta(p, st, next)
+	if err != nil {
+		return nil, nil, err
+	}
+	d.SkipNodes = []string{deadNode}
+
+	// Federation routes the re-homed task set needs beyond the running
+	// plan's; routes touching the dead node are pointless (the executor
+	// would skip them anyway) and are filtered here so the plan does not
+	// accumulate them either.
+	have := make(map[deploy.Connection]bool, len(p.Connections))
+	for _, c := range p.Connections {
+		have[c] = true
+	}
+	for _, c := range planConnections(next, st.config, d.ManagerNode, st.nodeOf) {
+		if c.SourceNode == deadNode || c.SinkNode == deadNode {
+			continue
+		}
+		if !have[c] {
+			d.Connections = append(d.Connections, c)
+		}
+	}
+	return d, out, nil
+}
+
 // planStrategy reads one strategy attribute from a plan instance.
 func planStrategy(attrs map[string]string, key string) (core.Strategy, error) {
 	v, ok := attrs[key]
@@ -659,6 +788,11 @@ func planConnections(tasks []*sched.Task, cfg core.Config, manager string, nodeO
 		for _, node := range nodeOf {
 			add(live.EvIdleReset, node, manager)
 		}
+	}
+	// Heartbeat beacons flow from every application node to the manager's
+	// failure detector.
+	for _, node := range nodeOf {
+		add(live.EvHeartbeat, node, manager)
 	}
 	return out
 }

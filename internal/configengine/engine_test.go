@@ -431,3 +431,120 @@ func TestReconfigDeltaRejectsInvalid(t *testing.T) {
 		t.Error("plan without admission controller accepted")
 	}
 }
+
+// failoverWorkload3 is a three-processor workload exercising every failover
+// outcome when processor 1 dies: "piped" re-homes its stage-1 onto replica 2,
+// "solo" has no replica and is withdrawn, and "other" merely loses processor
+// 1 from a replica list.
+func failoverWorkload3(t *testing.T) *spec.Workload {
+	t.Helper()
+	w, err := spec.Parse([]byte(`{
+	  "name": "failover-test",
+	  "processors": 3,
+	  "tasks": [
+	    {"id": "piped", "kind": "aperiodic", "deadline": "500ms",
+	     "subtasks": [
+	       {"exec": "5ms", "processor": 0, "replicas": [2]},
+	       {"exec": "4ms", "processor": 1, "replicas": [2]}
+	     ]},
+	    {"id": "solo", "kind": "aperiodic", "deadline": "400ms",
+	     "subtasks": [{"exec": "3ms", "processor": 1}]},
+	    {"id": "other", "kind": "aperiodic", "deadline": "600ms",
+	     "subtasks": [{"exec": "2ms", "processor": 2, "replicas": [1, 0]}]}
+	  ]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestFailoverDelta(t *testing.T) {
+	w := failoverWorkload3(t)
+	manager := deploy.Node{Name: "manager", Address: "127.0.0.1:9100", Processor: -1}
+	apps := []deploy.Node{
+		{Name: "app0", Address: "127.0.0.1:9101", Processor: 0},
+		{Name: "app1", Address: "127.0.0.1:9102", Processor: 1},
+		{Name: "app2", Address: "127.0.0.1:9103", Processor: 2},
+	}
+	cfg := core.Config{AC: core.StrategyPerTask, IR: core.StrategyPerTask, LB: core.StrategyPerTask}
+	p, err := GeneratePlan("failover-test", w, cfg, manager, apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d, out, err := FailoverDelta(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The dead node is skipped by the executor but kept in the plan.
+	if len(d.SkipNodes) != 1 || d.SkipNodes[0] != "app1" {
+		t.Errorf("SkipNodes = %v, want [app1]", d.SkipNodes)
+	}
+	if got := out.Rehomed["piped"][1]; got != 2 {
+		t.Errorf("piped stage 1 re-homed to %d, want 2 (lowest surviving replica)", got)
+	}
+	if len(out.Withdrawn) != 1 || out.Withdrawn[0] != "solo" {
+		t.Errorf("Withdrawn = %v, want [solo]", out.Withdrawn)
+	}
+
+	// The AC update carries the post-surgery workload: solo gone, piped
+	// re-homed with the dead processor purged from every replica list.
+	var wlJSON string
+	for _, up := range d.Updates {
+		if up.ID == "Central-AC" {
+			wlJSON = up.Attrs[live.AttrWorkload]
+		}
+	}
+	if wlJSON == "" {
+		t.Fatal("delta has no Central-AC workload update")
+	}
+	next, err := spec.Parse([]byte(wlJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := make(map[string]spec.TaskSpec, len(next.Tasks))
+	for _, task := range next.Tasks {
+		byID[task.ID] = task
+	}
+	if _, ok := byID["solo"]; ok {
+		t.Error("withdrawn task still in the post-failover workload")
+	}
+	piped, ok := byID["piped"]
+	if !ok || piped.Subtasks[1].Processor != 2 || len(piped.Subtasks[1].Replicas) != 0 {
+		t.Errorf("piped after surgery = %+v", piped)
+	}
+	other := byID["other"]
+	for _, r := range other.Subtasks[0].Replicas {
+		if r == 1 {
+			t.Errorf("dead processor survives in a replica list: %v", other.Subtasks[0].Replicas)
+		}
+	}
+
+	// No node hosts processor 7.
+	if _, _, err := FailoverDelta(p, 7); err == nil {
+		t.Error("FailoverDelta accepted an unhosted processor")
+	}
+	// A workload whose every task dies with the processor is an error, not an
+	// empty deployment.
+	solo, err := spec.Parse([]byte(`{
+	  "name": "all-lost", "processors": 2,
+	  "tasks": [{"id": "s", "kind": "aperiodic", "deadline": "100ms",
+	             "subtasks": [{"exec": "2ms", "processor": 1}]}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := GeneratePlan("all-lost", solo, cfg,
+		deploy.Node{Name: "manager", Address: "127.0.0.1:9200", Processor: -1},
+		[]deploy.Node{
+			{Name: "app0", Address: "127.0.0.1:9201", Processor: 0},
+			{Name: "app1", Address: "127.0.0.1:9202", Processor: 1},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := FailoverDelta(p2, 1); err == nil {
+		t.Error("FailoverDelta produced a deployment with no surviving task")
+	}
+}

@@ -203,6 +203,21 @@ func (c *Controller) Reconfigure(cfg Config) (int, error) {
 // instrumentation and the idle-resetting path.
 func (c *Controller) Ledger() *sched.ShardedLedger { return c.ledger }
 
+// Reservations snapshots the permanent per-task reservation references
+// (AC-per-task only), sorted by task: the ledger jobs a strategy swap away
+// from per-task admission control will withdraw. The live AC's replication
+// stream uses it to mirror exactly those withdrawals on the warm standby.
+func (c *Controller) Reservations() []sched.JobRef {
+	c.taskMu.Lock()
+	defer c.taskMu.Unlock()
+	refs := make([]sched.JobRef, 0, len(c.reservations))
+	for _, ref := range c.reservations {
+		refs = append(refs, ref)
+	}
+	sort.Slice(refs, func(i, j int) bool { return refs[i].Task < refs[j].Task })
+	return refs
+}
+
 // homePlacement places every stage on its home processor.
 func homePlacement(t *sched.Task) []sched.PlacedStage {
 	out := make([]sched.PlacedStage, len(t.Subtasks))

@@ -36,6 +36,12 @@ const (
 	// WatchReconfigured fires when a strategy swap completes (the epoch
 	// advanced).
 	WatchReconfigured
+	// WatchNodeDown fires when the failure detector declares a node dead
+	// (live binding only). Task carries the node name; Job is -1.
+	WatchNodeDown
+	// WatchNodeRecovered fires when a previously dead node rejoins the
+	// cluster as standby capacity. Task carries the node name; Job is -1.
+	WatchNodeRecovered
 )
 
 // String returns the lowercase event name.
@@ -55,6 +61,10 @@ func (k WatchKind) String() string {
 		return "task-removed"
 	case WatchReconfigured:
 		return "reconfigured"
+	case WatchNodeDown:
+		return "node-down"
+	case WatchNodeRecovered:
+		return "node-recovered"
 	default:
 		return fmt.Sprintf("WatchKind(%d)", int32(k))
 	}

@@ -50,6 +50,12 @@ type Delta struct {
 	// chain). Existing routes are never removed: a stale route only forwards
 	// events nobody publishes.
 	Connections []Connection
+	// SkipNodes names nodes the executor must not RPC — a failover delta
+	// lists the dead node here. Updates, installs and connections touching a
+	// skipped node are still folded into the plan by Apply (the plan keeps
+	// describing the intended deployment, which is what a later node
+	// recovery reinstalls from); they are simply not sent anywhere.
+	SkipNodes []string
 	// ManagerNode names the node hosting the admission controller's
 	// reconfiguration facet, and ManagerKey its ORB object key.
 	ManagerNode string
@@ -126,6 +132,13 @@ func (l *Launcher) ExecuteReconfig(ctx context.Context, d *Delta) (*ReconfigOutc
 	if !ok {
 		return nil, fmt.Errorf("deploy: reconfig: manager node %q not in plan", d.ManagerNode)
 	}
+	skip := make(map[string]bool, len(d.SkipNodes))
+	for _, n := range d.SkipNodes {
+		skip[n] = true
+	}
+	if skip[d.ManagerNode] {
+		return nil, fmt.Errorf("deploy: reconfig: manager node %q cannot be skipped", d.ManagerNode)
+	}
 
 	// Phase one: quiesce admission; the reply names the epoch the swap
 	// enters.
@@ -165,6 +178,9 @@ func (l *Launcher) ExecuteReconfig(ctx context.Context, d *Delta) (*ReconfigOutc
 	// admission controller knows their tasks until the attribute updates
 	// land, so nothing routes events to them yet.
 	for _, inst := range d.Installs {
+		if skip[inst.Node] {
+			continue
+		}
 		req := InstallRequest{ID: inst.ID, Implementation: inst.Implementation, Attrs: inst.Attrs()}
 		body, err := gobEncode(req)
 		if err != nil {
@@ -183,6 +199,9 @@ func (l *Launcher) ExecuteReconfig(ctx context.Context, d *Delta) (*ReconfigOutc
 	// event vanishes. Wiring first is strictly safe: the gateway ignores
 	// re-adds and the still-old-strategy components emit nothing new.
 	for _, conn := range d.Connections {
+		if skip[conn.SourceNode] || skip[conn.SinkNode] {
+			continue
+		}
 		req := ConnectRequest{EventType: conn.EventType, SinkAddr: addr[conn.SinkNode]}
 		body, err := gobEncode(req)
 		if err != nil {
@@ -196,6 +215,9 @@ func (l *Launcher) ExecuteReconfig(ctx context.Context, d *Delta) (*ReconfigOutc
 	}
 	// Then swap strategies on every node, stamped with the epoch.
 	for _, up := range d.Updates {
+		if skip[up.Node] {
+			continue
+		}
 		attrs := make(map[string]string, len(up.Attrs)+1)
 		for k, v := range up.Attrs {
 			attrs[k] = v

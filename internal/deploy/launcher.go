@@ -68,6 +68,66 @@ func (l *Launcher) Execute(ctx context.Context, p *Plan) error {
 	return nil
 }
 
+// RedeployNode re-deploys one node of an already-running plan: it pings the
+// node, installs every plan instance hosted there, wires the plan
+// connections it sources, re-points peers' routes that sink into it (their
+// gateways learned a dead predecessor's address), and activates the
+// container. The node-recovery path uses it after replacing a failed node
+// with a fresh one at a new address — the plan, kept truthful by Delta.Apply
+// across reconfigurations and failovers, is the installation source.
+func (l *Launcher) RedeployNode(ctx context.Context, p *Plan, node string) error {
+	addr := make(map[string]string, len(p.Nodes))
+	found := false
+	for _, n := range p.Nodes {
+		addr[n.Name] = n.Address
+		if n.Name == node {
+			found = true
+		}
+	}
+	if !found {
+		return fmt.Errorf("deploy: redeploy: node %q not in plan", node)
+	}
+	if err := l.invoke(ctx, addr[node], opPing, nil); err != nil {
+		return fmt.Errorf("deploy: redeploy: node %s unreachable: %w", node, err)
+	}
+	for _, inst := range p.Instances {
+		if inst.Node != node {
+			continue
+		}
+		req := InstallRequest{ID: inst.ID, Implementation: inst.Implementation, Attrs: inst.Attrs()}
+		body, err := gobEncode(req)
+		if err != nil {
+			return err
+		}
+		if err := l.invoke(ctx, addr[node], opInstall, body); err != nil {
+			return fmt.Errorf("deploy: redeploy: install %s on %s: %w", inst.ID, node, err)
+		}
+	}
+	for _, conn := range p.Connections {
+		if conn.SourceNode != node && conn.SinkNode != node {
+			continue
+		}
+		req := ConnectRequest{EventType: conn.EventType, SinkAddr: addr[conn.SinkNode]}
+		body, err := gobEncode(req)
+		if err != nil {
+			return err
+		}
+		if err := l.invoke(ctx, addr[conn.SourceNode], opConnect, body); err != nil {
+			return fmt.Errorf("deploy: redeploy: connect %s %s->%s: %w", conn.EventType, conn.SourceNode, conn.SinkNode, err)
+		}
+	}
+	if err := l.invoke(ctx, addr[node], opActivate, nil); err != nil {
+		return fmt.Errorf("deploy: redeploy: activate node %s: %w", node, err)
+	}
+	return nil
+}
+
+// Ping probes one node's NodeManager liveness over the ORB — the health
+// tooling's per-node probe.
+func (l *Launcher) Ping(ctx context.Context, addr string) error {
+	return l.invoke(ctx, addr, opPing, nil)
+}
+
 // invoke performs one NodeManager call with the launcher timeout.
 func (l *Launcher) invoke(ctx context.Context, addr, op string, body []byte) error {
 	_, err := l.invokeReply(ctx, addr, NodeManagerKey, op, body)

@@ -414,6 +414,48 @@ func (c *Channel) AddRemoteSink(eventType, addr string) {
 	sh.sinks[eventType] = append(next, snk)
 }
 
+// RemoveRemoteSink detaches the peer at addr from every event type and
+// discards its pending backlog — the failover path prunes routes to a dead
+// node so the gateway stops dialing it on every push. Removing an unknown
+// address is a no-op. A concurrent flush to the removed sink may still fail
+// (counted); no new events are queued to it afterwards.
+func (c *Channel) RemoveRemoteSink(addr string) {
+	c.sinksMu.Lock()
+	snk, ok := c.sinks[addr]
+	if ok {
+		delete(c.sinks, addr)
+	}
+	c.sinksMu.Unlock()
+	if !ok {
+		return
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for ev, cur := range sh.sinks {
+			next := make([]*sink, 0, len(cur))
+			for _, s := range cur {
+				if s.addr != addr {
+					next = append(next, s)
+				}
+			}
+			if len(next) == 0 {
+				delete(sh.sinks, ev)
+			} else if len(next) != len(cur) {
+				sh.sinks[ev] = next
+			}
+		}
+		sh.mu.Unlock()
+	}
+	// Drop the backlog and wake any pusher blocked on the full queue; the
+	// events were bound for a dead peer.
+	snk.mu.Lock()
+	snk.dropped.Add(int64(len(snk.pending)))
+	snk.pending = nil
+	snk.full.Broadcast()
+	snk.mu.Unlock()
+}
+
 // Push delivers the event to local subscribers and forwards it through the
 // gateway to every configured remote sink. It returns the first forwarding
 // error, after attempting all sinks; local delivery always happens. Under

@@ -126,6 +126,46 @@ func TestForwardToDeadPeerReturnsError(t *testing.T) {
 	}
 }
 
+func TestRemoveRemoteSink(t *testing.T) {
+	producer, _ := newNode(t, "p")
+	consumer, consumerAddr := newNode(t, "c")
+	delivered := make(chan Event, 8)
+	consumer.Subscribe("E", func(ev Event) { delivered <- ev })
+	producer.AddRemoteSink("E", consumerAddr)
+
+	if err := producer.Push(Event{Type: "E", Payload: []byte("one")}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-delivered:
+	case <-time.After(2 * time.Second):
+		t.Fatal("event never crossed the gateway")
+	}
+
+	producer.RemoveRemoteSink(consumerAddr)
+	if err := producer.Push(Event{Type: "E", Payload: []byte("two")}); err != nil {
+		t.Fatalf("push after sink removal: %v", err)
+	}
+	select {
+	case ev := <-delivered:
+		t.Fatalf("event %q delivered through a removed sink", ev.Payload)
+	case <-time.After(200 * time.Millisecond):
+	}
+	// Removing an unknown address is a no-op.
+	producer.RemoveRemoteSink(consumerAddr)
+	producer.RemoveRemoteSink("127.0.0.1:1")
+
+	// The failover use: pruning a dead peer makes pushes stop failing.
+	producer.AddRemoteSink("E", "127.0.0.1:1")
+	if err := producer.Push(Event{Type: "E"}); err == nil {
+		t.Fatal("forward to dead peer succeeded")
+	}
+	producer.RemoveRemoteSink("127.0.0.1:1")
+	if err := producer.Push(Event{Type: "E"}); err != nil {
+		t.Errorf("push after pruning the dead peer: %v", err)
+	}
+}
+
 func TestEventCodecRoundTrip(t *testing.T) {
 	tests := []Event{
 		{Type: "TaskArrive", Source: "node-3", Payload: []byte("body")},

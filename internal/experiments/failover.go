@@ -1,0 +1,394 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/spec"
+)
+
+// FailoverOptions parameterizes the kill-a-node sweep: each trial starts a
+// fresh live cluster, pumps traffic, abruptly kills one application node
+// with admitted jobs in flight, waits for the heartbeat detector to declare
+// it dead, runs the zero-loss failover, recovers the node, and audits the
+// admission state. One trial per victim processor by default, so every
+// placement geometry (home, replica target, bystander) is exercised.
+type FailoverOptions struct {
+	// Config is the strategy combination (default T_T_T).
+	Config core.Config
+	// Victims lists the processors to kill, one trial each (default every
+	// processor of the built-in three-processor workload).
+	Victims []int
+	// Bursts is the number of warm-up submit bursts before the kill and the
+	// number after the failover and after the recovery (default 3).
+	Bursts int
+	// Settle is the pause between bursts (default 50ms).
+	Settle time.Duration
+	// HeartbeatTimeout is the detector's silence span (default the cluster's
+	// DefaultHeartbeatTimeout); the detection-latency column measures it.
+	HeartbeatTimeout time.Duration
+	// Seed drives the cluster's arrival generators.
+	Seed int64
+}
+
+func (o FailoverOptions) withDefaults() FailoverOptions {
+	if (o.Config == core.Config{}) {
+		o.Config = core.Config{AC: core.StrategyPerTask, IR: core.StrategyPerTask, LB: core.StrategyPerTask}
+	}
+	if len(o.Victims) == 0 {
+		o.Victims = []int{0, 1, 2}
+	}
+	if o.Bursts == 0 {
+		o.Bursts = 3
+	}
+	if o.Settle == 0 {
+		o.Settle = 50 * time.Millisecond
+	}
+	if o.Seed == 0 {
+		o.Seed = 23
+	}
+	return o
+}
+
+// failoverTasks is the sweep's fixed workload: three processors, every stage
+// placed on any processor declares a replica elsewhere, so no single node
+// loss can withdraw a task — the failover must preserve everything.
+func failoverTasks() []*sched.Task {
+	return []*sched.Task{
+		{
+			ID: "cam", Kind: sched.Aperiodic,
+			Deadline: 80 * time.Millisecond, MeanInterarrival: 60 * time.Millisecond,
+			Subtasks: []sched.Subtask{
+				{Index: 0, Exec: 2 * time.Millisecond, Processor: 0, Replicas: []int{2}},
+				{Index: 1, Exec: time.Millisecond, Processor: 1, Replicas: []int{2}},
+			},
+		},
+		{
+			ID: "lidar", Kind: sched.Aperiodic,
+			Deadline: 60 * time.Millisecond, MeanInterarrival: 50 * time.Millisecond,
+			Subtasks: []sched.Subtask{
+				{Index: 0, Exec: 2 * time.Millisecond, Processor: 1, Replicas: []int{0}},
+			},
+		},
+		{
+			ID: "fuse", Kind: sched.Aperiodic,
+			Deadline: 100 * time.Millisecond, MeanInterarrival: 80 * time.Millisecond,
+			Subtasks: []sched.Subtask{
+				{Index: 0, Exec: 2 * time.Millisecond, Processor: 2, Replicas: []int{0}},
+				{Index: 1, Exec: time.Millisecond, Processor: 0, Replicas: []int{1}},
+			},
+		},
+	}
+}
+
+// FailoverTrialResult is one kill-a-node trial's outcome.
+type FailoverTrialResult struct {
+	// Victim is the killed processor; Node its node name.
+	Victim int
+	Node   string
+	// InFlightAtKill is Released − Completed the instant before the kill:
+	// the admitted jobs the failover must not lose.
+	InFlightAtKill int64
+	// Detection is kill → the heartbeat detector's WatchNodeDown
+	// declaration; FailoverLatency is the failover transaction's duration
+	// (Quiesce the admission-quiesce span within it); TotalOutage is kill →
+	// failover complete, the span a task homed on the victim had no home.
+	Detection       time.Duration
+	FailoverLatency time.Duration
+	Quiesce         time.Duration
+	TotalOutage     time.Duration
+	// Redelivered counts stranded jobs re-pushed onto survivors;
+	// RedeliveryLost counts stranded jobs with no surviving replica (zero
+	// here by construction); ReplayedSubmits the submissions deferred during
+	// the transaction.
+	Redelivered     int
+	RedeliveryLost  int
+	ReplayedSubmits int
+	// Rehomed counts the stage moves off the dead processor; Withdrawn the
+	// tasks lost with it (zero here by construction).
+	Rehomed   int
+	Withdrawn int
+	// Recovery is the RecoverNode duration (fresh node + redeploy).
+	Recovery time.Duration
+	// Epoch is the final configuration epoch (the failover bumps it once).
+	Epoch int64
+	// Arrived through Lost are the run totals after drain and settle; Lost
+	// is Released − Completed, the zero-loss verdict.
+	Arrived, Released, Skipped, Completed, Lost int64
+	// AuditClean reports the post-run admission-state audit (active ledger
+	// and warm-standby mirror).
+	AuditClean bool
+	// NodeDownSeen and NodeRecoveredSeen report the watch stream carried the
+	// failure-plane lifecycle events; WatchEvents counts all events.
+	NodeDownSeen      bool
+	NodeRecoveredSeen bool
+	WatchEvents       int64
+	// Wall is the trial's wall-clock duration.
+	Wall time.Duration
+}
+
+// RunFailover executes the kill-a-node sweep, one live cluster per victim.
+func RunFailover(opts FailoverOptions) ([]FailoverTrialResult, error) {
+	opts = opts.withDefaults()
+	if err := opts.Config.Validate(); err != nil {
+		return nil, err
+	}
+	results := make([]FailoverTrialResult, 0, len(opts.Victims))
+	for _, victim := range opts.Victims {
+		r, err := runFailoverTrial(victim, opts)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: failover victim %d: %w", victim, err)
+		}
+		results = append(results, r)
+	}
+	return results, nil
+}
+
+func runFailoverTrial(victim int, opts FailoverOptions) (FailoverTrialResult, error) {
+	res := FailoverTrialResult{Victim: victim}
+	tasks := failoverTasks()
+	if victim < 0 || victim >= 3 {
+		return res, fmt.Errorf("victim %d outside the workload's 3 processors", victim)
+	}
+	w := spec.FromTasks("failover", 3, tasks)
+	start := time.Now()
+	c, err := cluster.Start(cluster.Options{
+		Workload: w, Config: opts.Config, Seed: opts.Seed,
+		HeartbeatTimeout: opts.HeartbeatTimeout,
+	})
+	if err != nil {
+		return res, err
+	}
+	defer c.Close()
+	res.Node = c.Apps[victim].Name
+
+	watch, err := c.Watch(core.WatchOptions{Buffer: 1 << 14})
+	if err != nil {
+		return res, err
+	}
+	var watchEvents atomic.Int64
+	downCh := make(chan time.Time, 1)
+	var recoveredSeen atomic.Bool
+	watchDone := make(chan struct{})
+	go func() {
+		defer close(watchDone)
+		for ev := range watch.Events() {
+			watchEvents.Add(1)
+			switch ev.Kind {
+			case core.WatchNodeDown:
+				select {
+				case downCh <- time.Now():
+				default:
+				}
+			case core.WatchNodeRecovered:
+				recoveredSeen.Store(true)
+			}
+		}
+	}()
+
+	// Burst the full task set; repeats put several jobs of each task in
+	// flight at once. Submissions the AC rejects still count as arrivals.
+	burst := func(repeat int) error {
+		ids := make([]string, 0, repeat*len(tasks))
+		for i := 0; i < repeat; i++ {
+			for _, t := range c.Tasks() {
+				ids = append(ids, t.ID)
+			}
+		}
+		_, err := c.SubmitBatch(ids)
+		return err
+	}
+	for i := 0; i < opts.Bursts; i++ {
+		if err := burst(2); err != nil {
+			return res, err
+		}
+		time.Sleep(opts.Settle)
+	}
+
+	// A final burst with no settle, so the kill lands with jobs mid-chain.
+	if err := burst(3); err != nil {
+		return res, err
+	}
+	snap := c.Snapshot()
+	res.InFlightAtKill = snap.Released - snap.Completed
+
+	killAt := time.Now()
+	if err := c.KillNode(victim); err != nil {
+		return res, err
+	}
+	select {
+	case at := <-downCh:
+		res.Detection = at.Sub(killAt)
+		res.NodeDownSeen = true
+	case <-time.After(10 * time.Second):
+		return res, fmt.Errorf("heartbeat detector never declared node %d down", victim)
+	}
+	rep, err := c.Failover(victim)
+	if err != nil {
+		return res, err
+	}
+	res.TotalOutage = time.Since(killAt)
+	res.FailoverLatency = rep.Duration
+	res.Quiesce = rep.Quiesce
+	res.Redelivered = rep.Redelivered
+	res.RedeliveryLost = rep.Lost
+	res.ReplayedSubmits = rep.ReplayedSubmits
+	for _, stages := range rep.Rehomed {
+		res.Rehomed += len(stages)
+	}
+	res.Withdrawn = len(rep.Withdrawn)
+
+	// Traffic against the re-homed placement, then recover the node and
+	// pump again: the recovered node must serve its old processor.
+	for i := 0; i < opts.Bursts; i++ {
+		if err := burst(2); err != nil {
+			return res, err
+		}
+		time.Sleep(opts.Settle)
+	}
+	recoverAt := time.Now()
+	if err := c.RecoverNode(victim); err != nil {
+		return res, err
+	}
+	res.Recovery = time.Since(recoverAt)
+	for i := 0; i < opts.Bursts; i++ {
+		if err := burst(2); err != nil {
+			return res, err
+		}
+		time.Sleep(opts.Settle)
+	}
+
+	c.Drain(5 * time.Second)
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		s := c.Snapshot()
+		if s.Released == s.Completed {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	final := c.Snapshot()
+	res.Arrived, res.Released, res.Skipped, res.Completed =
+		final.Arrived, final.Released, final.Skipped, final.Completed
+	res.Lost = final.Released - final.Completed
+	res.Epoch = final.Epoch
+	res.AuditClean = c.AuditAdmissionState() == nil
+	watch.Cancel()
+	<-watchDone
+	res.NodeRecoveredSeen = recoveredSeen.Load()
+	res.WatchEvents = watchEvents.Load()
+	res.Wall = time.Since(start)
+	return res, nil
+}
+
+// FailoverPassed reports whether every trial met the sweep's hard
+// obligations: zero admitted-job loss, a clean admission-state audit, no
+// task withdrawn, and both failure-plane watch events observed.
+func FailoverPassed(results []FailoverTrialResult) bool {
+	for _, r := range results {
+		if r.Lost != 0 || !r.AuditClean || r.RedeliveryLost != 0 || r.Withdrawn != 0 ||
+			!r.NodeDownSeen || !r.NodeRecoveredSeen {
+			return false
+		}
+	}
+	return len(results) > 0
+}
+
+// RenderFailover formats the sweep as a table.
+func RenderFailover(title string, results []FailoverTrialResult) string {
+	var b strings.Builder
+	b.WriteString(title)
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-7s %-9s %9s %9s %9s %9s %6s %7s %8s %9s %6s %6s %6s\n",
+		"victim", "inflight", "detect", "failover", "quiesce", "recover",
+		"redel", "rehomed", "arrived", "completed", "lost", "audit", "epoch")
+	for _, r := range results {
+		audit := "clean"
+		if !r.AuditClean {
+			audit = "DIRTY"
+		}
+		fmt.Fprintf(&b, "%-7d %-9d %9s %9s %9s %9s %6d %7d %8d %9d %6d %6s %6d\n",
+			r.Victim, r.InFlightAtKill,
+			r.Detection.Round(time.Millisecond), r.FailoverLatency.Round(time.Millisecond),
+			r.Quiesce.Round(time.Millisecond), r.Recovery.Round(time.Millisecond),
+			r.Redelivered, r.Rehomed, r.Arrived, r.Completed, r.Lost, audit, r.Epoch)
+	}
+	return b.String()
+}
+
+// failoverJSON is the machine-readable form of one trial.
+type failoverJSON struct {
+	Victim            int     `json:"victim"`
+	Node              string  `json:"node"`
+	InFlightAtKill    int64   `json:"in_flight_at_kill"`
+	DetectionMS       float64 `json:"detection_ms"`
+	FailoverMS        float64 `json:"failover_ms"`
+	QuiesceMS         float64 `json:"quiesce_ms"`
+	TotalOutageMS     float64 `json:"total_outage_ms"`
+	RecoveryMS        float64 `json:"recovery_ms"`
+	Redelivered       int     `json:"redelivered"`
+	RedeliveryLost    int     `json:"redelivery_lost"`
+	ReplayedSubmits   int     `json:"replayed_submits"`
+	Rehomed           int     `json:"rehomed_stages"`
+	Withdrawn         int     `json:"withdrawn_tasks"`
+	Epoch             int64   `json:"epoch"`
+	Arrived           int64   `json:"arrived"`
+	Released          int64   `json:"released"`
+	Skipped           int64   `json:"skipped"`
+	Completed         int64   `json:"completed"`
+	Lost              int64   `json:"lost"`
+	AuditClean        bool    `json:"audit_clean"`
+	NodeDownSeen      bool    `json:"node_down_seen"`
+	NodeRecoveredSeen bool    `json:"node_recovered_seen"`
+	WatchEvents       int64   `json:"watch_events"`
+	WallSeconds       float64 `json:"wall_seconds"`
+}
+
+// RenderFailoverJSON emits the sweep as an indented JSON document.
+func RenderFailoverJSON(results []FailoverTrialResult) (string, error) {
+	doc := struct {
+		Experiment string         `json:"experiment"`
+		Passed     bool           `json:"passed"`
+		Results    []failoverJSON `json:"results"`
+	}{Experiment: "failover", Passed: FailoverPassed(results)}
+	for _, r := range results {
+		doc.Results = append(doc.Results, failoverJSON{
+			Victim:            r.Victim,
+			Node:              r.Node,
+			InFlightAtKill:    r.InFlightAtKill,
+			DetectionMS:       float64(r.Detection) / float64(time.Millisecond),
+			FailoverMS:        float64(r.FailoverLatency) / float64(time.Millisecond),
+			QuiesceMS:         float64(r.Quiesce) / float64(time.Millisecond),
+			TotalOutageMS:     float64(r.TotalOutage) / float64(time.Millisecond),
+			RecoveryMS:        float64(r.Recovery) / float64(time.Millisecond),
+			Redelivered:       r.Redelivered,
+			RedeliveryLost:    r.RedeliveryLost,
+			ReplayedSubmits:   r.ReplayedSubmits,
+			Rehomed:           r.Rehomed,
+			Withdrawn:         r.Withdrawn,
+			Epoch:             r.Epoch,
+			Arrived:           r.Arrived,
+			Released:          r.Released,
+			Skipped:           r.Skipped,
+			Completed:         r.Completed,
+			Lost:              r.Lost,
+			AuditClean:        r.AuditClean,
+			NodeDownSeen:      r.NodeDownSeen,
+			NodeRecoveredSeen: r.NodeRecoveredSeen,
+			WatchEvents:       r.WatchEvents,
+			WallSeconds:       r.Wall.Seconds(),
+		})
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("experiments: encode failover: %w", err)
+	}
+	return string(out), nil
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/ccm"
@@ -32,6 +33,10 @@ const (
 	// coordinator into every Reconfigure attribute set: components adopt it
 	// so stale cross-epoch decisions are recognizable.
 	AttrEpoch = "Epoch"
+	// AttrReplicate ("true"/"false") turns on the AC's replication stream:
+	// every ledger mutation is published as an epoch-stamped EvReplicate
+	// record for a warm-standby mirror (StandbyAC).
+	AttrReplicate = "Replicate"
 )
 
 // ReconfigServantKey is the ORB object key of the admission controller's
@@ -83,6 +88,13 @@ type AdmissionController struct {
 	quiesced bool
 	deferMu  sync.Mutex
 	deferred []TaskArrive
+
+	// Replication state: when replicate is set, every ledger mutation is
+	// published as an EvReplicate record stamped with the current epoch and
+	// a strictly increasing sequence (repSeq, advanced atomically because
+	// decisions emit under the shared lock).
+	replicate bool
+	repSeq    int64
 
 	// DecisionDelay measures operation time from TaskArrive receipt to
 	// Accept push (manager-side total).
@@ -166,6 +178,12 @@ func (ac *AdmissionController) Configure(attrs map[string]string) error {
 			shards = 8
 		}
 	}
+	replicate := false
+	if _, ok := attrs[AttrReplicate]; ok {
+		if replicate, err = attrBool(attrs, AttrReplicate); err != nil {
+			return err
+		}
+	}
 	wl, err := attrString(attrs, AttrWorkload)
 	if err != nil {
 		return err
@@ -193,6 +211,7 @@ func (ac *AdmissionController) Configure(attrs map[string]string) error {
 	ac.cfg = cfg
 	ac.ctrl = ctrl
 	ac.tasks = index
+	ac.replicate = replicate
 	ac.mu.Unlock()
 	return nil
 }
@@ -278,6 +297,7 @@ func (ac *AdmissionController) decideRLocked(arr TaskArrive) {
 	}
 	d := ac.ctrl.Arrive(t, arr.Job, time.Duration(arr.ArrivalNanos))
 	ref := sched.JobRef{Task: arr.Task, Job: arr.Job}
+	ac.replicateDecision(t, ref, arr.ArrivalNanos, d)
 	if d.Accept && !d.Reserved {
 		ac.scheduleExpiry(ref, time.Unix(0, arr.ArrivalNanos).Add(t.Deadline))
 	}
@@ -299,6 +319,41 @@ func (ac *AdmissionController) decideRLocked(arr TaskArrive) {
 	if ac.ch != nil {
 		// Best effort: a dead effector node surfaces in its own metrics.
 		_ = ac.ch.Push(eventchan.Event{Type: EvAccept, Payload: encode(out)})
+	}
+}
+
+// replicateRLocked publishes one ledger mutation on the replication
+// stream, stamped with the current epoch and the next sequence number.
+// Callers hold mu (shared or exclusive). The push is best effort: a lost
+// record surfaces as mirror drift in the standby's audit, never as a
+// data-plane failure.
+func (ac *AdmissionController) replicateRLocked(rec RepRecord) {
+	if !ac.replicate || ac.ch == nil {
+		return
+	}
+	rec.Epoch = ac.epoch
+	rec.Seq = atomic.AddInt64(&ac.repSeq, 1)
+	_ = ac.ch.Push(eventchan.Event{Type: EvReplicate, Payload: encode(rec)})
+}
+
+// replicateDecision emits the ledger mutation (if any) implied by one
+// admission decision: a tested accept added contributions (permanent for
+// per-task reservations, expiring otherwise), and an untested accept under
+// LB-per-job relocated the task's reservation. Untested accepts under the
+// other balancers touch no ledger state. Caller holds mu shared.
+func (ac *AdmissionController) replicateDecision(t *sched.Task, ref sched.JobRef, arrivalNanos int64, d core.Decision) {
+	if !ac.replicate || !d.Accept {
+		return
+	}
+	switch {
+	case d.Tested:
+		rec := RepRecord{Kind: RepAdmit, Ref: ref, TaskKind: t.Kind, Placement: d.Placement, Permanent: d.Reserved}
+		if !d.Reserved {
+			rec.ExpiryNanos = arrivalNanos + int64(t.Deadline)
+		}
+		ac.replicateRLocked(rec)
+	case ac.cfg.LB == core.StrategyPerJob:
+		ac.replicateRLocked(RepRecord{Kind: RepRelocate, Task: t.ID, Placement: d.Placement})
 	}
 }
 
@@ -426,8 +481,18 @@ func (ac *AdmissionController) Reconfigure(attrs map[string]string) error {
 			return err
 		}
 	}
+	// A swap away from per-task admission withdraws the permanent
+	// reservations inside the controller; snapshot their refs first so the
+	// replication stream can mirror exactly those withdrawals.
+	var withdrawnReservations []sched.JobRef
+	if ac.replicate && ac.cfg.AC == core.StrategyPerTask && cfg.AC != core.StrategyPerTask {
+		withdrawnReservations = ac.ctrl.Reservations()
+	}
 	if _, err := ac.ctrl.Reconfigure(cfg); err != nil {
 		return fmt.Errorf("%w: %v", ErrInvalidStrategy, err)
+	}
+	for _, ref := range withdrawnReservations {
+		ac.replicateRLocked(RepRecord{Kind: RepWithdraw, Ref: ref})
 	}
 	if newTasks != nil {
 		for id := range ac.tasks {
@@ -435,6 +500,7 @@ func (ac *AdmissionController) Reconfigure(attrs map[string]string) error {
 				continue
 			}
 			ac.ctrl.RemoveTask(id)
+			ac.replicateRLocked(RepRecord{Kind: RepWithdraw, Task: id})
 			for i := range ac.timers {
 				st := &ac.timers[i]
 				st.mu.Lock()
@@ -504,6 +570,7 @@ func (ac *AdmissionController) replayRLocked(arrs []TaskArrive) {
 		arr := kept[i]
 		t := batch[i].Task
 		ref := sched.JobRef{Task: arr.Task, Job: arr.Job}
+		ac.replicateDecision(t, ref, arr.ArrivalNanos, d)
 		if d.Accept && !d.Reserved {
 			ac.scheduleExpiry(ref, time.Unix(0, arr.ArrivalNanos).Add(t.Deadline))
 		}
@@ -567,7 +634,9 @@ func (ac *AdmissionController) expire(ref sched.JobRef) {
 	st.mu.Lock()
 	delete(st.m, ref)
 	st.mu.Unlock()
-	ac.ctrl.ExpireJob(ref)
+	if ac.ctrl.ExpireJob(ref) > 0 {
+		ac.replicateRLocked(RepRecord{Kind: RepExpire, Ref: ref})
+	}
 }
 
 // onIdleReset applies an "Idle Resetting" report, accounting how many
@@ -588,6 +657,7 @@ func (ac *AdmissionController) onIdleReset(ev eventchan.Event) {
 	start := time.Now()
 	ac.ctrl.IdleReset(rep.Entries)
 	elapsed := time.Since(start)
+	ac.replicateRLocked(RepRecord{Kind: RepReset, Entries: rep.Entries})
 	ac.mu.RUnlock()
 	ac.ResetApply.Add(elapsed)
 }

@@ -24,4 +24,11 @@ var (
 	// controller is already quiesced (a concurrent reconfiguration is in
 	// progress).
 	ErrQuiesced = errors.New("live: admission controller already quiesced")
+	// ErrNodeDown marks an operation addressed to a node the failure
+	// detector has declared dead and no failover has re-homed yet.
+	ErrNodeDown = errors.New("live: node down")
+	// ErrFailoverInProgress marks a lifecycle operation refused while a
+	// failover reconfiguration is running; submits are deferred and
+	// replayed instead of failing.
+	ErrFailoverInProgress = errors.New("live: failover in progress")
 )

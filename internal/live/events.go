@@ -43,6 +43,12 @@ const (
 	// EvDone is a local notification that a job's last subtask finished;
 	// drivers and metrics collectors subscribe to it.
 	EvDone = "Done"
+	// EvHeartbeat flows node → manager: each application node's beacon
+	// announces liveness to the failure detector.
+	EvHeartbeat = "Heartbeat"
+	// EvReplicate flows AC → standby AC with one ledger mutation, so a warm
+	// standby mirrors admission state without a rebuild on promotion.
+	EvReplicate = "Replicate"
 )
 
 // TaskArrive announces a job arrival to the admission controller.
@@ -113,6 +119,59 @@ type Complete struct {
 	Kind sched.TaskKind
 	// DeadlineNanos is the job's absolute deadline (UnixNano).
 	DeadlineNanos int64
+}
+
+// Heartbeat is one liveness beacon from an application node.
+type Heartbeat struct {
+	// Node is the beacon's node name; Proc its application processor.
+	Node string
+	Proc int
+	// Seq increases by one per beacon, so the detector can distinguish a
+	// fresh beacon from a delayed duplicate.
+	Seq int64
+	// SentNanos is the send wall-clock time (UnixNano).
+	SentNanos int64
+}
+
+// Replication record kinds: each RepRecord applies exactly one ledger
+// mutation on the standby's mirror.
+const (
+	// RepAdmit adds an admitted job's contributions.
+	RepAdmit = "admit"
+	// RepExpire removes a job's unreported contributions at deadline expiry.
+	RepExpire = "expire"
+	// RepReset clears completed-and-reported contributions (idle reset).
+	RepReset = "reset"
+	// RepWithdraw removes every contribution of a departing task.
+	RepWithdraw = "withdraw"
+	// RepRelocate moves a task's permanent reservation to a new placement
+	// (AC-per-task with LB-per-job: the reservation follows the jobs).
+	RepRelocate = "relocate"
+)
+
+// RepRecord is one epoch-stamped ledger mutation on the AC's replication
+// stream. The standby applies records in Seq order and ignores records
+// stamped with an epoch older than its fence, which makes pre-failover
+// decisions from a deposed AC detectable and discardable.
+type RepRecord struct {
+	// Epoch is the reconfiguration epoch the mutation happened under.
+	Epoch int64
+	// Seq is the AC-local emission sequence (strictly increasing).
+	Seq int64
+	// Kind is one of the Rep* constants.
+	Kind string
+	// Ref identifies the job (RepAdmit, RepExpire).
+	Ref sched.JobRef
+	// TaskKind, Placement, Permanent and ExpiryNanos describe an admission
+	// (RepAdmit only). ExpiryNanos is zero for permanent reservations.
+	TaskKind    sched.TaskKind
+	Placement   []sched.PlacedStage
+	Permanent   bool
+	ExpiryNanos int64
+	// Task names the departing task (RepWithdraw).
+	Task string
+	// Entries are the contributions cleared by an idle reset (RepReset).
+	Entries []sched.EntryRef
 }
 
 // Done announces the completion of a job's last subtask.

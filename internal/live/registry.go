@@ -19,6 +19,8 @@ const (
 	ImplLoadBalancer        = "LoadBalancer"
 	ImplSubtask             = "Subtask"
 	ImplIdleResetter        = "IdleResetter"
+	ImplHeartbeatBeacon     = "HeartbeatBeacon"
+	ImplStandbyAC           = "StandbyAC"
 )
 
 // Register adds the live component implementations to a component
@@ -33,6 +35,8 @@ func Register(reg *ccm.Registry) error {
 		{ImplLoadBalancer, func() ccm.Component { return NewLoadBalancer() }},
 		{ImplSubtask, func() ccm.Component { return NewSubtask() }},
 		{ImplIdleResetter, func() ccm.Component { return NewIdleResetter() }},
+		{ImplHeartbeatBeacon, func() ccm.Component { return NewHeartbeatBeacon() }},
+		{ImplStandbyAC, func() ccm.Component { return NewStandbyAC() }},
 	}
 	for _, p := range pairs {
 		if err := reg.Register(p.name, p.factory); err != nil {

@@ -47,6 +47,7 @@ type JournalOp struct {
 	Add   []wspec.TaskSpec `json:"add,omitempty"`
 	IDs   []string         `json:"ids,omitempty"`
 	To    string           `json:"to,omitempty"`
+	Node  *int             `json:"node,omitempty"`
 }
 
 // JournalEvent is one observed watch event. Events are observational —
@@ -255,6 +256,10 @@ func Replay(j *Journal) (*ReplayResult, error) {
 				_, err = sim.Reconfigure(to)
 				fail(err)
 			}
+		case InjectKillNode, InjectRecoverNode:
+			// Node faults are live-binding events; the simulation has no node
+			// model, so a replayed fault is a timeline marker only.
+			fn = func() {}
 		default:
 			return nil, fmt.Errorf("scenario: replay: op %d: unknown kind %q", i, op.Op)
 		}

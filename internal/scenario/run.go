@@ -230,6 +230,16 @@ func RunSim(s *Spec, rec *Recorder) (*Result, error) {
 					fail(err)
 				}
 			}
+		case InjectKillNode, InjectRecoverNode:
+			// The simulation has no node model: a node fault is recorded as a
+			// timeline marker and otherwise ignored. Run the spec on the live
+			// binding to exercise the failure path.
+			fn = func() {
+				if rec != nil {
+					node := op.Node
+					rec.Op(JournalOp{At: wspec.Duration(op.At), Op: op.Kind, Node: &node})
+				}
+			}
 		default:
 			fn = func() {
 				_, err := applyOp(sim, op, active, res, rec)
@@ -403,6 +413,34 @@ func RunLive(s *Spec, timeScale float64, rec *Recorder) (*Result, error) {
 			if _, err := cl.Reconfigure(to); err != nil {
 				return nil, err
 			}
+		case InjectKillNode:
+			// Kill the node abruptly, then run the failover synchronously so
+			// the timeline's ordering stays deterministic: every later op sees
+			// the post-failover placement. Tasks the failover withdrew (no
+			// surviving replica) leave the active set, so their remaining
+			// arrivals are filtered rather than submitted into an error.
+			if rec != nil {
+				node := op.Node
+				rec.Op(JournalOp{At: wspec.Duration(op.At), Op: InjectKillNode, Node: &node})
+			}
+			if err := cl.KillNode(op.Node); err != nil {
+				return nil, err
+			}
+			report, err := cl.Failover(op.Node)
+			if err != nil {
+				return nil, err
+			}
+			for _, id := range report.Withdrawn {
+				delete(active, id)
+			}
+		case InjectRecoverNode:
+			if rec != nil {
+				node := op.Node
+				rec.Op(JournalOp{At: wspec.Duration(op.At), Op: InjectRecoverNode, Node: &node})
+			}
+			if err := cl.RecoverNode(op.Node); err != nil {
+				return nil, err
+			}
 		default:
 			if _, err := applyOp(cl, op, active, res, rec); err != nil {
 				return nil, err
@@ -437,11 +475,10 @@ func RunLive(s *Spec, timeScale float64, rec *Recorder) (*Result, error) {
 	if snap.Arrived > 0 {
 		res.Ratio = float64(snap.Released) / float64(snap.Arrived)
 	}
-	ac, err := cl.AC()
-	if err != nil {
-		return nil, err
-	}
-	res.LedgerClean = ac.AuditLedger() == nil
+	// The live audit covers the active ledger and the warm-standby mirror:
+	// replication is synchronous on the manager's local channel, so a clean
+	// run must leave both consistent.
+	res.LedgerClean = cl.AuditAdmissionState() == nil
 	probe.finish(res)
 	res.Missed = probe.misses.Load()
 	if res.Completed > 0 {

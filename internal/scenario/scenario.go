@@ -25,6 +25,7 @@ package scenario
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/core"
@@ -43,7 +44,7 @@ var (
 	// the workload package's generators.
 	ErrUnknownShape = fmt.Errorf("%w: unknown arrival shape", ErrSpec)
 	// ErrUnknownInjection marks an injection whose kind is not add_tasks,
-	// remove_tasks, reconfigure or submit_storm.
+	// remove_tasks, reconfigure, submit_storm, kill_node or recover_node.
 	ErrUnknownInjection = fmt.Errorf("%w: unknown injection kind", ErrSpec)
 	// ErrMissingInvariants marks a spec with no invariant block (or an empty
 	// one): a scenario that asserts nothing is a workload generator, not a
@@ -57,6 +58,8 @@ const (
 	InjectRemoveTasks = "remove_tasks"
 	InjectReconfigure = "reconfigure"
 	InjectSubmitStorm = "submit_storm"
+	InjectKillNode    = "kill_node"
+	InjectRecoverNode = "recover_node"
 )
 
 // Spec is one declarative scenario. Durations use the workload
@@ -145,7 +148,8 @@ func (s ShapeSpec) shape() workload.Shape {
 type Injection struct {
 	// At is the scenario time of the operation (within the horizon).
 	At wspec.Duration `json:"at"`
-	// Kind is add_tasks, remove_tasks, reconfigure or submit_storm.
+	// Kind is add_tasks, remove_tasks, reconfigure, submit_storm, kill_node
+	// or recover_node.
 	Kind string `json:"kind"`
 	// Tasks are the joining tasks (add_tasks).
 	Tasks []wspec.TaskSpec `json:"tasks,omitempty"`
@@ -156,6 +160,12 @@ type Injection struct {
 	To string `json:"to,omitempty"`
 	// Count is the storm's arrivals per named task (default 1).
 	Count int `json:"count,omitempty"`
+	// Node is the target processor (kill_node, recover_node). On the live
+	// binding a kill abruptly terminates the processor's node and runs the
+	// zero-loss failover synchronously; a recover replaces it with a fresh
+	// node. The simulation binding has no node model and records both as
+	// timeline no-ops.
+	Node *int `json:"node,omitempty"`
 }
 
 // Invariants is the expected-invariant block: only the set fields are
@@ -321,9 +331,19 @@ func (s *Spec) Validate() error {
 			if err := to.Validate(); err != nil {
 				return fmt.Errorf("%w: injection %d: %v", ErrSpec, i, err)
 			}
+		case InjectKillNode, InjectRecoverNode:
+			if inj.Node == nil {
+				return fmt.Errorf("%w: injection %d (%s) sets no node", ErrSpec, i, inj.Kind)
+			}
+			if n := *inj.Node; n < 0 || n >= procs {
+				return fmt.Errorf("%w: injection %d (%s) node %d outside [0, %d)", ErrSpec, i, inj.Kind, n, procs)
+			}
 		default:
 			return fmt.Errorf("%w: injection %d: %q", ErrUnknownInjection, i, inj.Kind)
 		}
+	}
+	if err := s.validateNodeFaults(); err != nil {
+		return err
 	}
 
 	if s.Invariants == nil || s.Invariants.empty() {
@@ -331,6 +351,43 @@ func (s *Spec) Validate() error {
 	}
 	if s.Invariants.MaxMissRate != nil && (*s.Invariants.MaxMissRate < 0 || *s.Invariants.MaxMissRate > 1) {
 		return fmt.Errorf("%w: maxMissRate %g outside [0, 1]", ErrSpec, *s.Invariants.MaxMissRate)
+	}
+	return nil
+}
+
+// validateNodeFaults checks that each node's kill/recover injections
+// alternate — a kill first, then at most one recover per kill — in the same
+// order the compiler plays them (by time, spec order breaking ties), so a
+// spec that would double-kill a node or recover a live one fails at parse
+// time rather than mid-run.
+func (s *Spec) validateNodeFaults() error {
+	type fault struct {
+		at   wspec.Duration
+		kind string
+		node int
+		idx  int
+	}
+	var faults []fault
+	for i, inj := range s.Injections {
+		if inj.Kind == InjectKillNode || inj.Kind == InjectRecoverNode {
+			faults = append(faults, fault{at: inj.At, kind: inj.Kind, node: *inj.Node, idx: i})
+		}
+	}
+	sort.SliceStable(faults, func(i, j int) bool { return faults[i].at < faults[j].at })
+	dead := make(map[int]bool)
+	for _, f := range faults {
+		switch f.kind {
+		case InjectKillNode:
+			if dead[f.node] {
+				return fmt.Errorf("%w: injection %d kills node %d twice without a recover", ErrSpec, f.idx, f.node)
+			}
+			dead[f.node] = true
+		case InjectRecoverNode:
+			if !dead[f.node] {
+				return fmt.Errorf("%w: injection %d recovers node %d before any kill", ErrSpec, f.idx, f.node)
+			}
+			delete(dead, f.node)
+		}
 	}
 	return nil
 }

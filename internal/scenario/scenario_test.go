@@ -223,3 +223,75 @@ func TestCompileDeterministicAndOrdered(t *testing.T) {
 		t.Fatalf("unexpected workload task %q", a.tasks[0].ID)
 	}
 }
+
+// Node-fault injections validate their target and per-node kill/recover
+// alternation, and compile into ordered ops carrying the node index.
+func TestNodeFaultValidationAndCompile(t *testing.T) {
+	node := func(n int) *int { return &n }
+	bad := []struct {
+		name       string
+		injections []Injection
+	}{
+		{"kill without node", []Injection{{At: 1, Kind: InjectKillNode}}},
+		{"recover without node", []Injection{{At: 1, Kind: InjectRecoverNode}}},
+		{"node out of range", []Injection{{At: 1, Kind: InjectKillNode, Node: node(9)}}},
+		{"negative node", []Injection{{At: 1, Kind: InjectKillNode, Node: node(-1)}}},
+		{"double kill", []Injection{
+			{At: 1, Kind: InjectKillNode, Node: node(0)},
+			{At: 2, Kind: InjectKillNode, Node: node(0)},
+		}},
+		{"recover before kill", []Injection{{At: 1, Kind: InjectRecoverNode, Node: node(0)}}},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			s := validSpec()
+			s.Injections = tc.injections
+			if err := s.Validate(); !errors.Is(err, ErrSpec) {
+				t.Fatalf("Validate = %v, want ErrSpec", err)
+			}
+		})
+	}
+
+	// Kill/recover/kill on one node alternates legally; a second node's kill
+	// is independent.
+	s := validSpec()
+	s.Injections = []Injection{
+		{At: s.Horizon / 4, Kind: InjectKillNode, Node: node(1)},
+		{At: s.Horizon / 2, Kind: InjectRecoverNode, Node: node(1)},
+		{At: 3 * s.Horizon / 4, Kind: InjectKillNode, Node: node(1)},
+		{At: s.Horizon / 2, Kind: InjectKillNode, Node: node(2)},
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("legal fault schedule rejected: %v", err)
+	}
+	tl, err := compile(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kills, recovers := 0, 0
+	for i, op := range tl.ops {
+		switch op.Kind {
+		case InjectKillNode:
+			kills++
+			if op.Node != 1 && op.Node != 2 {
+				t.Errorf("kill op targets node %d", op.Node)
+			}
+		case InjectRecoverNode:
+			recovers++
+			if op.Node != 1 {
+				t.Errorf("recover op targets node %d", op.Node)
+			}
+		case OpSubmit:
+			// Faults sort ahead of arrivals at the same instant, so a
+			// same-tick arrival always sees the post-fault cluster.
+			for j := i + 1; j < len(tl.ops); j++ {
+				if tl.ops[j].At == op.At && tl.ops[j].Kind == InjectKillNode {
+					t.Fatalf("kill op at %v ordered after an arrival at the same instant", op.At)
+				}
+			}
+		}
+	}
+	if kills != 3 || recovers != 1 {
+		t.Fatalf("compiled %d kills and %d recovers, want 3 and 1", kills, recovers)
+	}
+}

@@ -34,6 +34,8 @@ type Op struct {
 	IDs []string
 	// To is the target combination (reconfigure).
 	To string
+	// Node is the target processor (kill_node, recover_node).
+	Node int
 }
 
 // compiled is a spec lowered to an executable form.
@@ -177,6 +179,10 @@ func compile(s *Spec) (*compiled, error) {
 			ops = append(ops, Op{At: time.Duration(inj.At), Kind: InjectRemoveTasks, IDs: inj.IDs})
 		case InjectReconfigure:
 			ops = append(ops, Op{At: time.Duration(inj.At), Kind: InjectReconfigure, To: inj.To})
+		case InjectKillNode:
+			ops = append(ops, Op{At: time.Duration(inj.At), Kind: InjectKillNode, Node: *inj.Node})
+		case InjectRecoverNode:
+			ops = append(ops, Op{At: time.Duration(inj.At), Kind: InjectRecoverNode, Node: *inj.Node})
 		}
 	}
 	for i := 0; i < len(events); {
