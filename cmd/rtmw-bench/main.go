@@ -9,6 +9,7 @@
 //	rtmw-bench reconfig          mid-run strategy swap: quiesce latency + zero job loss
 //	rtmw-bench churn             open-world task churn: AddTasks/RemoveTasks under load (sim sweep + live smoke)
 //	rtmw-bench failover          kill-a-node chaos sweep: heartbeat detection, zero-loss failover, recovery (live)
+//	rtmw-bench autopilot         closed-loop controller vs every static combination on regime-change scenarios
 //	rtmw-bench scenario          declarative scenario spec against sim and/or live bindings
 //	rtmw-bench all               everything above (except scenario, which needs a spec)
 //
@@ -80,7 +81,7 @@ func run() error {
 	flag.Parse()
 	cmd := flag.Arg(0)
 	if cmd == "" {
-		return fmt.Errorf("%w: missing subcommand: table1 | figure5 | figure6 | overhead | ablation | scale | reconfig | churn | failover | scenario | all", errUsage)
+		return fmt.Errorf("%w: missing subcommand: table1 | figure5 | figure6 | overhead | ablation | scale | reconfig | churn | failover | autopilot | scenario | all", errUsage)
 	}
 	horizonSet := false
 	flag.Visit(func(f *flag.Flag) {
@@ -266,6 +267,29 @@ func run() error {
 		return nil
 	}
 
+	runAutopilot := func() error {
+		opts := experiments.AutopilotOptions{Workers: workers, Live: !*noLive}
+		if !*noLive {
+			fmt.Fprintln(os.Stderr, "running autopilot sweep (sim statics + controller, plus live leg)...")
+		}
+		rep, err := experiments.RunAutopilot(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(tableW, experiments.RenderAutopilot(rep))
+		if *jsonOut {
+			doc, err := experiments.RenderAutopilotJSON(rep)
+			if err != nil {
+				return err
+			}
+			fmt.Println(doc)
+		}
+		if !experiments.AutopilotPassed(rep) {
+			return fmt.Errorf("autopilot failed acceptance: controller must beat every static combination on >= 2 scenarios with clean invariants")
+		}
+		return nil
+	}
+
 	runScenario := func() error {
 		fs := flag.NewFlagSet("scenario", flag.ContinueOnError)
 		specPath := fs.String("spec", "", "scenario spec file (JSON)")
@@ -357,10 +381,12 @@ func run() error {
 		return runChurn()
 	case "failover":
 		return runFailover()
+	case "autopilot":
+		return runAutopilot()
 	case "scenario":
 		return runScenario()
 	case "all":
-		for _, f := range []func() error{runTable1, runFigure5, runFigure6, runOverhead, runAblation, runScale, runReconfig, runChurn, runFailover} {
+		for _, f := range []func() error{runTable1, runFigure5, runFigure6, runOverhead, runAblation, runScale, runReconfig, runChurn, runFailover, runAutopilot} {
 			if err := f(); err != nil {
 				return err
 			}

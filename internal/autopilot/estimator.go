@@ -1,0 +1,159 @@
+package autopilot
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Sliding-window estimators for the autopilot's sensor plane. Everything on
+// the per-event ingest path is a time-bucketed ring of atomic counters:
+// writes are a single atomic add (no locks, no allocations), and readers sum
+// the live buckets. The ring is single-writer — ingest and tick both run on
+// the driver goroutine (or the sim engine thread) — so bucket advancement
+// needs no CAS loop; atomics make the counters safe for concurrent Stats()
+// readers.
+
+// ring is a sliding-window event counter: len(buckets) buckets of width
+// `width` each, covering a window of width*len(buckets). Stale buckets are
+// zeroed lazily as time advances past them.
+type ring struct {
+	width   time.Duration
+	buckets []atomic.Int64
+	// last is the absolute index (now/width) of the most recently written
+	// bucket. Writer-owned; never read outside the driver goroutine.
+	last int64
+}
+
+func newRing(window time.Duration, buckets int) *ring {
+	if buckets < 1 {
+		buckets = 1
+	}
+	w := window / time.Duration(buckets)
+	if w <= 0 {
+		w = time.Millisecond
+	}
+	return &ring{width: w, buckets: make([]atomic.Int64, buckets)}
+}
+
+// advance rotates the ring forward to cover `now`, zeroing every bucket the
+// window slid past. Monotonically non-decreasing: events that arrive with an
+// older timestamp land in the current bucket.
+func (r *ring) advance(now time.Duration) {
+	idx := int64(now / r.width)
+	if idx <= r.last {
+		return
+	}
+	n := int64(len(r.buckets))
+	steps := idx - r.last
+	if steps > n {
+		steps = n
+	}
+	for i := int64(1); i <= steps; i++ {
+		r.buckets[(r.last+i)%n].Store(0)
+	}
+	r.last = idx
+}
+
+// add counts one event at `now`. Hot path: one divide, at most a short
+// zeroing loop on bucket rollover, one atomic add.
+func (r *ring) add(now time.Duration) {
+	r.advance(now)
+	r.buckets[r.last%int64(len(r.buckets))].Add(1)
+}
+
+// sum returns the event count across the live window.
+func (r *ring) sum() int64 {
+	var total int64
+	for i := range r.buckets {
+		total += r.buckets[i].Load()
+	}
+	return total
+}
+
+// window is the ring's total span.
+func (r *ring) window() time.Duration {
+	return r.width * time.Duration(len(r.buckets))
+}
+
+// rate converts the windowed count to events per second.
+func (r *ring) rate() float64 {
+	return float64(r.sum()) / r.window().Seconds()
+}
+
+// taskEst estimates one task's arrival process: a windowed rate ring plus a
+// two-state MMPP (Markov-modulated Poisson) fit in the spirit of the HMM
+// validation literature — an EWMA base-state rate, a burst state entered
+// when the observed rate exceeds burstEnter x base and left when it falls
+// under burstExit x base. The hysteresis gap (enter > exit) keeps the state
+// from chattering on rates that hover near a single threshold. All fields
+// past the ring are tick-path only.
+type taskEst struct {
+	id       string
+	arrivals *ring
+	baseRate float64
+	// burstRate tracks the elevated state's EWMA level while in burst; kept
+	// for the decision journal.
+	burstRate float64
+	inBurst   bool
+	removed   bool
+}
+
+// observe folds the current windowed rate into the MMPP fit and returns
+// whether the task is in its burst state. minRate floors the base level so a
+// near-idle task's first few arrivals don't read as an infinite ratio.
+func (t *taskEst) observe(alpha, burstEnter, burstExit, minRate float64) bool {
+	r := t.arrivals.rate()
+	base := math.Max(t.baseRate, minRate)
+	if t.inBurst {
+		t.burstRate += alpha * (r - t.burstRate)
+		if r < burstExit*base {
+			t.inBurst = false
+		}
+		return t.inBurst
+	}
+	if t.baseRate == 0 {
+		t.baseRate = r
+	} else {
+		t.baseRate += alpha * (r - t.baseRate)
+	}
+	if r > burstEnter*math.Max(t.baseRate, minRate) {
+		t.inBurst = true
+		t.burstRate = r
+	}
+	return t.inBurst
+}
+
+// cusum is a two-sided CUSUM change detector over the normalized deviation
+// of a signal from its EWMA mean: S+ accumulates positive drift, S-
+// negative, each leaking by the slack k per step; crossing the threshold h
+// raises a shift alarm and re-anchors the mean at the current level so the
+// detector re-arms for the next regime.
+type cusum struct {
+	alpha  float64 // EWMA smoothing for the running mean
+	k      float64 // slack per step, in normalized units
+	h      float64 // alarm threshold, in normalized units
+	mean   float64
+	sPos   float64
+	sNeg   float64
+	primed bool
+}
+
+// update folds one observation in and reports whether a shift alarm fired.
+func (c *cusum) update(x, minLevel float64) bool {
+	if !c.primed {
+		c.mean = x
+		c.primed = true
+		return false
+	}
+	dev := (x - c.mean) / math.Max(math.Abs(c.mean), minLevel)
+	c.mean += c.alpha * (x - c.mean)
+	c.sPos = math.Max(0, c.sPos+dev-c.k)
+	c.sNeg = math.Max(0, c.sNeg-dev-c.k)
+	if c.sPos > c.h || c.sNeg > c.h {
+		c.sPos, c.sNeg = 0, 0
+		c.mean = x
+		return true
+	}
+	return false
+}

@@ -618,8 +618,9 @@ func (c *Cluster) Snapshot() core.BindingSnapshot {
 	if ac, err := c.AC(); err == nil {
 		snap.Epoch = ac.Epoch()
 	}
-	snap.Arrived, snap.Released, snap.Skipped, snap.Completed = c.counters()
+	snap.Arrived, snap.Released, snap.Skipped, snap.Completed, snap.Shed = c.counters()
 	snap.InFlight = snap.Released - snap.Completed
+	snap.WatchDropped = c.hub.Dropped()
 	return snap
 }
 
@@ -628,7 +629,7 @@ func (c *Cluster) Snapshot() core.BindingSnapshot {
 // container retains instances past shutdown), and RecoverNode banks the dead
 // effector's totals into lostStats before the replacement zeroes them, so
 // the sums stay monotonic across node loss and recovery.
-func (c *Cluster) counters() (arrived, released, skipped, completed int64) {
+func (c *Cluster) counters() (arrived, released, skipped, completed, shed int64) {
 	for i := range c.Apps {
 		te, err := c.TE(i)
 		if err != nil {
@@ -638,18 +639,20 @@ func (c *Cluster) counters() (arrived, released, skipped, completed int64) {
 		arrived += s.Arrived
 		released += s.Released
 		skipped += s.Skipped
+		shed += s.Overloaded
 	}
 	c.failMu.Lock()
 	for _, s := range c.lostStats {
 		arrived += s.Arrived
 		released += s.Released
 		skipped += s.Skipped
+		shed += s.Overloaded
 	}
 	c.failMu.Unlock()
 	if c.collector != nil {
 		completed = c.collector.Completed()
 	}
-	return arrived, released, skipped, completed
+	return arrived, released, skipped, completed, shed
 }
 
 // Reconfigure swaps the cluster's AC/IR/LB strategy combination on the
@@ -705,7 +708,7 @@ func (c *Cluster) Reconfigure(to core.Config) (*core.ReconfigReport, error) {
 // inFlight counts released-but-uncompleted jobs from the effector and
 // collector counters.
 func (c *Cluster) inFlight() int64 {
-	_, released, _, completed := c.counters()
+	_, released, _, completed, _ := c.counters()
 	return released - completed
 }
 

@@ -531,6 +531,8 @@ func (s *SimSystem) Snapshot() BindingSnapshot {
 		Skipped:   s.metrics.Total.Skipped,
 		Completed: s.metrics.Total.Completed,
 		InFlight:  s.inFlight,
+		// Shed stays zero: the sim's in-memory planes never refuse work.
+		WatchDropped: s.hub.Dropped(),
 	}
 }
 

@@ -150,6 +150,9 @@ type WatchHub struct {
 	seq     int64
 	streams []*WatchStream
 	active  atomic.Int32
+	// dropped accumulates events dropped across every stream over the hub's
+	// lifetime — the binding-wide sensor-loss counter Snapshot exposes.
+	dropped atomic.Int64
 	// done marks a hub whose binding stopped: later Subscribe calls get an
 	// already-closed stream instead of one nothing will ever close (the
 	// stopped check and the subscription are not atomic at the bindings).
@@ -159,6 +162,10 @@ type WatchHub struct {
 // Active reports whether any stream is subscribed; producers use it to skip
 // event construction entirely when nobody is watching.
 func (h *WatchHub) Active() bool { return h.active.Load() > 0 }
+
+// Dropped returns the total events dropped across all streams (past and
+// present) because a subscriber's buffer was full.
+func (h *WatchHub) Dropped() int64 { return h.dropped.Load() }
 
 // Subscribe attaches a new stream.
 func (h *WatchHub) Subscribe(opts WatchOptions) *WatchStream {
@@ -201,6 +208,7 @@ func (h *WatchHub) Emit(ev WatchEvent) {
 		case w.ch <- ev:
 		default:
 			w.dropped.Add(1)
+			h.dropped.Add(1)
 		}
 	}
 	h.mu.Unlock()

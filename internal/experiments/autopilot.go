@@ -1,0 +1,423 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/scenario"
+	wspec "repro/internal/spec"
+)
+
+// This file is the autopilot experiment: for each regime-change scenario it
+// runs every static AC_IR_LB combination as a baseline, then the same
+// scenario with the closed-loop controller enabled, and compares
+// deadline-miss rates. The claim under test is the tentpole's: a controller
+// that observes the traffic and switches configs at regime boundaries beats
+// every static choice, because the scenarios are built so that no single
+// configuration is right for both regimes — the calm phase has a
+// tight-deadline task whose slack is smaller than the decision round trip
+// (so per-job admission misses every job and only the cached per-task path
+// meets deadlines), while the burst phase overdrives a second task past the
+// admission bound (so per-task's cached accept floods the processor and
+// only per-job shedding keeps misses down).
+
+// AutopilotOptions parameterizes the experiment.
+type AutopilotOptions struct {
+	// Scenarios filters the built-in scenario list by name; empty runs all.
+	Scenarios []string
+	// Workers bounds the static-sweep parallelism (below 1: one per CPU).
+	Workers int
+	// Live additionally runs the controller on the live loopback cluster
+	// for scenarios that define a live leg.
+	Live bool
+	// TimeScale overrides the live compression factor (zero: spec default).
+	TimeScale float64
+}
+
+// AutopilotRun is one scenario execution's slim outcome row.
+type AutopilotRun struct {
+	// Combo is the static AC_IR_LB tuple, or "autopilot" for controller runs.
+	Combo   string `json:"combo"`
+	Binding string `json:"binding"`
+	Arrived int64  `json:"arrived"`
+	// Completed, Missed and Lost are the run totals after the drain.
+	Completed int64 `json:"completed"`
+	Missed    int64 `json:"missed"`
+	Lost      int64 `json:"lost"`
+	// MissRate is the deadline-miss fraction over completed jobs.
+	MissRate float64 `json:"miss_rate"`
+	// Actuations counts the controller's Reconfigure calls (zero on static
+	// runs); RegimeChanges its classified transitions.
+	Actuations    int64 `json:"actuations,omitempty"`
+	RegimeChanges int64 `json:"regime_changes,omitempty"`
+	// LedgerClean is the post-run admission-ledger audit.
+	LedgerClean bool `json:"ledger_clean"`
+	// Passed is the spec invariant verdict; Violations the failures.
+	Passed     bool     `json:"passed"`
+	Violations []string `json:"violations,omitempty"`
+}
+
+// AutopilotScenarioReport is one scenario's static-versus-controller
+// comparison.
+type AutopilotScenarioReport struct {
+	// Scenario names the spec; Description documents its regime structure.
+	Scenario    string `json:"scenario"`
+	Description string `json:"description,omitempty"`
+	// Static holds the 15 static-combination baseline rows (sim binding).
+	Static []AutopilotRun `json:"static"`
+	// Autopilot holds the controller rows: sim, plus live when requested.
+	Autopilot []AutopilotRun `json:"autopilot"`
+	// BestStatic is the lowest-miss-rate static combo and its rate.
+	BestStatic     string  `json:"best_static"`
+	BestStaticMiss float64 `json:"best_static_miss_rate"`
+	// AutopilotMiss is the controller's sim miss rate.
+	AutopilotMiss float64 `json:"autopilot_miss_rate"`
+	// Beaten reports whether the controller's miss rate is strictly lower
+	// than every static combination's.
+	Beaten bool `json:"beaten"`
+}
+
+// AutopilotReport is the experiment outcome across scenarios.
+type AutopilotReport struct {
+	Scenarios []*AutopilotScenarioReport `json:"scenarios"`
+}
+
+// AutopilotPassed is the experiment's acceptance verdict: the controller
+// beats every static combination on at least two scenarios, and every
+// controller run (both bindings) satisfied its invariant block — zero
+// admitted-job loss, clean ledger audit, bounded actuations.
+func AutopilotPassed(rep *AutopilotReport) bool {
+	if rep == nil || len(rep.Scenarios) == 0 {
+		return false
+	}
+	beaten := 0
+	for _, sc := range rep.Scenarios {
+		if sc.Beaten {
+			beaten++
+		}
+		for _, r := range sc.Autopilot {
+			if !r.Passed {
+				return false
+			}
+		}
+		if len(sc.Autopilot) == 0 {
+			return false
+		}
+	}
+	return beaten >= 2
+}
+
+// autopilotScenario is one built-in regime-change scenario definition. The
+// shared workload puts the tight task (period 10ms, deadline 1.75ms, exec
+// 1ms, processor 0; utilization 0.571, under the single-task AUB ceiling
+// 2−√2) on its natural arrivals and drives the flood task (period 50ms,
+// deadline 40ms, exec 5ms, processor 1) with the scenario's shape, whose
+// peak pushes processor 1 far past the admission bound.
+type autopilotScenario struct {
+	name        string
+	description string
+	shape       scenario.ShapeSpec
+	// maxActs / liveMaxActs bound the controller's actuations per binding.
+	maxActs     int64
+	liveMaxActs int64
+	// disableMMPPFit turns off the per-task burst-ratio estimator: slow
+	// ramps (the diurnal tide) trip a ratio fit early and latch it, so that
+	// scenario relies on the absolute aggregate-rate thresholds instead.
+	disableMMPPFit bool
+	// live marks the scenario as having a wall-clock leg.
+	live bool
+}
+
+// autopilotScenarios is the built-in scenario list.
+func autopilotScenarios() []autopilotScenario {
+	return []autopilotScenario{
+		{
+			name:        "autopilot-mmpp-burst",
+			description: "calm Poisson floor with MMPP bursts to 240/s on the flood task",
+			shape: scenario.ShapeSpec{
+				Kind: "mmpp", Rate: 20, Peak: 240,
+				DwellBase:  wspec.Duration(8 * time.Second),
+				DwellBurst: wspec.Duration(3 * time.Second),
+			},
+			maxActs: 10, liveMaxActs: 14,
+		},
+		{
+			name:        "autopilot-flash-crowd",
+			description: "one flash crowd: ramp to 240/s at 12s, hold 6s, ramp down",
+			shape: scenario.ShapeSpec{
+				Kind: "flashcrowd", Rate: 20, Peak: 240,
+				At:   wspec.Duration(12 * time.Second),
+				Ramp: wspec.Duration(1 * time.Second),
+				Hold: wspec.Duration(6 * time.Second),
+			},
+			maxActs: 6, liveMaxActs: 12, live: true,
+		},
+		{
+			name:        "autopilot-diurnal-tide",
+			description: "sinusoidal tide from trough 10/s to peak 260/s over one 30s period",
+			shape: scenario.ShapeSpec{
+				Kind: "diurnal", Rate: 10, Peak: 260,
+				Period: wspec.Duration(30 * time.Second),
+			},
+			maxActs: 8, liveMaxActs: 12, disableMMPPFit: true,
+		},
+	}
+}
+
+// autopilotWorkload is the shared two-processor discriminator task set.
+func autopilotWorkload() *wspec.Workload {
+	return &wspec.Workload{
+		Name:       "autopilot-regime",
+		Processors: 2,
+		Tasks: []wspec.TaskSpec{
+			{
+				ID: "tight", Kind: "periodic",
+				Period:   wspec.Duration(10 * time.Millisecond),
+				Deadline: wspec.Duration(1750 * time.Microsecond),
+				Subtasks: []wspec.SubtaskSpec{{Exec: wspec.Duration(time.Millisecond), Processor: 0}},
+			},
+			{
+				ID: "flood", Kind: "periodic",
+				Period:   wspec.Duration(50 * time.Millisecond),
+				Deadline: wspec.Duration(40 * time.Millisecond),
+				Subtasks: []wspec.SubtaskSpec{{Exec: wspec.Duration(5 * time.Millisecond), Processor: 1}},
+			},
+		},
+	}
+}
+
+// autopilotHorizon is the scenario length.
+const autopilotHorizon = 30 * time.Second
+
+// spec materializes the scenario for one starting config, with or without
+// the controller block, and validates it end to end.
+func (sc autopilotScenario) spec(config string, pilot bool) (*scenario.Spec, error) {
+	s := &scenario.Spec{
+		Name:        sc.name,
+		Description: sc.description,
+		Config:      config,
+		Horizon:     wspec.Duration(autopilotHorizon),
+		Seed:        42,
+		Workload:    scenario.WorkloadRef{Inline: autopilotWorkload()},
+		Arrivals: []scenario.ArrivalBlock{
+			{Tasks: []string{"flood"}, Shape: sc.shape},
+		},
+		// The static baseline asserts only sanity (the ledger stays
+		// consistent and the workload actually ran); miss rates are the
+		// measurement, not an invariant.
+		Invariants: &scenario.Invariants{LedgerAudit: true, MinArrived: 2000},
+	}
+	if pilot {
+		maxActs := sc.maxActs
+		liveMaxActs := sc.liveMaxActs
+		// The tight task's 175µs scaled deadline is unachievable on the
+		// wall clock, so the live leg only asserts the run held together.
+		liveMiss := 0.99
+		s.Invariants.ZeroAdmittedLoss = true
+		s.Invariants.MaxActuations = &maxActs
+		s.Invariants.Live = &scenario.InvariantOverrides{
+			MaxMissRate:   &liveMiss,
+			MaxActuations: &liveMaxActs,
+		}
+		burstEnter, burstExit := 3.0, 1.5
+		if sc.disableMMPPFit {
+			burstEnter, burstExit = 1000, 999
+		}
+		s.Autopilot = &scenario.AutopilotSpec{
+			Enabled:  true,
+			Tick:     wspec.Duration(100 * time.Millisecond),
+			Window:   wspec.Duration(500 * time.Millisecond),
+			Dwell:    wspec.Duration(250 * time.Millisecond),
+			Cooldown: wspec.Duration(500 * time.Millisecond),
+			Calm:     "T_T_N",
+			Burst:    "J_J_N",
+			Overload: "J_J_N",
+			// The aggregate floor is tight's 100/s plus flood's 20/s base;
+			// the band [160, 250] sits well clear of both the floor and the
+			// ~±22/s window noise, and the 340/s burst aggregate.
+			RateHigh:   250,
+			RateLow:    160,
+			BurstEnter: burstEnter,
+			BurstExit:  burstExit,
+			// MissHigh above 1 disables miss-triggered overload: the tight
+			// task misses continuously under per-job admission, so a
+			// miss-rate trigger would latch the overload regime forever.
+			MissHigh:   2,
+			RejectHigh: 0.6,
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("experiments: autopilot scenario %q: %w", sc.name, err)
+	}
+	return s, nil
+}
+
+// run converts a scenario result to the slim row form.
+func autopilotRow(combo string, res *scenario.Result) AutopilotRun {
+	return AutopilotRun{
+		Combo:         combo,
+		Binding:       res.Binding,
+		Arrived:       res.Arrived,
+		Completed:     res.Completed,
+		Missed:        res.Missed,
+		Lost:          res.Lost,
+		MissRate:      res.MissRate,
+		Actuations:    res.Actuations,
+		RegimeChanges: res.RegimeChanges,
+		LedgerClean:   res.LedgerClean,
+		Passed:        res.Passed,
+		Violations:    res.Violations,
+	}
+}
+
+// RunAutopilot executes the experiment: per scenario, the 15-combination
+// static sweep (sim), then the controller run (sim, plus live when asked).
+func RunAutopilot(opts AutopilotOptions) (*AutopilotReport, error) {
+	scenarios := autopilotScenarios()
+	if len(opts.Scenarios) > 0 {
+		want := make(map[string]bool, len(opts.Scenarios))
+		for _, n := range opts.Scenarios {
+			want[n] = true
+		}
+		kept := scenarios[:0]
+		for _, sc := range scenarios {
+			if want[sc.name] {
+				kept = append(kept, sc)
+				delete(want, sc.name)
+			}
+		}
+		if len(want) > 0 {
+			for n := range want {
+				return nil, fmt.Errorf("experiments: autopilot: unknown scenario %q", n)
+			}
+		}
+		scenarios = kept
+	}
+	workers := ResolveWorkers(opts.Workers)
+	combos := core.AllCombinations()
+
+	rep := &AutopilotReport{}
+	for _, sc := range scenarios {
+		sr := &AutopilotScenarioReport{
+			Scenario:    sc.name,
+			Description: sc.description,
+			Static:      make([]AutopilotRun, len(combos)),
+		}
+
+		// Static baseline: every combination starts — and stays — at its
+		// config for the whole scenario.
+		err := runTrials(len(combos), workers, func(i int) error {
+			spec, err := sc.spec(combos[i].String(), false)
+			if err != nil {
+				return err
+			}
+			res, err := scenario.RunSim(spec, nil)
+			if err != nil {
+				return fmt.Errorf("experiments: autopilot %s static %s: %w", sc.name, combos[i], err)
+			}
+			sr.Static[i] = autopilotRow(combos[i].String(), res)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		// Controller run: starts at the calm config; the autopilot moves it.
+		pilotSpec, err := sc.spec("T_T_N", true)
+		if err != nil {
+			return nil, err
+		}
+		simRes, err := scenario.RunSim(pilotSpec, nil)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: autopilot %s: %w", sc.name, err)
+		}
+		sr.Autopilot = append(sr.Autopilot, autopilotRow("autopilot", simRes))
+		sr.AutopilotMiss = simRes.MissRate
+
+		if opts.Live && sc.live {
+			liveRes, err := scenario.RunLive(pilotSpec, opts.TimeScale, nil)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: autopilot %s live: %w", sc.name, err)
+			}
+			sr.Autopilot = append(sr.Autopilot, autopilotRow("autopilot", liveRes))
+		}
+
+		sr.Beaten = true
+		for i, row := range sr.Static {
+			if i == 0 || row.MissRate < sr.BestStaticMiss {
+				sr.BestStatic, sr.BestStaticMiss = row.Combo, row.MissRate
+			}
+			if sr.AutopilotMiss >= row.MissRate {
+				sr.Beaten = false
+			}
+		}
+		rep.Scenarios = append(rep.Scenarios, sr)
+	}
+	return rep, nil
+}
+
+// RenderAutopilot formats the report as per-scenario tables plus the
+// acceptance verdict.
+func RenderAutopilot(rep *AutopilotReport) string {
+	var b strings.Builder
+	for _, sc := range rep.Scenarios {
+		fmt.Fprintf(&b, "Scenario %q (horizon %v)\n", sc.Scenario, autopilotHorizon)
+		if sc.Description != "" {
+			fmt.Fprintf(&b, "  %s\n", sc.Description)
+		}
+		fmt.Fprintf(&b, "%-10s %-5s %8s %9s %7s %5s %9s %5s %7s %8s\n",
+			"combo", "bind", "arrived", "completed", "missed", "lost", "missrate", "acts", "ledger", "verdict")
+		rows := make([]AutopilotRun, 0, len(sc.Static)+len(sc.Autopilot))
+		rows = append(rows, sc.Static...)
+		rows = append(rows, sc.Autopilot...)
+		for _, r := range rows {
+			ledger := "clean"
+			if !r.LedgerClean {
+				ledger = "BAD"
+			}
+			verdict := "PASS"
+			if !r.Passed {
+				verdict = "FAIL"
+			}
+			fmt.Fprintf(&b, "%-10s %-5s %8d %9d %7d %5d %9.4f %5d %7s %8s\n",
+				r.Combo, r.Binding, r.Arrived, r.Completed, r.Missed, r.Lost,
+				r.MissRate, r.Actuations, ledger, verdict)
+			for _, v := range r.Violations {
+				fmt.Fprintf(&b, "           violation: %s\n", v)
+			}
+		}
+		outcome := "does NOT beat"
+		if sc.Beaten {
+			outcome = "beats"
+		}
+		fmt.Fprintf(&b, "autopilot %.4f %s best static %s at %.4f\n\n",
+			sc.AutopilotMiss, outcome, sc.BestStatic, sc.BestStaticMiss)
+	}
+	verdict := "FAIL"
+	if AutopilotPassed(rep) {
+		verdict = "PASS"
+	}
+	fmt.Fprintf(&b, "autopilot acceptance: %s (controller must beat every static combo on >= 2 scenarios with clean invariants)\n", verdict)
+	return b.String()
+}
+
+// RenderAutopilotJSON emits the report as an indented JSON document.
+func RenderAutopilotJSON(rep *AutopilotReport) (string, error) {
+	doc := struct {
+		Experiment string                     `json:"experiment"`
+		Passed     bool                       `json:"passed"`
+		Scenarios  []*AutopilotScenarioReport `json:"scenarios"`
+	}{
+		Experiment: "autopilot",
+		Passed:     AutopilotPassed(rep),
+		Scenarios:  rep.Scenarios,
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("experiments: encode autopilot: %w", err)
+	}
+	return string(out), nil
+}

@@ -1,0 +1,233 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	wspec "repro/internal/spec"
+)
+
+// autopilotSpec is a compact regime-shift scenario: the tight task's slack
+// is below the decision round trip (so only cached per-task admission meets
+// its deadlines) while MMPP bursts overdrive the flood task past the
+// admission bound (so only per-job testing sheds them).
+func autopilotSpec(shed []string) *Spec {
+	maxActs := int64(10)
+	return &Spec{
+		Name:    "autopilot-determinism",
+		Config:  "T_T_N",
+		Horizon: wspec.Duration(12 * time.Second),
+		Seed:    42,
+		Workload: WorkloadRef{Inline: &wspec.Workload{
+			Name:       "autopilot-determinism",
+			Processors: 2,
+			Tasks: []wspec.TaskSpec{
+				{
+					ID: "tight", Kind: "periodic",
+					Period:   wspec.Duration(10 * time.Millisecond),
+					Deadline: wspec.Duration(1750 * time.Microsecond),
+					Subtasks: []wspec.SubtaskSpec{{Exec: wspec.Duration(time.Millisecond), Processor: 0}},
+				},
+				{
+					ID: "flood", Kind: "periodic",
+					Period:   wspec.Duration(50 * time.Millisecond),
+					Deadline: wspec.Duration(40 * time.Millisecond),
+					Subtasks: []wspec.SubtaskSpec{{Exec: wspec.Duration(5 * time.Millisecond), Processor: 1}},
+				},
+			},
+		}},
+		Arrivals: []ArrivalBlock{{
+			Tasks: []string{"flood"},
+			Shape: ShapeSpec{
+				Kind: "mmpp", Rate: 20, Peak: 240,
+				DwellBase:  wspec.Duration(4 * time.Second),
+				DwellBurst: wspec.Duration(2 * time.Second),
+			},
+		}},
+		Autopilot: &AutopilotSpec{
+			Enabled:  true,
+			Tick:     wspec.Duration(100 * time.Millisecond),
+			Window:   wspec.Duration(500 * time.Millisecond),
+			Dwell:    wspec.Duration(250 * time.Millisecond),
+			Cooldown: wspec.Duration(500 * time.Millisecond),
+			Calm:     "T_T_N", Burst: "J_J_N", Overload: "J_J_N",
+			RateHigh: 250, RateLow: 160,
+			BurstEnter: 3, BurstExit: 1.5,
+			MissHigh: 2, RejectHigh: 0.6,
+
+			OverloadShed: shed,
+		},
+		Invariants: &Invariants{
+			ZeroAdmittedLoss: true,
+			LedgerAudit:      true,
+			MaxActuations:    &maxActs,
+			MinArrived:       1000,
+		},
+	}
+}
+
+// TestRunSimAutopilotDeterministic: with the controller in the loop, two sim
+// runs of the same spec produce byte-identical canonical metrics and the
+// same decision journal — the controller's decisions are a pure function of
+// the virtual-time event sequence.
+func TestRunSimAutopilotDeterministic(t *testing.T) {
+	s := autopilotSpec(nil)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	r1, err := RunSim(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunSim(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Actuations == 0 {
+		t.Fatalf("controller never actuated; decisions: %+v", r1.Decisions)
+	}
+	if !r1.Passed {
+		t.Fatalf("run violated invariants: %v", r1.Violations)
+	}
+	if len(r1.MetricsJSON) == 0 {
+		t.Fatal("no canonical metrics document")
+	}
+	if !bytes.Equal(r1.MetricsJSON, r2.MetricsJSON) {
+		t.Fatal("repeat runs produced different canonical metrics documents")
+	}
+	d1, _ := json.Marshal(r1.Decisions)
+	d2, _ := json.Marshal(r2.Decisions)
+	if !bytes.Equal(d1, d2) {
+		t.Fatalf("repeat runs produced different decision journals:\n%s\n%s", d1, d2)
+	}
+}
+
+// TestRunSimAutopilotRecordReplay: a recorded controller run replays
+// bit-for-bit — the journal carries the actuations as ordinary reconfigure
+// ops, so the offline replay reproduces the controlled run without the
+// controller.
+func TestRunSimAutopilotRecordReplay(t *testing.T) {
+	s := autopilotSpec(nil)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	h, err := RecordHeader(s, BindingSim, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	rec := NewRecorder(&buf, h)
+	orig, err := RunSim(s, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Err(); err != nil {
+		t.Fatalf("recorder error: %v", err)
+	}
+	j, err := DecodeJournal(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reconfigs := 0
+	for _, op := range j.Ops {
+		if op.Op == InjectReconfigure {
+			reconfigs++
+		}
+	}
+	if int64(reconfigs) != orig.Actuations {
+		t.Fatalf("journal has %d reconfigure ops, run actuated %d times", reconfigs, orig.Actuations)
+	}
+	r1, err := Replay(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Replay(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(r1.MetricsJSON, r2.MetricsJSON) {
+		t.Fatal("replays produced different metrics documents")
+	}
+	if !bytes.Equal(orig.MetricsJSON, r1.MetricsJSON) {
+		t.Fatalf("replay diverged from the recorded controller run:\noriginal %s\nreplay   %s",
+			orig.MetricsJSON, r1.MetricsJSON)
+	}
+}
+
+// TestRunSimAutopilotOverloadShed: a spec-driven overload shed removes the
+// victim once, journals a remove_tasks op, filters the victim's later
+// arrivals, and the journal still replays to the recorded counters.
+func TestRunSimAutopilotOverloadShed(t *testing.T) {
+	s := autopilotSpec([]string{"flood"})
+	// A constant overdrive makes the overload (rejection-rate) trigger
+	// deterministic and early.
+	s.Arrivals[0].Shape = ShapeSpec{Kind: "constant", Rate: 400}
+	s.Autopilot.RejectHigh = 0.3
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	h, err := RecordHeader(s, BindingSim, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	rec := NewRecorder(&buf, h)
+	res, err := RunSim(s, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed {
+		t.Fatalf("shed run violated invariants: %v", res.Violations)
+	}
+	var shed int
+	for _, d := range res.Decisions {
+		if len(d.Shed) > 0 {
+			shed++
+		}
+	}
+	if shed != 1 {
+		t.Fatalf("expected exactly one shed decision, got %d: %+v", shed, res.Decisions)
+	}
+	j, err := DecodeJournal(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	removes := 0
+	for _, op := range j.Ops {
+		if op.Op == InjectRemoveTasks {
+			removes++
+		}
+	}
+	if removes != 1 {
+		t.Fatalf("journal has %d remove_tasks ops, want 1", removes)
+	}
+	rr, err := Replay(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Arrived != res.Arrived || rr.Released != res.Released ||
+		rr.Completed != res.Completed || rr.Missed != res.Missed || rr.Lost != res.Lost {
+		t.Fatalf("shed replay diverged:\nreplay   %+v\noriginal %+v", rr, res)
+	}
+}
+
+// TestAutopilotSpecValidation: the spec block rejects unknown shed targets
+// and incoherent controller options at parse time.
+func TestAutopilotSpecValidation(t *testing.T) {
+	s := autopilotSpec([]string{"no-such-task"})
+	if err := s.Validate(); err == nil {
+		t.Fatal("accepted overloadShed with unknown task")
+	}
+	s = autopilotSpec(nil)
+	s.Autopilot.BurstEnter, s.Autopilot.BurstExit = 2, 3
+	if err := s.Validate(); err == nil {
+		t.Fatal("accepted exit >= enter burst hysteresis")
+	}
+	s = autopilotSpec(nil)
+	s.Autopilot.Calm = "Q_Q_Q"
+	if err := s.Validate(); err == nil {
+		t.Fatal("accepted unparseable policy config")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/autopilot"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	wspec "repro/internal/spec"
@@ -57,6 +58,16 @@ type Result struct {
 	LedgerClean  bool  `json:"ledger_clean"`
 	// Wall is the execution's wall-clock time.
 	Wall time.Duration `json:"wall_ns"`
+	// Actuations, RegimeChanges and Decisions describe the autopilot when
+	// the spec enables it: total Reconfigure actuations, classified regime
+	// transitions, and the controller's decision journal.
+	Actuations    int64                `json:"actuations,omitempty"`
+	RegimeChanges int64                `json:"regime_changes,omitempty"`
+	Decisions     []autopilot.Decision `json:"decisions,omitempty"`
+	// MetricsJSON is the sim run's canonical metrics document — the
+	// byte-identity artifact of the determinism guarantee. Excluded from
+	// the marshaled result (the scenario JSON output stays compact).
+	MetricsJSON []byte `json:"-"`
 	// Violations lists every invariant the run broke; Passed is their
 	// absence.
 	Violations []string `json:"violations,omitempty"`
@@ -94,6 +105,13 @@ func evaluate(inv *Invariants, binding string, r *Result) []string {
 	}
 	if inv.MaxWatchDropped != nil && r.WatchDropped > *inv.MaxWatchDropped {
 		v = append(v, fmt.Sprintf("maxWatchDropped: %d events dropped, cap %d", r.WatchDropped, *inv.MaxWatchDropped))
+	}
+	maxAct := inv.MaxActuations
+	if binding == BindingLive && inv.Live != nil && inv.Live.MaxActuations != nil {
+		maxAct = inv.Live.MaxActuations
+	}
+	if maxAct != nil && r.Actuations > *maxAct {
+		v = append(v, fmt.Sprintf("maxActuations: autopilot actuated %d times, cap %d", r.Actuations, *maxAct))
 	}
 	return v
 }
@@ -251,6 +269,42 @@ func RunSim(s *Spec, rec *Recorder) (*Result, error) {
 		}
 	}
 
+	// The autopilot attaches after the timeline is scheduled, so at any
+	// shared instant its decision tick runs after that instant's arrivals —
+	// the controller sees the freshest window, and a recorded actuation
+	// lands after the same-instant ops in the journal, which is exactly the
+	// order Replay re-schedules.
+	var ap *autopilot.Autopilot
+	if s.Autopilot != nil && s.Autopilot.Enabled {
+		opts, err := s.Autopilot.options()
+		if err != nil {
+			return nil, err
+		}
+		opts.OnAction = func(at time.Duration, from, to core.Config) {
+			if rec != nil {
+				rec.Op(JournalOp{At: wspec.Duration(at), Op: InjectReconfigure, To: to.String()})
+			}
+		}
+		// An overload shed runs on the engine thread (inside the tick
+		// callback), so retiring the victims from the active set here is
+		// race-free, and later timeline arrivals for them are filtered
+		// exactly as a remove_tasks injection's would be.
+		opts.OnShed = func(at time.Duration, ids []string) {
+			if rec != nil {
+				rec.Op(JournalOp{At: wspec.Duration(at), Op: InjectRemoveTasks, IDs: ids})
+			}
+			for _, id := range ids {
+				active[id] = false
+			}
+		}
+		if ap, err = autopilot.New(opts); err != nil {
+			return nil, err
+		}
+		if err := ap.AttachSim(sim, time.Duration(s.Autopilot.At), time.Duration(s.Horizon)); err != nil {
+			return nil, err
+		}
+	}
+
 	start := time.Now()
 	m := sim.Run() // panics on ledger inconsistency; audited again below
 	res.Wall = time.Since(start)
@@ -274,6 +328,15 @@ func RunSim(s *Spec, rec *Recorder) (*Result, error) {
 	res.MissRate = m.Total.MissRatio()
 	res.Epoch = snap.Epoch
 	res.LedgerClean = ledgerErr == nil
+	if ap != nil {
+		st := ap.Stats()
+		res.Actuations = st.Actuations
+		res.RegimeChanges = st.RegimeChanges
+		res.Decisions = ap.Journal()
+	}
+	if res.MetricsJSON, err = CanonicalMetricsJSON(s.Name, m); err != nil {
+		return nil, err
+	}
 	res.Violations = evaluate(s.Invariants, BindingSim, res)
 	res.Passed = len(res.Violations) == 0
 	return res, nil
@@ -382,6 +445,36 @@ func RunLive(s *Spec, timeScale float64, rec *Recorder) (*Result, error) {
 	}
 
 	base := time.Now()
+
+	// The live controller runs on the wall clock: options scale by the same
+	// compression as the workload, and recorded actuations convert back to
+	// the scenario timebase so a live journal replays into the simulation.
+	var ap *autopilot.Autopilot
+	if s.Autopilot != nil && s.Autopilot.Enabled {
+		opts, err := s.Autopilot.options()
+		if err != nil {
+			return nil, err
+		}
+		opts = opts.Scale(scale)
+		// Shedding is sim-only in the declarative runner: this loop owns the
+		// active-task set, and the controller goroutine removing tasks
+		// mid-timeline would race it (see AutopilotSpec.OverloadShed).
+		opts.OverloadShed = nil
+		baseNano := time.Duration(base.UnixNano())
+		opts.OnAction = func(at time.Duration, from, to core.Config) {
+			if rec != nil {
+				rec.Op(JournalOp{At: wspec.Duration(float64(at-baseNano) * scale), Op: InjectReconfigure, To: to.String()})
+			}
+		}
+		if ap, err = autopilot.New(opts); err != nil {
+			return nil, err
+		}
+		if err := ap.Start(cl); err != nil {
+			return nil, err
+		}
+		defer ap.Stop()
+	}
+
 	for _, op := range c.ops {
 		wall := base.Add(time.Duration(float64(op.At) / scale))
 		if d := time.Until(wall); d > 0 {
@@ -453,6 +546,15 @@ func RunLive(s *Spec, timeScale float64, rec *Recorder) (*Result, error) {
 	// completed counters agree (or the deadline passes — counted as loss).
 	if d := time.Until(base.Add(time.Duration(float64(time.Duration(s.Horizon)) / scale))); d > 0 {
 		time.Sleep(d)
+	}
+	// Halt the controller at the horizon so the drain's emptying queues
+	// don't read as one more regime change.
+	if ap != nil {
+		ap.Stop()
+		st := ap.Stats()
+		res.Actuations = st.Actuations
+		res.RegimeChanges = st.RegimeChanges
+		res.Decisions = ap.Journal()
 	}
 	cl.Drain(5 * time.Second)
 	settleDeadline := time.Now().Add(5 * time.Second)

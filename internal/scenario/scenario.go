@@ -28,6 +28,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/autopilot"
 	"repro/internal/core"
 	"repro/internal/sched"
 	wspec "repro/internal/spec"
@@ -85,6 +86,8 @@ type Spec struct {
 	Injections []Injection `json:"injections,omitempty"`
 	// Invariants is the expected-invariant block; required.
 	Invariants *Invariants `json:"invariants"`
+	// Autopilot enables the closed-loop controller for the run.
+	Autopilot *AutopilotSpec `json:"autopilot,omitempty"`
 	// Live tunes the live-binding execution.
 	Live LiveSettings `json:"live,omitempty"`
 }
@@ -168,6 +171,105 @@ type Injection struct {
 	Node *int `json:"node,omitempty"`
 }
 
+// AutopilotSpec enables and tunes the closed-loop controller
+// (internal/autopilot) for a scenario run. Durations and rates are in
+// scenario time; the live runner scales them by the spec's timeScale. Unset
+// fields take the controller's defaults.
+type AutopilotSpec struct {
+	// Enabled turns the controller on.
+	Enabled bool `json:"enabled"`
+	// At is when the controller attaches (sim binding; the live runner
+	// starts the controller with the run). Default 0.
+	At wspec.Duration `json:"at,omitempty"`
+	// Tick is the decision cadence; Window the estimator window.
+	Tick   wspec.Duration `json:"tick,omitempty"`
+	Window wspec.Duration `json:"window,omitempty"`
+	// Dwell and Cooldown are the no-flap hysteresis: minimum regime
+	// stability before acting, and the minimum gap between actuations.
+	Dwell    wspec.Duration `json:"dwell,omitempty"`
+	Cooldown wspec.Duration `json:"cooldown,omitempty"`
+	// MaxActuations hard-caps total actuations (0 = unbounded).
+	MaxActuations int64 `json:"maxActuations,omitempty"`
+	// Calm, Burst and Overload are the policy table's target configs
+	// (AC_IR_LB tuples).
+	Calm     string `json:"calm,omitempty"`
+	Burst    string `json:"burst,omitempty"`
+	Overload string `json:"overload,omitempty"`
+	// RateHigh/RateLow are absolute aggregate arrival-rate thresholds
+	// (arrivals/sec of scenario time); BurstEnter/BurstExit the per-task
+	// MMPP fit multipliers; MissHigh/RejectHigh the overload ceilings.
+	RateHigh   float64 `json:"rateHigh,omitempty"`
+	RateLow    float64 `json:"rateLow,omitempty"`
+	BurstEnter float64 `json:"burstEnter,omitempty"`
+	BurstExit  float64 `json:"burstExit,omitempty"`
+	MissHigh   float64 `json:"missHigh,omitempty"`
+	RejectHigh float64 `json:"rejectHigh,omitempty"`
+	// OverloadShed names tasks the controller removes (once) when it first
+	// actuates in the overload regime. Simulation binding only: the live
+	// runner's timeline loop owns the active-task bookkeeping, so it strips
+	// this field rather than race the controller goroutine against it.
+	OverloadShed []string `json:"overloadShed,omitempty"`
+}
+
+// options converts the spec block to controller options (scenario timebase).
+func (a *AutopilotSpec) options() (autopilot.Options, error) {
+	o := autopilot.Options{
+		Tick:          time.Duration(a.Tick),
+		Window:        time.Duration(a.Window),
+		MinDwell:      time.Duration(a.Dwell),
+		Cooldown:      time.Duration(a.Cooldown),
+		MaxActuations: a.MaxActuations,
+		RateHigh:      a.RateHigh,
+		RateLow:       a.RateLow,
+		BurstEnter:    a.BurstEnter,
+		BurstExit:     a.BurstExit,
+		MissHigh:      a.MissHigh,
+		RejectHigh:    a.RejectHigh,
+		OverloadShed:  a.OverloadShed,
+	}
+	var err error
+	parse := func(dst *core.Config, s, axis string) {
+		if err != nil || s == "" {
+			return
+		}
+		if *dst, err = core.ParseConfig(s); err != nil {
+			err = fmt.Errorf("autopilot %s config: %w", axis, err)
+		}
+	}
+	parse(&o.Calm, a.Calm, "calm")
+	parse(&o.Burst, a.Burst, "burst")
+	parse(&o.Overload, a.Overload, "overload")
+	return o, err
+}
+
+// validate checks the block against the scenario horizon by building a
+// throwaway controller, so every controller-side constraint (hysteresis
+// bands, config validity) is enforced at parse time.
+func (a *AutopilotSpec) validate(horizon wspec.Duration) error {
+	if !a.Enabled {
+		return nil
+	}
+	if a.At < 0 || a.At > horizon {
+		return fmt.Errorf("%w: autopilot.at %v outside [0, %v]", ErrSpec, time.Duration(a.At), time.Duration(horizon))
+	}
+	for _, d := range []wspec.Duration{a.Tick, a.Window, a.Dwell, a.Cooldown} {
+		if d < 0 {
+			return fmt.Errorf("%w: autopilot durations must be non-negative", ErrSpec)
+		}
+	}
+	if a.MaxActuations < 0 {
+		return fmt.Errorf("%w: autopilot.maxActuations must be non-negative", ErrSpec)
+	}
+	opts, err := a.options()
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrSpec, err)
+	}
+	if _, err := autopilot.New(opts); err != nil {
+		return fmt.Errorf("%w: %v", ErrSpec, err)
+	}
+	return nil
+}
+
 // Invariants is the expected-invariant block: only the set fields are
 // enforced, and at least one must be.
 type Invariants struct {
@@ -187,6 +289,9 @@ type Invariants struct {
 	MinArrived int64 `json:"minArrived,omitempty"`
 	// MaxWatchDropped caps the events the scenario's watch stream shed.
 	MaxWatchDropped *int64 `json:"maxWatchDropped,omitempty"`
+	// MaxActuations caps the autopilot's actuation count — the bounded-
+	// actuation half of the no-flap guarantee, asserted per run.
+	MaxActuations *int64 `json:"maxActuations,omitempty"`
 	// Live overrides ceilings for the live binding, whose wall-clock jitter
 	// makes the simulation's deterministic bounds too tight.
 	Live *InvariantOverrides `json:"live,omitempty"`
@@ -194,14 +299,16 @@ type Invariants struct {
 
 // InvariantOverrides relaxes per-binding ceilings.
 type InvariantOverrides struct {
-	MaxMissRate *float64 `json:"maxMissRate,omitempty"`
-	MinArrived  *int64   `json:"minArrived,omitempty"`
+	MaxMissRate   *float64 `json:"maxMissRate,omitempty"`
+	MinArrived    *int64   `json:"minArrived,omitempty"`
+	MaxActuations *int64   `json:"maxActuations,omitempty"`
 }
 
 // empty reports whether no invariant is set.
 func (inv *Invariants) empty() bool {
 	return !inv.ZeroAdmittedLoss && !inv.LedgerAudit && !inv.WatchOrdering &&
-		inv.MaxMissRate == nil && inv.MinArrived == 0 && inv.MaxWatchDropped == nil
+		inv.MaxMissRate == nil && inv.MinArrived == 0 && inv.MaxWatchDropped == nil &&
+		inv.MaxActuations == nil
 }
 
 // LiveSettings tunes live-binding execution.
@@ -351,6 +458,19 @@ func (s *Spec) Validate() error {
 	}
 	if s.Invariants.MaxMissRate != nil && (*s.Invariants.MaxMissRate < 0 || *s.Invariants.MaxMissRate > 1) {
 		return fmt.Errorf("%w: maxMissRate %g outside [0, 1]", ErrSpec, *s.Invariants.MaxMissRate)
+	}
+	if s.Invariants.MaxActuations != nil && *s.Invariants.MaxActuations < 0 {
+		return fmt.Errorf("%w: maxActuations must be non-negative", ErrSpec)
+	}
+	if s.Autopilot != nil {
+		if err := s.Autopilot.validate(s.Horizon); err != nil {
+			return err
+		}
+		for _, id := range s.Autopilot.OverloadShed {
+			if !universe[id] {
+				return fmt.Errorf("%w: autopilot.overloadShed references unknown task %q", ErrSpec, id)
+			}
+		}
 	}
 	return nil
 }

@@ -35,6 +35,7 @@ package rtmw
 import (
 	"time"
 
+	"repro/internal/autopilot"
 	"repro/internal/cluster"
 	"repro/internal/configengine"
 	"repro/internal/core"
@@ -465,6 +466,64 @@ func ReadScenarioJournal(data []byte) (*ScenarioJournal, error) {
 func ReplayScenarioJournal(j *ScenarioJournal) (*ScenarioReplayResult, error) {
 	return scenario.Replay(j)
 }
+
+// Autopilot re-exports: the closed-loop controller that tails a binding's
+// watch stream, estimates the traffic regime online, and reconfigures the
+// running system with flap-free hysteresis.
+type (
+	// Autopilot is the closed-loop traffic controller.
+	Autopilot = autopilot.Autopilot
+	// AutopilotOptions parameterizes the controller (window sizes,
+	// regime thresholds, policy targets, hysteresis).
+	AutopilotOptions = autopilot.Options
+	// AutopilotDecision is one journaled controller decision.
+	AutopilotDecision = autopilot.Decision
+	// AutopilotStats is a snapshot of the controller's counters.
+	AutopilotStats = autopilot.Stats
+	// AutopilotWindowStats is one decision window's traffic summary.
+	AutopilotWindowStats = autopilot.WindowStats
+	// AutopilotRegime is the controller's traffic classification.
+	AutopilotRegime = autopilot.Regime
+	// AutopilotSweepOptions parameterizes the autopilot-vs-static
+	// regime-change experiment sweep.
+	AutopilotSweepOptions = experiments.AutopilotOptions
+	// AutopilotReport is the sweep's per-scenario comparison.
+	AutopilotReport = experiments.AutopilotReport
+	// AutopilotScenarioReport is one scenario's static-vs-autopilot rows.
+	AutopilotScenarioReport = experiments.AutopilotScenarioReport
+	// AutopilotRunResult is one strategy's outcome in a sweep scenario.
+	AutopilotRunResult = experiments.AutopilotRun
+)
+
+// Traffic regimes recognized by the autopilot's classifier.
+const (
+	RegimeCalm     = autopilot.RegimeCalm
+	RegimeBurst    = autopilot.RegimeBurst
+	RegimeOverload = autopilot.RegimeOverload
+)
+
+// NewAutopilot builds a controller from the given options; attach it to a
+// binding with AttachSim (virtual time) or Start (wall clock).
+func NewAutopilot(opts AutopilotOptions) (*Autopilot, error) { return autopilot.New(opts) }
+
+// RunAutopilot runs the regime-change scenario sweep: every static strategy
+// combination against the closed-loop controller, on the simulation binding
+// and optionally the live cluster.
+func RunAutopilot(opts AutopilotSweepOptions) (*AutopilotReport, error) {
+	return experiments.RunAutopilot(opts)
+}
+
+// RenderAutopilot renders the sweep comparison as a text table.
+func RenderAutopilot(rep *AutopilotReport) string { return experiments.RenderAutopilot(rep) }
+
+// RenderAutopilotJSON renders the sweep comparison as indented JSON.
+func RenderAutopilotJSON(rep *AutopilotReport) (string, error) {
+	return experiments.RenderAutopilotJSON(rep)
+}
+
+// AutopilotBeatStatics reports whether the closed-loop controller beat every
+// static strategy on at least two scenarios with all invariants intact.
+func AutopilotBeatStatics(rep *AutopilotReport) bool { return experiments.AutopilotPassed(rep) }
 
 // DefaultLinkDelay is the simulated one-way communication delay, calibrated
 // to the paper's measured 322 µs mean on its 100 Mbps testbed.
