@@ -1,0 +1,103 @@
+// Package analysistest checks rtmw-vet analyzers against fixture packages
+// annotated with `// want` comments, mirroring the shape of
+// golang.org/x/tools/go/analysis/analysistest on the homegrown framework.
+package analysistest
+
+import (
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// Run loads the fixture package under dir (every .go file), runs the
+// analyzer over it through the same pipeline cmd/rtmw-vet uses (including
+// //rtmw:ignore filtering), and checks the diagnostics against `// want`
+// comments:
+//
+//	m.Lock() // want `while holding`
+//	x = 1    // want `plain access` `second finding on the same line`
+//
+// Each backquoted string is a regexp that must match one diagnostic on that
+// line; diagnostics on lines without a matching want, and wants without a
+// diagnostic, fail the test.
+func Run(t testing.TB, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no fixture files under %s (%v)", dir, err)
+	}
+	sort.Strings(files)
+	moduleDir, err := filepath.Abs(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := analysis.LoadFiles(moduleDir, "fixture/"+filepath.Base(dir), files)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := analysis.RunPackage(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on fixture %s: %v", a.Name, dir, err)
+	}
+	checkWants(t, pkg.Fset, pkg, diags)
+}
+
+type wantSpec struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRE = regexp.MustCompile("`([^`]*)`")
+
+// checkWants compares diagnostics against // want comments line by line.
+func checkWants(t testing.TB, fset *token.FileSet, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*wantSpec
+	for _, f := range pkg.Files {
+		for _, g := range f.Comments {
+			for _, c := range g.List {
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, m := range wantRE.FindAllStringSubmatch(c.Text[idx:], -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, m[1], err)
+					}
+					wants = append(wants, &wantSpec{file: pos.Filename, line: pos.Line, re: re, raw: m[1]})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if w.matched || w.file != d.Position.Filename || w.line != d.Position.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want `%s`", w.file, w.line, w.raw)
+		}
+	}
+}

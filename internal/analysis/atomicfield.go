@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicField enforces all-or-nothing atomicity per field: a struct field
+// whose address is passed to a sync/atomic function anywhere in the package
+// must be accessed through sync/atomic everywhere in the package. One plain
+// read racing atomic writers is still a data race — and unlike -race, this
+// check does not need the racy interleaving to actually run.
+//
+// Fields of the atomic.* wrapper types (atomic.Int64, atomic.Pointer, ...)
+// need no checking: their only access surface is already atomic. The scope
+// is one package per pass, matching where such fields are declared and
+// (package-internally) mutated; genuinely pre-publication initialization
+// can justify an //rtmw:ignore.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc: "a struct field accessed via sync/atomic anywhere must be " +
+		"accessed atomically everywhere in the package",
+	Run: runAtomicField,
+}
+
+func runAtomicField(pass *Pass) error {
+	type firstUse struct {
+		node ast.Node
+		fn   string // atomic function name, for the diagnostic
+	}
+	// Pass 1: fields used atomically, and the selector chains those
+	// sanctioned uses own.
+	atomicOf := make(map[*types.Var]firstUse)
+	sanctioned := make(map[ast.Node]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, ok := atomicCallName(pass, call)
+			if !ok {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op.String() != "&" {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				field, ok := fieldOf(pass, sel)
+				if !ok {
+					continue
+				}
+				if _, seen := atomicOf[field]; !seen {
+					atomicOf[field] = firstUse{node: un, fn: name}
+				}
+				markSanctioned(sanctioned, sel)
+			}
+			return true
+		})
+	}
+	if len(atomicOf) == 0 {
+		return nil
+	}
+
+	// Pass 2: every other access to those fields is a plain (racy) access.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sanctioned[sel] {
+				return true
+			}
+			field, ok := fieldOf(pass, sel)
+			if !ok {
+				return true
+			}
+			use, isAtomic := atomicOf[field]
+			if !isAtomic {
+				return true
+			}
+			pass.Reportf(sel.Sel.Pos(),
+				"plain access to field %s, which is accessed with atomic.%s at %s: every access must go through sync/atomic",
+				field.Name(), use.fn, pass.Fset.Position(use.node.Pos()))
+			return true
+		})
+	}
+	return nil
+}
+
+// atomicCallName matches calls to the function forms of sync/atomic
+// (atomic.AddInt64, atomic.LoadUint32, ...). Methods on the atomic.Int64
+// family don't take addresses of plain fields and need no tracking.
+func atomicCallName(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	ident, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := pass.Info.Uses[ident].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "sync/atomic" {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// fieldOf resolves a selector to the struct field it selects, if any.
+func fieldOf(pass *Pass, sel *ast.SelectorExpr) (*types.Var, bool) {
+	if s, ok := pass.Info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok && v.IsField() {
+			return v, true
+		}
+		return nil, false
+	}
+	if v, ok := pass.Info.Uses[sel.Sel].(*types.Var); ok && v.IsField() {
+		return v, true
+	}
+	return nil, false
+}
+
+// markSanctioned records the selector chain of one atomic access so pass 2
+// does not flag the access that is itself atomic (`&te.Stats.Arrived`
+// sanctions both the `.Arrived` selector and the inner `.Stats` one).
+func markSanctioned(sanctioned map[ast.Node]bool, sel *ast.SelectorExpr) {
+	sanctioned[sel] = true
+	if inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok {
+		markSanctioned(sanctioned, inner)
+	}
+}

@@ -1,0 +1,205 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+)
+
+// A Package is one type-checked unit of analysis.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// goList enumerates packages (and, with -deps, their transitive imports)
+// with export data compiled, from the module rooted at dir.
+func goList(dir string, args ...string) ([]listPkg, error) {
+	cmd := exec.Command("go", append([]string{
+		"list", "-e", "-deps", "-export",
+		"-json=Dir,ImportPath,Name,GoFiles,Export,Standard,DepOnly,Error",
+	}, args...)...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, errb.String())
+	}
+	var pkgs []listPkg
+	dec := json.NewDecoder(&out)
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// expImporter resolves imports from the export data `go list -export`
+// reported, caching across the packages of one load.
+type expImporter struct {
+	gc      types.ImporterFrom
+	exports map[string]string
+}
+
+func newExpImporter(fset *token.FileSet, exports map[string]string) *expImporter {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+	return &expImporter{gc: imp.(types.ImporterFrom), exports: exports}
+}
+
+func (e *expImporter) Import(path string) (*types.Package, error) {
+	return e.ImportFrom(path, "", 0)
+}
+
+func (e *expImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return e.gc.ImportFrom(path, dir, mode)
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+func typeCheck(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*Package, error) {
+	info := newInfo()
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", path, err)
+	}
+	return &Package{Path: path, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// Load enumerates the packages matching patterns in the module rooted at
+// dir, parses their non-test sources, and type-checks them with imports
+// satisfied from export data. It is the module-analysis entry point used by
+// cmd/rtmw-vet.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	pkgs, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	exports := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	imp := newExpImporter(fset, exports)
+	var out []*Package
+	for _, p := range pkgs {
+		if p.DepOnly || p.Standard || len(p.GoFiles) == 0 {
+			continue
+		}
+		files := make([]*ast.File, 0, len(p.GoFiles))
+		for _, name := range p.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		pkg, err := typeCheck(fset, p.ImportPath, files, imp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// LoadFiles parses and type-checks a loose set of Go files as one package —
+// the fixture loader behind RunFixture. Imports (standard library only, by
+// construction of the fixtures) are resolved from export data compiled on
+// demand; moduleDir anchors the `go list` invocation.
+func LoadFiles(moduleDir, pkgPath string, filenames []string) (*Package, error) {
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(filenames))
+	importSet := make(map[string]bool)
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		for _, spec := range f.Imports {
+			path := spec.Path.Value
+			importSet[path[1:len(path)-1]] = true
+		}
+	}
+	delete(importSet, "unsafe")
+	imports := make([]string, 0, len(importSet))
+	for path := range importSet {
+		imports = append(imports, path)
+	}
+	sort.Strings(imports)
+	exports := make(map[string]string)
+	if len(imports) > 0 {
+		pkgs, err := goList(moduleDir, imports...)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range pkgs {
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	return typeCheck(fset, pkgPath, files, newExpImporter(fset, exports))
+}

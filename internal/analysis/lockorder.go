@@ -1,0 +1,484 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// LockOrder enforces the sharded-ledger locking lattice documented at the
+// top of internal/sched/sharded.go: mutex fields annotated
+// `//rtmw:lockrank <rank> [indexed]` may only be acquired in ascending rank
+// order, same-rank locks of different classes never nest, and an `indexed`
+// class (the per-shard mutexes) may hold several instances at once only
+// when they are taken by one call site whose index provably ascends — a
+// `for i := 0; i < n; i++` loop, a `for i := range s` loop, or the
+// lowest-set-bit mask walk via bits.TrailingZeros64.
+//
+// The check is intraprocedural and flow-sensitive over each function body:
+// branches fork the held-lock set and merge by intersection, `defer
+// x.Unlock()` keeps the lock held to the end of the function, and a lock
+// acquired inside a loop and still held at the end of the body must carry
+// an ascending-index proof (it will be joined by the next iteration's
+// acquisition).
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc: "enforce the annotated lock-rank lattice: ascending rank only, " +
+		"no same-rank nesting across classes, indexed (sharded) locks " +
+		"acquired in ascending index order",
+	Run: runLockOrder,
+}
+
+// lockClass is the annotation on one mutex field.
+type lockClass struct {
+	name    string // "ledgerShard.mu", for diagnostics
+	rank    int
+	indexed bool
+}
+
+func runLockOrder(pass *Pass) error {
+	classes := collectLockClasses(pass)
+	if len(classes) == 0 {
+		return nil
+	}
+	w := &lockWalker{pass: pass, classes: classes}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			w.walkFunc(fn.Body)
+		}
+	}
+	return nil
+}
+
+// collectLockClasses finds every struct field annotated //rtmw:lockrank.
+func collectLockClasses(pass *Pass) map[*types.Var]lockClass {
+	classes := make(map[*types.Var]lockClass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				cls, ok := lockClassOf(field)
+				if !ok {
+					continue
+				}
+				for _, name := range field.Names {
+					obj, ok := pass.Info.Defs[name].(*types.Var)
+					if !ok {
+						continue
+					}
+					cls.name = name.Name
+					if owner := structFieldOwner(pass, obj); owner != "" {
+						cls.name = owner + "." + name.Name
+					}
+					classes[obj] = cls
+				}
+			}
+			return true
+		})
+	}
+	return classes
+}
+
+func lockClassOf(field *ast.Field) (lockClass, bool) {
+	for _, g := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		for _, d := range parseDirectives(g) {
+			if d.Kind != "lockrank" || len(d.Args) < 1 {
+				continue
+			}
+			rank, err := strconv.Atoi(d.Args[0])
+			if err != nil {
+				continue // Directives reports the grammar error
+			}
+			return lockClass{rank: rank, indexed: len(d.Args) == 2 && d.Args[1] == "indexed"}, true
+		}
+	}
+	return lockClass{}, false
+}
+
+// structFieldOwner names the struct type a field belongs to, when it has one.
+func structFieldOwner(pass *Pass, field *types.Var) string {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if st, ok := ts.Type.(*ast.StructType); ok && st.Pos() <= field.Pos() && field.Pos() <= st.End() {
+					return ts.Name.Name
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// heldLock is one annotated mutex the walker believes is currently held.
+type heldLock struct {
+	field *types.Var
+	class lockClass
+	site  *ast.CallExpr
+	loop  ast.Stmt // innermost enclosing loop at acquisition, nil outside loops
+	asc   bool     // acquisition carried an ascending-index proof for loop
+}
+
+// loopCtx is one entry of the enclosing-loop stack.
+type loopCtx struct {
+	stmt     ast.Stmt
+	ascIdent types.Object // loop variable proven to ascend, or nil
+}
+
+type lockWalker struct {
+	pass    *Pass
+	classes map[*types.Var]lockClass
+	loops   []loopCtx
+}
+
+func (w *lockWalker) walkFunc(body *ast.BlockStmt) {
+	w.loops = w.loops[:0]
+	w.walkStmt(body, nil)
+}
+
+// walkStmt interprets one statement, returning the held set afterwards and
+// whether control definitely leaves the enclosing sequence.
+func (w *lockWalker) walkStmt(s ast.Stmt, held []heldLock) ([]heldLock, bool) {
+	switch s := s.(type) {
+	case nil:
+		return held, false
+	case *ast.BlockStmt:
+		return w.walkStmts(s.List, held)
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, held)
+	case *ast.ExprStmt:
+		return w.scanExpr(s.X, held), false
+	case *ast.IfStmt:
+		held, _ = w.walkStmt(s.Init, held)
+		held = w.scanExpr(s.Cond, held)
+		thenHeld, thenTerm := w.walkStmt(s.Body, held)
+		elseHeld, elseTerm := w.walkStmt(s.Else, held)
+		return mergeBranches([][]heldLock{thenHeld, elseHeld}, []bool{thenTerm, elseTerm})
+	case *ast.ForStmt:
+		held, _ = w.walkStmt(s.Init, held)
+		held = w.scanExpr(s.Cond, held)
+		w.loops = append(w.loops, loopCtx{stmt: s, ascIdent: ascendingForVar(w.pass, s)})
+		out, term := w.walkStmt(s.Body, held)
+		held, _ = w.walkStmt(s.Post, out)
+		w.loops = w.loops[:len(w.loops)-1]
+		if !term {
+			w.checkLoopCarried(s, held)
+		}
+		return held, false
+	case *ast.RangeStmt:
+		held = w.scanExpr(s.X, held)
+		w.loops = append(w.loops, loopCtx{stmt: s, ascIdent: ascendingRangeVar(w.pass, s)})
+		out, term := w.walkStmt(s.Body, held)
+		w.loops = w.loops[:len(w.loops)-1]
+		if !term {
+			w.checkLoopCarried(s, out)
+		}
+		return out, false
+	case *ast.SwitchStmt:
+		held, _ = w.walkStmt(s.Init, held)
+		held = w.scanExpr(s.Tag, held)
+		return w.walkCases(s.Body, held)
+	case *ast.TypeSwitchStmt:
+		held, _ = w.walkStmt(s.Init, held)
+		held, _ = w.walkStmt(s.Assign, held)
+		return w.walkCases(s.Body, held)
+	case *ast.SelectStmt:
+		return w.walkCases(s.Body, held)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			held = w.scanExpr(e, held)
+		}
+		return held, true
+	case *ast.BranchStmt:
+		return held, true
+	case *ast.DeferStmt:
+		// defer x.Unlock() keeps x held to the end of the function; locks
+		// manipulated inside a deferred closure are out of scope.
+		return held, false
+	case *ast.GoStmt:
+		// The spawned goroutine's locking is its own flow.
+		return held, false
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			held = w.scanExpr(e, held)
+		}
+		return held, false
+	case *ast.DeclStmt, *ast.IncDecStmt, *ast.SendStmt, *ast.EmptyStmt:
+		return held, false
+	default:
+		return held, false
+	}
+}
+
+func (w *lockWalker) walkStmts(list []ast.Stmt, held []heldLock) ([]heldLock, bool) {
+	for _, s := range list {
+		var term bool
+		held, term = w.walkStmt(s, held)
+		if term {
+			return held, true
+		}
+	}
+	return held, false
+}
+
+func (w *lockWalker) walkCases(body *ast.BlockStmt, held []heldLock) ([]heldLock, bool) {
+	var outs [][]heldLock
+	var terms []bool
+	sawDefault := false
+	for _, c := range body.List {
+		var list []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			list = c.Body
+			sawDefault = sawDefault || c.List == nil
+		case *ast.CommClause:
+			list = c.Body
+			sawDefault = sawDefault || c.Comm == nil
+		}
+		out, term := w.walkStmts(list, held)
+		outs = append(outs, out)
+		terms = append(terms, term)
+	}
+	if !sawDefault {
+		// Fall-through when no case matches.
+		outs = append(outs, held)
+		terms = append(terms, false)
+	}
+	return mergeBranches(outs, terms)
+}
+
+// mergeBranches intersects the held sets of the branches that can reach the
+// join point (by acquisition site identity).
+func mergeBranches(outs [][]heldLock, terms []bool) ([]heldLock, bool) {
+	var live [][]heldLock
+	for i, out := range outs {
+		if !terms[i] {
+			live = append(live, out)
+		}
+	}
+	if len(live) == 0 {
+		return nil, true
+	}
+	merged := live[0]
+	for _, other := range live[1:] {
+		var next []heldLock
+		for _, h := range merged {
+			for _, o := range other {
+				if h.site == o.site {
+					next = append(next, h)
+					break
+				}
+			}
+		}
+		merged = next
+	}
+	return merged, false
+}
+
+// scanExpr applies every Lock/Unlock call inside e, in source order,
+// skipping closure bodies (analyzed as independent flows would be, but a
+// closure's lock discipline depends on where it runs; rtmw-vet checks only
+// straight-line code).
+func (w *lockWalker) scanExpr(e ast.Expr, held []heldLock) []heldLock {
+	if e == nil {
+		return held
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		field, ok := w.lockFieldOf(sel.X)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Lock", "RLock", "TryLock", "TryRLock":
+			held = w.acquire(call, sel.X, field, held)
+		case "Unlock", "RUnlock":
+			held = release(field, held)
+		}
+		return true
+	})
+	return held
+}
+
+// lockFieldOf resolves a mutex expression (`sh.mu`, `sl.shards[i].mu`,
+// `sl.crossMu`) to its annotated field, if any.
+func (w *lockWalker) lockFieldOf(e ast.Expr) (*types.Var, bool) {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return nil, false
+	}
+	obj, ok := w.pass.Info.Uses[sel.Sel].(*types.Var)
+	if !ok {
+		if s, found := w.pass.Info.Selections[sel]; found {
+			obj, ok = s.Obj().(*types.Var)
+		}
+		if !ok {
+			return nil, false
+		}
+	}
+	_, annotated := w.classes[obj]
+	return obj, annotated
+}
+
+func (w *lockWalker) acquire(call *ast.CallExpr, mutexExpr ast.Expr, field *types.Var, held []heldLock) []heldLock {
+	cls := w.classes[field]
+	for _, h := range held {
+		switch {
+		case cls.rank < h.class.rank:
+			w.pass.Reportf(call.Pos(),
+				"acquires %s (rank %d) while holding %s (rank %d): ledger locks nest in ascending rank only",
+				cls.name, cls.rank, h.class.name, h.class.rank)
+		case cls.rank == h.class.rank && h.field != field:
+			w.pass.Reportf(call.Pos(),
+				"acquires %s while holding %s: both rank %d, no nesting order is defined between them",
+				cls.name, h.class.name, cls.rank)
+		case h.field == field && !cls.indexed:
+			w.pass.Reportf(call.Pos(), "re-acquires %s while already holding it (self-deadlock)", cls.name)
+		case h.field == field && cls.indexed:
+			w.pass.Reportf(call.Pos(),
+				"acquires a second %s instance at a different call site: ascending index order cannot be proven; take all instances from one ascending loop",
+				cls.name)
+		}
+	}
+	var loop ast.Stmt
+	var ascIdent types.Object
+	if len(w.loops) > 0 {
+		top := w.loops[len(w.loops)-1]
+		loop, ascIdent = top.stmt, top.ascIdent
+	}
+	return append(held, heldLock{
+		field: field,
+		class: cls,
+		site:  call,
+		loop:  loop,
+		asc:   loop != nil && ascendingIndexProof(w.pass, mutexExpr, ascIdent),
+	})
+}
+
+func release(field *types.Var, held []heldLock) []heldLock {
+	for i := len(held) - 1; i >= 0; i-- {
+		if held[i].field == field {
+			return append(held[:i:i], held[i+1:]...)
+		}
+	}
+	return held // unlocking a caller-held lock: out of intraprocedural scope
+}
+
+// checkLoopCarried flags locks acquired inside the loop body and still held
+// when it ends: the next iteration acquires another instance on top. For an
+// indexed class that is legal exactly when the site carries an
+// ascending-index proof; for anything else it is a self-deadlock.
+func (w *lockWalker) checkLoopCarried(loop ast.Stmt, held []heldLock) {
+	for _, h := range held {
+		if h.loop != loop {
+			continue
+		}
+		if h.class.indexed {
+			if !h.asc {
+				w.pass.Reportf(h.site.Pos(),
+					"%s is acquired inside a loop and held across iterations without an ascending-index proof (want `for i := 0; i < n; i++`, `for i := range s`, or a bits.TrailingZeros64 mask walk)",
+					h.class.name)
+			}
+		} else {
+			w.pass.Reportf(h.site.Pos(),
+				"%s is acquired inside a loop and still held at the end of the body: the next iteration self-deadlocks",
+				h.class.name)
+		}
+	}
+}
+
+// ascendingForVar recognizes `for i := lo; i < hi; i++` (or <=) and returns
+// i's object.
+func ascendingForVar(pass *Pass, s *ast.ForStmt) types.Object {
+	post, ok := s.Post.(*ast.IncDecStmt)
+	if !ok || post.Tok.String() != "++" {
+		return nil
+	}
+	ident, ok := post.X.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	cond, ok := s.Cond.(*ast.BinaryExpr)
+	if !ok || (cond.Op.String() != "<" && cond.Op.String() != "<=") {
+		return nil
+	}
+	left, ok := cond.X.(*ast.Ident)
+	if !ok || left.Name != ident.Name {
+		return nil
+	}
+	if obj := pass.Info.Uses[ident]; obj != nil {
+		return obj
+	}
+	return pass.Info.Defs[ident]
+}
+
+// ascendingRangeVar returns the key variable of a range over a slice,
+// array, or integer (whose indices ascend); map and channel ranges prove
+// nothing.
+func ascendingRangeVar(pass *Pass, s *ast.RangeStmt) types.Object {
+	key, ok := s.Key.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	t := pass.Info.TypeOf(s.X)
+	if t == nil {
+		return nil
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Array, *types.Basic:
+	case *types.Pointer: // *[N]T
+	default:
+		return nil
+	}
+	if obj := pass.Info.Defs[key]; obj != nil {
+		return obj
+	}
+	return pass.Info.Uses[key]
+}
+
+// ascendingIndexProof reports whether the mutex expression indexes by the
+// loop's ascending variable or by a lowest-set-bit mask walk.
+func ascendingIndexProof(pass *Pass, mutexExpr ast.Expr, ascIdent types.Object) bool {
+	proven := false
+	ast.Inspect(mutexExpr, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IndexExpr:
+			if ident, ok := n.Index.(*ast.Ident); ok && ascIdent != nil && pass.Info.Uses[ident] == ascIdent {
+				proven = true
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if pkg, ok := sel.X.(*ast.Ident); ok && pkg.Name == "bits" &&
+					(sel.Sel.Name == "TrailingZeros64" || sel.Sel.Name == "TrailingZeros32" || sel.Sel.Name == "TrailingZeros") {
+					proven = true
+				}
+			}
+		}
+		return !proven
+	})
+	return proven
+}

@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapOrder polices the determinism-critical paths (scenario
+// compile/replay, configengine delta emission, golden-metrics rendering):
+// inside a function annotated `//rtmw:deterministic`, or anywhere in a file
+// whose header carries `//rtmw:deterministic file`, ranging over a map is
+// flagged — Go randomizes map iteration order, which silently breaks
+// byte-identical record/replay and golden outputs.
+//
+// One idiom is recognized as safe without an annotation: a range whose body
+// is exactly one statement collecting the keys (or values) into a slice,
+// `for k := range m { keys = append(keys, k) }` — the canonical
+// collect-then-sort shape (the sort itself is the author's obligation; the
+// golden tests pin the result). Any other map range needs either that
+// rewrite or an explicit `//rtmw:ignore maporder <reason>` arguing order
+// insensitivity (pure accumulation, invariant checking, ...).
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "flag map iteration on determinism-critical paths " +
+		"(//rtmw:deterministic scopes) unless it is the collect-keys-" +
+		"then-sort idiom or carries a justified //rtmw:ignore",
+	Run: runMapOrder,
+}
+
+func runMapOrder(pass *Pass) error {
+	for _, f := range pass.Files {
+		wholeFile := FileDirective(f, "deterministic")
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if wholeFile || FuncDirective(fn, "deterministic") {
+				checkMapOrder(pass, fn.Body)
+			}
+		}
+	}
+	return nil
+}
+
+func checkMapOrder(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.Info.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if isKeyCollection(pass, rng) {
+			return true
+		}
+		pass.Reportf(rng.Pos(),
+			"map iteration on a determinism-critical path: collect keys and sort, or justify with //rtmw:ignore maporder <reason>")
+		return true
+	})
+}
+
+// isKeyCollection recognizes `for k[, v] := range m { s = append(s, k) }`
+// (or appending v, or both in one call): the order-sensitive part is
+// deferred to the sort that must follow.
+func isKeyCollection(pass *Pass, rng *ast.RangeStmt) bool {
+	if len(rng.Body.List) != 1 {
+		return false
+	}
+	assign, ok := rng.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 || assign.Tok.String() != "=" {
+		return false
+	}
+	call, ok := appendCall(pass, assign.Rhs[0])
+	if !ok || len(call.Args) < 2 {
+		return false
+	}
+	if exprText(assign.Lhs[0]) != exprText(sliceBase(call.Args[0])) {
+		return false
+	}
+	// Every appended element must be the loop's key or value variable (or a
+	// field/index of one): no order-dependent computation inside the loop.
+	loopVars := make(map[types.Object]bool)
+	for _, v := range []ast.Expr{rng.Key, rng.Value} {
+		if ident, ok := v.(*ast.Ident); ok && ident.Name != "_" {
+			if obj := pass.Info.Defs[ident]; obj != nil {
+				loopVars[obj] = true
+			}
+		}
+	}
+	if len(loopVars) == 0 {
+		return false
+	}
+	for _, arg := range call.Args[1:] {
+		root := arg
+		for {
+			switch t := root.(type) {
+			case *ast.SelectorExpr:
+				root = t.X
+				continue
+			case *ast.IndexExpr:
+				root = t.X
+				continue
+			case *ast.ParenExpr:
+				root = t.X
+				continue
+			}
+			break
+		}
+		ident, ok := root.(*ast.Ident)
+		if !ok || !loopVars[pass.Info.Uses[ident]] {
+			return false
+		}
+	}
+	return true
+}

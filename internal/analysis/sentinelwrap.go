@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// SentinelWrap keeps errors.Is discrimination working: when a typed
+// sentinel (a package-level `var ErrFoo = ...` of error type, like
+// core.ErrStopped, scenario.ErrSpec, or cluster.ErrNodeDown) flows into
+// fmt.Errorf, it must be formatted with %w. Formatting it with %v or %s
+// flattens it to text — the returned error no longer matches
+// `errors.Is(err, ErrFoo)` and every caller switching on the sentinel
+// silently takes the wrong path.
+var SentinelWrap = &Analyzer{
+	Name: "sentinelwrap",
+	Doc: "typed Err* sentinels passed to fmt.Errorf must be wrapped with " +
+		"%w so errors.Is keeps working",
+	Run: runSentinelWrap,
+}
+
+func runSentinelWrap(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !isFmtErrorf(pass, call) || len(call.Args) < 2 {
+				return true
+			}
+			lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+			if !ok || lit.Kind.String() != "STRING" {
+				return true
+			}
+			format, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			verbs := formatVerbs(format)
+			for i, arg := range call.Args[1:] {
+				sentinel, ok := sentinelName(pass, arg)
+				if !ok {
+					continue
+				}
+				if i < len(verbs) && verbs[i] != 'w' {
+					pass.Reportf(arg.Pos(),
+						"sentinel %s formatted with %%%c: use %%w so errors.Is(err, %s) keeps working",
+						sentinel, verbs[i], sentinel)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isFmtErrorf(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Errorf" {
+		return false
+	}
+	return callsPackage(pass, call, "fmt")
+}
+
+// sentinelName matches a reference to a package-level error variable whose
+// name starts with Err (possibly qualified, `core.ErrStopped`).
+func sentinelName(pass *Pass, arg ast.Expr) (string, bool) {
+	var obj types.Object
+	var label string
+	switch e := ast.Unparen(arg).(type) {
+	case *ast.Ident:
+		obj = pass.Info.Uses[e]
+		label = e.Name
+	case *ast.SelectorExpr:
+		if pkg, ok := e.X.(*ast.Ident); ok {
+			if _, isPkg := pass.Info.Uses[pkg].(*types.PkgName); isPkg {
+				obj = pass.Info.Uses[e.Sel]
+				label = pkg.Name + "." + e.Sel.Name
+			}
+		}
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return "", false
+	}
+	if !strings.HasPrefix(v.Name(), "Err") || !implementsError(v.Type()) {
+		return "", false
+	}
+	return label, true
+}
+
+func implementsError(t types.Type) bool {
+	iface, ok := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	return types.Implements(t, iface) || types.Implements(types.NewPointer(t), iface)
+}
+
+// formatVerbs extracts the verb letter consuming each successive argument
+// of a Printf-style format: flags, width, and precision are skipped, `*`
+// consumes an argument of its own, and %% consumes none.
+func formatVerbs(format string) []byte {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		for i < len(format) {
+			c := format[i]
+			if c == '%' {
+				break // literal %%
+			}
+			if c == '*' {
+				verbs = append(verbs, '*')
+				i++
+				continue
+			}
+			if (c >= '0' && c <= '9') || strings.ContainsRune("+-# .[]", rune(c)) {
+				i++
+				continue
+			}
+			// The verb letter.
+			verbs = append(verbs, c)
+			break
+		}
+	}
+	return verbs
+}

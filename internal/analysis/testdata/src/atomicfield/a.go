@@ -1,0 +1,56 @@
+// Package atomicfield exercises the all-or-nothing atomic-access check.
+package atomicfield
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type stats struct {
+	arrived  int64
+	released int64
+	plain    int64 // never touched atomically: plain access is fine
+	flag     uint32
+}
+
+type server struct {
+	mu    sync.Mutex
+	stats stats
+}
+
+func (s *server) hot() {
+	atomic.AddInt64(&s.stats.arrived, 1)
+	atomic.AddInt64(&s.stats.released, 1)
+	atomic.StoreUint32(&s.stats.flag, 1)
+}
+
+func (s *server) snapshot() (int64, int64) {
+	return atomic.LoadInt64(&s.stats.arrived), atomic.LoadInt64(&s.stats.released)
+}
+
+// badRead races hot(): holding mu does not serialize against atomic adders.
+func (s *server) badRead() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats.arrived // want `plain access to field arrived`
+}
+
+// badWrite is a lost-update race with the atomic adders.
+func (s *server) badWrite() {
+	s.stats.released = 0 // want `plain access to field released`
+	s.stats.flag++       // want `plain access to field flag`
+}
+
+// plainField was never accessed atomically: not tracked.
+func (s *server) plainField() int64 {
+	s.stats.plain++
+	return s.stats.plain
+}
+
+// ignored documents a deliberate pre-publication initialization.
+func newServer() *server {
+	s := &server{}
+	//rtmw:ignore atomicfield pre-publication init, no concurrent readers yet
+	s.stats.arrived = 0
+	return s
+}

@@ -1,0 +1,26 @@
+// Package directive exercises the annotation-grammar checks.
+package directive
+
+//rtmw:bogus // want `unknown rtmw directive "bogus"`
+func unknownKind() {}
+
+//rtmw:ignore noalloc // want `the reason is mandatory`
+func missingReason() {}
+
+//rtmw:ignore nosuchanalyzer because reasons // want `names unknown analyzer "nosuchanalyzer"`
+func unknownAnalyzer() {}
+
+//rtmw:deterministic sometimes // want `takes no argument or the single word`
+func badDeterministicArg() {}
+
+//rtmw:noalloc really // want `takes no arguments`
+func badNoallocArg() {}
+
+type s struct {
+	a int //rtmw:lockrank nine // want `rank "nine" is not an integer`
+	b int //rtmw:lockrank 2 sharded // want `second argument must be .indexed.`
+	c int //rtmw:lockrank 1 indexed
+}
+
+//rtmw:noalloc
+func wellFormed() {}

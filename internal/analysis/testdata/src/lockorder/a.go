@@ -1,0 +1,188 @@
+// Package lockorder fixes the sharded-ledger locking lattice in miniature:
+// rank 1 indexed shard mutexes, the rank 2 cross-registry mutex, and rank 3
+// leaf mutexes (journal, route stripes).
+package lockorder
+
+import (
+	"math/bits"
+	"sync"
+)
+
+type shard struct {
+	mu sync.Mutex //rtmw:lockrank 1 indexed
+	n  int
+}
+
+type stripe struct {
+	mu sync.Mutex //rtmw:lockrank 3 indexed
+	m  map[int]uint64
+}
+
+type journal struct {
+	mu  sync.Mutex //rtmw:lockrank 3
+	ops []int
+}
+
+type ledger struct {
+	shards  []shard
+	crossMu sync.Mutex //rtmw:lockrank 2
+	stripes [32]stripe
+	journal journal
+}
+
+// lockAllAscending is the sanctioned whole-ledger pattern.
+func (l *ledger) lockAllAscending() {
+	for i := 0; i < len(l.shards); i++ {
+		l.shards[i].mu.Lock()
+	}
+	l.crossMu.Lock()
+	l.journal.mu.Lock()
+	l.journal.mu.Unlock()
+	l.crossMu.Unlock()
+	for i := range l.shards {
+		l.shards[i].mu.Unlock()
+	}
+}
+
+// maskWalk locks the shards of a mask via the lowest-set-bit walk.
+func (l *ledger) maskWalk(mask uint64) {
+	for m := mask; m != 0; m &= m - 1 {
+		l.shards[bits.TrailingZeros64(m)].mu.Lock()
+	}
+	l.crossMu.Lock()
+	l.crossMu.Unlock()
+	for m := mask; m != 0; m &= m - 1 {
+		l.shards[bits.TrailingZeros64(m)].mu.Unlock()
+	}
+}
+
+// rangeAscending locks every shard through a range loop.
+func (l *ledger) rangeAscending() {
+	for i := range l.shards {
+		l.shards[i].mu.Lock()
+	}
+	for i := range l.shards {
+		l.shards[i].mu.Unlock()
+	}
+}
+
+// shardUnderCross violates "crossMu nests inside the shard locks".
+func (l *ledger) shardUnderCross(s int) {
+	l.crossMu.Lock()
+	l.shards[s].mu.Lock() // want `acquires shard\.mu \(rank 1\) while holding ledger\.crossMu \(rank 2\)`
+	l.shards[s].mu.Unlock()
+	l.crossMu.Unlock()
+}
+
+// crossUnderJournal violates "leaves are acquired last".
+func (l *ledger) crossUnderJournal() {
+	l.journal.mu.Lock()
+	l.crossMu.Lock() // want `acquires ledger\.crossMu \(rank 2\) while holding journal\.mu \(rank 3\)`
+	l.crossMu.Unlock()
+	l.journal.mu.Unlock()
+}
+
+// stripeUnderJournal nests two leaf classes: no order is defined.
+func (l *ledger) stripeUnderJournal(i int) {
+	l.journal.mu.Lock()
+	l.stripes[i].mu.Lock() // want `acquires stripe\.mu while holding journal\.mu: both rank 3`
+	l.stripes[i].mu.Unlock()
+	l.journal.mu.Unlock()
+}
+
+// twoSites takes two shard locks from different call sites: ascending order
+// cannot be proven.
+func (l *ledger) twoSites(a, b int) {
+	l.shards[a].mu.Lock()
+	l.shards[b].mu.Lock() // want `second shard\.mu instance at a different call site`
+	l.shards[b].mu.Unlock()
+	l.shards[a].mu.Unlock()
+}
+
+// descending holds shard locks across iterations of a descending loop.
+func (l *ledger) descending() {
+	for i := len(l.shards) - 1; i >= 0; i-- {
+		l.shards[i].mu.Lock() // want `without an ascending-index proof`
+	}
+	for i := range l.shards {
+		l.shards[i].mu.Unlock()
+	}
+}
+
+// reacquire self-deadlocks on a non-indexed mutex.
+func (l *ledger) reacquire() {
+	l.crossMu.Lock()
+	l.crossMu.Lock() // want `re-acquires ledger\.crossMu while already holding it`
+	l.crossMu.Unlock()
+	l.crossMu.Unlock()
+}
+
+// loopNoUnlock re-locks crossMu on the second iteration.
+func (l *ledger) loopNoUnlock(n int) {
+	for i := 0; i < n; i++ {
+		l.crossMu.Lock() // want `still held at the end of the body: the next iteration self-deadlocks`
+		l.journal.ops = append(l.journal.ops, i)
+	}
+}
+
+// sequentialShards is fine: the first lock is released before the second.
+func (l *ledger) sequentialShards(a, b int) {
+	l.shards[a].mu.Lock()
+	l.shards[a].mu.Unlock()
+	l.shards[b].mu.Lock()
+	l.shards[b].mu.Unlock()
+}
+
+// deferredCross holds crossMu to the end of the function via defer; taking
+// a shard lock below it must still be flagged.
+func (l *ledger) deferredCross(s int) {
+	l.crossMu.Lock()
+	defer l.crossMu.Unlock()
+	l.journal.mu.Lock()
+	l.journal.mu.Unlock()
+	l.shards[s].mu.Lock() // want `acquires shard\.mu \(rank 1\) while holding ledger\.crossMu \(rank 2\)`
+	l.shards[s].mu.Unlock()
+}
+
+// branchMerge: the early-return branch releases, the fall-through path does
+// not — the analyzer must keep crossMu held on the fall-through.
+func (l *ledger) branchMerge(s int, bail bool) {
+	l.crossMu.Lock()
+	if bail {
+		l.crossMu.Unlock()
+		return
+	}
+	l.shards[s].mu.Lock() // want `while holding ledger\.crossMu`
+	l.shards[s].mu.Unlock()
+	l.crossMu.Unlock()
+}
+
+// bothBranchesRelease merges to an empty held set: no finding.
+func (l *ledger) bothBranchesRelease(s int, a bool) {
+	l.crossMu.Lock()
+	if a {
+		l.crossMu.Unlock()
+	} else {
+		l.crossMu.Unlock()
+	}
+	l.shards[s].mu.Lock()
+	l.shards[s].mu.Unlock()
+}
+
+// viaLocal resolves the shard mutex through a local pointer.
+func (l *ledger) viaLocal(s int) {
+	sh := &l.shards[s]
+	l.crossMu.Lock()
+	sh.mu.Lock() // want `while holding ledger\.crossMu`
+	sh.mu.Unlock()
+	l.crossMu.Unlock()
+}
+
+// ignored documents a deliberate (fixture-only) suppression.
+func (l *ledger) ignored(s int) {
+	l.crossMu.Lock()
+	//rtmw:ignore lockorder fixture exercising the suppression path
+	l.shards[s].mu.Lock()
+	l.shards[s].mu.Unlock()
+	l.crossMu.Unlock()
+}

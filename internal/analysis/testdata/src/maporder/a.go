@@ -1,0 +1,61 @@
+// Package maporder exercises the determinism-scope map-iteration checks.
+package maporder
+
+import "sort"
+
+type pair struct {
+	k string
+	v int
+}
+
+//rtmw:deterministic
+func render(m map[string]int) []string {
+	for k := range m { // want `map iteration on a determinism-critical path`
+		_ = k
+	}
+
+	// The collect-then-sort idiom is recognized without an annotation.
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	// Collecting values (or fields of the loop variables) is fine too.
+	vals := make([]int, 0, len(m))
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+
+	total := 0
+	//rtmw:ignore maporder order-insensitive accumulation into a scalar
+	for _, v := range m {
+		total += v
+	}
+	return keys
+}
+
+//rtmw:deterministic
+func computedCollect(m map[string]int) []pair {
+	var pairs []pair
+	for k, v := range m { // want `map iteration on a determinism-critical path`
+		pairs = append(pairs, pair{k, v})
+	}
+	return pairs
+}
+
+//rtmw:deterministic
+func sliceRangeFine(s []int) int {
+	total := 0
+	for _, v := range s {
+		total += v
+	}
+	return total
+}
+
+// unannotated functions in an unannotated file iterate maps freely.
+func unannotated(m map[string]int) {
+	for k := range m {
+		_ = k
+	}
+}

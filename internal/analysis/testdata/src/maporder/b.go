@@ -1,0 +1,21 @@
+// File-level determinism scope: every function in this file is on the
+// deterministic path.
+//
+//rtmw:deterministic file
+package maporder
+
+func wholeFile(m map[int]int) int {
+	sum := 0
+	for _, v := range m { // want `map iteration on a determinism-critical path`
+		sum += v
+	}
+	return sum
+}
+
+func wholeFileIdiom(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

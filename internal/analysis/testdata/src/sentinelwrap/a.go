@@ -1,0 +1,41 @@
+// Package sentinelwrap exercises %w discipline for typed Err* sentinels.
+package sentinelwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+var (
+	ErrStopped  = errors.New("stopped")
+	ErrNodeDown = errors.New("node down")
+	auxiliary   = errors.New("not a sentinel by name")
+)
+
+func wrapped(task string) error {
+	return fmt.Errorf("te %q: %w", task, ErrStopped)
+}
+
+func flattenedV(task string) error {
+	return fmt.Errorf("te %q: %v", task, ErrStopped) // want `sentinel ErrStopped formatted with %v: use %w`
+}
+
+func flattenedS(node int) error {
+	return fmt.Errorf("node %d: %s", node, ErrNodeDown) // want `sentinel ErrNodeDown formatted with %s: use %w`
+}
+
+func notASentinel() error {
+	return fmt.Errorf("aux: %v", auxiliary) // lowercase name: not part of the sentinel surface
+}
+
+func dynamicErr(err error) error {
+	return fmt.Errorf("op failed: %v", err) // non-sentinel values may flatten
+}
+
+func twoSentinels() error {
+	return fmt.Errorf("%v then %w", ErrStopped, ErrNodeDown) // want `sentinel ErrStopped formatted with %v`
+}
+
+func widthAndFlags(n int) error {
+	return fmt.Errorf("%-4d %v", n, ErrStopped) // want `sentinel ErrStopped formatted with %v`
+}

@@ -372,6 +372,8 @@ func New(opts Options) (*Autopilot, error) {
 // ingest folds one Watch event into the estimators. Hot path: a map lookup
 // and one or two atomic ring adds — no locks, no allocations (task add and
 // remove are the cold exceptions).
+//
+//rtmw:noalloc
 func (a *Autopilot) ingest(ev core.WatchEvent) {
 	a.events.Add(1)
 	switch ev.Kind {
@@ -487,6 +489,8 @@ func (a *Autopilot) target(r Regime) core.Config {
 // tick runs one decision round at `now`: summarize the window, update the
 // change detector, classify, and actuate if — and only if — the hysteresis
 // gate opens.
+//
+//rtmw:noalloc
 func (a *Autopilot) tick(now time.Duration) {
 	a.ticks.Add(1)
 	st := a.window(now)

@@ -39,6 +39,8 @@ func newRing(window time.Duration, buckets int) *ring {
 // advance rotates the ring forward to cover `now`, zeroing every bucket the
 // window slid past. Monotonically non-decreasing: events that arrive with an
 // older timestamp land in the current bucket.
+//
+//rtmw:noalloc
 func (r *ring) advance(now time.Duration) {
 	idx := int64(now / r.width)
 	if idx <= r.last {
@@ -57,6 +59,8 @@ func (r *ring) advance(now time.Duration) {
 
 // add counts one event at `now`. Hot path: one divide, at most a short
 // zeroing loop on bucket rollover, one atomic add.
+//
+//rtmw:noalloc
 func (r *ring) add(now time.Duration) {
 	r.advance(now)
 	r.buckets[r.last%int64(len(r.buckets))].Add(1)

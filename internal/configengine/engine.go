@@ -5,10 +5,16 @@
 // performs the feasibility check that rejects contradictory combinations,
 // assigns EDMS priorities from end-to-end deadlines, and generates the
 // XML-based deployment plan consumed by the deployment engine.
+//
+// Plan generation and delta emission are a deterministic surface: the same
+// spec and answers must yield a byte-identical plan.
+//
+//rtmw:deterministic file
 package configengine
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -607,8 +613,12 @@ func RemoveTasksDelta(p *deploy.Plan, ids []string) (*deploy.Delta, error) {
 		}
 		remaining = append(remaining, t)
 	}
-	for id := range drop {
-		return nil, fmt.Errorf("configengine: remove tasks: %w: %q", core.ErrUnknownTask, id)
+	// Report the first unknown ID in the caller's argument order, not an
+	// arbitrary one from map order.
+	for _, id := range ids {
+		if drop[id] {
+			return nil, fmt.Errorf("configengine: remove tasks: %w: %q", core.ErrUnknownTask, id)
+		}
 	}
 	if len(remaining) == 0 {
 		return nil, fmt.Errorf("configengine: remove tasks: cannot remove every task from the deployment")
@@ -782,17 +792,24 @@ func planConnections(tasks []*sched.Task, cfg core.Config, manager string, nodeO
 			}
 		}
 	}
+	// Node-fanout routes walk processors in ascending order so the emitted
+	// connection list — and therefore the plan bytes — are deterministic.
+	procs := make([]int, 0, len(nodeOf))
+	for p := range nodeOf {
+		procs = append(procs, p)
+	}
+	sort.Ints(procs)
 	// Idle resetting reports flow from every application node to the
 	// manager, unless resetting is disabled.
 	if cfg.IR != core.StrategyNone {
-		for _, node := range nodeOf {
-			add(live.EvIdleReset, node, manager)
+		for _, p := range procs {
+			add(live.EvIdleReset, nodeOf[p], manager)
 		}
 	}
 	// Heartbeat beacons flow from every application node to the manager's
 	// failure detector.
-	for _, node := range nodeOf {
-		add(live.EvHeartbeat, node, manager)
+	for _, p := range procs {
+		add(live.EvHeartbeat, nodeOf[p], manager)
 	}
 	return out
 }

@@ -164,6 +164,8 @@ func (e *Engine) Now() time.Duration { return e.now }
 func (e *Engine) Fired() int64 { return e.fired }
 
 // alloc takes a free slot, growing the arena when the free list is empty.
+//
+//rtmw:noalloc
 func (e *Engine) alloc() int32 {
 	if n := len(e.free); n > 0 {
 		idx := e.free[n-1]
@@ -177,6 +179,8 @@ func (e *Engine) alloc() int32 {
 // recycle returns a popped slot to the free list, bumping its generation so
 // outstanding handles go inert, and dropping every callback/payload
 // reference so fired or cancelled events never pin dead state.
+//
+//rtmw:noalloc
 func (e *Engine) recycle(idx int32) {
 	s := &e.slots[idx]
 	s.gen++
@@ -191,8 +195,11 @@ func (e *Engine) recycle(idx int32) {
 
 // schedule is the single scheduling entry point behind At/AtEvent and the
 // processor-internal event kinds.
+//
+//rtmw:noalloc
 func (e *Engine) schedule(at time.Duration, dispatch uint8, fn func(), h EventHandler, proc *Processor, ev Event) Timer {
 	if at < e.now {
+		//rtmw:ignore noalloc programmer-error panic path, never taken in steady state
 		panic(fmt.Sprintf("des: scheduling at %v before now %v", at, e.now))
 	}
 	e.seq++
@@ -229,6 +236,8 @@ func (e *Engine) After(d time.Duration, fn func()) Timer {
 // AtEvent schedules a typed event for h at the given absolute virtual time.
 // Unlike At, no closure is involved: the payload travels in the pooled slot,
 // so steady-state scheduling does not allocate.
+//
+//rtmw:noalloc
 func (e *Engine) AtEvent(at time.Duration, h EventHandler, ev Event) Timer {
 	if h == nil {
 		panic("des: scheduling nil event handler")
@@ -237,12 +246,16 @@ func (e *Engine) AtEvent(at time.Duration, h EventHandler, ev Event) Timer {
 }
 
 // AfterEvent schedules a typed event for h at d from now.
+//
+//rtmw:noalloc
 func (e *Engine) AfterEvent(d time.Duration, h EventHandler, ev Event) Timer {
 	return e.AtEvent(e.now+d, h, ev)
 }
 
 // Step executes the next pending event, advancing the clock to its time. It
 // reports whether an event was executed.
+//
+//rtmw:noalloc
 func (e *Engine) Step() bool {
 	for len(e.heap) > 0 {
 		ent := e.heapPop()
@@ -277,6 +290,8 @@ func (e *Engine) Step() bool {
 // RunUntil executes events in order until the queue is empty or the next
 // event is strictly after the horizon. The clock finishes at the horizon (or
 // at the last event time if later events remain).
+//
+//rtmw:noalloc
 func (e *Engine) RunUntil(horizon time.Duration) {
 	for len(e.heap) > 0 {
 		// Peek without popping: cancelled timers are recycled lazily.
@@ -297,6 +312,8 @@ func (e *Engine) RunUntil(horizon time.Duration) {
 }
 
 // Run executes events until the queue is empty.
+//
+//rtmw:noalloc
 func (e *Engine) Run() {
 	for e.Step() {
 	}
@@ -308,8 +325,11 @@ func (e *Engine) Run() {
 func (e *Engine) PendingCount() int { return e.live }
 
 // heapPush inserts an entry into the 4-ary heap.
+//
+//rtmw:noalloc
 func (e *Engine) heapPush(x heapEnt) {
-	h := append(e.heap, x)
+	e.heap = append(e.heap, x)
+	h := e.heap
 	i := len(h) - 1
 	for i > 0 {
 		p := (i - 1) / 4
@@ -319,12 +339,13 @@ func (e *Engine) heapPush(x heapEnt) {
 		h[i], h[p] = h[p], h[i]
 		i = p
 	}
-	e.heap = h
 }
 
 // heapPop removes and returns the minimum entry, sifting the former tail
 // down through a hole (one write per level instead of a swap). heapEnt holds
 // no pointers, so the vacated tail slot needs no zeroing.
+//
+//rtmw:noalloc
 func (e *Engine) heapPop() heapEnt {
 	h := e.heap
 	top := h[0]

@@ -107,6 +107,8 @@ func NewTaskEffector() *TaskEffector {
 }
 
 // lookupTask resolves a task record from the COW index without locking.
+//
+//rtmw:noalloc
 func (te *TaskEffector) lookupTask(taskID string) (*teTask, bool) {
 	tp := te.tasks.Load()
 	if tp == nil {
@@ -117,6 +119,8 @@ func (te *TaskEffector) lookupTask(taskID string) (*teTask, bool) {
 }
 
 // cachedDecision returns the per-task cached decision, lock-free.
+//
+//rtmw:noalloc
 func (te *TaskEffector) cachedDecision(taskID string) (*Accept, bool) {
 	dec, ok := (*te.decided.Load())[taskID]
 	return dec, ok
@@ -303,6 +307,8 @@ func (te *TaskEffector) Arrive(taskID string) (int64, error) {
 // settleCached resolves one arrival against a cached per-task decision
 // without taking te.mu: job number from the task's atomic allocator, stats
 // atomically, and the release (if accepted) pushed directly.
+//
+//rtmw:noalloc
 func (te *TaskEffector) settleCached(taskID string, tt *teTask, dec *Accept) core.Admission {
 	job := tt.nextJob.Add(1) - 1
 	atomic.AddInt64(&te.Stats.Arrived, 1)

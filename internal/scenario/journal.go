@@ -1,3 +1,7 @@
+// Journal encoding and the canonical golden-metrics rendering are a
+// deterministic-replay surface: the same run must serialize byte-identically.
+//
+//rtmw:deterministic file
 package scenario
 
 import (

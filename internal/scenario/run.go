@@ -1,3 +1,7 @@
+// Scenario execution and replay are a deterministic-replay surface: a sim
+// run of a given spec is bit-reproducible, and replay must re-derive it.
+//
+//rtmw:deterministic file
 package scenario
 
 import (

@@ -20,6 +20,8 @@
 // simulation run of a scenario is bit-reproducible, and any run — sim or
 // live — can be recorded to a journal (the input timeline plus the observed
 // watch stream) and replayed into the simulation offline; see journal.go.
+//
+//rtmw:deterministic file
 package scenario
 
 import (

@@ -1,3 +1,7 @@
+// Timeline compilation is a deterministic-replay surface: identical specs
+// must compile to identical timelines on every run and every Go version.
+//
+//rtmw:deterministic file
 package scenario
 
 import (

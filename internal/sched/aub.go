@@ -940,6 +940,8 @@ func (l *Ledger) Relocate(ref JobRef, placement []PlacedStage) error {
 // short-circuits) sums untouched, and the perturbed jobs are evaluated once
 // per distinct processor-visit signature instead of once per job. The
 // decision is equivalent to the full-scan referenceAdmissible.
+//
+//rtmw:noalloc
 func (l *Ledger) Admissible(placement []PlacedStage) bool {
 	for _, p := range placement {
 		if p.Util < 0 {
@@ -949,7 +951,9 @@ func (l *Ledger) Admissible(placement []PlacedStage) bool {
 		}
 	}
 	if l.candDelta == nil {
+		//rtmw:ignore noalloc one-time lazy scratch, amortized to zero over the ledger's life
 		l.candDelta = make([]float64, len(l.util))
+		//rtmw:ignore noalloc one-time lazy scratch, amortized to zero over the ledger's life
 		l.candTerm = make([]float64, len(l.util))
 	}
 	// Dense candidate deltas, accumulated in placement order so the sums
@@ -976,6 +980,8 @@ func (l *Ledger) Admissible(placement []PlacedStage) bool {
 
 // admitScan is Admissible after the scratch is primed; split out so every
 // early return shares the caller's scratch cleanup.
+//
+//rtmw:noalloc
 func (l *Ledger) admitScan(placement []PlacedStage, delta, tent []float64, touched []int) bool {
 	// Candidate's own condition under the tentative utilizations.
 	var sum float64

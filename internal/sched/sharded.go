@@ -47,7 +47,7 @@ const routeStripeCount = 32
 // authoritative for the shard's processor block, its own mutex, and a seqlock
 // epoch (odd while a mutation is in progress) validating optimistic readers.
 type ledgerShard struct {
-	mu    sync.Mutex
+	mu    sync.Mutex //rtmw:lockrank 1 indexed
 	l     *Ledger
 	epoch atomic.Uint64
 	// prevViolated is the shard ledger's violated count last pushed into the
@@ -64,7 +64,7 @@ func (sh *ledgerShard) endWrite()   { sh.epoch.Add(1) }
 // reference-keyed operations (expiry, withdrawal, completion) to find the
 // shards holding a job.
 type routeStripe struct {
-	mu sync.Mutex
+	mu sync.Mutex //rtmw:lockrank 3 indexed
 	m  map[JobRef]uint64
 	_  [40]byte
 }
@@ -144,7 +144,7 @@ type ledgerOp struct {
 // opJournal records mutations under the mutating operation's locks (its own
 // mutex is the innermost lock in the ledger order).
 type opJournal struct {
-	mu  sync.Mutex
+	mu  sync.Mutex //rtmw:lockrank 3
 	ops []ledgerOp
 }
 
@@ -195,7 +195,7 @@ type ShardedLedger struct {
 	crossOnProc []atomic.Int32
 	crossCount  atomic.Int64
 
-	crossMu sync.Mutex
+	crossMu sync.Mutex //rtmw:lockrank 2
 	cross   crossSet
 
 	routes [routeStripeCount]routeStripe

@@ -458,6 +458,8 @@ func (sl *ShardedLedger) AddJob(ref JobRef, kind TaskKind, placement []PlacedSta
 // which would admit two conflicting candidates under concurrency. It returns
 // whether the job was admitted; the error reports argument problems or a
 // double admission (both also rejections).
+//
+//rtmw:noalloc
 func (sl *ShardedLedger) TestAndAdd(ref JobRef, kind TaskKind, placement []PlacedStage, permanent bool, expiry time.Duration) (bool, error) {
 	if err := sl.validatePlacement(ref, placement); err != nil {
 		return false, err
@@ -494,6 +496,8 @@ func (sl *ShardedLedger) TestAndAdd(ref JobRef, kind TaskKind, placement []Place
 // commit entirely inside one shard lock (plus crossMu only when cross jobs
 // touch the candidate's processors). Zero allocations on the steady-state
 // path.
+//
+//rtmw:noalloc
 func (sl *ShardedLedger) testAndAddShardLocked(sh *ledgerShard, mask uint64, ref JobRef, kind TaskKind, placement []PlacedStage, permanent bool, expiry time.Duration) (bool, error) {
 	ok := sl.violated.Load() == 0 && sh.l.Admissible(placement)
 	crossTouched := ok && sl.anyCrossOnPlacement(placement)
@@ -501,6 +505,7 @@ func (sl *ShardedLedger) testAndAddShardLocked(sh *ledgerShard, mask uint64, ref
 		var touchedBuf [8]int
 		var deltaBuf, tentBuf [8]float64
 		touched, _, tent := tentativeInto(placement,
+			//rtmw:ignore noalloc accessor stays on the stack: tentativeInto's at param never escapes
 			func(p int) float64 { return sh.l.util[p] },
 			touchedBuf[:0], deltaBuf[:0], tentBuf[:0])
 		sl.crossMu.Lock()
